@@ -1,0 +1,89 @@
+"""Ablation B: detection probability vs attacker credential sampling.
+
+Section 7.3: "The odds of detection are inversely proportional to the
+percentage of email accounts tested."  The sweep breaches the same site
+across many seeded trials while the attacker tests only a fraction of
+the recovered haul, and reports the measured detection rate per
+fraction.
+"""
+
+import pytest
+
+from repro.attacker.botnet import BotnetProxyNetwork
+from repro.attacker.breach import BreachEvent, BreachMethod, execute_breach
+from repro.attacker.checker import CredentialChecker
+from repro.attacker.cracking import crack_records
+from repro.attacker.profiles import CheckerArchetype, CheckerProfile
+from repro.core.campaign import RegistrationCampaign
+from repro.core.monitor import CompromiseMonitor
+from repro.core.system import TripwireSystem
+from repro.identity.passwords import PasswordClass
+from repro.util.rngtree import RngTree
+from repro.util.tables import render_table
+from repro.util.timeutil import DAY
+
+FRACTIONS = (1.0, 0.5, 0.25, 0.1)
+TRIALS = 25
+
+
+def one_trial(test_fraction: float, seed: int) -> bool:
+    system = TripwireSystem(seed=seed, population_size=25)
+    system.crawler.config.system_error_rate = 0.0
+    system.provision_identities(25, PasswordClass.HARD)
+    system.provision_identities(12, PasswordClass.EASY)
+    campaign = RegistrationCampaign(system)
+    campaign.run_batch(system.population.alexa_top(18))
+    target = None
+    for attempt in campaign.exposed_attempts():
+        site = system.population.site_by_host(attempt.site_host)
+        if site and site.accounts.lookup(attempt.identity.email_address):
+            target = site
+            break
+    if target is None:
+        return False
+    target.seed_organic_accounts(40)
+    when = system.clock.now() + 5 * DAY
+    cracked = crack_records(
+        execute_breach(target, BreachEvent(target.spec.host, when,
+                                           BreachMethod.ONLINE_CAPTURE)),
+        when,
+    )
+    botnet = BotnetProxyNetwork(system.whois, system.tree.child("botnet").rng())
+    checker = CredentialChecker(system.provider, botnet, system.queue,
+                                RngTree(seed).child("checker").rng(),
+                                test_fraction=test_fraction)
+    profile = CheckerProfile(archetype=CheckerArchetype.VERIFIER,
+                             initial_delay_days=3, session_count=1,
+                             period_days=5, multi_ip_burst_prob=0.0,
+                             hammer_prob=0.0)
+    checker.launch(cracked, profile)
+    monitor = CompromiseMonitor(system.pool, system.control_locals,
+                                system.provider.domain)
+    for _ in range(2):
+        system.queue.run_until(system.clock.now() + 30 * DAY)
+        monitor.ingest_dump(system.provider.collect_login_dump())
+    return target.spec.host in monitor.detections
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_attacker_sampling(benchmark, record):
+    def sweep():
+        return {
+            fraction: sum(one_trial(fraction, 7000 + 31 * t) for t in range(TRIALS))
+            for fraction in FRACTIONS
+        }
+
+    detected = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{fraction:.0%}", f"{count}/{TRIALS}", f"{count / TRIALS:.0%}"]
+        for fraction, count in detected.items()
+    ]
+    record("ablation_attacker_sampling", render_table(
+        ["Haul fraction tested", "Detected", "Rate"], rows,
+        title="Ablation B: detection odds vs attacker sampling rate (§7.3)",
+    ))
+
+    # Detection declines as the attacker samples less (allowing noise).
+    assert detected[1.0] >= detected[0.25]
+    assert detected[1.0] >= detected[0.1]
+    assert detected[1.0] >= TRIALS * 0.5

@@ -1,0 +1,37 @@
+"""Section 3 ethics audit + Section 6.4.2 burstiness, over the shared pilot."""
+
+import pytest
+
+from repro.analysis.bursts import build_burst_report, render_burst_report
+from repro.analysis.ethics import audit_load, render_ethics_audit
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_ethics_load_audit(benchmark, pilot, record):
+    audit = benchmark(lambda: audit_load(pilot.campaign, pilot.system.transport))
+    record("ethics_audit", render_ethics_audit(audit))
+
+    # Section 3's load claims, recomputed rather than asserted.
+    assert audit.majority_two_or_fewer
+    assert audit.sites_with_more_than_eight_attempts == 0  # no debugging here
+    assert audit.max_attempts_per_site <= 4
+    # Page loads respect the crawler's ≥3s-per-load discipline, within
+    # one second of transport latency.
+    assert audit.min_inter_request_gap >= 3
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_attacker_burstiness(benchmark, pilot, record):
+    rows = benchmark(lambda: build_burst_report(pilot.monitor))
+    record("attacker_bursts", render_burst_report(rows))
+
+    assert rows, "pilot should have accessed accounts to analyze"
+    bursty = [r for r in rows if r.has_multi_ip_burst]
+    hammering = [r for r in rows if r.has_hammering]
+    # Paper: 11 of 30 accounts bursty, 9 hammered — a minority, but
+    # clearly present.
+    assert len(bursty) >= 1
+    assert len(hammering) >= 1
+    assert len(bursty) < len(rows)
+    # The peak multi-IP burst is in the paper's regime (46 IPs / 10 min).
+    assert max(r.peak_ips_in_window for r in rows) >= 5

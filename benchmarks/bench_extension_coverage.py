@@ -1,0 +1,77 @@
+"""Extension bench: coverage gains from §7.2's proposed improvements.
+
+The paper names two upgrades it never built: multi-language support
+("the single greatest improvement to the crawler's coverage") and
+search-engine-assisted registration-page discovery (§6.2.2).  This
+bench crawls the same ranked batch three ways — baseline, +language
+packs, +packs+search — and compares how many sites end up with a
+believed-successful registration.
+"""
+
+import pytest
+
+from repro.core.campaign import RegistrationCampaign
+from repro.core.system import TripwireSystem
+from repro.crawler.engine import CrawlerConfig
+from repro.identity.passwords import PasswordClass
+from repro.search import SearchEngine
+from repro.util.tables import render_table
+
+SITES = 250
+
+
+def coverage(enable_packs: bool, enable_search: bool) -> dict[str, int]:
+    config = CrawlerConfig(system_error_rate=0.0)
+    if enable_packs:
+        config.enabled_languages = frozenset({"de", "es", "fr"})
+    system = TripwireSystem(seed=505, population_size=SITES, crawler_config=config)
+    if enable_search:
+        system.crawler._search = SearchEngine(system.transport)
+    system.provision_identities(SITES + 60, PasswordClass.HARD)
+    system.provision_identities(SITES // 2 + 30, PasswordClass.EASY)
+    campaign = RegistrationCampaign(system, second_hard_probability=0.0)
+    campaign.run_batch(system.population.alexa_top(SITES))
+    believed = {a.site_host for a in campaign.attempts if a.believed_success}
+    valid = set()
+    for attempt in campaign.exposed_attempts():
+        site = system.population.site_by_host(attempt.site_host)
+        if site and site.check_credentials(attempt.identity.email_address,
+                                           attempt.identity.password):
+            valid.add(attempt.site_host)
+    skipped_language = sum(
+        1 for a in campaign.attempts if a.outcome.code.value == "not_english"
+    )
+    return {"believed": len(believed), "valid_sites": len(valid),
+            "language_skips": skipped_language}
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extension_coverage(benchmark, record):
+    def sweep():
+        return {
+            "baseline (paper pilot)": coverage(False, False),
+            "+ language packs (de/es/fr)": coverage(True, False),
+            "+ packs + search engine": coverage(True, True),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [name, stats["believed"], stats["valid_sites"], stats["language_skips"]]
+        for name, stats in results.items()
+    ]
+    record("extension_coverage", render_table(
+        ["Crawler configuration", "Believed-success sites",
+         "Sites with valid account", "Language skips"],
+        rows, title="Extension coverage over the same top-250 batch (§7.2)",
+        align_right=(1, 2, 3),
+    ))
+
+    base = results["baseline (paper pilot)"]
+    packs = results["+ language packs (de/es/fr)"]
+    full = results["+ packs + search engine"]
+    # Language packs reduce language skips and increase coverage.
+    assert packs["language_skips"] < base["language_skips"]
+    assert packs["valid_sites"] >= base["valid_sites"]
+    # Search assist adds sites whose pages the homepage hides.
+    assert full["valid_sites"] >= packs["valid_sites"]
+    assert full["valid_sites"] > base["valid_sites"]

@@ -1,0 +1,31 @@
+"""Figure 1: crawler control flow and termination-code distribution.
+
+The paper's Figure 1 is the crawler flow chart; the measurable artifact
+here is the distribution of termination codes over the pilot crawl plus
+the flow graph's structure (five terminal exits, the per-field fill
+loop, and the identity-burn boundary).
+"""
+
+from repro.analysis.fig1 import build_fig1, crawler_flow_graph, render_fig1
+from repro.crawler.outcomes import TerminationCode
+
+
+def test_fig1_crawler_flow(benchmark, pilot, record):
+    data = benchmark(lambda: build_fig1(pilot.campaign.attempts))
+    record("fig1_crawler_flow", render_fig1(data))
+
+    # Every class of exit occurs at pilot scale.
+    for code in TerminationCode:
+        assert data.counts.get(code, 0) > 0, code
+    # Exposure happens only at or past the Figure 1 horizontal line.
+    assert data.exposed_by_code.get(TerminationCode.NO_REGISTRATION_FOUND, 0) == 0
+    assert data.exposed_by_code.get(TerminationCode.NOT_ENGLISH, 0) == 0
+    assert data.exposed_by_code.get(TerminationCode.OK_SUBMISSION, 0) == \
+        data.counts[TerminationCode.OK_SUBMISSION]
+
+    graph = crawler_flow_graph()
+    terminals = {n for n, d in graph.nodes(data=True) if d["terminal"]}
+    assert terminals == {
+        "OK submission", "Submission heuristics failed",
+        "Required fields missing", "No registration found", "System Error",
+    }

@@ -1,0 +1,31 @@
+"""Figure 2: registration and login activity over time per site.
+
+Regenerates the timeline figure: one row per detected site sorted by
+first account login, registration ticks, easy/hard login markers,
+per-row login totals, and the shaded Spring-2015 telemetry gap.
+"""
+
+from repro.analysis.fig2 import build_fig2, render_fig2
+from repro.util.timeutil import LOG_GAP_END, LOG_GAP_START
+
+
+def test_fig2_login_timeline(benchmark, pilot, record):
+    data = benchmark(lambda: build_fig2(pilot))
+    record("fig2_login_timeline", render_fig2(data, width=90))
+
+    assert len(data.timelines) == pilot.monitor.site_count()
+    # Rows sorted by first login, as in the paper.
+    first_logins = [t.first_login for t in data.timelines]
+    assert first_logins == sorted(first_logins)
+    # Registrations precede logins on every row.
+    for timeline in data.timelines:
+        assert min(timeline.registrations) <= timeline.first_login
+        assert timeline.total_logins >= 1
+    # The Spring-2015 gap is plotted.
+    assert any(
+        start <= LOG_GAP_END and end >= LOG_GAP_START
+        for start, end in data.gap_windows
+    )
+    # Both password classes appear somewhere in the figure.
+    assert any(t.easy_logins for t in data.timelines)
+    assert any(t.hard_logins for t in data.timelines)

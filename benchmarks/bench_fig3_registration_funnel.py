@@ -1,0 +1,27 @@
+"""Figure 3: the registration funnel.
+
+Regenerates the three-panel funnel: ground-truth eligibility of
+submitted sites (paper: 63.8% ineligible), crawler outcome shares on
+sites it understood, and estimated success on eligible sites (paper:
+~18.8%).  The shape targets are orderings, not absolute numbers.
+"""
+
+from repro.analysis.fig3 import build_fig3, render_fig3
+
+
+def test_fig3_registration_funnel(benchmark, pilot, record):
+    data = benchmark(lambda: build_fig3(pilot))
+    record("fig3_registration_funnel", render_fig3(data))
+
+    # Panel 1: the majority of ranked sites are ineligible.
+    assert data.ineligible_fraction > 0.5
+    # Panel 2: shares form a distribution; failure dominates success.
+    total = (data.no_form_fraction + data.system_error_fraction
+             + data.fields_missing_fraction + data.heuristics_failed_fraction
+             + data.crawler_ok_fraction)
+    assert abs(total - 1.0) < 1e-9
+    assert data.no_form_fraction > data.crawler_ok_fraction * 0.8
+    assert data.crawler_ok_fraction < 0.5
+    # Panel 3: the estimate discounts believed success.
+    assert 0.0 < data.estimated_success_on_eligible < 0.6
+    assert data.estimated_valid_accounts > 0

@@ -1,0 +1,45 @@
+"""End-to-end pilot wall-time benchmark.
+
+Times one complete (small-scale) pilot: identity provisioning, three
+registration batches, breaches, attacker campaigns, dumps, monitoring,
+disclosure and estimation.  The assertions re-check the headline
+result: real breaches detected, zero false positives.
+"""
+
+import pytest
+
+from repro.core.scenario import PilotScenario, ScenarioConfig
+
+SMALL = ScenarioConfig(
+    seed=31,
+    population_size=350,
+    seed_list_size=60,
+    main_crawl_top=300,
+    second_crawl_top=350,
+    manual_top=15,
+    breach_count=8,
+    breach_hard_exposing=4,
+    unused_account_count=80,
+    control_account_count=4,
+)
+
+
+@pytest.mark.benchmark(group="end-to-end")
+def test_pilot_end_to_end(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: PilotScenario(SMALL).run(), rounds=1, iterations=1
+    )
+    summary = "\n".join([
+        "End-to-end pilot (small scale):",
+        f"  attempts:          {len(result.campaign.attempts)}",
+        f"  identities burned: {len(result.campaign.exposed_attempts())}",
+        f"  breaches:          {len(result.breaches)}",
+        f"  detected:          {len(result.detected_hosts)}",
+        f"  integrity alarms:  {len(result.monitor.alarms)}",
+        f"  attacker logins:   {result.checker.total_login_attempts}",
+    ])
+    record("pilot_end_to_end", summary)
+
+    assert result.monitor.alarms == []  # no false positives, ever
+    assert result.detected_hosts <= result.breached_hosts
+    assert len(result.detected_hosts) >= 1

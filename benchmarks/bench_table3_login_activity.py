@@ -1,0 +1,31 @@
+"""Table 3: number and date range of login activity per account.
+
+Regenerates the per-account statistics: login counts, days between
+registration and first access ("Until", paper range 3-639), days since
+the last access, provider-frozen flags (paper: 8 of 30 accounts) and
+the accessed-span in days.
+"""
+
+from repro.analysis.table3 import build_table3, render_table3
+
+
+def test_table3_login_activity(benchmark, pilot, record):
+    rows = benchmark(lambda: build_table3(pilot))
+    record("table3_login_activity", render_table3(rows))
+
+    assert len(rows) >= 10  # paper: 30 accessed accounts
+    # Both password classes appear among accessed accounts.
+    assert {row.password_type for row in rows} == {"hard", "easy"}
+    # Login-count diversity: single-shot verifiers and heavy scrapers.
+    counts = [row.login_count for row in rows]
+    assert min(counts) <= 5
+    assert max(counts) >= 20
+    # Delays are long, as in the paper (months between registration
+    # and first access).
+    assert max(row.days_until_first for row in rows) > 100
+    # Some but not all accounts get frozen/closed by the provider.
+    frozen = sum(1 for row in rows if row.frozen == "Y")
+    assert 0 < frozen < len(rows)
+    for row in rows:
+        assert row.days_accessed >= 0
+        assert row.days_since_last >= 0

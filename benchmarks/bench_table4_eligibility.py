@@ -1,0 +1,29 @@
+"""Table 4: registration eligibility by rank (100-site manual samples).
+
+Surveys 100-site windows at ranks 1 and 1,000 (10,000+ when the bench
+population is large enough) and checks the paper's qualitative claims:
+~44% non-English on average, and declining registration viability as
+rank grows.
+"""
+
+from repro.analysis.table4 import average_row, build_table4, render_table4
+
+
+def test_table4_eligibility(benchmark, pilot, record):
+    population = pilot.system.population
+    starts = tuple(s for s in (1, 1000, 10000) if s + 99 <= population.size)
+
+    rows = benchmark(lambda: build_table4(population, starts, 100))
+    record("table4_eligibility", render_table4(rows))
+
+    assert len(rows) == len(starts)
+    avg = average_row(rows)
+    # Paper averages: 6.7% load failure, 44.3% non-English,
+    # 12.7% no registration, 5.0% ineligible, 31.3% rest.
+    assert 0.25 <= avg.non_english <= 0.60
+    assert 0.01 <= avg.load_failure <= 0.20
+    assert 0.15 <= avg.rest <= 0.55
+    for row in rows:
+        total = (row.load_failure + row.non_english + row.no_registration
+                 + row.ineligible + row.rest)
+        assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,73 @@
+"""Section 6.2: the missed-breach post-mortem over a 50-breach sample.
+
+The paper took 50 publicly-reported breaches that Tripwire did *not*
+detect and classified why.  This bench runs its own pilot world, then
+samples 50 breached sites at which Tripwire holds no working account —
+exactly the sites whose breaches it would miss — and applies the same
+taxonomy: scale/scope misses dominate (paper: 29 of 50), then technical
+limitations (14), then inherent ones (6).
+"""
+
+import pytest
+
+from repro.analysis.undetected import MissReason, miss_report, render_miss_report
+from repro.core.scenario import PilotScenario, ScenarioConfig
+
+SAMPLE = 50
+
+WORLD = ScenarioConfig(
+    seed=88,
+    population_size=900,
+    seed_list_size=80,
+    main_crawl_top=500,  # ranks 500-900 stay outside the corpus
+    second_crawl_top=550,
+    manual_top=15,
+    breach_count=0,  # the study supplies the breach list
+    unused_account_count=100,
+    control_account_count=3,
+)
+
+
+def run_study():
+    result = PilotScenario(WORLD).run()
+    system = result.system
+    rng = system.tree.child("miss-study").rng()
+    population = system.population
+
+    # Sites where Tripwire holds a working account would be *detected*;
+    # the §6.2 sample is drawn from everywhere else.
+    covered = set()
+    for attempt in result.campaign.exposed_attempts():
+        site = population.site_by_host(attempt.site_host)
+        if site and site.accounts.lookup(attempt.identity.email_address):
+            covered.add(attempt.site_host)
+
+    hosts: list[str] = []
+    candidates = list(range(1, population.size + 1))
+    rng.shuffle(candidates)
+    for rank in candidates:
+        spec = population.spec_at_rank(rank)
+        if spec.host in covered:
+            continue
+        hosts.append(spec.host)
+        if len(hosts) == SAMPLE:
+            break
+    tally = miss_report(system, result.campaign, set(), hosts)
+    return tally
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_undetected_breach_taxonomy(benchmark, record):
+    tally = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    record("undetected_breaches", render_miss_report(tally))
+
+    assert sum(tally.values()) == SAMPLE
+    assert MissReason.DETECTED not in tally  # the sample is missed-only
+    by_category: dict[str, int] = {}
+    for reason, count in tally.items():
+        by_category[reason.category] = by_category.get(reason.category, 0) + count
+    # Paper shape over 50 missed breaches: 29 scale/scope, 14 technical,
+    # 6 inherent — scale/scope dominates, inherent stays small.
+    assert by_category.get("scale/scope", 0) >= SAMPLE * 0.3
+    assert by_category.get("technical", 0) >= 3
+    assert by_category.get("inherent", 0) <= SAMPLE * 0.3

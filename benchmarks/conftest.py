@@ -1,0 +1,48 @@
+"""Benchmark fixtures.
+
+``pilot`` runs one moderate-scale pilot (about 5% of the paper's size)
+once per session; the per-table benches then time the analysis builders
+against it and write their rendered output to ``benchmarks/output/``.
+The end-to-end and ablation benches run their own scenarios.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.scenario import PilotResult, PilotScenario, ScenarioConfig
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+BENCH_PILOT_CONFIG = ScenarioConfig(
+    seed=2017,
+    population_size=1500,
+    seed_list_size=150,
+    main_crawl_top=1250,
+    second_crawl_top=1500,
+    manual_top=40,
+    breach_count=21,
+    breach_hard_exposing=11,
+    unused_account_count=300,
+    control_account_count=6,
+)
+
+
+@pytest.fixture(scope="session")
+def pilot() -> PilotResult:
+    """The shared pilot run all table/figure benches analyze."""
+    return PilotScenario(BENCH_PILOT_CONFIG).run()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a rendered table/figure to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,84 @@
+"""Reproduce the paper's year-long pilot study and print every table/figure.
+
+The default scale is roughly 10% of the paper's (3,000-site population
+vs ~30,000 URLs); pass a scale factor to change it:
+
+    python examples/pilot_study.py           # ~10% scale, < 1 minute
+    python examples/pilot_study.py 0.5       # half-paper scale
+    python examples/pilot_study.py 1.0       # full paper scale (slow)
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    build_attacker_ip_report,
+    build_fig1,
+    build_fig2,
+    build_fig3,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    render_attacker_ip_report,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.scenario import PilotScenario, ScenarioConfig
+
+
+def config_for_scale(scale: float) -> ScenarioConfig:
+    """The paper's pilot sizes multiplied by ``scale``."""
+    def scaled(paper_value: int, minimum: int = 10) -> int:
+        return max(minimum, int(paper_value * scale))
+
+    return ScenarioConfig(
+        seed=2017,
+        population_size=scaled(30000, minimum=400),
+        seed_list_size=scaled(1000, minimum=50),
+        main_crawl_top=scaled(25000, minimum=300),
+        second_crawl_top=scaled(30000, minimum=400),
+        manual_top=scaled(500, minimum=20),
+        breach_count=21,  # a couple above 19: sharded dumps can miss
+        breach_hard_exposing=11,
+        unused_account_count=scaled(100000 // 50, minimum=200),
+    )
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    config = config_for_scale(scale)
+    print(f"running pilot at scale {scale:.2f} "
+          f"(population {config.population_size}, "
+          f"crawl {config.main_crawl_top}+{config.second_crawl_top})...\n")
+    started = time.time()
+    result = PilotScenario(config).run()
+    print(f"pilot finished in {time.time() - started:.1f}s wall time\n")
+
+    print(render_table1(build_table1(result.estimates)), "\n")
+    print(render_table2(build_table2(result)), "\n")
+    print(render_table3(build_table3(result)), "\n")
+    survey_ranks = tuple(
+        r for r in (1, 1000, 10000) if r + 99 <= config.population_size
+    ) or (1,)
+    print(render_table4(build_table4(result.system.population, survey_ranks)), "\n")
+    print(render_fig1(build_fig1(result.campaign.attempts)), "\n")
+    print(render_fig2(build_fig2(result)), "\n")
+    print(render_fig3(build_fig3(result)), "\n")
+    print(render_attacker_ip_report(build_attacker_ip_report(result)), "\n")
+
+    print("ground truth vs detection:")
+    print(f"  sites breached:  {len(result.breaches)}")
+    print(f"  sites detected:  {len(result.detected_hosts)} "
+          f"(paper: 19 over ~2,300 monitored sites)")
+    print(f"  integrity alarms: {len(result.monitor.alarms)} (must be 0)")
+    print(f"  disclosure: {result.disclosure.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Tripwire: inferring internet site compromise — full reproduction.
+
+This package reproduces the system described in DeBlasio, Savage, Voelker
+and Snoeren, *"Tripwire: Inferring Internet Site Compromise"* (IMC 2017).
+
+The paper's measurement pipeline registers honey accounts at third-party
+websites, reusing each website password as the password of a unique email
+account at a major provider.  Any successful login to one of those email
+accounts is then strong evidence that credentials leaked from the
+corresponding website.
+
+Because the real substrate (the public web, a partner email provider and
+live attackers) is not available offline, this reproduction implements
+simulated equivalents that exercise the same code paths:
+
+- :mod:`repro.html` / :mod:`repro.net` — an HTML/DOM substrate and a
+  simulated IPv4 internet (WHOIS, DNS, HTTP transport, proxies).
+- :mod:`repro.web` — a generative population of websites with real HTML
+  registration pages, account databases and password-storage policies.
+- :mod:`repro.email_provider` / :mod:`repro.mail` — the partner email
+  provider (accounts, login telemetry, abuse handling) and the
+  researchers' mail server (forwarding, verification-link handling).
+- :mod:`repro.identity` / :mod:`repro.crawler` — Tripwire's identity
+  factory and the automated registration crawler (Figure 1 control flow).
+- :mod:`repro.attacker` — breaches, offline cracking and password-reuse
+  credential-checking botnets.
+- :mod:`repro.core` — the Tripwire orchestrator: registration campaigns,
+  monitoring, compromise inference and success estimation.
+- :mod:`repro.analysis` — builders for every table and figure in the
+  paper's evaluation.
+
+See ``DESIGN.md`` for the full inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,90 @@
+"""Section 6.4.3's attacker-IP analysis.
+
+Cross-references observed login IPs against WHOIS (country, host kind)
+and reverse DNS, reporting distinct-IP counts, repeat usage, country
+ranking and the residential/datacenter split — the in-text numbers of
+Section 6.4 (1,316 distinct IPs, ~1,792 logins, RU/CN/US/VN top
+countries, mostly residential).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.scenario import PilotResult
+from repro.net.whois import HostKind
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class AttackerIpReport:
+    """Aggregates over all attributed attacker logins."""
+
+    total_logins: int
+    distinct_ips: int
+    repeated_ips: int
+    max_uses_single_ip: int
+    country_counts: tuple[tuple[str, int], ...]  # by distinct IPs, descending
+    residential_ips: int
+    datacenter_ips: int
+    method_counts: tuple[tuple[str, int], ...]
+
+
+def build_attacker_ip_report(result: PilotResult) -> AttackerIpReport:
+    """Compute the report from monitor detections + WHOIS ground truth."""
+    whois = result.system.whois
+    institution = {str(ip) for ip in result.system.proxy_pool.addresses}
+    ip_uses: Counter = Counter()
+    methods: Counter = Counter()
+    for detection in result.monitor.detected_sites():
+        for login in detection.logins:
+            if str(login.event.ip) in institution:
+                continue  # our own control traffic never lands here anyway
+            ip_uses[login.event.ip] += 1
+            methods[login.event.method.value] += 1
+
+    country_by_ip = {}
+    kind_by_ip = {}
+    for ip in ip_uses:
+        record = whois.lookup(ip)
+        country_by_ip[ip] = record.country if record else "??"
+        kind_by_ip[ip] = record.kind if record else None
+
+    countries: Counter = Counter(country_by_ip.values())
+    return AttackerIpReport(
+        total_logins=sum(ip_uses.values()),
+        distinct_ips=len(ip_uses),
+        repeated_ips=sum(1 for _ip, n in ip_uses.items() if n > 1),
+        max_uses_single_ip=max(ip_uses.values(), default=0),
+        country_counts=tuple(countries.most_common()),
+        residential_ips=sum(1 for k in kind_by_ip.values() if k is HostKind.RESIDENTIAL),
+        datacenter_ips=sum(1 for k in kind_by_ip.values() if k is HostKind.DATACENTER),
+        method_counts=tuple(methods.most_common()),
+    )
+
+
+def render_attacker_ip_report(report: AttackerIpReport, top_countries: int = 8) -> str:
+    """Plain-text rendering with the paper's headline numbers inline."""
+    lines = [
+        "Attacker login-IP analysis (Section 6.4.3)",
+        f"  logins observed:   {report.total_logins}   (paper: ~1,792)",
+        f"  distinct IPs:      {report.distinct_ips}   (paper: 1,316)",
+        f"  IPs seen >1 time:  {report.repeated_ips}   (paper: 181)",
+        f"  max uses, one IP:  {report.max_uses_single_ip}   (paper: 58)",
+        f"  residential IPs:   {report.residential_ips}",
+        f"  datacenter IPs:    {report.datacenter_ips}",
+        "",
+    ]
+    body = [[code, count] for code, count in report.country_counts[:top_countries]]
+    lines.append(
+        render_table(["Country", "Distinct IPs"], body,
+                     title="Top countries (paper: RU 194, CN 144, US 135, VN 89)",
+                     align_right=(1,))
+    )
+    body2 = [[m, c] for m, c in report.method_counts]
+    lines.append("")
+    lines.append(render_table(["Method", "Logins"], body2,
+                              title="Access methods (paper: typically IMAP)",
+                              align_right=(1,)))
+    return "\n".join(lines)

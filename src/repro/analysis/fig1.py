@@ -1,0 +1,99 @@
+"""Figure 1: crawler control flow and its termination-code distribution.
+
+Figure 1 in the paper is the crawler's flow chart; the measurable
+artifact is the distribution of termination codes over a crawl, plus
+the flow graph itself (exported via networkx for rendering).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.campaign import AttemptRecord
+from repro.crawler.outcomes import TerminationCode
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class Fig1Data:
+    """Termination-code distribution over a set of attempts."""
+
+    counts: dict[TerminationCode, int]
+    exposed_by_code: dict[TerminationCode, int]
+    total: int
+
+
+def build_fig1(attempts: list[AttemptRecord]) -> Fig1Data:
+    """Tally crawler exits (manual registrations are excluded)."""
+    counts: Counter = Counter()
+    exposed: Counter = Counter()
+    total = 0
+    for attempt in attempts:
+        if attempt.manual:
+            continue
+        counts[attempt.outcome.code] += 1
+        if attempt.outcome.exposed_credentials:
+            exposed[attempt.outcome.code] += 1
+        total += 1
+    return Fig1Data(counts=dict(counts), exposed_by_code=dict(exposed), total=total)
+
+
+def render_fig1(data: Fig1Data) -> str:
+    """Plain-text distribution table."""
+    order = (
+        TerminationCode.OK_SUBMISSION,
+        TerminationCode.SUBMISSION_HEURISTICS_FAILED,
+        TerminationCode.REQUIRED_FIELDS_MISSING,
+        TerminationCode.NO_REGISTRATION_FOUND,
+        TerminationCode.NOT_ENGLISH,
+        TerminationCode.SYSTEM_ERROR,
+    )
+    body = []
+    for code in order:
+        count = data.counts.get(code, 0)
+        share = f"{100 * count / data.total:.1f}%" if data.total else "-"
+        body.append([code.value, count, share, data.exposed_by_code.get(code, 0)])
+    return render_table(
+        ["Termination code", "Count", "Share", "ID used (burned)"],
+        body,
+        title="Figure 1: Crawler termination outcomes",
+        align_right=(1, 2, 3),
+    )
+
+
+def crawler_flow_graph():
+    """The Figure 1 flow chart as a networkx DiGraph.
+
+    Nodes are the processing stages; edges carry the condition labels.
+    Useful for DOT export or structural tests.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    edges = [
+        ("URL", "Is registration page?", "load"),
+        ("Is registration page?", "Find most likely registration link", "no"),
+        ("Find most likely registration link", "Is registration page?", "click"),
+        ("Find most likely registration link", "No registration found",
+         "none found or max tries reached"),
+        ("Is registration page?", "Find registration form", "yes"),
+        ("Find registration form", "No registration found", "no form"),
+        ("Find registration form", "Identify and fill field", "form found"),
+        ("Identify and fill field", "Identify and fill field", "for all fields"),
+        ("Identify and fill field", "Required fields missing", "unfillable required"),
+        ("Identify and fill field", "Submission checks", "all filled (ID used)"),
+        ("Submission checks", "OK submission", "passed"),
+        ("Submission checks", "Submission heuristics failed", "failed"),
+        ("URL", "System Error", "crash"),
+        ("Identify and fill field", "System Error", "crash"),
+    ]
+    for src, dst, label in edges:
+        graph.add_edge(src, dst, label=label)
+    terminal = {
+        "OK submission", "Submission heuristics failed", "Required fields missing",
+        "No registration found", "System Error",
+    }
+    for node in graph.nodes:
+        graph.nodes[node]["terminal"] = node in terminal
+    return graph

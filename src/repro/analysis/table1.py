@@ -1,0 +1,91 @@
+"""Table 1: estimates of accounts created, by account status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import PAPER_SUCCESS_RATES
+from repro.core.estimation import CategoryEstimate
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    label: str
+    attempted_hard: int
+    attempted_easy: int
+    attempted_total: int
+    attempted_sites: int
+    success_rate: float
+    estimated_hard: int
+    estimated_easy: int
+    estimated_total: int
+    estimated_sites: int
+    paper_success_rate: float
+
+
+def build_table1(estimates: list[CategoryEstimate]) -> list[Table1Row]:
+    """Rows in the paper's order, plus a Total row."""
+    rows = [
+        Table1Row(
+            label=e.status.label,
+            attempted_hard=e.attempted_hard,
+            attempted_easy=e.attempted_easy,
+            attempted_total=e.attempted_total,
+            attempted_sites=e.attempted_sites,
+            success_rate=e.success_rate,
+            estimated_hard=e.estimated_hard,
+            estimated_easy=e.estimated_easy,
+            estimated_total=e.estimated_total,
+            estimated_sites=e.estimated_sites,
+            paper_success_rate=PAPER_SUCCESS_RATES[e.status],
+        )
+        for e in estimates
+    ]
+    rows.append(
+        Table1Row(
+            label="Total",
+            attempted_hard=sum(r.attempted_hard for r in rows),
+            attempted_easy=sum(r.attempted_easy for r in rows),
+            attempted_total=sum(r.attempted_total for r in rows),
+            attempted_sites=sum(r.attempted_sites for r in rows),
+            success_rate=float("nan"),
+            estimated_hard=sum(r.estimated_hard for r in rows),
+            estimated_easy=sum(r.estimated_easy for r in rows),
+            estimated_total=sum(r.estimated_total for r in rows),
+            estimated_sites=sum(r.estimated_sites for r in rows),
+            paper_success_rate=float("nan"),
+        )
+    )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Plain-text Table 1 with measured vs paper success rates."""
+    total_est = max(1, rows[-1].estimated_total)
+    body = []
+    for row in rows:
+        is_total = row.label == "Total"
+        share = f"({100 * row.estimated_total / total_est:.0f}%)"
+        body.append([
+            row.label,
+            row.attempted_hard,
+            row.attempted_easy,
+            row.attempted_total,
+            row.attempted_sites,
+            "-" if is_total else f"{row.success_rate:.0%}",
+            "-" if is_total else f"{row.paper_success_rate:.0%}",
+            row.estimated_hard,
+            row.estimated_easy,
+            f"{row.estimated_total} {share}",
+            row.estimated_sites,
+        ])
+    return render_table(
+        ["Account Status", "Hard", "Easy", "Total", "Sites",
+         "Success", "Paper", "Est.Hard", "Est.Easy", "Est.Total", "Est.Sites"],
+        body,
+        title="Table 1: Estimates of accounts created by account status",
+        align_right=range(1, 11),
+    )

@@ -1,0 +1,102 @@
+"""Table 2: summary of sites with detected login activity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.monitor import CompromiseMonitor, DetectedCompromise
+from repro.core.scenario import PilotResult
+from repro.util.tables import render_table
+
+
+def assign_site_letters(monitor: CompromiseMonitor) -> dict[str, str]:
+    """Anonymize detected sites as A, B, C, ... by first-login time.
+
+    The paper obscures site identities (Section 3); the analysis keeps
+    the same convention.
+    """
+    letters = {}
+    for index, detection in enumerate(monitor.detected_sites()):
+        letters[detection.site_host] = chr(ord("A") + index % 26) + (
+            "" if index < 26 else str(index // 26)
+        )
+    return letters
+
+
+def _round_rank_up(rank: int, granularity: int = 500) -> int:
+    """Rank rounded up to the nearest 500, as the paper reports it."""
+    return ((rank + granularity - 1) // granularity) * granularity
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One detected site."""
+
+    letter: str
+    host: str  # ground truth (not printed in the anonymized rendering)
+    accounts_accessed: int
+    accounts_registered: int
+    hard_accessed: str  # Y / N / – (– when no hard account was registered)
+    category: str
+    alexa_rank_rounded: int
+    storage_inference: str
+
+
+def build_table2(result: PilotResult) -> list[Table2Row]:
+    """Rows in first-detection order."""
+    letters = assign_site_letters(result.monitor)
+    rows = []
+    for detection in result.monitor.detected_sites():
+        host = detection.site_host
+        rank = result.system.population.rank_of_host(host) or 0
+        spec = result.system.population.spec_at_rank(rank) if rank else None
+        registered = _registered_accounts(result, host)
+        hard_registered = any(
+            a.password_class.value == "hard" for a in registered
+        )
+        if not hard_registered:
+            hard_flag = "-"
+        else:
+            hard_flag = "Y" if detection.hard_accessed else "N"
+        rows.append(
+            Table2Row(
+                letter=letters[host],
+                host=host,
+                accounts_accessed=len(detection.accounts_accessed),
+                accounts_registered=max(len(registered), len(detection.accounts_accessed)),
+                hard_accessed=hard_flag,
+                category=spec.category if spec else "?",
+                alexa_rank_rounded=_round_rank_up(rank) if rank else 0,
+                storage_inference=detection.storage_inference(),
+            )
+        )
+    return rows
+
+
+def _registered_accounts(result: PilotResult, host: str):
+    """Identities burned to a host with an account actually created."""
+    site = result.system.population.site_by_host(host)
+    burned = result.system.pool.identities_for_site(host)
+    if site is None:
+        return burned
+    return [i for i in burned if site.accounts.lookup(i.email_address) is not None]
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Plain-text Table 2."""
+    body = [
+        [
+            row.letter,
+            f"{row.accounts_accessed} of {row.accounts_registered}",
+            row.hard_accessed,
+            row.category,
+            row.alexa_rank_rounded,
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["Site", "Accounts accessed", "Hard accessed", "Category", "Alexa rank"],
+        body,
+        title="Table 2: Summary of sites with detected login activity",
+        align_right=(4,),
+    )

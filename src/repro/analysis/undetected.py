@@ -1,0 +1,194 @@
+"""Section 6.2: why known breaches go undetected.
+
+The paper examined 50 publicly-reported breaches and classified why its
+implementation missed each: 22 out of scale/scope (rank too low for the
+corpus), 7 non-English, 14 technical limitations (multi-page forms, bot
+checks, unlocatable registration pages, an uncompleted verification)
+and 6 inherent (payment or offline-only registration).  This module
+performs the same post-mortem for any breached host in a pilot world.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.campaign import AttemptRecord, RegistrationCampaign
+from repro.core.system import TripwireSystem
+from repro.crawler.outcomes import TerminationCode
+from repro.mail.server import VerificationOutcome
+from repro.web.spec import BotCheck, RegistrationStyle, SiteSpec
+
+
+class MissReason(enum.Enum):
+    """Why Tripwire missed (or caught) a breach, per §6.2's taxonomy."""
+
+    DETECTED = "detected"
+    # -- missed due to scale/scope (§6.2.1) ---------------------------------
+    RANK_OUTSIDE_CORPUS = "rank_outside_corpus"
+    NON_ENGLISH = "non_english"
+    # -- missed due to technical challenge (§6.2.2) ---------------------------
+    MULTI_PAGE_FORM = "multi_page_form"
+    BOT_CHECK_FAILED = "bot_check_failed"
+    REGISTRATION_PAGE_NOT_FOUND = "registration_page_not_found"
+    VERIFICATION_INCOMPLETE = "verification_incomplete"
+    FIELD_OR_POLICY_FAILURE = "field_or_policy_failure"
+    CRAWLER_ERROR = "crawler_error"
+    # -- missed due to inherent limitations (§6.2.3) ----------------------------
+    PAYMENT_REQUIRED = "payment_required"
+    OFFLINE_REGISTRATION_ONLY = "offline_registration_only"
+    EMAIL_ADDRESS_REJECTED = "email_address_rejected"
+    # -- missed despite a valid account ----------------------------------------
+    ACCOUNT_NOT_EXPOSED = "account_not_exposed"  # shard luck / attacker sampling
+
+    @property
+    def category(self) -> str:
+        """The §6.2 subsection grouping."""
+        if self is MissReason.DETECTED:
+            return "detected"
+        if self in (MissReason.RANK_OUTSIDE_CORPUS, MissReason.NON_ENGLISH):
+            return "scale/scope"
+        if self in (MissReason.PAYMENT_REQUIRED,
+                    MissReason.OFFLINE_REGISTRATION_ONLY,
+                    MissReason.EMAIL_ADDRESS_REJECTED):
+            return "inherent"
+        if self is MissReason.ACCOUNT_NOT_EXPOSED:
+            return "coverage"
+        return "technical"
+
+
+def explain_miss(
+    system: TripwireSystem,
+    campaign: RegistrationCampaign,
+    detected_hosts: set[str],
+    host: str,
+) -> MissReason:
+    """Post-mortem one breached host against the pilot's ground truth."""
+    if host in detected_hosts:
+        return MissReason.DETECTED
+
+    attempts = campaign.attempts_for_site(host)
+    rank = system.population.rank_of_host(host)
+    spec = system.population.spec_at_rank(rank) if rank else None
+
+    if not attempts:
+        return MissReason.RANK_OUTSIDE_CORPUS
+
+    if spec is not None and not spec.is_english:
+        return MissReason.NON_ENGLISH
+
+    if spec is not None:
+        inherent = _inherent_reason(spec, attempts)
+        if inherent is not None:
+            return inherent
+
+    technical = _technical_reason(system, spec, attempts)
+    if technical is not None:
+        return technical
+    return MissReason.ACCOUNT_NOT_EXPOSED
+
+
+def _inherent_reason(spec: SiteSpec, attempts: list[AttemptRecord]) -> MissReason | None:
+    if spec.registration_style is RegistrationStyle.PAYMENT_REQUIRED:
+        return MissReason.PAYMENT_REQUIRED
+    if spec.registration_style in (RegistrationStyle.OFFLINE_ONLY,
+                                   RegistrationStyle.NONE,
+                                   RegistrationStyle.EXTERNAL_ONLY):
+        return MissReason.OFFLINE_REGISTRATION_ONLY
+    if spec.max_email_length is not None:
+        locals_too_long = all(
+            len(a.identity.email_address) > spec.max_email_length for a in attempts
+        )
+        if locals_too_long:
+            return MissReason.EMAIL_ADDRESS_REJECTED
+    return None
+
+
+def _technical_reason(
+    system: TripwireSystem,
+    spec: SiteSpec | None,
+    attempts: list[AttemptRecord],
+) -> MissReason | None:
+    codes = {a.outcome.code for a in attempts}
+    site = system.population.site_by_host(attempts[0].site_host)
+    has_valid_account = False
+    if site is not None:
+        for attempt in attempts:
+            if site.accounts.lookup(attempt.identity.email_address):
+                has_valid_account = True
+                break
+
+    if has_valid_account:
+        # An account exists: check whether verification was left
+        # dangling (the paper's one §6.2.2 verification miss).
+        for attempt in attempts:
+            state = system.mail_server.verification_state(
+                attempt.identity.email_local, since=attempt.registered_at
+            )
+            if state in (VerificationOutcome.SKIPPED, VerificationOutcome.FETCH_FAILED):
+                account = site.accounts.lookup(attempt.identity.email_address)
+                if account is not None and not account.activated:
+                    return MissReason.VERIFICATION_INCOMPLETE
+        return None  # valid account, no registration-side reason
+
+    if spec is not None and spec.registration_style is RegistrationStyle.MULTISTAGE:
+        return MissReason.MULTI_PAGE_FORM
+    if TerminationCode.NO_REGISTRATION_FOUND in codes:
+        return MissReason.REGISTRATION_PAGE_NOT_FOUND
+    if spec is not None and spec.bot_check is not BotCheck.NONE and (
+        TerminationCode.SUBMISSION_HEURISTICS_FAILED in codes
+        or TerminationCode.OK_SUBMISSION in codes
+        or TerminationCode.REQUIRED_FIELDS_MISSING in codes
+    ):
+        return MissReason.BOT_CHECK_FAILED
+    if TerminationCode.SYSTEM_ERROR in codes and codes <= {TerminationCode.SYSTEM_ERROR}:
+        return MissReason.CRAWLER_ERROR
+    if codes & {TerminationCode.REQUIRED_FIELDS_MISSING,
+                TerminationCode.SUBMISSION_HEURISTICS_FAILED,
+                TerminationCode.OK_SUBMISSION}:
+        return MissReason.FIELD_OR_POLICY_FAILURE
+    return MissReason.CRAWLER_ERROR
+
+
+#: The paper's §6.2 distribution over its 50-breach sample.
+PAPER_MISS_DISTRIBUTION = {
+    "scale/scope": 29,  # 22 rank + 7 language
+    "technical": 14,
+    "inherent": 6,
+    "verification (within technical)": 1,
+}
+
+
+def miss_report(
+    system: TripwireSystem,
+    campaign: RegistrationCampaign,
+    detected_hosts: set[str],
+    hosts: list[str],
+) -> dict[MissReason, int]:
+    """Tally miss reasons over a breached-host sample."""
+    tally: dict[MissReason, int] = {}
+    for host in hosts:
+        reason = explain_miss(system, campaign, detected_hosts, host)
+        tally[reason] = tally.get(reason, 0) + 1
+    return tally
+
+
+def render_miss_report(tally: dict[MissReason, int]) -> str:
+    """Plain-text §6.2 summary with category subtotals."""
+    from repro.util.tables import render_table
+
+    categories: dict[str, int] = {}
+    for reason, count in tally.items():
+        categories[reason.category] = categories.get(reason.category, 0) + count
+    rows = [
+        [reason.value, reason.category, count]
+        for reason, count in sorted(tally.items(), key=lambda kv: -kv[1])
+    ]
+    body = render_table(
+        ["Reason", "Category", "Breaches"], rows,
+        title="Section 6.2: why breaches were (not) detected",
+        align_right=(2,),
+    )
+    subtotal = ", ".join(f"{k}={v}" for k, v in sorted(categories.items()))
+    paper = ("paper (50 breaches): scale/scope=29, technical=14, inherent=6, "
+             "plus 1 incomplete verification")
+    return f"{body}\n\nsubtotals: {subtotal}\n{paper}"

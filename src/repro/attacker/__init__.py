@@ -1,0 +1,35 @@
+"""The attacker ecosystem.
+
+Tripwire never observes attackers directly — only the login events they
+leave at the email provider.  This package generates that ground truth:
+site breaches (database dumps or online captures), offline cracking
+that respects each site's password-storage policy, and password-reuse
+credential-checking campaigns run through a global botnet of mostly
+residential proxies, with the burstiness, method mix and monetization
+behaviors reported in Section 6.4.
+"""
+
+from repro.attacker.botnet import BotnetProxyNetwork
+from repro.attacker.breach import BreachEvent, BreachMethod, StolenRecord, execute_breach
+from repro.attacker.cracking import CrackedCredential, crack_records
+from repro.attacker.profiles import CheckerArchetype, CheckerProfile, draw_profile
+from repro.attacker.checker import CredentialChecker
+from repro.attacker.monetize import Monetizer
+from repro.attacker.site_bruteforce import BruteForceStats, SiteBruteForcer
+
+__all__ = [
+    "SiteBruteForcer",
+    "BruteForceStats",
+    "BotnetProxyNetwork",
+    "BreachEvent",
+    "BreachMethod",
+    "StolenRecord",
+    "execute_breach",
+    "CrackedCredential",
+    "crack_records",
+    "CheckerProfile",
+    "CheckerArchetype",
+    "draw_profile",
+    "CredentialChecker",
+    "Monetizer",
+]

@@ -1,0 +1,78 @@
+"""Site breaches.
+
+A breach either dumps (part of) the account database offline or
+captures credentials online (key logging, a tapped registration
+handler).  Online capture yields plaintext regardless of storage
+policy — one of the two explanations for hard-password access in
+Section 6.1.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.timeutil import SimInstant
+from repro.web.passwords import StoredCredential
+from repro.web.site import Website
+
+
+class BreachMethod(enum.Enum):
+    """How the attacker got in."""
+
+    DB_DUMP = "db_dump"  # offline copy of the account database
+    ONLINE_CAPTURE = "online_capture"  # plaintext capture at login/registration
+
+
+@dataclass(frozen=True)
+class StolenRecord:
+    """One account row as the attacker holds it."""
+
+    site_host: str
+    username: str
+    email: str
+    credential: StoredCredential
+    plaintext: str | None  # known immediately only for online capture
+
+
+@dataclass(frozen=True)
+class BreachEvent:
+    """A scheduled compromise of one site."""
+
+    site_host: str
+    time: SimInstant
+    method: BreachMethod
+    exposed_shards: frozenset[int] | None = None  # None → all shards
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        shards = "all shards" if self.exposed_shards is None else f"shards {sorted(self.exposed_shards)}"
+        return f"{self.site_host} via {self.method.value} ({shards})"
+
+
+def execute_breach(site: Website, event: BreachEvent) -> list[StolenRecord]:
+    """Produce the attacker's haul from one breach.
+
+    For a database dump, the haul is the stored credentials of the
+    exposed shards.  For online capture, every account's password is
+    recovered in plaintext (the capture point sees what users type) —
+    the site's storage policy is bypassed entirely.
+    """
+    shards = set(event.exposed_shards) if event.exposed_shards is not None else None
+    accounts = site.accounts.dump_shards(shards)
+    records = []
+    for account in accounts:
+        if event.method is BreachMethod.ONLINE_CAPTURE:
+            plaintext = site.observed_plaintext(account.username)
+        else:
+            plaintext = account.credential.recover_directly()
+        records.append(
+            StolenRecord(
+                site_host=site.spec.host,
+                username=account.username,
+                email=account.email,
+                credential=account.credential,
+                plaintext=plaintext,
+            )
+        )
+    return records

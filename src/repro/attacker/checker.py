@@ -1,0 +1,173 @@
+"""Password-reuse credential checking (the attack Tripwire detects).
+
+For every recovered credential whose email lives at a provider the
+attacker cares to test, the checker schedules login sessions on the
+event queue: an initial check after the profile's delay, then recurring
+sessions.  Sessions occasionally expand into multi-IP bursts or
+single-IP hammering (Section 6.4.2).  Accounts whose password stops
+working, or which the provider freezes, are abandoned.
+
+Evasion strategies (Section 7.3) are expressed here: ``test_fraction``
+checks only a sample of the haul, and ``avoided_domains`` skips a
+provider entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attacker.botnet import BotnetProxyNetwork
+from repro.attacker.cracking import CrackedCredential
+from repro.attacker.monetize import Monetizer
+from repro.attacker.profiles import CheckerProfile
+from repro.email_provider.provider import EmailProvider, LoginResult
+from repro.sim.events import EventQueue
+from repro.util.timeutil import DAY, MINUTE, SimInstant
+
+
+@dataclass
+class AccountCampaign:
+    """Checker state for one credential."""
+
+    credential: CrackedCredential
+    profile: CheckerProfile
+    password: str = ""  # current working password (may change on hijack)
+    sessions_done: int = 0
+    successes: int = 0
+    abandoned: bool = False
+    results: list[LoginResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.password:
+            self.password = self.credential.password
+
+
+class CredentialChecker:
+    """Runs reuse-login campaigns against the email provider."""
+
+    def __init__(
+        self,
+        provider: EmailProvider,
+        botnet: BotnetProxyNetwork,
+        queue: EventQueue,
+        rng: random.Random,
+        monetizer: Monetizer | None = None,
+        test_fraction: float = 1.0,
+        avoided_domains: frozenset[str] = frozenset(),
+        horizon: SimInstant | None = None,
+    ):
+        if not 0.0 <= test_fraction <= 1.0:
+            raise ValueError("test_fraction must be a probability")
+        self._provider = provider
+        self._botnet = botnet
+        self._queue = queue
+        self._rng = rng
+        self._monetizer = monetizer
+        self.test_fraction = test_fraction
+        self.avoided_domains = {d.lower() for d in avoided_domains}
+        self._horizon = horizon
+        self.campaigns: list[AccountCampaign] = []
+        self.skipped_by_sampling = 0
+        self.skipped_by_avoidance = 0
+        self.total_login_attempts = 0
+
+    # -- launch ----------------------------------------------------------------
+
+    def launch(self, cracked: list[CrackedCredential], profile: CheckerProfile) -> int:
+        """Schedule campaigns for a haul; returns campaigns started."""
+        started = 0
+        for credential in cracked:
+            domain = credential.email.partition("@")[2].lower()
+            if domain in self.avoided_domains:
+                self.skipped_by_avoidance += 1
+                continue
+            if domain != self._provider.domain:
+                continue  # some other provider; outside our telemetry
+            if self._rng.random() >= self.test_fraction:
+                self.skipped_by_sampling += 1
+                continue
+            campaign = AccountCampaign(credential=credential, profile=profile)
+            self.campaigns.append(campaign)
+            first = credential.available_at + int(profile.initial_delay_days * DAY)
+            first += self._rng.randrange(0, DAY)
+            if self._horizon is not None and first > self._horizon:
+                # Fresh hauls get checked before they go stale; pull the
+                # first probe inside the observation horizon.
+                window_start = max(credential.available_at + DAY, self._horizon - 45 * DAY)
+                if window_start < self._horizon:
+                    first = self._rng.randrange(window_start, self._horizon)
+                # else: the horizon already passed when the credential
+                # became available; leave the late time in place and let
+                # _schedule_session drop it.
+            self._schedule_session(campaign, first)
+            started += 1
+        return started
+
+    def _schedule_session(self, campaign: AccountCampaign, when: SimInstant) -> None:
+        if self._horizon is not None and when > self._horizon:
+            return
+        local = campaign.credential.email.partition("@")[0]
+        self._queue.schedule(when, f"check:{local}", lambda: self._run_session(campaign))
+
+    # -- session execution ---------------------------------------------------------
+
+    def _run_session(self, campaign: AccountCampaign) -> None:
+        if campaign.abandoned:
+            return
+        profile = campaign.profile
+        roll = self._rng.random()
+        if roll < profile.hammer_prob:
+            attempts = self._rng.randint(15, 60)
+            self._hammer(campaign, attempts)
+        elif roll < profile.hammer_prob + profile.multi_ip_burst_prob:
+            ips = self._rng.randint(5, 46)
+            self._burst(campaign, ips)
+        else:
+            self._attempt_once(campaign, self._botnet.fresh_ip())
+        campaign.sessions_done += 1
+        if campaign.abandoned or campaign.sessions_done >= profile.session_count:
+            return
+        gap_days = max(0.05, self._rng.expovariate(1.0 / profile.period_days))
+        next_time = self._queue.clock.now() + int(gap_days * DAY)
+        self._schedule_session(campaign, next_time)
+
+    def _hammer(self, campaign: AccountCampaign, attempts: int) -> None:
+        """Dozens/hundreds of logins from one IP within seconds."""
+        ip = self._botnet.hammer_ip()
+        for _ in range(attempts):
+            if campaign.abandoned:
+                return
+            self._attempt_once(campaign, ip)
+            self._queue.clock.advance(self._rng.randrange(0, 3))
+
+    def _burst(self, campaign: AccountCampaign, ip_count: int) -> None:
+        """Distinct IPs hitting the same account in rapid succession."""
+        for _ in range(ip_count):
+            if campaign.abandoned:
+                return
+            self._attempt_once(campaign, self._botnet.fresh_ip())
+            self._queue.clock.advance(self._rng.randrange(5, 3 * MINUTE))
+
+    def _attempt_once(self, campaign: AccountCampaign, ip) -> None:
+        local = campaign.credential.email.partition("@")[0]
+        method = campaign.profile.draw_method(self._rng)
+        result = self._provider.attempt_login(local, campaign.password, ip, method)
+        self.total_login_attempts += 1
+        campaign.results.append(result)
+        if result is LoginResult.SUCCESS:
+            campaign.successes += 1
+            if self._monetizer is not None:
+                new_password = self._monetizer.after_login(
+                    local, campaign.password, campaign.successes
+                )
+                if new_password is not None:
+                    campaign.password = new_password
+            return
+        if result in (LoginResult.BAD_PASSWORD, LoginResult.ACCOUNT_DEACTIVATED,
+                      LoginResult.ACCOUNT_FROZEN, LoginResult.RESET_REQUIRED,
+                      LoginResult.NO_SUCH_ACCOUNT):
+            # The credential no longer works (or never did); loosely
+            # coupled systems may retry within a burst, but the
+            # campaign as a whole gives up.
+            campaign.abandoned = True

@@ -1,0 +1,86 @@
+"""Offline password recovery from stolen records.
+
+The recovery model follows Section 6.1.2 exactly:
+
+- reversible storage (plaintext / "encrypted") yields every password
+  immediately;
+- hashed storage falls to a dictionary attack for dictionary-derived
+  passwords — Tripwire's "easy" class — after a delay that grows with
+  hash strength;
+- random "hard" passwords are never recovered from a one-way hash.
+
+The dictionary attack literally mangles the same word list the easy
+generator uses (capitalize + digit suffix), so recovery is mechanical,
+not an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacker.breach import StolenRecord
+from repro.identity.passwords import dictionary_for_cracking
+from repro.util.timeutil import DAY, SimInstant
+
+
+@dataclass(frozen=True)
+class CrackedCredential:
+    """One recovered (email, password) pair, available at a time."""
+
+    site_host: str
+    username: str
+    email: str
+    password: str
+    available_at: SimInstant
+
+
+def dictionary_guesses() -> list[str]:
+    """The mangled guess list: Capitalized word + single digit."""
+    guesses = []
+    for word in dictionary_for_cracking():
+        base = word.capitalize()
+        guesses.extend(f"{base}{digit}" for digit in "0123456789")
+    return guesses
+
+
+def crack_records(
+    records: list[StolenRecord],
+    breach_time: SimInstant,
+    guesses: list[str] | None = None,
+) -> list[CrackedCredential]:
+    """Run recovery over a haul; returns credentials with availability times."""
+    if guesses is None:
+        guesses = dictionary_guesses()
+    cracked: list[CrackedCredential] = []
+    for record in records:
+        if record.plaintext is not None:
+            cracked.append(
+                CrackedCredential(
+                    site_host=record.site_host,
+                    username=record.username,
+                    email=record.email,
+                    password=record.plaintext,
+                    available_at=breach_time,
+                )
+            )
+            continue
+        delay = record.credential.storage.crack_delay_days * DAY
+        recovered = _dictionary_attack(record, guesses)
+        if recovered is not None:
+            cracked.append(
+                CrackedCredential(
+                    site_host=record.site_host,
+                    username=record.username,
+                    email=record.email,
+                    password=recovered,
+                    available_at=breach_time + delay,
+                )
+            )
+    return cracked
+
+
+def _dictionary_attack(record: StolenRecord, guesses: list[str]) -> str | None:
+    for guess in guesses:
+        if record.credential.matches_guess(guess):
+            return guess
+    return None

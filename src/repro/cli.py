@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+    python -m repro pilot --scale 0.1 --seed 2017
+    python -m repro survey --population 1500
+    python -m repro demo
+    python -m repro evasion --trials 20
+
+``pilot`` runs the full study and prints every table and figure;
+``survey`` runs the Table 4 eligibility measurement; ``demo`` is the
+quickstart detection walk-through; ``evasion`` sweeps the §7.3
+attacker-sampling strategies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tripwire (IMC 2017) reproduction: infer internet site "
+                    "compromise from password-reuse attacks on honey accounts.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    pilot = commands.add_parser("pilot", help="run the year-long pilot study")
+    pilot.add_argument("--scale", type=float, default=0.1,
+                       help="fraction of the paper's sizes (default 0.1)")
+    pilot.add_argument("--seed", type=int, default=2017)
+    pilot.add_argument("--breaches", type=int, default=21,
+                       help="breaches to schedule (paper detected 19)")
+
+    survey = commands.add_parser("survey", help="eligibility survey (Table 4)")
+    survey.add_argument("--population", type=int, default=1500)
+    survey.add_argument("--seed", type=int, default=41)
+
+    commands.add_parser("demo", help="quickstart: one breach, one detection")
+
+    evasion = commands.add_parser("evasion", help="attacker evasion sweep (§7.3)")
+    evasion.add_argument("--trials", type=int, default=20)
+    return parser
+
+
+def _run_pilot(args: argparse.Namespace) -> int:
+    from repro.analysis.report import full_report
+    from repro.core.scenario import PilotScenario, ScenarioConfig
+
+    def scaled(value: int, minimum: int) -> int:
+        return max(minimum, int(value * args.scale))
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        population_size=scaled(30000, 400),
+        seed_list_size=scaled(1000, 50),
+        main_crawl_top=scaled(25000, 300),
+        second_crawl_top=scaled(30000, 400),
+        manual_top=scaled(500, 20),
+        breach_count=args.breaches,
+        breach_hard_exposing=max(3, args.breaches // 2 + 1),
+        unused_account_count=scaled(2000, 200),
+    )
+    print(f"pilot: population={config.population_size} seed={config.seed}",
+          file=sys.stderr)
+    started = time.time()
+    result = PilotScenario(config).run()
+    print(f"finished in {time.time() - started:.1f}s", file=sys.stderr)
+    print(full_report(result))
+    return 0
+
+
+def _run_survey(args: argparse.Namespace) -> int:
+    from repro.analysis.report import survey_ranks_for
+    from repro.analysis.table4 import build_table4, render_table4
+    from repro.core.system import TripwireSystem
+
+    system = TripwireSystem(seed=args.seed, population_size=args.population)
+    ranks = survey_ranks_for(args.population)
+    print(render_table4(build_table4(system.population, ranks)))
+    return 0
+
+
+def _examples_dir() -> pathlib.Path | None:
+    candidate = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    return candidate if candidate.is_dir() else None
+
+
+def _run_demo(_args: argparse.Namespace) -> int:
+    examples = _examples_dir()
+    if examples is None:
+        print("examples/ directory not found; run from a source checkout",
+              file=sys.stderr)
+        return 1
+    script = examples / "quickstart.py"
+    exec(compile(script.read_text(), str(script), "exec"), {"__name__": "__main__"})
+    return 0
+
+
+def _run_evasion(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.util.tables import render_table
+
+    examples = _examples_dir()
+    if examples is None:
+        print("examples/ directory not found; run from a source checkout",
+              file=sys.stderr)
+        return 1
+    sys.path.insert(0, str(examples))
+    try:
+        evasion = importlib.import_module("evasion_analysis")
+    finally:
+        sys.path.pop(0)
+    rows = []
+    for fraction in (1.0, 0.5, 0.25, 0.1):
+        detected = sum(
+            evasion.detection_outcome(fraction, avoid_provider=False, seed=5000 + t)[0]
+            for t in range(args.trials)
+        )
+        rows.append([f"{fraction:.0%}", f"{detected}/{args.trials}",
+                     f"{detected / args.trials:.0%}"])
+    print(render_table(["Haul fraction tested", "Detected", "Rate"], rows,
+                       title="Evasion sweep (§7.3)"))
+    return 0
+
+
+_HANDLERS = {
+    "pilot": _run_pilot,
+    "survey": _run_survey,
+    "demo": _run_demo,
+    "evasion": _run_evasion,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""Compromise inference from provider login dumps (Sections 4.4, 6).
+
+The monitor ingests the sporadic dumps and attributes each successful
+login to exactly one of three populations:
+
+- **control accounts** — our own periodic logins; every one must
+  surface (pipeline liveness);
+- **unused accounts** — provisioned but never registered anywhere; any
+  login here means the provider or our own database was compromised,
+  and raises an :class:`IntegrityAlarm`;
+- **burned accounts** — one-to-one bound to a site; a login is
+  Tripwire's detection signal for that site.
+
+Per detected site, the monitor reports which accounts were accessed and
+whether any hard-password account was among them (the plaintext-storage
+inference of Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.email_provider.telemetry import LoginEvent
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityPool
+from repro.util.timeutil import SimInstant
+
+
+@dataclass(frozen=True)
+class AttributedLogin:
+    """A dump event attributed to a registered identity."""
+
+    event: LoginEvent
+    identity_id: int
+    site_host: str
+    password_class: PasswordClass
+
+
+@dataclass
+class DetectedCompromise:
+    """Everything the monitor knows about one tripped site."""
+
+    site_host: str
+    logins: list[AttributedLogin] = field(default_factory=list)
+
+    @property
+    def first_login_time(self) -> SimInstant:
+        """When the first account access was observed."""
+        return min(l.event.time for l in self.logins)
+
+    @property
+    def last_login_time(self) -> SimInstant:
+        """Most recent observed access."""
+        return max(l.event.time for l in self.logins)
+
+    @property
+    def accounts_accessed(self) -> set[str]:
+        """Email locals that were accessed."""
+        return {l.event.local_part for l in self.logins}
+
+    @property
+    def hard_accessed(self) -> bool:
+        """Whether any hard-password account was accessed.
+
+        True implies plaintext storage, a reversible hash, or online
+        credential capture at the site.
+        """
+        return any(l.password_class is PasswordClass.HARD for l in self.logins)
+
+    @property
+    def login_count(self) -> int:
+        """Total observed logins across the site's accounts."""
+        return len(self.logins)
+
+    def storage_inference(self) -> str:
+        """The paper's password-management inference for this site."""
+        if self.hard_accessed:
+            return "plaintext-or-reversible (hard password accessed)"
+        return "hashed (only dictionary-crackable passwords accessed)"
+
+
+@dataclass(frozen=True)
+class IntegrityAlarm:
+    """A login that should have been impossible."""
+
+    event: LoginEvent
+    reason: str
+
+
+class CompromiseMonitor:
+    """Ingests login dumps and maintains detections."""
+
+    def __init__(self, pool: IdentityPool, control_locals: set[str], provider_domain: str):
+        self._pool = pool
+        # Held by reference: control accounts may be provisioned after
+        # the monitor is constructed.
+        self._control = control_locals
+        self._domain = provider_domain.lower()
+        self.detections: dict[str, DetectedCompromise] = {}
+        self.control_logins: list[LoginEvent] = []
+        self.alarms: list[IntegrityAlarm] = []
+        self.ingested_events = 0
+
+    def ingest_dump(self, events: list[LoginEvent]) -> list[AttributedLogin]:
+        """Process one provider dump; returns newly attributed logins."""
+        attributed: list[AttributedLogin] = []
+        for event in events:
+            self.ingested_events += 1
+            local = event.local_part.lower()
+            if local in self._control:
+                self.control_logins.append(event)
+                continue
+            identity = self._pool.identity_for_email(f"{local}@{self._domain}")
+            if identity is None:
+                self.alarms.append(IntegrityAlarm(event, "login to account we never created"))
+                continue
+            site = self._pool.site_for(identity.identity_id)
+            if site is None:
+                self.alarms.append(
+                    IntegrityAlarm(event, "login to unused (never-registered) account")
+                )
+                continue
+            login = AttributedLogin(
+                event=event,
+                identity_id=identity.identity_id,
+                site_host=site,
+                password_class=identity.password_class,
+            )
+            self.detections.setdefault(site, DetectedCompromise(site_host=site))
+            self.detections[site].logins.append(login)
+            attributed.append(login)
+        return attributed
+
+    # -- views ----------------------------------------------------------------------
+
+    def detected_sites(self) -> list[DetectedCompromise]:
+        """All detections, ordered by first observed login."""
+        return sorted(self.detections.values(), key=lambda d: d.first_login_time)
+
+    def site_count(self) -> int:
+        """Number of distinct sites detected as compromised."""
+        return len(self.detections)
+
+    def logins_for_account(self, email_local: str) -> list[AttributedLogin]:
+        """All attributed logins for one account."""
+        wanted = email_local.lower()
+        return [
+            login
+            for detection in self.detections.values()
+            for login in detection.logins
+            if login.event.local_part.lower() == wanted
+        ]

@@ -1,0 +1,175 @@
+"""Assembly of the full Tripwire measurement system.
+
+One :class:`TripwireSystem` owns the simulated world (clock, event
+queue, network, site population) plus the measurement apparatus (email
+provider relationship, forwarding chain, mail server, identity pool,
+crawler).  Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.email_provider.provider import EmailProvider
+from repro.email_provider.telemetry import LoginMethod
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityPool
+from repro.mail.forwarding import ForwardingHop
+from repro.mail.messages import EmailMessage
+from repro.mail.server import TripwireMailServer
+from repro.net.dns import DnsResolver
+from repro.net.ipaddr import IPv4Address
+from repro.net.proxies import ResearchProxyPool
+from repro.net.transport import Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import STUDY_START, SimInstant
+from repro.web.generator import GeneratorConfig
+from repro.web.population import InternetPopulation
+
+#: Cover domains whose mail is hosted third-party then relayed to us.
+DEFAULT_COVER_DOMAINS = ("plainmailbox.example", "mailrelay-7.example")
+
+
+class TripwireSystem:
+    """The wired-together measurement system and its world."""
+
+    def __init__(
+        self,
+        seed: int = 7,
+        population_size: int = 30000,
+        provider_domain: str = "bigmail.example",
+        retention_days: int = 60,
+        start: SimInstant = STUDY_START,
+        generator_config: GeneratorConfig | None = None,
+        crawler_config: CrawlerConfig | None = None,
+        site_overrides: dict[int, dict[str, object]] | None = None,
+        proxy_pool_size: int = 64,
+    ):
+        self.tree = RngTree(seed)
+        self.clock = SimClock(start)
+        self.queue = EventQueue(self.clock)
+        self.transport = Transport(self.clock)
+        self.whois = WhoisRegistry()
+        self.dns = DnsResolver()
+
+        # -- email provider and mail chain ---------------------------------
+        self.provider = EmailProvider(
+            provider_domain, self.clock, self.tree, retention_days=retention_days
+        )
+        self.mail_server = TripwireMailServer(
+            self.transport, self.tree.child("mail-server").rng()
+        )
+        self.forwarding_hop = ForwardingHop(
+            list(DEFAULT_COVER_DOMAINS), self.mail_server.receive
+        )
+        self.provider.set_forwarding_hop(self.forwarding_hop)
+
+        # -- identities ------------------------------------------------------
+        self.identity_factory = IdentityFactory(self.tree, email_domain=provider_domain)
+        self.pool = IdentityPool()
+        self.control_locals: set[str] = set()
+        self._forward_index = 0
+
+        # -- crawler apparatus --------------------------------------------------
+        self.proxy_pool = ResearchProxyPool(
+            self.whois, self.tree.child("proxies").rng(), pool_size=proxy_pool_size
+        )
+        self.solver = CaptchaSolverService(self.tree.child("solver").rng())
+        self.crawler = RegistrationCrawler(
+            self.transport,
+            self.solver,
+            self.tree.child("crawler").rng(),
+            config=crawler_config,
+            proxy_pool=self.proxy_pool,
+        )
+
+        # -- the web -----------------------------------------------------------
+        self.population = InternetPopulation(
+            self.tree,
+            self.clock,
+            self.transport,
+            self.whois,
+            self.dns,
+            size=population_size,
+            mail_router=self.route_site_mail,
+            config=generator_config,
+            overrides=site_overrides,
+        )
+
+    # -- mail routing ------------------------------------------------------------
+
+    def route_site_mail(self, message: EmailMessage) -> bool:
+        """Deliver site-originated mail to whichever domain it targets.
+
+        Mail for the provider goes through the provider (which forwards
+        to the Tripwire mail server); anything else evaporates — other
+        providers are outside the measurement.
+        """
+        domain = message.recipient.partition("@")[2].lower()
+        if domain == self.provider.domain:
+            return self.provider.deliver(message)
+        return False
+
+    # -- identity provisioning -------------------------------------------------------
+
+    def provision_identities(self, count: int, password_class: PasswordClass) -> int:
+        """Create identities and the matching provider accounts.
+
+        Identities the provider rejects (collision / naming policy) are
+        discarded, as in the paper.  Returns how many joined the pool.
+        """
+        added = 0
+        for _ in range(count):
+            identity = self.identity_factory.create(password_class)
+            result = self.provider.provision(
+                identity.email_local,
+                identity.full_name,
+                identity.password,
+                forwarding_address=self.forwarding_hop.address_for(
+                    identity.email_local, self._forward_index
+                ),
+            )
+            self._forward_index += 1
+            if not result.created:
+                continue
+            self.pool.add(identity)
+            added += 1
+        return added
+
+    def provision_control_accounts(self, count: int) -> list[str]:
+        """Create control accounts we log into ourselves (Section 4.2)."""
+        created = []
+        for _ in range(count):
+            identity = self.identity_factory.create(PasswordClass.HARD)
+            result = self.provider.provision(
+                identity.email_local, identity.full_name, identity.password
+            )
+            if not result.created:
+                continue
+            self.pool.add_control(identity)
+            self.control_locals.add(identity.email_local.lower())
+            created.append(identity.email_local)
+        return created
+
+    def login_control_accounts(self) -> int:
+        """Log into every control account from an institution IP.
+
+        These logins must all surface in provider dumps — the liveness
+        check on the telemetry pipeline.
+        """
+        institution_ip: IPv4Address = self.proxy_pool.addresses[0]
+        succeeded = 0
+        for local in sorted(self.control_locals):
+            identity = self.pool.identity_for_email(f"{local}@{self.provider.domain}")
+            if identity is None:
+                continue
+            result = self.provider.attempt_login(
+                local, identity.password, institution_ip, LoginMethod.WEBMAIL
+            )
+            if result.value == "success":
+                succeeded += 1
+        return succeeded

@@ -1,0 +1,39 @@
+"""The Tripwire registration crawler (Section 4.3).
+
+A best-effort automated registrar built on the headless browser: it
+locates a registration page, finds the registration form, identifies
+and fills each field serially using weighted-regex heuristics, passes
+bot checks to a third-party solving service, submits, and classifies
+the outcome with the termination codes of Figure 1.
+
+The crawler is deliberately *imperfect in the same ways the paper's
+was*: English-only heuristics, no multi-page form support, no
+interactive-captcha support, and abort-on-unrecognizable-required-field
+— those limitations produce the funnel of Figure 3.
+"""
+
+from repro.crawler.outcomes import CrawlOutcome, CrawlResult, TerminationCode
+from repro.crawler.language import looks_english
+from repro.crawler.fields import FieldMeaning, classify_field
+from repro.crawler.links import score_registration_link
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.formfill import FillPlan, plan_form_fill
+from repro.crawler.checks import SubmissionVerdict, judge_submission_response
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+
+__all__ = [
+    "TerminationCode",
+    "CrawlOutcome",
+    "CrawlResult",
+    "looks_english",
+    "FieldMeaning",
+    "classify_field",
+    "score_registration_link",
+    "CaptchaSolverService",
+    "FillPlan",
+    "plan_form_fill",
+    "SubmissionVerdict",
+    "judge_submission_response",
+    "CrawlerConfig",
+    "RegistrationCrawler",
+]

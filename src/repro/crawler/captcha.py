@@ -1,0 +1,55 @@
+"""Third-party captcha-solving service client (Section 4.3.2).
+
+The paper's crawler relayed captcha images and basic human-knowledge
+questions to a commercial solving service with a non-trivial error rate
+(Section 7.2, citing Motoyama et al.).  Here the "image" is a challenge
+token; the simulated human solver recovers the true answer with the
+configured accuracy and otherwise returns a plausible wrong string.
+Interactive widgets (reCAPTCHA/KeyCAPTCHA-class) are unsupported,
+matching the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.web.captcha import captcha_answer_for
+
+
+class CaptchaSolverService:
+    """A paid human-solver service with imperfect accuracy."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        image_accuracy: float = 0.85,
+        question_accuracy: float = 0.50,
+        cost_per_solve: float = 0.001,
+    ):
+        for name, value in (("image_accuracy", image_accuracy),
+                            ("question_accuracy", question_accuracy)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+        self._rng = rng
+        self.image_accuracy = image_accuracy
+        self.question_accuracy = question_accuracy
+        self.cost_per_solve = cost_per_solve
+        self.solves_attempted = 0
+        self.solves_correct = 0
+
+    def solve(self, challenge_token: str, is_knowledge_question: bool = False) -> str | None:
+        """Attempt a solve; None when there is nothing to work from."""
+        if not challenge_token:
+            return None
+        self.solves_attempted += 1
+        accuracy = self.question_accuracy if is_knowledge_question else self.image_accuracy
+        if self._rng.random() < accuracy:
+            self.solves_correct += 1
+            return captcha_answer_for(challenge_token)
+        # A wrong-but-plausible human answer.
+        return "".join(self._rng.choice("abcdef0123456789") for _ in range(6))
+
+    @property
+    def total_cost(self) -> float:
+        """Money spent on solves so far."""
+        return self.solves_attempted * self.cost_per_solve

@@ -1,0 +1,84 @@
+"""Submission-response heuristics (Figure 1's "submission checks").
+
+After POSTing a registration, the crawler inspects the landing page:
+explicit success copy → OK; explicit error copy or a re-rendered
+registration form → heuristics failed; anything else is ambiguous, and
+the crawler optimistically reports OK — the mechanism behind Table 1's
+59%-valid "OK submission" bucket.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+from repro.html.browser import Page
+
+_SUCCESS_PATTERNS = tuple(
+    re.compile(p, re.IGNORECASE)
+    for p in (
+        r"registration.{0,20}successful",
+        r"success(fully)?\b",
+        r"welcome\s+aboard",
+        r"account.{0,20}(created|ready)",
+        r"thank.{0,10}for.{0,10}(registering|signing)",
+    )
+)
+
+_ERROR_PATTERNS = tuple(
+    re.compile(p, re.IGNORECASE)
+    for p in (
+        r"\berror\b",
+        r"problem.{0,20}(submission|registration)",
+        r"(invalid|incorrect)\b",
+        r"try\s+again",
+        r"(field|password|email).{0,20}(required|missing)",
+    )
+)
+
+_VERIFY_HINT_PATTERNS = tuple(
+    re.compile(p, re.IGNORECASE)
+    for p in (
+        r"check.{0,12}(your)?.{0,5}e.?mail",
+        r"confirmation.{0,12}(sent|e.?mail)",
+        r"verify.{0,12}e.?mail",
+    )
+)
+
+
+class SubmissionVerdict(enum.Enum):
+    """What the crawler concludes from the landing page."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+    AMBIGUOUS_OK = "ambiguous_ok"  # nothing conclusive; reported as OK
+
+
+def judge_submission_response(page: Page, packs: tuple = ()) -> SubmissionVerdict:
+    """Classify a post-submission landing page.
+
+    ``packs`` extends the keyword lists with language-pack vocabulary.
+    """
+    text = page.visible_text()
+    error_patterns = list(_ERROR_PATTERNS)
+    success_patterns = list(_SUCCESS_PATTERNS)
+    for pack in packs:
+        error_patterns.extend(pack.error_patterns)
+        success_patterns.extend(pack.success_patterns)
+    if any(p.search(text) for p in error_patterns):
+        return SubmissionVerdict.FAILURE
+    if any(p.search(text) for p in success_patterns):
+        return SubmissionVerdict.SUCCESS
+    if any(p.search(text) for p in _VERIFY_HINT_PATTERNS):
+        return SubmissionVerdict.AMBIGUOUS_OK
+    # A page that still shows a fillable registration-like form usually
+    # means the submission bounced back — or that the flow continues on
+    # another page the crawler does not support (multi-stage forms,
+    # §6.2.2/§7.2); either way the crawler treats it as failure.
+    for form in page.forms():
+        visible = form.visible_fields()
+        if any(f.input_type == "password" for f in visible):
+            return SubmissionVerdict.FAILURE
+        if sum(1 for f in visible if f.is_text_like) >= 2:
+            return SubmissionVerdict.FAILURE
+    return SubmissionVerdict.AMBIGUOUS_OK

@@ -1,0 +1,255 @@
+"""The crawler engine: Figure 1's control flow end to end.
+
+Given a URL and an identity, the engine loads the page through a proxy
+IP never before used against that site, applies the language gate,
+locates the registration form (following at most a few candidate
+links), fills it serially, submits, and classifies the outcome.  Page
+loads are rate-limited to at least one per three seconds plus
+processing delays — the ethics constraint of Section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.checks import SubmissionVerdict, judge_submission_response
+from repro.crawler.fields import FieldMeaning, classify_field
+from repro.crawler.formfill import FillPlan, plan_form_fill
+from repro.crawler.langpacks import packs_for
+from repro.crawler.language import detect_language, looks_english
+from repro.crawler.links import rank_registration_links
+from repro.crawler.outcomes import CrawlOutcome, TerminationCode
+from repro.html.browser import Browser, BrowserError, Page
+from repro.html.forms import FormModel
+from repro.identity.records import Identity
+from repro.net.proxies import ProxyPoolExhausted, ResearchProxyPool
+from repro.net.transport import Transport
+from repro.util.timeutil import SimInstant
+from urllib.parse import urlsplit, urlunsplit
+
+
+@dataclass
+class CrawlerConfig:
+    """Operational knobs for the crawler."""
+
+    min_page_delay: int = 3  # seconds between page loads (ethics, §3)
+    max_processing_delay: int = 9  # additional think time per page
+    max_link_tries: int = 3  # candidate registration links to click
+    max_pages: int = 8  # hard page budget per attempt
+    prefer_https: bool = True  # use HTTPS when the site presents a cert
+    system_error_rate: float = 0.10  # headless-browser crash probability
+    #: §7.2 extension: language codes (beyond English) the crawler may
+    #: attempt, using the corresponding language packs.  Empty set =
+    #: the paper's English-only pilot behavior.
+    enabled_languages: frozenset[str] = field(default_factory=frozenset)
+
+
+class RegistrationCrawler:
+    """Automated best-effort account registrar."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        solver: CaptchaSolverService | None,
+        rng: random.Random,
+        config: CrawlerConfig | None = None,
+        proxy_pool: ResearchProxyPool | None = None,
+        search_engine=None,
+    ):
+        self._transport = transport
+        self._solver = solver
+        self._rng = rng
+        self.config = config or CrawlerConfig()
+        self._proxy_pool = proxy_pool
+        #: §6.2.2 extension: a :class:`repro.search.SearchEngine` used
+        #: as a fallback for locating registration pages.  None keeps
+        #: the paper's behavior.
+        self._search = search_engine
+
+    # -- public API ---------------------------------------------------------------
+
+    def register_at(self, url: str, identity: Identity) -> CrawlOutcome:
+        """Attempt one registration; always returns a terminal outcome."""
+        host = (urlsplit(url).hostname or "").lower()
+        started = self._transport.clock.now()
+        state = _CrawlState(host=host, url=url, started=started)
+
+        try:
+            return self._run(url, identity, state)
+        except ProxyPoolExhausted:
+            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                detail="proxy pool exhausted for site")
+        except BrowserError as exc:
+            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                detail=f"browser error: {exc}")
+
+    # -- control flow -------------------------------------------------------------
+
+    def _run(self, url: str, identity: Identity, state: "_CrawlState") -> CrawlOutcome:
+        if self._rng.random() < self.config.system_error_rate / 2:
+            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                detail="headless browser crashed")
+
+        client_ip = None
+        if self._proxy_pool is not None:
+            client_ip = self._proxy_pool.acquire_for_site(state.host)
+        browser = Browser(self._transport, client_ip=client_ip)
+
+        page = self._load(browser, self._preferred_scheme(url, state.host), state)
+        if page is None or not page.ok:
+            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                detail="homepage load failed")
+
+        packs: tuple = ()
+        if not looks_english(page.dom):
+            language = detect_language(page.dom)
+            if language in self.config.enabled_languages:
+                packs = packs_for({language})
+            if not packs:
+                return state.finish(self._transport, TerminationCode.NOT_ENGLISH,
+                                    detail=f"unsupported language ({language})")
+
+        form = self._find_registration_form(page, packs)
+        tried_links = 0
+        while form is None and tried_links < self.config.max_link_tries:
+            candidates = rank_registration_links(page.links(), packs=packs)
+            if tried_links >= len(candidates):
+                break
+            candidate = candidates[tried_links]
+            tried_links += 1
+            next_page = self._load(browser, candidate.url, state)
+            if next_page is None or not next_page.ok:
+                continue
+            page = next_page
+            form = self._find_registration_form(page, packs)
+
+        if form is None and self._search is not None:
+            # §6.2.2 extension: ask a search engine where the
+            # registration page lives.
+            hint = self._search.find_registration_page(state.host)
+            if hint is not None:
+                hint_page = self._load(browser, hint, state)
+                if hint_page is not None and hint_page.ok:
+                    page = hint_page
+                    form = self._find_registration_form(page, packs)
+
+        if form is None:
+            return state.finish(self._transport, TerminationCode.NO_REGISTRATION_FOUND,
+                                detail=f"no form after {tried_links} link clicks")
+
+        if not self._asks_for_email_and_password(form, packs):
+            return state.finish(self._transport, TerminationCode.REQUIRED_FIELDS_MISSING,
+                                detail="form lacks email and password together")
+
+        plan = plan_form_fill(form, identity, solver=self._solver, packs=packs)
+        state.absorb_plan(plan)
+        if plan.aborted:
+            return state.finish(self._transport, TerminationCode.REQUIRED_FIELDS_MISSING,
+                                detail=plan.abort_reason)
+
+        # Crashes strike mid-crawl too — after the form was filled but
+        # before (or while) submitting, leaving the identity exposed.
+        if self._rng.random() < self.config.system_error_rate:
+            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                detail="headless browser crashed during submission")
+
+        self._think_delay()
+        if state.pages_loaded >= self.config.max_pages:
+            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                detail="page budget exhausted")
+        landing = browser.submit_form(form, plan.values)
+        state.pages_loaded += 1
+
+        verdict = judge_submission_response(landing, packs=packs)
+        if verdict is SubmissionVerdict.FAILURE:
+            return state.finish(self._transport, TerminationCode.SUBMISSION_HEURISTICS_FAILED,
+                                detail="landing page signals failure")
+        detail = ("landing page signals success"
+                  if verdict is SubmissionVerdict.SUCCESS else "landing page ambiguous")
+        return state.finish(self._transport, TerminationCode.OK_SUBMISSION, detail=detail)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _preferred_scheme(self, url: str, host: str) -> str:
+        if not self.config.prefer_https or not self._transport.supports_https(host):
+            return url
+        parts = urlsplit(url)
+        return urlunsplit(("https", parts.netloc, parts.path, parts.query, parts.fragment))
+
+    def _think_delay(self) -> None:
+        delay = self.config.min_page_delay + self._rng.randrange(
+            0, self.config.max_processing_delay + 1
+        )
+        self._transport.clock.advance(delay)
+
+    def _load(self, browser: Browser, url: str, state: "_CrawlState") -> Page | None:
+        if state.pages_loaded >= self.config.max_pages:
+            return None
+        self._think_delay()
+        try:
+            page = browser.load(url)
+        except BrowserError:
+            return None
+        state.pages_loaded += 1
+        return page
+
+    def _find_registration_form(self, page: Page, packs: tuple = ()) -> FormModel | None:
+        """Best registration-form candidate on the page, if any."""
+        best: tuple[float, FormModel] | None = None
+        for form in page.forms():
+            visible = form.visible_fields()
+            if not visible:
+                continue
+            has_password = any(f.input_type == "password" for f in visible)
+            if not has_password:
+                continue
+            score = 1.0 + 0.2 * len(visible)
+            meanings = {classify_field(f, packs=packs)[0] for f in visible}
+            if FieldMeaning.EMAIL in meanings:
+                score += 2.0
+            if FieldMeaning.USERNAME in meanings:
+                score += 0.5
+            # A bare user/pass pair is far more likely a login form.
+            if len(visible) <= 2 and FieldMeaning.EMAIL not in meanings:
+                score -= 2.0
+            if score > 0 and (best is None or score > best[0]):
+                best = (score, form)
+        return best[1] if best else None
+
+    def _asks_for_email_and_password(self, form: FormModel, packs: tuple = ()) -> bool:
+        meanings = {classify_field(f, packs=packs)[0] for f in form.visible_fields()}
+        return FieldMeaning.EMAIL in meanings and FieldMeaning.PASSWORD in meanings
+
+
+class _CrawlState:
+    """Mutable bookkeeping across one crawl attempt."""
+
+    def __init__(self, host: str, url: str, started: SimInstant):
+        self.host = host
+        self.url = url
+        self.started = started
+        self.pages_loaded = 0
+        self.exposed_email = False
+        self.exposed_password = False
+        self.filled_fields: tuple[str, ...] = ()
+
+    def absorb_plan(self, plan: FillPlan) -> None:
+        self.exposed_email = self.exposed_email or plan.exposed_email
+        self.exposed_password = self.exposed_password or plan.exposed_password
+        self.filled_fields = tuple(plan.values)
+
+    def finish(self, transport: Transport, code: TerminationCode, detail: str) -> CrawlOutcome:
+        return CrawlOutcome(
+            site_host=self.host,
+            url=self.url,
+            code=code,
+            detail=detail,
+            exposed_email=self.exposed_email,
+            exposed_password=self.exposed_password,
+            pages_loaded=self.pages_loaded,
+            started_at=self.started,
+            finished_at=transport.clock.now(),
+            filled_fields=self.filled_fields,
+        )

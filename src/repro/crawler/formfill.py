@@ -1,0 +1,116 @@
+"""Serial form filling (Figure 1's "identify and fill field" loop).
+
+Fields are classified and filled one at a time, in document order.  The
+moment an email or password value lands in a field, the identity is
+considered exposed (the horizontal line in Figure 1).  A *required*
+field the crawler cannot value — an unrecognized meaning, a credit-card
+number, an unsolvable bot check — aborts the fill with whatever
+exposure has already occurred.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dc_field
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.fields import FieldMeaning, classify_field
+from repro.html.forms import FormField, FormModel
+from repro.identity.records import Identity
+
+
+@dataclass
+class FillPlan:
+    """Result of attempting to fill one form."""
+
+    values: dict[str, str] = dc_field(default_factory=dict)
+    classified: list[tuple[str, FieldMeaning]] = dc_field(default_factory=list)
+    exposed_email: bool = False
+    exposed_password: bool = False
+    aborted: bool = False
+    abort_reason: str = ""
+    saw_email_field: bool = False
+    saw_password_field: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """Whether every required field received a value."""
+        return not self.aborted
+
+
+def _question_text(form_field: FormField) -> str:
+    return " ".join(form_field.descriptor_texts())
+
+
+def plan_form_fill(
+    form: FormModel,
+    identity: Identity,
+    solver: CaptchaSolverService | None = None,
+    packs: tuple = (),
+) -> FillPlan:
+    """Fill ``form`` from ``identity``, honoring serial-abort semantics."""
+    plan = FillPlan()
+    for form_field in form.visible_fields():
+        meaning, _score = classify_field(form_field, packs=packs)
+        plan.classified.append((form_field.name or form_field.field_id, meaning))
+        value = _value_for(form_field, meaning, identity, solver, plan)
+        if value is None:
+            if form_field.required:
+                plan.aborted = True
+                plan.abort_reason = f"unfillable required field ({meaning.value})"
+                return plan
+            continue  # optional and unknown: leave it blank
+        if form_field.maxlength is not None and len(value) > form_field.maxlength:
+            value = value[: form_field.maxlength]
+        if form_field.name:
+            plan.values[form_field.name] = value
+    return plan
+
+
+def _value_for(
+    form_field: FormField,
+    meaning: FieldMeaning,
+    identity: Identity,
+    solver: CaptchaSolverService | None,
+    plan: FillPlan,
+) -> str | None:
+    """The value to type into one field, or None when unfillable."""
+    if meaning is FieldMeaning.CAPTCHA:
+        if solver is None:
+            return None
+        token = form_field.challenge_token
+        question = _question_text(form_field)
+        is_question = bool(
+            re.search(r"\b(what|how|add|plus|color|colour|many)\b", question, re.IGNORECASE)
+        )
+        return solver.solve(token, is_knowledge_question=is_question)
+
+    if meaning is FieldMeaning.TERMS:
+        return "1" if form_field.is_checkbox else "yes"
+
+    if form_field.control == "select":
+        # Dropdowns are always satisfiable: prefer the identity's value
+        # when it is among the options, otherwise the first real choice.
+        for key in (form_field.name, meaning.identity_key):
+            preferred = identity.form_value_for(key) if key else None
+            if preferred is not None and preferred in form_field.options:
+                return preferred
+        non_empty = [option for option in form_field.options if option]
+        return non_empty[0] if non_empty else None
+
+    if meaning in (FieldMeaning.CARD_NUMBER, FieldMeaning.CARD_CVV):
+        return None  # Tripwire cannot provide payment data (§6.2.3)
+
+    if meaning is FieldMeaning.UNKNOWN:
+        return None
+
+    value = identity.form_value_for(meaning.identity_key)
+    if value is None:
+        return None
+    if meaning in (FieldMeaning.EMAIL, FieldMeaning.EMAIL_CONFIRM):
+        plan.saw_email_field = True
+        plan.exposed_email = True
+    if meaning in (FieldMeaning.PASSWORD, FieldMeaning.PASSWORD_CONFIRM):
+        plan.saw_password_field = True
+        plan.exposed_password = True
+    return value

@@ -1,0 +1,124 @@
+"""Language packs: the multi-language crawler extension (Section 7.2).
+
+"Non-English sites alone make up more than forty percent of all sites,
+none of which are presently evaluated.  Supporting multiple languages
+would be the single greatest improvement to the crawler's coverage."
+
+A :class:`LanguagePack` carries the language-specific vocabulary the
+crawler needs: registration-link anchor patterns, field-identification
+patterns and submission-verdict keywords.  Packs are opt-in via
+:attr:`repro.crawler.engine.CrawlerConfig.enabled_languages`, so the
+default crawler stays faithful to the paper's English-only pilot.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.crawler.fields import FieldMeaning, WeightedPattern
+
+
+def _patterns(*specs: tuple[str, float]) -> tuple[WeightedPattern, ...]:
+    return tuple(WeightedPattern(re.compile(p, re.IGNORECASE), w) for p, w in specs)
+
+
+@dataclass(frozen=True)
+class LanguagePack:
+    """Heuristic vocabulary for one language."""
+
+    language: str
+    link_text_patterns: tuple[tuple[re.Pattern[str], float], ...]
+    field_heuristics: tuple[tuple[FieldMeaning, tuple[WeightedPattern, ...]], ...]
+    success_patterns: tuple[re.Pattern[str], ...] = ()
+    error_patterns: tuple[re.Pattern[str], ...] = ()
+    extra_stopwords: frozenset[str] = field(default_factory=frozenset)
+
+
+def _link_patterns(*specs: tuple[str, float]) -> tuple[tuple[re.Pattern[str], float], ...]:
+    return tuple((re.compile(p, re.IGNORECASE), w) for p, w in specs)
+
+
+GERMAN_PACK = LanguagePack(
+    language="de",
+    link_text_patterns=_link_patterns(
+        (r"registrier", 5.0),
+        (r"konto\s+erstellen", 5.0),
+        (r"\bjetzt\s+beitreten\b|\bmitglied\s+werden\b", 3.5),
+        (r"\banmelden\b", -2.0),  # the login decoy
+    ),
+    field_heuristics=(
+        (FieldMeaning.EMAIL, _patterns((r"e.?mail", 4.0), (r"adresse", 1.0))),
+        (FieldMeaning.PASSWORD_CONFIRM, _patterns((r"passwort.{0,12}(bestätigen|wiederholen)", 8.0),
+                                                  (r"passwort2", 6.0))),
+        (FieldMeaning.PASSWORD, _patterns((r"passwort|kennwort", 4.0),)),
+        (FieldMeaning.USERNAME, _patterns((r"benutzer.?name|nutzername", 4.0),)),
+        (FieldMeaning.FIRST_NAME, _patterns((r"vorname", 4.0),)),
+        (FieldMeaning.LAST_NAME, _patterns((r"nachname|familienname", 4.0),)),
+        (FieldMeaning.PHONE, _patterns((r"telefon", 4.0),)),
+        (FieldMeaning.CAPTCHA, _patterns((r"sicherheitscode|zeichen.{0,20}ein", 5.0),)),
+        (FieldMeaning.TERMS, _patterns((r"nutzungsbedingungen|agb|stimme.{0,10}zu", 4.0),)),
+    ),
+    success_patterns=(re.compile(r"erfolgreich", re.IGNORECASE),
+                      re.compile(r"willkommen\s+an\s+bord", re.IGNORECASE)),
+    error_patterns=(re.compile(r"\bfehler\b|\bproblem\b", re.IGNORECASE),),
+)
+
+SPANISH_PACK = LanguagePack(
+    language="es",
+    link_text_patterns=_link_patterns(
+        (r"reg[íi]strate|registrarse|registro", 5.0),
+        (r"crear\s+(una\s+)?cuenta", 5.0),
+        (r"[úu]nete", 3.5),
+        (r"iniciar\s+sesi[óo]n", -2.0),
+    ),
+    field_heuristics=(
+        (FieldMeaning.EMAIL, _patterns((r"correo(\s+electr[óo]nico)?", 4.0), (r"e.?mail", 3.0))),
+        (FieldMeaning.PASSWORD_CONFIRM, _patterns((r"confirmar.{0,10}contrase[ñn]a", 8.0),
+                                                  (r"contrasena2", 6.0))),
+        (FieldMeaning.PASSWORD, _patterns((r"contrase[ñn]a|contrasena", 4.0),)),
+        (FieldMeaning.USERNAME, _patterns((r"usuario|nombre\s+de\s+usuario", 4.0),)),
+        (FieldMeaning.FIRST_NAME, _patterns((r"\bnombre\b", 3.5),)),
+        (FieldMeaning.LAST_NAME, _patterns((r"apellido", 4.0),)),
+        (FieldMeaning.PHONE, _patterns((r"tel[ée]fono", 4.0),)),
+        (FieldMeaning.CAPTCHA, _patterns((r"c[óo]digo|caracteres", 4.0),)),
+        (FieldMeaning.TERMS, _patterns((r"t[ée]rminos|acepto", 4.0),)),
+    ),
+    success_patterns=(re.compile(r"exitoso|bienvenido", re.IGNORECASE),),
+    error_patterns=(re.compile(r"problema|error", re.IGNORECASE),),
+)
+
+FRENCH_PACK = LanguagePack(
+    language="fr",
+    link_text_patterns=_link_patterns(
+        (r"s'inscrire|inscription|inscrivez", 5.0),
+        (r"cr[ée]er\s+un\s+compte", 5.0),
+        (r"rejoignez", 3.5),
+        (r"connexion|se\s+connecter", -2.0),
+    ),
+    field_heuristics=(
+        (FieldMeaning.EMAIL, _patterns((r"courriel|adresse\s+e.?mail|e.?mail", 4.0),)),
+        (FieldMeaning.PASSWORD_CONFIRM, _patterns((r"confirmez.{0,10}mot\s+de\s+passe", 8.0),
+                                                  (r"motdepasse2", 6.0))),
+        (FieldMeaning.PASSWORD, _patterns((r"mot\s*de\s*passe|motdepasse", 4.0),)),
+        (FieldMeaning.USERNAME, _patterns((r"pseudo|identifiant", 4.0),)),
+        (FieldMeaning.FIRST_NAME, _patterns((r"pr[ée]nom", 4.0),)),
+        (FieldMeaning.LAST_NAME, _patterns((r"\bnom\b", 3.0),)),
+        (FieldMeaning.PHONE, _patterns((r"t[ée]l[ée]phone", 4.0),)),
+        (FieldMeaning.CAPTCHA, _patterns((r"caract[èe]res|code", 4.0),)),
+        (FieldMeaning.TERMS, _patterns((r"conditions|j'accepte", 4.0),)),
+    ),
+    success_patterns=(re.compile(r"r[ée]ussi|bienvenue", re.IGNORECASE),),
+    error_patterns=(re.compile(r"probl[èe]me|erreur", re.IGNORECASE),),
+)
+
+#: Registry of available packs by language code.
+AVAILABLE_PACKS: dict[str, LanguagePack] = {
+    pack.language: pack for pack in (GERMAN_PACK, SPANISH_PACK, FRENCH_PACK)
+}
+
+
+def packs_for(languages: frozenset[str] | set[str]) -> tuple[LanguagePack, ...]:
+    """The packs for a set of enabled language codes (English needs none)."""
+    return tuple(AVAILABLE_PACKS[code] for code in sorted(languages)
+                 if code in AVAILABLE_PACKS)

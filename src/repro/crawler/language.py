@@ -1,0 +1,109 @@
+"""English-language detection.
+
+The paper's heuristics "are only designed to support sites written in
+English" (Section 4.3.1).  The crawler gates on a cheap detector: the
+fraction of page words drawn from a small English stopword list, with
+the document's ``lang`` attribute as a hint when text is scarce.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.html.dom import Element
+
+_ENGLISH_STOPWORDS = frozenset(
+    """
+    the and for with your you this that from about have not are was were
+    will can all new more home contact news help sign log account our his
+    her its one two how what when where why who free now get latest welcome
+    create join register password email us terms privacy
+    """.split()
+)
+
+_WORD_RE = re.compile(r"[^\W\d_]+")
+
+
+def english_word_fraction(text: str) -> float:
+    """Share of alphabetic tokens that are English stopwords.
+
+    Tokens are full Unicode words so that accented words ("notícias")
+    do not split into ASCII fragments that spuriously match stopwords.
+    """
+    words = [w.lower() for w in _WORD_RE.findall(text)]
+    if not words:
+        return 0.0
+    hits = sum(1 for w in words if w.isascii() and w in _ENGLISH_STOPWORDS)
+    return hits / len(words)
+
+
+#: Small stopword sets for the Latin-script languages the extended
+#: crawler can optionally support (Section 7.2's "single greatest
+#: improvement").  Script detection handles ru/zh/ja.
+_STOPWORDS_BY_LANGUAGE: dict[str, frozenset[str]] = {
+    "de": frozenset("und der die das mit für ihre sie nicht eine konto passwort "
+                    "registrieren anmelden nachrichten über willkommen".split()),
+    "fr": frozenset("les des avec votre pour vous une est compte inscription "
+                    "connexion bienvenue actualités propos".split()),
+    "es": frozenset("los las con para una cuenta correo noticias comunidad "
+                    "acerca bienvenido regístrate contraseña".split()),
+    "pt": frozenset("os das com para uma conta senha notícias comunidade "
+                    "sobre bem-vindo cadastre".split()),
+}
+
+
+def detect_language(dom: Element) -> str:
+    """Best-effort language detection for a page.
+
+    Returns a language code: ``en``, one of the supported Latin-script
+    codes, a script-level guess (``ru``/``zh``) for non-Latin pages, or
+    ``unknown``.  The ``lang`` attribute is used as a tiebreaker.
+    """
+    text = dom.text_content()
+    lang_attr = dom.get("lang").lower()[:2]
+    letters = sum(1 for c in text if c.isalpha())
+    ascii_letters = sum(1 for c in text if c.isascii() and c.isalpha())
+    if letters >= 40 and ascii_letters / letters < 0.5:
+        if any("Ѐ" <= c <= "ӿ" for c in text):
+            return "ru"
+        if any("一" <= c <= "鿿" for c in text):
+            return lang_attr if lang_attr in ("zh", "ja") else "zh"
+        if any("぀" <= c <= "ヿ" for c in text):
+            return "ja"
+        return lang_attr or "unknown"
+    if english_word_fraction(text) >= 0.08:
+        return "en"
+    words = {w.lower() for w in _WORD_RE.findall(text)}
+    best, best_hits = "unknown", 0
+    for code, stopwords in _STOPWORDS_BY_LANGUAGE.items():
+        hits = len(words & stopwords)
+        if hits > best_hits:
+            best, best_hits = code, hits
+    if best_hits >= 2:
+        return best
+    if lang_attr:
+        return lang_attr
+    return "unknown"
+
+
+def looks_english(dom: Element, min_fraction: float = 0.08) -> bool:
+    """Whether a page appears to be written in English.
+
+    Pages dominated by non-Latin scripts yield almost no ASCII words,
+    so the alphabetic-character share is checked first; Latin-script
+    foreign languages are caught by the stopword fraction.  A ``lang``
+    attribute is trusted when the text itself is inconclusive.
+    """
+    text = dom.text_content()
+    lang_attr = dom.get("lang").lower()
+    letters = sum(1 for c in text if c.isalpha())
+    ascii_letters = sum(1 for c in text if c.isascii() and c.isalpha())
+    if letters >= 40 and ascii_letters / letters < 0.5:
+        return False  # predominantly non-Latin script
+    fraction = english_word_fraction(text)
+    if fraction >= min_fraction:
+        return True
+    if lang_attr.startswith("en"):
+        # Sparse page; fall back to the declared language.
+        return True
+    return False

@@ -1,0 +1,86 @@
+"""Registration-link discovery heuristics.
+
+Given the anchors on a page, score each as a candidate registration
+link using weighted patterns over the anchor text and the href.  An
+image-only link has no text to match — the §6.2.2 failure mode — and a
+link whose text is in another language scores zero.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TEXT_PATTERNS: tuple[tuple[re.Pattern[str], float], ...] = tuple(
+    (re.compile(p, re.IGNORECASE), w)
+    for p, w in (
+        (r"\bsign\s*up\b", 5.0),
+        (r"\bregister\b|\bregistration\b", 5.0),
+        (r"\bcreate\b.{0,12}\baccount\b", 5.0),
+        (r"\bjoin\b", 3.5),
+        (r"\bget\s+started\b", 2.5),
+        (r"\bnew\s+account\b", 3.0),
+        (r"\bsign\s*in\b|\blog\s*in\b", -3.0),  # login links are decoys
+    )
+)
+
+_HREF_PATTERNS: tuple[tuple[re.Pattern[str], float], ...] = tuple(
+    (re.compile(p, re.IGNORECASE), w)
+    for p, w in (
+        (r"sign.?up", 3.0),
+        (r"register|registration", 3.0),
+        (r"\bjoin\b", 2.0),
+        (r"account.{0,4}(new|create|register)", 2.5),
+        (r"/accounts?/new", 2.5),
+        (r"login|signin", -2.0),
+        (r"logout|privacy|terms|contact|about", -2.0),
+    )
+)
+
+#: Candidates below this score are not worth clicking.
+LINK_SCORE_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class LinkCandidate:
+    """A scored anchor."""
+
+    url: str
+    text: str
+    score: float
+
+
+def score_registration_link(url: str, text: str, packs: tuple = ()) -> float:
+    """Heuristic score that (url, text) is a registration link.
+
+    ``packs`` contributes language-pack anchor patterns (Section 7.2's
+    multi-language extension).
+    """
+    score = 0.0
+    for pattern, weight in _TEXT_PATTERNS:
+        if pattern.search(text):
+            score += weight
+    for pack in packs:
+        for pattern, weight in pack.link_text_patterns:
+            if pattern.search(text):
+                score += weight
+    for pattern, weight in _HREF_PATTERNS:
+        if pattern.search(url):
+            score += weight
+    return score
+
+
+def rank_registration_links(links: list[tuple[str, str]], packs: tuple = ()) -> list[LinkCandidate]:
+    """Score and sort anchors, best first, dropping sub-threshold ones.
+
+    Duplicate URLs keep only their best score.
+    """
+    best: dict[str, LinkCandidate] = {}
+    for url, text in links:
+        score = score_registration_link(url, text, packs=packs)
+        if score < LINK_SCORE_THRESHOLD:
+            continue
+        existing = best.get(url)
+        if existing is None or score > existing.score:
+            best[url] = LinkCandidate(url=url, text=text, score=score)
+    return sorted(best.values(), key=lambda c: (-c.score, c.url))

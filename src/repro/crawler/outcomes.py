@@ -1,0 +1,80 @@
+"""Crawler termination codes (Figure 1) and crawl results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.timeutil import SimInstant
+
+
+class TerminationCode(enum.Enum):
+    """Why a crawl of one site ended.
+
+    The first five mirror Figure 1's exit boxes; ``NOT_ENGLISH`` is the
+    crawler's early language gate (non-English sites are unsupported,
+    Section 4.3.1).
+    """
+
+    OK_SUBMISSION = "ok_submission"
+    SUBMISSION_HEURISTICS_FAILED = "submission_heuristics_failed"
+    REQUIRED_FIELDS_MISSING = "required_fields_missing"
+    NO_REGISTRATION_FOUND = "no_registration_found"
+    SYSTEM_ERROR = "system_error"
+    NOT_ENGLISH = "not_english"
+
+    @property
+    def attempted_submission(self) -> bool:
+        """Whether the crawler got as far as submitting a form."""
+        return self in (
+            TerminationCode.OK_SUBMISSION,
+            TerminationCode.SUBMISSION_HEURISTICS_FAILED,
+        )
+
+
+#: Codes where credentials may have been exposed (at or past the
+#: horizontal line in Figure 1).
+EXPOSING_CODES = frozenset(
+    {
+        TerminationCode.OK_SUBMISSION,
+        TerminationCode.SUBMISSION_HEURISTICS_FAILED,
+        TerminationCode.REQUIRED_FIELDS_MISSING,  # only when filling began
+    }
+)
+
+
+@dataclass(frozen=True)
+class CrawlOutcome:
+    """Detailed record of one crawl attempt against one site."""
+
+    site_host: str
+    url: str
+    code: TerminationCode
+    detail: str = ""
+    exposed_email: bool = False
+    exposed_password: bool = False
+    pages_loaded: int = 0
+    started_at: SimInstant = 0
+    finished_at: SimInstant = 0
+    filled_fields: tuple[str, ...] = ()
+
+    @property
+    def exposed_credentials(self) -> bool:
+        """Whether the identity must be burned (Section 4.3.1)."""
+        return self.exposed_email or self.exposed_password
+
+    @property
+    def attempted_submission(self) -> bool:
+        """Whether the crawler got as far as submitting the form."""
+        return self.code.attempted_submission
+
+
+@dataclass
+class CrawlResult:
+    """A crawl outcome bound to the identity that was used."""
+
+    outcome: CrawlOutcome
+    identity_id: int
+    registered_email: str
+    password_class: str
+    events: list[str] = field(default_factory=list)

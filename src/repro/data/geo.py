@@ -1,0 +1,58 @@
+"""Country catalog and attacker-geography weights.
+
+Section 6.4.3 reports that attacker login IPs were dominated by Russia
+(194 IPs), China (144), the USA (135) and Vietnam (89) with 92 countries
+represented overall, and that most were residential/consumer addresses.
+The weights below are proportional to those counts with a long tail.
+"""
+
+# (ISO code, name) — a representative slice of the 92 countries seen.
+COUNTRIES: tuple[tuple[str, str], ...] = (
+    ("RU", "Russia"), ("CN", "China"), ("US", "United States"),
+    ("VN", "Vietnam"), ("IN", "India"), ("BR", "Brazil"),
+    ("ID", "Indonesia"), ("UA", "Ukraine"), ("TR", "Turkey"),
+    ("TH", "Thailand"), ("DE", "Germany"), ("FR", "France"),
+    ("GB", "United Kingdom"), ("IT", "Italy"), ("ES", "Spain"),
+    ("PL", "Poland"), ("RO", "Romania"), ("MX", "Mexico"),
+    ("AR", "Argentina"), ("CO", "Colombia"), ("EG", "Egypt"),
+    ("IR", "Iran"), ("PK", "Pakistan"), ("BD", "Bangladesh"),
+    ("PH", "Philippines"), ("MY", "Malaysia"), ("KR", "South Korea"),
+    ("JP", "Japan"), ("TW", "Taiwan"), ("NL", "Netherlands"),
+    ("SE", "Sweden"), ("NO", "Norway"), ("FI", "Finland"),
+    ("CZ", "Czechia"), ("HU", "Hungary"), ("BG", "Bulgaria"),
+    ("RS", "Serbia"), ("GR", "Greece"), ("PT", "Portugal"),
+    ("BE", "Belgium"), ("CH", "Switzerland"), ("AT", "Austria"),
+    ("AU", "Australia"), ("NZ", "New Zealand"), ("CA", "Canada"),
+    ("CL", "Chile"), ("PE", "Peru"), ("VE", "Venezuela"),
+    ("ZA", "South Africa"), ("NG", "Nigeria"), ("KE", "Kenya"),
+    ("MA", "Morocco"), ("DZ", "Algeria"), ("TN", "Tunisia"),
+    ("SA", "Saudi Arabia"), ("AE", "UAE"), ("IQ", "Iraq"),
+    ("IL", "Israel"), ("KZ", "Kazakhstan"), ("BY", "Belarus"),
+    ("MD", "Moldova"), ("GE", "Georgia"), ("AM", "Armenia"),
+    ("AZ", "Azerbaijan"), ("UZ", "Uzbekistan"), ("MN", "Mongolia"),
+    ("LK", "Sri Lanka"), ("NP", "Nepal"), ("MM", "Myanmar"),
+    ("KH", "Cambodia"), ("LA", "Laos"), ("SG", "Singapore"),
+    ("HK", "Hong Kong"), ("EC", "Ecuador"), ("BO", "Bolivia"),
+    ("PY", "Paraguay"), ("UY", "Uruguay"), ("CR", "Costa Rica"),
+    ("PA", "Panama"), ("DO", "Dominican Republic"), ("GT", "Guatemala"),
+    ("HN", "Honduras"), ("SV", "El Salvador"), ("NI", "Nicaragua"),
+    ("JM", "Jamaica"), ("TT", "Trinidad"), ("IS", "Iceland"),
+    ("IE", "Ireland"), ("DK", "Denmark"), ("SK", "Slovakia"),
+    ("SI", "Slovenia"), ("HR", "Croatia"),
+)
+
+# Weights proportional to the §6.4.3 IP counts for the named countries,
+# with a geometric long tail for the rest.
+ATTACKER_COUNTRY_WEIGHTS: tuple[tuple[str, float], ...] = tuple(
+    [
+        ("RU", 194.0), ("CN", 144.0), ("US", 135.0), ("VN", 89.0),
+        ("IN", 55.0), ("BR", 48.0), ("ID", 40.0), ("UA", 36.0),
+        ("TR", 30.0), ("TH", 26.0),
+    ]
+    + [
+        (code, max(1.0, 22.0 * (0.93 ** i)))
+        for i, (code, _name) in enumerate(COUNTRIES[10:])
+    ]
+)
+
+COUNTRY_NAMES: dict[str, str] = {code: name for code, name in COUNTRIES}

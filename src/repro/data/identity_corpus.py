@@ -1,0 +1,105 @@
+"""Corpus backing fictitious identities (Section 4.1.1).
+
+The paper generated identities with full names, syntactically valid US
+street addresses, phone numbers, dates of birth and employers, designed
+to be indistinguishable from organic users.  This module provides the raw
+material those generators sample from.
+"""
+
+MALE_FIRST_NAMES: tuple[str, ...] = (
+    "James", "John", "Robert", "Michael", "William", "David", "Richard",
+    "Joseph", "Thomas", "Charles", "Christopher", "Daniel", "Matthew",
+    "Anthony", "Donald", "Mark", "Paul", "Steven", "Andrew", "Kenneth",
+    "Joshua", "Kevin", "Brian", "George", "Edward", "Ronald", "Timothy",
+    "Jason", "Jeffrey", "Ryan", "Jacob", "Gary", "Nicholas", "Eric",
+    "Jonathan", "Stephen", "Larry", "Justin", "Scott", "Brandon",
+    "Benjamin", "Samuel", "Gregory", "Frank", "Alexander", "Raymond",
+    "Patrick", "Jack", "Dennis", "Jerry",
+)
+
+FEMALE_FIRST_NAMES: tuple[str, ...] = (
+    "Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+    "Susan", "Jessica", "Sarah", "Karen", "Nancy", "Lisa", "Margaret",
+    "Betty", "Sandra", "Ashley", "Dorothy", "Kimberly", "Emily", "Donna",
+    "Michelle", "Carol", "Amanda", "Melissa", "Deborah", "Stephanie",
+    "Rebecca", "Laura", "Sharon", "Cynthia", "Kathleen", "Amy", "Shirley",
+    "Angela", "Helen", "Anna", "Brenda", "Pamela", "Nicole", "Samantha",
+    "Katherine", "Emma", "Ruth", "Christine", "Catherine", "Debra",
+    "Rachel", "Carolyn", "Janet", "Virginia",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+    "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+    "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+    "Mitchell", "Carter", "Roberts",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "Oak", "Maple", "Cedar", "Pine", "Elm", "Washington", "Lake", "Hill",
+    "Walnut", "Spring", "North", "Ridge", "Church", "Willow", "Mill",
+    "Sunset", "Railroad", "Jackson", "West", "South", "Center", "Highland",
+    "Forest", "River", "Meadow", "Jefferson", "Park", "Madison", "Chestnut",
+    "Franklin", "Lincoln", "Main", "Second", "Third", "Fourth", "Fifth",
+    "Cherry", "Dogwood", "Hickory", "Locust",
+)
+
+STREET_SUFFIXES: tuple[str, ...] = (
+    "St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Ct", "Pl", "Way", "Ter",
+)
+
+# (city, state abbreviation, zip prefix) — used to form plausible
+# US addresses; the full zip is the prefix plus two generated digits.
+CITIES: tuple[tuple[str, str, str], ...] = (
+    ("Springfield", "IL", "627"),
+    ("Riverside", "CA", "925"),
+    ("Franklin", "TN", "370"),
+    ("Greenville", "SC", "296"),
+    ("Clinton", "MS", "390"),
+    ("Fairview", "OR", "970"),
+    ("Salem", "MA", "019"),
+    ("Madison", "WI", "537"),
+    ("Georgetown", "TX", "786"),
+    ("Arlington", "VA", "222"),
+    ("Ashland", "OH", "448"),
+    ("Dover", "DE", "199"),
+    ("Hudson", "NY", "125"),
+    ("Milton", "FL", "325"),
+    ("Newport", "RI", "028"),
+    ("Oxford", "MS", "386"),
+    ("Burlington", "VT", "054"),
+    ("Chester", "PA", "190"),
+    ("Dayton", "OH", "454"),
+    ("Auburn", "AL", "368"),
+    ("Boulder", "CO", "803"),
+    ("Helena", "MT", "596"),
+    ("Juneau", "AK", "998"),
+    ("Kingston", "TN", "377"),
+    ("Lebanon", "NH", "037"),
+)
+
+US_STATES: tuple[str, ...] = tuple(sorted({city[1] for city in CITIES}))
+
+EMPLOYERS: tuple[str, ...] = (
+    "Evergreen Logistics", "Bluefin Analytics", "Cascade Printing Co",
+    "Harbor Light Media", "Pinnacle Staffing", "Redwood Textiles",
+    "Summit Dental Group", "Twin Oaks Landscaping", "Vista Travel Agency",
+    "Lakeshore Hardware", "Granite Peak Outfitters", "Copperline Catering",
+    "Silver Birch Consulting", "Northgate Auto Parts", "Prairie Wind Farms",
+    "Ironwood Construction", "Clearwater Plumbing", "Golden Mile Bakery",
+    "Stonebridge Insurance", "Falcon Ridge Realty", "Amber Valley Vineyards",
+    "Brightpath Tutoring", "Coastal Freight Lines", "Driftwood Studios",
+    "Elmwood Veterinary Clinic", "Foxglove Florists", "Greenfield Grocers",
+    "Hilltop Accounting", "Inland Marine Supply", "Juniper Web Design",
+)
+
+AREA_CODES: tuple[str, ...] = (
+    "205", "212", "213", "214", "216", "303", "305", "312", "313", "314",
+    "404", "408", "410", "412", "415", "503", "504", "512", "513", "515",
+    "602", "603", "614", "615", "617", "702", "703", "713", "714", "716",
+    "801", "802", "803", "804", "805", "901", "902", "904", "907", "916",
+)

@@ -1,0 +1,65 @@
+"""Catalogs for the simulated website population.
+
+Site categories mirror those the paper reports for compromised sites
+(Table 2) plus common categories seen across the Alexa ranking.  Name
+stems and TLDs combine into plausible domain names.
+"""
+
+# Categories observed in Table 2 first, then general filler categories.
+SITE_CATEGORIES: tuple[str, ...] = (
+    "Deals", "Gaming", "BitTorrent", "Wallpapers", "RSS Feeds", "Marketing",
+    "Horoscopes", "Classifieds", "Adult", "Vacations", "Outdoors",
+    "Tourism Guide", "Press Releases", "BTC Forum", "News", "Shopping",
+    "Sports", "Recipes", "Music", "Video", "Education", "Finance",
+    "Health", "Technology", "Photography", "Weather", "Jobs", "Real Estate",
+    "Forums", "Blogging", "Streaming", "Crafts", "Automotive", "Pets",
+    "Parenting", "Fitness", "Books", "Movies", "Comics", "Local Guide",
+)
+
+SITE_NAME_STEMS: tuple[str, ...] = (
+    "apex", "arrow", "astro", "atlas", "aurora", "beacon", "blaze",
+    "breeze", "bridge", "bright", "cargo", "cedar", "charm", "chirp",
+    "citrus", "cloud", "cobalt", "coral", "crest", "crisp", "dart",
+    "dawn", "delta", "drift", "echo", "ember", "fable", "flare", "flint",
+    "flux", "forge", "fox", "frost", "gale", "glide", "grove", "gulf",
+    "harbor", "haven", "hive", "horizon", "iris", "ivory", "jade",
+    "jolt", "keel", "kite", "lark", "ledge", "lime", "lunar", "lyric",
+    "mango", "marble", "merit", "mesa", "mint", "mirth", "nectar",
+    "nimbus", "north", "nova", "oak", "onyx", "opal", "orbit", "osprey",
+    "pearl", "pique", "pixel", "plume", "polar", "prism", "pulse",
+    "quartz", "quest", "quill", "rally", "rapid", "reef", "relay",
+    "ripple", "roam", "rove", "sable", "scout", "shard", "shine",
+    "slate", "solar", "spark", "sprig", "spry", "stellar", "stream",
+    "summit", "surge", "swift", "thrive", "tide", "topaz", "trail",
+    "trek", "trove", "tundra", "umbra", "vault", "verve", "vista",
+    "vivid", "wander", "wave", "whirl", "wisp", "zeal", "zen", "zest",
+)
+
+SITE_NAME_SUFFIXES: tuple[str, ...] = (
+    "hub", "zone", "spot", "base", "land", "world", "place", "center",
+    "point", "site", "page", "post", "cast", "feed", "list", "deck",
+    "desk", "lab", "works", "space",
+)
+
+TLDS: tuple[tuple[str, float], ...] = (
+    (".com", 62.0),
+    (".net", 8.0),
+    (".org", 7.0),
+    (".ru", 5.0),
+    (".de", 4.0),
+    (".cn", 4.0),
+    (".co.uk", 3.0),
+    (".info", 2.5),
+    (".fr", 1.5),
+    (".in", 1.5),
+    (".io", 1.0),
+    (".biz", 0.5),
+)
+
+# Common-backend platforms the paper filtered out before crawling
+# (Section 5.1): many regional storefronts share one account system.
+SHARED_BACKENDS: tuple[str, ...] = (
+    "amazon", "google", "youtube", "blogger", "blogspot", "wikipedia",
+    "facebook", "twitter", "live", "microsoft", "ebay", "craigslist",
+    "yahoo", "instagram", "linkedin",
+)

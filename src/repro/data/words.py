@@ -1,0 +1,75 @@
+"""Vocabulary for usernames and easy passwords.
+
+Usernames follow the paper's scheme (Section 4.1.1): an adjective, a noun
+and a four-digit number, e.g. ``ArguableGem8317``.  Easy passwords
+(Section 4.1.2) are a single seven-letter dictionary word, first letter
+capitalized, followed by one digit, e.g. ``Website1``.
+"""
+
+ADJECTIVES: tuple[str, ...] = (
+    "Arguable", "Breezy", "Candid", "Daring", "Earnest", "Fabled", "Gentle",
+    "Hearty", "Ironic", "Jovial", "Keen", "Limber", "Mellow", "Nimble",
+    "Opaque", "Placid", "Quaint", "Rustic", "Subtle", "Tepid", "Upbeat",
+    "Vivid", "Wistful", "Zesty", "Amber", "Bold", "Crisp", "Dusty",
+    "Eager", "Fuzzy", "Glossy", "Humble", "Icy", "Jagged", "Kindly",
+    "Lively", "Misty", "Noble", "Olive", "Proud", "Quiet", "Rapid",
+    "Sturdy", "Tidy", "Unique", "Velvet", "Witty", "Young", "Zippy",
+    "Ancient", "Brisk", "Clever", "Dapper", "Elastic", "Frugal", "Golden",
+    "Hasty", "Ideal", "Jolly", "Knotty", "Lucid", "Modest", "Neat",
+    "Orderly", "Polite", "Quirky", "Robust", "Silent", "Tranquil", "Urbane",
+    "Valiant", "Wandering", "Yearning", "Zealous", "Agile", "Bright",
+    "Calm", "Deft", "Even", "Fleet", "Grand", "Hale", "Intent", "Just",
+    "Kempt", "Loyal", "Merry", "Nifty", "Open", "Prime", "Quick", "Ready",
+    "Sharp", "Terse", "Usual", "Vast", "Warm", "Xenial", "Yare", "Zonal",
+)
+
+NOUNS: tuple[str, ...] = (
+    "Gem", "Falcon", "River", "Maple", "Comet", "Harbor", "Lantern",
+    "Meadow", "Nebula", "Orchard", "Pebble", "Quartz", "Raven", "Summit",
+    "Thicket", "Umbrella", "Valley", "Willow", "Yonder", "Zephyr",
+    "Anchor", "Beacon", "Canyon", "Dune", "Ember", "Fjord", "Glacier",
+    "Hollow", "Island", "Jetty", "Knoll", "Lagoon", "Mesa", "Nook",
+    "Oasis", "Prairie", "Quarry", "Ridge", "Shore", "Tundra", "Upland",
+    "Vista", "Wharf", "Yard", "Zenith", "Acorn", "Badger", "Cricket",
+    "Dolphin", "Egret", "Finch", "Gopher", "Heron", "Ibis", "Jackal",
+    "Kestrel", "Lemur", "Marmot", "Newt", "Otter", "Puffin", "Quail",
+    "Rabbit", "Sparrow", "Tapir", "Urchin", "Vole", "Walrus", "Yak",
+    "Zebra", "Arbor", "Bramble", "Cedar", "Dahlia", "Elm", "Fern",
+    "Garnet", "Hazel", "Iris", "Jasper", "Kelp", "Laurel", "Moss",
+    "Nettle", "Opal", "Pine", "Quince", "Rowan", "Sage", "Tulip",
+    "Umber", "Violet", "Wren", "Yarrow", "Zinnia", "Atlas", "Binder",
+    "Candle", "Drum",
+)
+
+# Seven-letter words only: the easy-password recipe requires exactly a
+# seven-character dictionary word plus one digit (8 characters total).
+DICTIONARY_WORDS: tuple[str, ...] = (
+    "website", "account", "monitor", "network", "gateway", "process",
+    "storage", "display", "channel", "capture", "citizen", "clarity",
+    "climate", "comfort", "command", "company", "compass", "concert",
+    "contest", "control", "cottage", "council", "counter", "country",
+    "crystal", "culture", "current", "custard", "cutlery", "cyclone",
+    "density", "deposit", "desktop", "diagram", "diamond", "digital",
+    "dolphin", "drawing", "dynasty", "eclipse", "economy", "edition",
+    "element", "evening", "exhibit", "explore", "factory", "fashion",
+    "feather", "fiction", "fortune", "freedom", "gallery", "general",
+    "genuine", "glacier", "gravity", "habitat", "harmony", "harvest",
+    "heading", "healthy", "highway", "history", "holiday", "horizon",
+    "imagine", "insight", "journal", "journey", "justice", "kitchen",
+    "lantern", "leather", "liberty", "library", "machine", "mariner",
+    "meadows", "measure", "mineral", "morning", "mystery", "natural",
+    "nurture", "octagon", "opinion", "orchard", "pacific", "package",
+    "painter", "passage", "pattern", "penguin", "picture", "pioneer",
+    "planner", "plastic", "polygon", "prairie", "present", "primary",
+    "privacy", "problem", "product", "profile", "project", "promise",
+    "quality", "quantum", "railway", "rainbow", "reactor", "recover",
+    "reflect", "regular", "request", "reserve", "respect", "revenue",
+    "romance", "rubbish", "sailing", "satisfy", "scholar", "science",
+    "section", "serious", "service", "session", "shelter", "silence",
+    "society", "stadium", "station", "storied", "strands", "student",
+    "subject", "success", "support", "surface", "teacher", "texture",
+    "theater", "thunder", "tonight", "traffic", "trouble", "uniform",
+    "upgrade", "utility", "vanilla", "variety", "venture", "village",
+    "vintage", "visitor", "volcano", "voyager", "walnuts", "warrior",
+    "weather", "welcome", "western", "whisper", "windows", "wonders",
+)

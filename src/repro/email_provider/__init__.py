@@ -1,0 +1,31 @@
+"""The partner email provider (Section 4.2).
+
+The provider's involvement is deliberately narrow, mirroring the paper:
+it creates the requested accounts (unless they collide or violate
+naming policy), forwards all incoming mail, and periodically exports
+dumps of *successful* logins (timestamp, remote IP, method) without
+knowing which accounts Tripwire actually used.  It also runs the abuse
+machinery a major provider would: brute-force throttling, spam-driven
+deactivation, suspicious-login freezes and forced password resets.
+"""
+
+from repro.email_provider.accounts import (
+    AccountState,
+    NamingPolicy,
+    ProviderAccount,
+    ProvisioningResult,
+)
+from repro.email_provider.telemetry import LoginEvent, LoginMethod, LoginTelemetry
+from repro.email_provider.provider import EmailProvider, LoginResult
+
+__all__ = [
+    "AccountState",
+    "NamingPolicy",
+    "ProviderAccount",
+    "ProvisioningResult",
+    "LoginEvent",
+    "LoginMethod",
+    "LoginTelemetry",
+    "EmailProvider",
+    "LoginResult",
+]

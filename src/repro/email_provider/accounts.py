@@ -1,0 +1,72 @@
+"""Provider-side account records and naming policy."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.util.timeutil import SimInstant
+
+
+class AccountState(enum.Enum):
+    """Lifecycle of a provider account."""
+
+    ACTIVE = "active"
+    FROZEN = "frozen"  # suspicious activity; logins rejected
+    DEACTIVATED = "deactivated"  # abuse (spam); permanently closed
+    RESET_FORCED = "reset_forced"  # provider forced a password reset
+
+
+@dataclass
+class ProviderAccount:
+    """One mailbox at the provider."""
+
+    local_part: str
+    display_name: str
+    password: str
+    created_at: SimInstant
+    state: AccountState = AccountState.ACTIVE
+    state_changed_at: SimInstant | None = None  # freeze/deactivation time
+    forwarding_address: str | None = None
+    received_message_count: int = 0
+    sent_spam_count: int = 0
+    password_changes: list[SimInstant] = field(default_factory=list)
+
+    @property
+    def can_login(self) -> bool:
+        """Whether logins are currently accepted."""
+        return self.state is AccountState.ACTIVE
+
+
+class NamingPolicy:
+    """The provider's username rules.
+
+    Real providers bound length and the character repertoire; Tripwire
+    exploits the provider's collision check as a cheap probe for
+    username availability everywhere else (Section 4.1.1).
+    """
+
+    def __init__(self, min_length: int = 6, max_length: int = 30):
+        self.min_length = min_length
+        self.max_length = max_length
+        self._pattern = re.compile(r"^[A-Za-z][A-Za-z0-9._]*$")
+
+    def violation(self, local_part: str) -> str | None:
+        """Reason the name is rejected, or None when acceptable."""
+        if len(local_part) < self.min_length:
+            return f"shorter than {self.min_length} characters"
+        if len(local_part) > self.max_length:
+            return f"longer than {self.max_length} characters"
+        if not self._pattern.match(local_part):
+            return "contains characters outside [A-Za-z0-9._]"
+        return None
+
+
+@dataclass(frozen=True)
+class ProvisioningResult:
+    """Outcome of asking the provider to create one account."""
+
+    local_part: str
+    created: bool
+    reason: str | None = None  # populated when not created

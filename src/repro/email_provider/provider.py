@@ -1,0 +1,273 @@
+"""The email provider service.
+
+Implements the provider-facing half of Section 4.2: account
+provisioning with collision and naming-policy checks, mail delivery
+with forwarding, a login endpoint with brute-force throttling, abuse
+handling (spam → deactivation, suspicious access → freeze or forced
+reset) and the sporadic login-telemetry dumps Tripwire consumes.
+
+The provider never learns which of its accounts were registered at
+websites; nothing in this class refers to sites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.email_provider.accounts import (
+    AccountState,
+    NamingPolicy,
+    ProviderAccount,
+    ProvisioningResult,
+)
+from repro.email_provider.telemetry import LoginEvent, LoginMethod, LoginTelemetry
+from repro.mail.messages import EmailMessage
+from repro.net.ipaddr import IPv4Address
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import DAY, HOUR
+
+
+class LoginResult(enum.Enum):
+    """Outcome of a login attempt."""
+
+    SUCCESS = "success"
+    BAD_PASSWORD = "bad_password"
+    NO_SUCH_ACCOUNT = "no_such_account"
+    THROTTLED = "throttled"  # brute-force protection kicked in
+    ACCOUNT_FROZEN = "account_frozen"
+    ACCOUNT_DEACTIVATED = "account_deactivated"
+    RESET_REQUIRED = "reset_required"
+
+
+@dataclass
+class _ThrottleState:
+    failures: int = 0
+    window_start: int = 0
+    locked_until: int = 0
+
+
+class EmailProvider:
+    """A major email provider with hundreds of millions of accounts.
+
+    Tripwire accounts are treated "equivalently to their hundreds of
+    millions of other accounts" (Section 4.4); all protective machinery
+    here applies uniformly.
+    """
+
+    #: Failed attempts inside the window before throttling engages.
+    BRUTE_FORCE_LIMIT = 10
+    BRUTE_FORCE_WINDOW = 1 * HOUR
+    BRUTE_FORCE_LOCKOUT = 6 * HOUR
+
+    #: Spam messages sent before the abuse team deactivates an account.
+    SPAM_DEACTIVATION_THRESHOLD = 40
+
+    #: Distinct source IPs within the suspicion window that may trigger
+    #: a freeze review.  Calibrated so roughly a quarter to a third of
+    #: actively-abused accounts end up frozen (Table 3: 8 of 27).
+    SUSPICION_DISTINCT_IPS = 70
+    SUSPICION_WINDOW = 30 * DAY
+    FREEZE_PROBABILITY = 0.05
+    FORCED_RESET_PROBABILITY = 0.005
+
+    def __init__(
+        self,
+        domain: str,
+        clock: SimClock,
+        rng_tree: RngTree,
+        naming_policy: NamingPolicy | None = None,
+        retention_days: int = 60,
+        preexisting_locals: frozenset[str] = frozenset(),
+    ):
+        self.domain = domain.lower()
+        self._clock = clock
+        self._rng = rng_tree.child("email-provider").rng()
+        self._policy = naming_policy or NamingPolicy()
+        self._accounts: dict[str, ProviderAccount] = {}
+        self._preexisting = {name.lower() for name in preexisting_locals}
+        self.telemetry = LoginTelemetry(retention_days=retention_days)
+        self._throttle: dict[str, _ThrottleState] = {}
+        self._recent_ips: dict[str, list[tuple[int, IPv4Address]]] = {}
+        self._forwarding_hop = None  # type: ignore[assignment]
+
+    # -- provisioning --------------------------------------------------------
+
+    def account_exists(self, local_part: str) -> bool:
+        """Collision probe: is the name taken (by us or organically)?"""
+        key = local_part.lower()
+        return key in self._accounts or key in self._preexisting
+
+    def provision(
+        self,
+        local_part: str,
+        display_name: str,
+        password: str,
+        forwarding_address: str | None = None,
+    ) -> ProvisioningResult:
+        """Create one account, enforcing collisions and naming policy."""
+        violation = self._policy.violation(local_part)
+        if violation is not None:
+            return ProvisioningResult(local_part, created=False, reason=violation)
+        if self.account_exists(local_part):
+            return ProvisioningResult(local_part, created=False, reason="name already taken")
+        account = ProviderAccount(
+            local_part=local_part,
+            display_name=display_name,
+            password=password,
+            created_at=self._clock.now(),
+            forwarding_address=forwarding_address,
+        )
+        self._accounts[local_part.lower()] = account
+        return ProvisioningResult(local_part, created=True)
+
+    def account(self, local_part: str) -> ProviderAccount | None:
+        """Fetch an account record (None if absent)."""
+        return self._accounts.get(local_part.lower())
+
+    def account_count(self) -> int:
+        """Number of provisioned (Tripwire-requested) accounts."""
+        return len(self._accounts)
+
+    # -- mail ----------------------------------------------------------------
+
+    def set_forwarding_hop(self, hop) -> None:
+        """Attach the delivery callable for forwarded messages.
+
+        ``hop`` is called with each forwarded :class:`EmailMessage`
+        (re-addressed to the account's forwarding address).
+        """
+        self._forwarding_hop = hop
+
+    def deliver(self, message: EmailMessage) -> bool:
+        """Deliver a message addressed to ``local@domain``.
+
+        Returns False when the account does not exist or is closed.
+        Active accounts with forwarding pass a re-addressed copy to the
+        forwarding hop.
+        """
+        local, _, domain = message.recipient.partition("@")
+        if domain.lower() != self.domain:
+            return False
+        account = self._accounts.get(local.lower())
+        if account is None or account.state is AccountState.DEACTIVATED:
+            return False
+        account.received_message_count += 1
+        if account.forwarding_address and self._forwarding_hop is not None:
+            self._forwarding_hop(message.with_recipient(account.forwarding_address))
+        return True
+
+    # -- login ---------------------------------------------------------------
+
+    def attempt_login(
+        self,
+        local_part: str,
+        password: str,
+        ip: IPv4Address,
+        method: LoginMethod,
+    ) -> LoginResult:
+        """Authenticate; on success, record telemetry and run abuse review.
+
+        Failed attempts are *not* recorded in telemetry — the provider
+        only disclosed successes (Section 4.2).
+        """
+        now = self._clock.now()
+        key = local_part.lower()
+        account = self._accounts.get(key)
+        if account is None:
+            return LoginResult.NO_SUCH_ACCOUNT
+
+        throttle = self._throttle.setdefault(key, _ThrottleState())
+        if now < throttle.locked_until:
+            return LoginResult.THROTTLED
+
+        if account.state is AccountState.DEACTIVATED:
+            return LoginResult.ACCOUNT_DEACTIVATED
+        if account.state is AccountState.FROZEN:
+            return LoginResult.ACCOUNT_FROZEN
+        if account.state is AccountState.RESET_FORCED:
+            return LoginResult.RESET_REQUIRED
+
+        if password != account.password:
+            self._note_failure(throttle, now)
+            return LoginResult.BAD_PASSWORD
+
+        throttle.failures = 0
+        self.telemetry.record(LoginEvent(account.local_part, now, ip, method))
+        self._note_ip(key, now, ip)
+        self._review_after_login(account, key)
+        return LoginResult.SUCCESS
+
+    def _note_failure(self, throttle: _ThrottleState, now: int) -> None:
+        if now - throttle.window_start > self.BRUTE_FORCE_WINDOW:
+            throttle.window_start = now
+            throttle.failures = 0
+        throttle.failures += 1
+        if throttle.failures >= self.BRUTE_FORCE_LIMIT:
+            throttle.locked_until = now + self.BRUTE_FORCE_LOCKOUT
+            throttle.failures = 0
+
+    def _note_ip(self, key: str, now: int, ip: IPv4Address) -> None:
+        window = self._recent_ips.setdefault(key, [])
+        window.append((now, ip))
+        cutoff = now - self.SUSPICION_WINDOW
+        self._recent_ips[key] = [(t, a) for t, a in window if t >= cutoff]
+
+    def _review_after_login(self, account: ProviderAccount, key: str) -> None:
+        """Abuse review run after each successful login."""
+        distinct_ips = {a for _t, a in self._recent_ips.get(key, [])}
+        if len(distinct_ips) < self.SUSPICION_DISTINCT_IPS:
+            return
+        roll = self._rng.random()
+        if roll < self.FORCED_RESET_PROBABILITY:
+            account.state = AccountState.RESET_FORCED
+            account.state_changed_at = self._clock.now()
+            account.password_changes.append(self._clock.now())
+        elif roll < self.FORCED_RESET_PROBABILITY + self.FREEZE_PROBABILITY:
+            account.state = AccountState.FROZEN
+            account.state_changed_at = self._clock.now()
+
+    # -- authenticated account actions (used by attackers) -------------------
+
+    def change_password(self, local_part: str, old: str, new: str) -> bool:
+        """Change the password; requires the current one."""
+        account = self._accounts.get(local_part.lower())
+        if account is None or not account.can_login or account.password != old:
+            return False
+        account.password = new
+        account.password_changes.append(self._clock.now())
+        return True
+
+    def remove_forwarding(self, local_part: str, password: str) -> bool:
+        """Drop the forwarding address; requires the password."""
+        account = self._accounts.get(local_part.lower())
+        if account is None or not account.can_login or account.password != password:
+            return False
+        account.forwarding_address = None
+        return True
+
+    def send_spam_from(self, local_part: str, password: str, count: int) -> int:
+        """Send ``count`` spam messages through the account.
+
+        Returns how many were sent before the abuse system deactivated
+        the account (possibly all of them).
+        """
+        account = self._accounts.get(local_part.lower())
+        if account is None or not account.can_login or account.password != password:
+            return 0
+        sent = 0
+        for _ in range(count):
+            account.sent_spam_count += 1
+            sent += 1
+            if account.sent_spam_count >= self.SPAM_DEACTIVATION_THRESHOLD:
+                account.state = AccountState.DEACTIVATED
+                account.state_changed_at = self._clock.now()
+                break
+        return sent
+
+    # -- telemetry export ------------------------------------------------------
+
+    def collect_login_dump(self) -> list[LoginEvent]:
+        """Export the sporadic login dump for all accounts (Section 4.2)."""
+        return self.telemetry.collect_dump(self._clock.now())

@@ -1,0 +1,92 @@
+"""Login telemetry: the provider's successful-login records.
+
+The provider discloses **successful logins only** — timestamp, remote
+IP and access method — in sporadic dumps (Section 4.2).  Records expire
+after a retention window; the paper lost March 20 – June 1, 2015 to
+exactly this (Figure 2's shaded gap), which :class:`LoginTelemetry`
+reproduces when dumps are collected too far apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.ipaddr import IPv4Address
+from repro.util.timeutil import DAY, SimInstant
+
+
+class LoginMethod(enum.Enum):
+    """Access protocol used for a successful login."""
+
+    IMAP = "IMAP"
+    POP3 = "POP3"
+    WEBMAIL = "WEB"
+    SMTP = "SMTP"
+    ACTIVESYNC = "ACTIVESYNC"
+
+
+@dataclass(frozen=True)
+class LoginEvent:
+    """One successful login to a provider account."""
+
+    local_part: str
+    time: SimInstant
+    ip: IPv4Address
+    method: LoginMethod
+
+    def anonymized(self) -> tuple[str, SimInstant, str, str]:
+        """The released-data granularity (§7.4): day, /24, method."""
+        day = self.time - (self.time % DAY)
+        return (self.local_part, day, str(self.ip.slash24()), self.method.value)
+
+
+class LoginTelemetry:
+    """Append-only login log with bounded retention."""
+
+    def __init__(self, retention_days: int = 60):
+        if retention_days < 1:
+            raise ValueError("retention must be at least one day")
+        self.retention_days = retention_days
+        self._events: list[LoginEvent] = []
+        self._last_collected: SimInstant | None = None
+        self._lost_windows: list[tuple[SimInstant, SimInstant]] = []
+
+    def record(self, event: LoginEvent) -> None:
+        """Record one successful login (events arrive in time order)."""
+        if self._events and event.time < self._events[-1].time:
+            raise ValueError("login events must be recorded in time order")
+        self._events.append(event)
+
+    def _retained_since(self, now: SimInstant) -> SimInstant:
+        return now - self.retention_days * DAY
+
+    def collect_dump(self, now: SimInstant) -> list[LoginEvent]:
+        """Export all retained events not included in a previous dump.
+
+        If the previous collection was more than ``retention_days`` ago,
+        the uncovered interval is *lost* — recorded in
+        :meth:`lost_windows` and absent from every future dump.
+        """
+        horizon = self._retained_since(now)
+        since = self._last_collected if self._last_collected is not None else 0
+        if since < horizon:
+            if any(since < e.time <= horizon for e in self._events):
+                self._lost_windows.append((since, horizon))
+            since = horizon
+        dump = [e for e in self._events if since < e.time <= now]
+        self._last_collected = now
+        return dump
+
+    def lost_windows(self) -> list[tuple[SimInstant, SimInstant]]:
+        """Intervals whose events expired before any dump covered them."""
+        return list(self._lost_windows)
+
+    def all_events_ground_truth(self) -> list[LoginEvent]:
+        """Every event ever recorded — simulation ground truth only.
+
+        The measurement side must never read this; it exists so tests
+        and analyses can compare what Tripwire saw against what
+        actually happened (e.g. logins inside the retention gap).
+        """
+        return list(self._events)

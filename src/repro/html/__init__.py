@@ -1,0 +1,39 @@
+"""HTML/DOM substrate.
+
+The paper's crawler drives PhantomJS (a headless WebKit browser) over
+real pages.  This package supplies the offline equivalent: simulated
+sites *render genuine HTML text*, and the crawler parses it back into a
+DOM and applies its heuristics to elements, attributes and visible text
+— the same shape of computation, minus JavaScript execution (which the
+paper's crawler also could not meaningfully rely on for multi-stage
+forms; see Section 7.2).
+
+- :mod:`repro.html.dom` — element tree with query helpers.
+- :mod:`repro.html.parser` — tolerant tokenizer/parser for HTML text.
+- :mod:`repro.html.forms` — form-field extraction and serialization.
+- :mod:`repro.html.builder` — programmatic page construction.
+- :mod:`repro.html.browser` — a minimal headless browser over the
+  simulated transport.
+"""
+
+from repro.html.dom import Element, TextNode, Node
+from repro.html.parser import parse_html
+from repro.html.builder import el, text, page_skeleton
+from repro.html.forms import FormField, FormModel, extract_form_model
+from repro.html.browser import Browser, Page, BrowserError
+
+__all__ = [
+    "Element",
+    "TextNode",
+    "Node",
+    "parse_html",
+    "el",
+    "text",
+    "page_skeleton",
+    "FormField",
+    "FormModel",
+    "extract_form_model",
+    "Browser",
+    "Page",
+    "BrowserError",
+]

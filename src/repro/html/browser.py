@@ -1,0 +1,110 @@
+"""A minimal headless browser over the simulated transport.
+
+Stands in for PhantomJS (Section 4.3.1): it loads URLs, parses the
+returned HTML into a DOM, resolves relative links, and submits forms
+with proper serialization.  The crawler drives it exactly as the paper's
+crawler drove PhantomJS — load, inspect DOM, click, fill, submit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from urllib.parse import urljoin
+
+from repro.html.dom import Element
+from repro.html.forms import FormModel, extract_form_model
+from repro.html.parser import parse_html
+from repro.net.ipaddr import IPv4Address
+from repro.net.transport import HttpResponse, Transport, TransportError
+
+
+class BrowserError(Exception):
+    """A page could not be loaded or interacted with."""
+
+
+@dataclass
+class Page:
+    """A loaded page: its DOM plus the URL it ended up at."""
+
+    url: str
+    status: int
+    dom: Element
+
+    @property
+    def ok(self) -> bool:
+        """Whether the load returned a 2xx status."""
+        return 200 <= self.status < 300
+
+    def links(self) -> list[tuple[str, str]]:
+        """All anchors as ``(absolute_href, anchor_text)`` pairs."""
+        found = []
+        for anchor in self.dom.find_all("a"):
+            href = anchor.get("href")
+            if not href or href.startswith(("#", "javascript:", "mailto:")):
+                continue
+            found.append((urljoin(self.url, href), anchor.text_content()))
+        return found
+
+    def forms(self) -> list[FormModel]:
+        """All forms on the page as filled-out-able models."""
+        return [
+            extract_form_model(self.dom, form, base_url=self.url)
+            for form in self.dom.find_all("form")
+        ]
+
+    def visible_text(self) -> str:
+        """The page's whitespace-normalized text content."""
+        return self.dom.text_content()
+
+    @property
+    def title(self) -> str:
+        """The document title (empty when absent)."""
+        title = self.dom.find_first("title")
+        return title.text_content() if title else ""
+
+
+class Browser:
+    """Loads pages and submits forms through a :class:`Transport`."""
+
+    def __init__(self, transport: Transport, client_ip: IPv4Address | None = None):
+        self._transport = transport
+        self.client_ip = client_ip
+        self.current_page: Page | None = None
+
+    @property
+    def transport(self) -> Transport:
+        """The underlying transport."""
+        return self._transport
+
+    def load(self, url: str) -> Page:
+        """GET a URL, parse it, and make it the current page."""
+        try:
+            response = self._transport.get(url, client_ip=self.client_ip)
+        except TransportError as exc:
+            raise BrowserError(f"failed to load {url!r}: {exc}") from exc
+        return self._absorb(response, url)
+
+    def submit_form(self, form: FormModel, values: dict[str, str]) -> Page:
+        """Serialize and submit a form, returning the landing page."""
+        if self.current_page is None:
+            raise BrowserError("no current page to submit from")
+        payload = form.serialize(values)
+        action = urljoin(self.current_page.url, form.action or self.current_page.url)
+        try:
+            if form.method == "post":
+                response = self._transport.post(action, payload, client_ip=self.client_ip)
+            else:
+                query = "&".join(f"{k}={v}" for k, v in payload.items())
+                joiner = "&" if "?" in action else "?"
+                target = f"{action}{joiner}{query}" if query else action
+                response = self._transport.get(target, client_ip=self.client_ip)
+        except TransportError as exc:
+            raise BrowserError(f"failed to submit to {action!r}: {exc}") from exc
+        return self._absorb(response, action)
+
+    def _absorb(self, response: HttpResponse, requested_url: str) -> Page:
+        final_url = response.final_url or requested_url
+        dom = parse_html(response.body or "")
+        page = Page(url=final_url, status=response.status, dom=dom)
+        self.current_page = page
+        return page

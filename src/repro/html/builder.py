@@ -1,0 +1,37 @@
+"""Programmatic HTML construction used by the simulated websites."""
+
+from __future__ import annotations
+
+from repro.html.dom import Element, Node, TextNode
+
+
+def el(tag: str, attrs: dict[str, str] | None = None, *children: "Node | str") -> Element:
+    """Create an element with attributes and children in one call."""
+    element = Element(tag, attrs)
+    for child in children:
+        element.append(child)
+    return element
+
+
+def text(content: str) -> TextNode:
+    """Create a text node."""
+    return TextNode(content)
+
+
+def page_skeleton(title: str, lang: str = "en") -> tuple[Element, Element]:
+    """Build an ``html`` root with head/title and an empty body.
+
+    Returns ``(root, body)`` so callers can populate the body directly.
+    """
+    root = Element("html", {"lang": lang})
+    head = el("head", None, el("title", None, title))
+    head.append(el("meta", {"charset": "utf-8"}))
+    body = Element("body")
+    root.append(head)
+    root.append(body)
+    return root, body
+
+
+def render_document(root: Element) -> str:
+    """Serialize a full document with doctype."""
+    return "<!DOCTYPE html>\n" + root.to_html()

@@ -1,0 +1,35 @@
+"""Tripwire identities (Section 4.1).
+
+Each honey account is backed by a fictitious identity: full name, US
+address, phone number, date of birth, employer, a plausible username of
+the form ``AdjectiveNoun####`` and exactly one password (easy or hard)
+shared between the email account and the website registration — the
+password-reuse bait at the heart of the technique.
+"""
+
+from repro.identity.passwords import (
+    PasswordClass,
+    classify_password,
+    generate_easy_password,
+    generate_hard_password,
+    is_valid_easy_password,
+    is_valid_hard_password,
+)
+from repro.identity.records import Identity, PostalAddress
+from repro.identity.generator import IdentityFactory
+from repro.identity.pool import IdentityPool, IdentityState, BurnedIdentityError
+
+__all__ = [
+    "PasswordClass",
+    "generate_easy_password",
+    "generate_hard_password",
+    "classify_password",
+    "is_valid_easy_password",
+    "is_valid_hard_password",
+    "Identity",
+    "PostalAddress",
+    "IdentityFactory",
+    "IdentityPool",
+    "IdentityState",
+    "BurnedIdentityError",
+]

@@ -1,0 +1,99 @@
+"""Password classes and generators (Section 4.1.2).
+
+Two deliberate strengths distinguish compromise modes:
+
+- **easy** — an eight-character string: one seven-letter dictionary word
+  with its first letter capitalized, followed by one digit
+  (``Website1``).  Trivially recovered by a dictionary attack against
+  hashed password databases.
+- **hard** — a random ten-character mixed-case alphanumeric string
+  (``i5Nss87yf3``).  Practically immune to brute force, so any access
+  to a hard-password account implies plaintext storage, a reversible
+  hash, or online credential capture.
+
+Neither class uses special characters: few sites require them and some
+reject them, and avoiding them lets the crawler ignore per-site password
+policy (the paper's simplification, which we reproduce).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import string
+
+from repro.data.words import DICTIONARY_WORDS
+
+HARD_PASSWORD_LENGTH = 10
+EASY_PASSWORD_LENGTH = 8
+
+_ALPHANUMERIC = string.ascii_letters + string.digits
+
+
+class PasswordClass(enum.Enum):
+    """Deliberate password strength of a Tripwire identity."""
+
+    EASY = "easy"
+    HARD = "hard"
+
+
+def generate_hard_password(rng: random.Random) -> str:
+    """A random 10-character mixed-case alphanumeric password.
+
+    Guaranteed to contain at least one lowercase letter, one uppercase
+    letter and one digit so that it passes common complexity policies.
+    """
+    while True:
+        candidate = "".join(rng.choice(_ALPHANUMERIC) for _ in range(HARD_PASSWORD_LENGTH))
+        has_lower = any(c.islower() for c in candidate)
+        has_upper = any(c.isupper() for c in candidate)
+        has_digit = any(c.isdigit() for c in candidate)
+        if has_lower and has_upper and has_digit:
+            return candidate
+
+
+def generate_easy_password(rng: random.Random) -> str:
+    """A capitalized seven-letter dictionary word plus one digit."""
+    word = rng.choice(DICTIONARY_WORDS)
+    return word.capitalize() + str(rng.randrange(10))
+
+
+def is_valid_hard_password(password: str) -> bool:
+    """Whether a string matches the hard-password recipe."""
+    if len(password) != HARD_PASSWORD_LENGTH:
+        return False
+    if not all(c in _ALPHANUMERIC for c in password):
+        return False
+    return (
+        any(c.islower() for c in password)
+        and any(c.isupper() for c in password)
+        and any(c.isdigit() for c in password)
+    )
+
+
+def is_valid_easy_password(password: str) -> bool:
+    """Whether a string matches the easy-password recipe."""
+    if len(password) != EASY_PASSWORD_LENGTH:
+        return False
+    word, digit = password[:7], password[7]
+    if not digit.isdigit():
+        return False
+    return word.lower() in DICTIONARY_WORDS and word[0].isupper() and word[1:].islower()
+
+
+def classify_password(password: str) -> PasswordClass | None:
+    """Classify a password string, or None if it matches neither recipe."""
+    if is_valid_easy_password(password):
+        return PasswordClass.EASY
+    if is_valid_hard_password(password):
+        return PasswordClass.HARD
+    return None
+
+
+def dictionary_for_cracking() -> tuple[str, ...]:
+    """The word list an attacker's dictionary attack would include.
+
+    Attackers mangle common dictionaries with capitalization and digit
+    suffixes — exactly the transformation that recovers easy passwords.
+    """
+    return DICTIONARY_WORDS

@@ -1,0 +1,101 @@
+"""Identity record types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.identity.passwords import PasswordClass
+from repro.util.timeutil import SimInstant
+
+#: Sites frequently cap username length; Tripwire uses the first 14
+#: characters of the email local-part as the site username (§4.1.1).
+SITE_USERNAME_MAX = 14
+
+
+@dataclass(frozen=True)
+class PostalAddress:
+    """A syntactically valid (if not necessarily extant) US address."""
+
+    street: str
+    city: str
+    state: str
+    zip_code: str
+
+    def one_line(self) -> str:
+        """Single-line rendering for address form fields."""
+        return f"{self.street}, {self.city}, {self.state} {self.zip_code}"
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A complete fictitious identity.
+
+    The email local-part doubles as the username base; the password is
+    shared verbatim between the email account and any site registration
+    made with this identity — that sharing *is* the tripwire.
+    """
+
+    identity_id: int
+    first_name: str
+    last_name: str
+    gender: str
+    date_of_birth: SimInstant
+    address: PostalAddress
+    phone: str
+    employer: str
+    email_local: str
+    email_domain: str
+    password: str
+    password_class: PasswordClass
+
+    @property
+    def full_name(self) -> str:
+        """First plus last name."""
+        return f"{self.first_name} {self.last_name}"
+
+    @property
+    def email_address(self) -> str:
+        """The provider email address, e.g. ``ArguableGem8317@bigmail.example``."""
+        return f"{self.email_local}@{self.email_domain}"
+
+    @property
+    def site_username(self) -> str:
+        """Username for sites requiring one distinct from the email.
+
+        The first 14 characters of the local-part, per Section 4.1.1.
+        """
+        return self.email_local[:SITE_USERNAME_MAX]
+
+    def form_value_for(self, meaning: str) -> str | None:
+        """The value this identity supplies for a semantic field meaning.
+
+        ``meaning`` is one of the crawler's field-classifier categories
+        (see :mod:`repro.crawler.fields`).  Returns None for meanings an
+        identity cannot satisfy (e.g. credit card numbers).
+        """
+        from repro.util.timeutil import instant_to_datetime
+
+        dob = instant_to_datetime(self.date_of_birth)
+        mapping: dict[str, str] = {
+            "email": self.email_address,
+            "email_confirm": self.email_address,
+            "password": self.password,
+            "password_confirm": self.password,
+            "username": self.site_username,
+            "first_name": self.first_name,
+            "last_name": self.last_name,
+            "full_name": self.full_name,
+            "phone": self.phone,
+            "address": self.address.one_line(),
+            "street": self.address.street,
+            "city": self.address.city,
+            "state": self.address.state,
+            "zip": self.address.zip_code,
+            "birth_year": str(dob.year),
+            "birth_month": str(dob.month),
+            "birth_day": str(dob.day),
+            "birthdate": dob.strftime("%m/%d/%Y"),
+            "employer": self.employer,
+            "gender": self.gender,
+        }
+        return mapping.get(meaning)

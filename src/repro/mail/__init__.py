@@ -1,0 +1,21 @@
+"""Email message types, forwarding hop and the Tripwire mail server.
+
+The partner provider forwards every message received by a honey account
+to addresses at domains under the researchers' control, hosted by a
+third-party mail provider, which forwards again to the Tripwire mail
+server (Section 4.2).  The mail server stores everything, recognizes
+account-verification messages and fetches their confirmation links
+(Section 4.3.3).
+"""
+
+from repro.mail.messages import EmailMessage, MessageKind
+from repro.mail.forwarding import ForwardingHop
+from repro.mail.server import TripwireMailServer, VerificationOutcome
+
+__all__ = [
+    "EmailMessage",
+    "MessageKind",
+    "ForwardingHop",
+    "TripwireMailServer",
+    "VerificationOutcome",
+]

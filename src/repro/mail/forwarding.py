@@ -1,0 +1,63 @@
+"""The third-party forwarding hop (Section 4.2).
+
+Forwarding addresses visible in the provider's web UI live at a small
+number of unremarkable domains under the researchers' control, hosted
+by a third-party mail provider; that provider forwards on to the actual
+Tripwire mail server.  The hop hides the final destination from anyone
+inspecting a compromised account's settings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mail.messages import EmailMessage
+
+
+class ForwardingHop:
+    """Relays messages addressed to the cover domains."""
+
+    def __init__(self, cover_domains: list[str], deliver: Callable[[EmailMessage], None]):
+        if not cover_domains:
+            raise ValueError("at least one cover domain is required")
+        self._domains = {d.lower() for d in cover_domains}
+        self._deliver = deliver
+        self._relayed = 0
+        self._rejected = 0
+
+    @property
+    def cover_domains(self) -> set[str]:
+        """Domains this hop accepts mail for."""
+        return set(self._domains)
+
+    def address_for(self, local_part: str, index: int = 0) -> str:
+        """The forwarding address advertised for an account.
+
+        Accounts are spread across the cover domains deterministically.
+        """
+        domains = sorted(self._domains)
+        domain = domains[index % len(domains)]
+        return f"{local_part}@{domain}"
+
+    def accepts(self, address: str) -> bool:
+        """Whether an address belongs to a cover domain."""
+        _local, _, domain = address.partition("@")
+        return domain.lower() in self._domains
+
+    def __call__(self, message: EmailMessage) -> None:
+        """Relay a message; silently drops mail for foreign domains."""
+        if not self.accepts(message.recipient):
+            self._rejected += 1
+            return
+        self._relayed += 1
+        self._deliver(message)
+
+    @property
+    def relayed_count(self) -> int:
+        """Messages successfully relayed."""
+        return self._relayed
+
+    @property
+    def rejected_count(self) -> int:
+        """Messages dropped for not matching a cover domain."""
+        return self._rejected

@@ -1,0 +1,71 @@
+"""Email message modeling."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.util.timeutil import SimInstant
+
+_URL_RE = re.compile(r"https?://[^\s\"'<>]+")
+
+
+class MessageKind(enum.Enum):
+    """Coarse classification used by the mail-handling pipeline."""
+
+    VERIFICATION = "verification"  # contains an account-confirmation link
+    WELCOME = "welcome"  # registration-related but no link to click
+    NEWSLETTER = "newsletter"
+    SPAM = "spam"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class EmailMessage:
+    """An email in flight or at rest."""
+
+    sender: str
+    recipient: str
+    subject: str
+    body: str
+    time: SimInstant
+    kind: MessageKind = MessageKind.OTHER
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def urls(self) -> list[str]:
+        """All URLs found in the body."""
+        return _URL_RE.findall(self.body)
+
+    def with_recipient(self, recipient: str) -> "EmailMessage":
+        """Copy of this message re-addressed (used by forwarding hops)."""
+        return EmailMessage(
+            sender=self.sender,
+            recipient=recipient,
+            subject=self.subject,
+            body=self.body,
+            time=self.time,
+            kind=self.kind,
+            headers=dict(self.headers),
+        )
+
+
+#: Subject/body cues that mark a message as an account-verification
+#: message.  Mirrors the paper's mail-server heuristics (§4.3.3).
+VERIFICATION_CUES = (
+    "verify", "verification", "confirm", "confirmation", "activate",
+    "activation", "validate",
+)
+
+
+def looks_like_verification(message: EmailMessage) -> bool:
+    """Heuristic: does this message ask to confirm an account?"""
+    haystack = f"{message.subject} {message.body}".lower()
+    return any(cue in haystack for cue in VERIFICATION_CUES) and bool(message.urls())
+
+
+def looks_like_registration_related(message: EmailMessage) -> bool:
+    """Heuristic: is this message plausibly tied to a registration?"""
+    haystack = f"{message.subject} {message.body}".lower()
+    cues = ("welcome", "account", "registration", "sign up", "signed up", "thanks for joining")
+    return any(cue in haystack for cue in cues)

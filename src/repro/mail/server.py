@@ -1,0 +1,148 @@
+"""The Tripwire mail server (Section 4.3.3).
+
+Retains a copy of every message received, classifies each incoming
+message, and — when a message is associated with a recently-registered
+account and contains a validation link — loads the verification page
+and saves it for debugging.  The link-clicking step can fail (the paper
+missed one breach because verification was never completed, §6.2.2);
+the failure rate is configurable.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.mail.messages import (
+    EmailMessage,
+    MessageKind,
+    looks_like_registration_related,
+    looks_like_verification,
+)
+from repro.net.transport import Transport, TransportError
+from repro.util.timeutil import DAY, SimInstant
+
+
+class VerificationOutcome(enum.Enum):
+    """Result of acting on a detected verification message."""
+
+    CLICKED = "clicked"
+    FETCH_FAILED = "fetch_failed"
+    NO_LINK = "no_link"
+    NOT_EXPECTED = "not_expected"  # no recent registration for the account
+    SKIPPED = "skipped"  # random click-failure (missed-verification mode)
+
+
+@dataclass(frozen=True)
+class StoredMessage:
+    """A message at rest, with its classification."""
+
+    message: EmailMessage
+    classified_kind: MessageKind
+    verification: VerificationOutcome | None
+
+
+class TripwireMailServer:
+    """Store-and-process endpoint for all forwarded honey-account mail."""
+
+    #: A verification message only counts toward a registration made in
+    #: the preceding window; later mail is just "email received".
+    EXPECTATION_WINDOW = 14 * DAY
+
+    def __init__(
+        self,
+        transport: Transport,
+        rng: random.Random,
+        verification_click_failure_rate: float = 0.01,
+    ):
+        if not 0.0 <= verification_click_failure_rate <= 1.0:
+            raise ValueError("failure rate must be a probability")
+        self._transport = transport
+        self._rng = rng
+        self._click_failure_rate = verification_click_failure_rate
+        self._stored: list[StoredMessage] = []
+        self._by_local: dict[str, list[StoredMessage]] = {}
+        self._expected: dict[str, tuple[str, SimInstant]] = {}  # local -> (site, time)
+        self._saved_pages: list[tuple[str, str]] = []  # (url, body) for debugging
+
+    # -- registration expectations -------------------------------------------
+
+    def expect_registration(self, email_local: str, site_host: str, time: SimInstant) -> None:
+        """Note that an account was just used to register at a site."""
+        self._expected[email_local.lower()] = (site_host.lower(), time)
+
+    # -- delivery --------------------------------------------------------------
+
+    def receive(self, message: EmailMessage) -> StoredMessage:
+        """Store, classify and (for verifications) act on one message."""
+        local = message.recipient.partition("@")[0].lower()
+        kind = self._classify(message)
+        verification: VerificationOutcome | None = None
+        if kind is MessageKind.VERIFICATION:
+            verification = self._handle_verification(local, message)
+        stored = StoredMessage(message=message, classified_kind=kind, verification=verification)
+        self._stored.append(stored)
+        self._by_local.setdefault(local, []).append(stored)
+        return stored
+
+    def _classify(self, message: EmailMessage) -> MessageKind:
+        if looks_like_verification(message):
+            return MessageKind.VERIFICATION
+        if message.kind in (MessageKind.SPAM, MessageKind.NEWSLETTER):
+            return message.kind
+        if looks_like_registration_related(message):
+            return MessageKind.WELCOME
+        return message.kind
+
+    def _handle_verification(self, local: str, message: EmailMessage) -> VerificationOutcome:
+        expectation = self._expected.get(local)
+        if expectation is None or message.time - expectation[1] > self.EXPECTATION_WINDOW:
+            return VerificationOutcome.NOT_EXPECTED
+        urls = message.urls()
+        if not urls:
+            return VerificationOutcome.NO_LINK
+        if self._rng.random() < self._click_failure_rate:
+            return VerificationOutcome.SKIPPED
+        try:
+            response = self._transport.get(urls[0])
+        except TransportError:
+            return VerificationOutcome.FETCH_FAILED
+        self._saved_pages.append((urls[0], response.body))
+        return VerificationOutcome.CLICKED
+
+    # -- queries ----------------------------------------------------------------
+
+    def messages_for(self, email_local: str) -> list[StoredMessage]:
+        """Every stored message for one account, oldest first."""
+        return list(self._by_local.get(email_local.lower(), []))
+
+    def received_any(self, email_local: str, since: SimInstant = 0) -> bool:
+        """Whether the account received any mail at or after ``since``."""
+        return any(s.message.time >= since for s in self.messages_for(email_local))
+
+    def verification_state(self, email_local: str, since: SimInstant = 0) -> VerificationOutcome | None:
+        """Best verification outcome for an account since ``since``.
+
+        ``CLICKED`` dominates; otherwise the first non-None outcome.
+        """
+        outcomes = [
+            s.verification
+            for s in self.messages_for(email_local)
+            if s.verification is not None and s.message.time >= since
+        ]
+        if not outcomes:
+            return None
+        if VerificationOutcome.CLICKED in outcomes:
+            return VerificationOutcome.CLICKED
+        return outcomes[0]
+
+    @property
+    def stored_count(self) -> int:
+        """Total messages retained."""
+        return len(self._stored)
+
+    @property
+    def saved_pages(self) -> list[tuple[str, str]]:
+        """Fetched verification pages, for debugging parity with the paper."""
+        return list(self._saved_pages)

@@ -1,0 +1,38 @@
+"""Simulated internet substrate.
+
+Tripwire's measurement runs against the real internet; this package
+provides the synthetic equivalent: IPv4 addressing and allocation
+(:mod:`repro.net.ipaddr`), a WHOIS registry with per-block ownership and
+country data (:mod:`repro.net.whois`), DNS with A/MX/PTR records
+(:mod:`repro.net.dns`), a synchronous HTTP transport connecting clients
+to site handlers (:mod:`repro.net.transport`) and the proxy pools used
+by both the crawler and the attacker botnet (:mod:`repro.net.proxies`).
+"""
+
+from repro.net.ipaddr import IPv4Address, CidrBlock
+from repro.net.whois import WhoisRecord, WhoisRegistry, HostKind
+from repro.net.dns import DnsResolver, DnsZone
+from repro.net.transport import (
+    HttpRequest,
+    HttpResponse,
+    Transport,
+    TransportError,
+    HostUnreachable,
+)
+from repro.net.proxies import ResearchProxyPool
+
+__all__ = [
+    "IPv4Address",
+    "CidrBlock",
+    "WhoisRecord",
+    "WhoisRegistry",
+    "HostKind",
+    "DnsResolver",
+    "DnsZone",
+    "HttpRequest",
+    "HttpResponse",
+    "Transport",
+    "TransportError",
+    "HostUnreachable",
+    "ResearchProxyPool",
+]

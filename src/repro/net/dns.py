@@ -1,0 +1,96 @@
+"""A small DNS implementation: zones with A/MX/PTR records.
+
+Two paper behaviors depend on DNS being real rather than assumed:
+
+- disclosure to site J failed because the domain *had no MX record*
+  (Section 6.3.2) — the notifier must consult MX records before sending;
+- the attacker-IP analysis cross-checks WHOIS against reverse DNS
+  (Section 6.4.3, footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.ipaddr import IPv4Address
+
+
+class DnsError(Exception):
+    """Base class for resolution failures."""
+
+
+class NxDomain(DnsError):
+    """The name does not exist."""
+
+
+@dataclass
+class DnsZone:
+    """Records for one domain name."""
+
+    name: str
+    a_records: list[IPv4Address] = field(default_factory=list)
+    mx_records: list[tuple[int, str]] = field(default_factory=list)  # (preference, host)
+    txt_records: list[str] = field(default_factory=list)
+
+    def add_a(self, address: IPv4Address) -> None:
+        """Attach an A record."""
+        self.a_records.append(address)
+
+    def add_mx(self, host: str, preference: int = 10) -> None:
+        """Attach an MX record."""
+        self.mx_records.append((preference, host))
+        self.mx_records.sort()
+
+
+class DnsResolver:
+    """Resolves names to addresses and addresses back to names."""
+
+    def __init__(self) -> None:
+        self._zones: dict[str, DnsZone] = {}
+        self._ptr: dict[IPv4Address, str] = {}
+
+    def zone(self, name: str) -> DnsZone:
+        """Get or create the zone for ``name`` (lowercased)."""
+        key = name.lower()
+        if key not in self._zones:
+            self._zones[key] = DnsZone(key)
+        return self._zones[key]
+
+    def has_zone(self, name: str) -> bool:
+        """Whether any records exist for ``name``."""
+        return name.lower() in self._zones
+
+    def register_host(self, name: str, address: IPv4Address, ptr: bool = True) -> DnsZone:
+        """Convenience: create a zone with one A record (and PTR)."""
+        zone = self.zone(name)
+        zone.add_a(address)
+        if ptr:
+            self._ptr[address] = name.lower()
+        return zone
+
+    def resolve_a(self, name: str) -> list[IPv4Address]:
+        """All A records for a name; raises :class:`NxDomain` if absent."""
+        zone = self._zones.get(name.lower())
+        if zone is None:
+            raise NxDomain(name)
+        return list(zone.a_records)
+
+    def resolve_mx(self, name: str) -> list[str]:
+        """MX target hosts in preference order; empty if none.
+
+        Raises :class:`NxDomain` only when the name itself is unknown —
+        a known name with no MX returns ``[]``, which is the condition
+        that made site J unreachable for disclosure.
+        """
+        zone = self._zones.get(name.lower())
+        if zone is None:
+            raise NxDomain(name)
+        return [host for _pref, host in zone.mx_records]
+
+    def resolve_ptr(self, address: IPv4Address) -> str | None:
+        """Reverse lookup; None when no PTR exists."""
+        return self._ptr.get(address)
+
+    def set_ptr(self, address: IPv4Address, name: str) -> None:
+        """Install or overwrite a PTR record."""
+        self._ptr[address] = name.lower()

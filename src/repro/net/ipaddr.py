@@ -1,0 +1,130 @@
+"""Minimal IPv4 address and CIDR block modeling.
+
+Addresses are immutable value objects wrapping a 32-bit integer.  The
+paper's released dataset anonymizes attacker IPs to their /24, and the
+analysis code relies on :meth:`IPv4Address.slash24` for the same
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+@total_ordering
+class IPv4Address:
+    """An IPv4 address as an immutable 32-bit value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value <= _MAX_IPV4:
+            raise ValueError(f"IPv4 value out of range: {value!r}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, e.g. ``"192.0.2.1"``."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+                raise ValueError(f"bad octet {part!r} in {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        """The 32-bit integer value."""
+        return self._value
+
+    def octets(self) -> tuple[int, int, int, int]:
+        """The four octets, most significant first."""
+        v = self._value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def slash24(self) -> "CidrBlock":
+        """The /24 containing this address (used for anonymized export)."""
+        return CidrBlock(IPv4Address(self._value & 0xFFFFFF00), 24)
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets())
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value == other._value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self._value + offset)
+
+
+@dataclass(frozen=True)
+class CidrBlock:
+    """A CIDR block ``network/prefix_len``."""
+
+    network: IPv4Address
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"bad prefix length {self.prefix_len}")
+        if self.network.value & (self.host_mask()) != 0:
+            raise ValueError(f"network {self.network} has host bits set for /{self.prefix_len}")
+
+    @classmethod
+    def parse(cls, text: str) -> "CidrBlock":
+        """Parse ``"a.b.c.d/len"`` notation."""
+        addr_text, _, len_text = text.partition("/")
+        if not len_text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(IPv4Address.parse(addr_text), int(len_text))
+
+    def net_mask(self) -> int:
+        """The network mask as a 32-bit integer."""
+        if self.prefix_len == 0:
+            return 0
+        return (_MAX_IPV4 << (32 - self.prefix_len)) & _MAX_IPV4
+
+    def host_mask(self) -> int:
+        """The host mask (complement of the network mask)."""
+        return _MAX_IPV4 ^ self.net_mask()
+
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.prefix_len)
+
+    def contains(self, address: IPv4Address) -> bool:
+        """Whether ``address`` falls inside this block."""
+        return (address.value & self.net_mask()) == self.network.value
+
+    def address_at(self, offset: int) -> IPv4Address:
+        """The address at ``offset`` within the block."""
+        if not 0 <= offset < self.size():
+            raise ValueError(f"offset {offset} outside /{self.prefix_len} block")
+        return IPv4Address(self.network.value + offset)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+    def __contains__(self, address: object) -> bool:
+        return isinstance(address, IPv4Address) and self.contains(address)

@@ -1,0 +1,78 @@
+"""Proxy pools.
+
+The Tripwire crawler routes registrations through a small network of
+research web proxies so that *websites receive at most one account
+registration from a given IP* (Section 4.3.2).  The pool enforces that
+invariant: asking for a proxy for the same (site, attempt) pair is
+stable, and no IP is ever handed to the same site twice.
+
+Attacker botnet proxies live in :mod:`repro.attacker.botnet`; this module
+only covers infrastructure the measurement side controls.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.ipaddr import IPv4Address
+from repro.net.whois import HostKind, WhoisRecord, WhoisRegistry
+
+
+class ProxyPoolExhausted(RuntimeError):
+    """Every proxy IP has already been used against the site."""
+
+
+class ResearchProxyPool:
+    """Institution-owned proxies with one-IP-per-site semantics."""
+
+    def __init__(
+        self,
+        registry: WhoisRegistry,
+        rng: random.Random,
+        institution: str = "UCSD Systems and Networking",
+        country: str = "US",
+        pool_size: int = 64,
+    ):
+        if pool_size < 1:
+            raise ValueError("pool_size must be positive")
+        prefix_len = 32 - max(2, (pool_size - 1).bit_length())
+        self._allocation: WhoisRecord = registry.allocate_block(
+            prefix_len, institution, country, HostKind.INSTITUTION
+        )
+        block = self._allocation.block
+        offsets = rng.sample(range(block.size()), pool_size)
+        self._addresses: list[IPv4Address] = [block.address_at(o) for o in offsets]
+        self._used_by_site: dict[str, set[IPv4Address]] = {}
+        self._rng = rng
+
+    @property
+    def allocation(self) -> WhoisRecord:
+        """The WHOIS record covering the pool (names the institution)."""
+        return self._allocation
+
+    @property
+    def addresses(self) -> list[IPv4Address]:
+        """All proxy addresses in the pool."""
+        return list(self._addresses)
+
+    def acquire_for_site(self, site_host: str) -> IPv4Address:
+        """Return a proxy IP never before used against ``site_host``.
+
+        Raises :class:`ProxyPoolExhausted` when every pool IP has
+        already contacted the site.
+        """
+        used = self._used_by_site.setdefault(site_host.lower(), set())
+        candidates = [ip for ip in self._addresses if ip not in used]
+        if not candidates:
+            raise ProxyPoolExhausted(site_host)
+        choice = self._rng.choice(candidates)
+        used.add(choice)
+        return choice
+
+    def uses_for_site(self, site_host: str) -> int:
+        """How many distinct pool IPs have contacted the site."""
+        return len(self._used_by_site.get(site_host.lower(), set()))
+
+    def owns(self, address: IPv4Address) -> bool:
+        """Whether the address belongs to this pool."""
+        return address in set(self._addresses)

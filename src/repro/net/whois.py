@@ -1,0 +1,110 @@
+"""A simulated WHOIS registry.
+
+The registry hands out CIDR blocks to organizations and answers reverse
+lookups.  Section 6.4.3 of the paper geolocates attacker IPs via WHOIS
+and classifies them as residential vs datacenter; :class:`HostKind`
+captures that distinction.  The research proxy pool is registered under
+the institution's name, matching the paper's transparency stance
+("WHOIS records clearly state our institution name", Section 4.3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.ipaddr import CidrBlock, IPv4Address
+
+
+class HostKind(enum.Enum):
+    """Coarse classification of an address block's typical hosts."""
+
+    RESIDENTIAL = "residential"
+    DATACENTER = "datacenter"
+    INSTITUTION = "institution"
+    MOBILE = "mobile"
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """Ownership record for one allocated block."""
+
+    block: CidrBlock
+    organization: str
+    country: str
+    kind: HostKind
+
+    def describe(self) -> str:
+        """One-line WHOIS summary."""
+        return f"{self.block}  {self.organization} ({self.country}, {self.kind.value})"
+
+
+class AddressSpaceExhausted(RuntimeError):
+    """No room left in the simulated address space."""
+
+
+class WhoisRegistry:
+    """Allocates address blocks and answers WHOIS lookups.
+
+    Allocation is strictly sequential inside a private super-block per
+    registry, so two registries never hand out overlapping space unless
+    constructed with the same base.
+    """
+
+    #: Default super-block carved up by :meth:`allocate_block`.  We use
+    #: the reserved 10.0.0.0/8 analogue shifted into "public" space so
+    #: simulated addresses look like real internet addresses.
+    DEFAULT_BASE = "25.0.0.0/8"
+
+    def __init__(self, base: str | CidrBlock = DEFAULT_BASE):
+        self._base = CidrBlock.parse(base) if isinstance(base, str) else base
+        self._next_offset = 0
+        self._records: list[WhoisRecord] = []
+
+    @property
+    def base(self) -> CidrBlock:
+        """The super-block this registry allocates from."""
+        return self._base
+
+    def allocate_block(
+        self, prefix_len: int, organization: str, country: str, kind: HostKind
+    ) -> WhoisRecord:
+        """Allocate the next free block of the given size.
+
+        Blocks are aligned to their own size, as real allocations are.
+        """
+        if prefix_len < self._base.prefix_len or prefix_len > 32:
+            raise ValueError(f"prefix length /{prefix_len} not allocatable from {self._base}")
+        size = 1 << (32 - prefix_len)
+        # Align the offset up to a multiple of the block size.
+        offset = (self._next_offset + size - 1) // size * size
+        if offset + size > self._base.size():
+            raise AddressSpaceExhausted(f"cannot fit /{prefix_len} in {self._base}")
+        network = IPv4Address(self._base.network.value + offset)
+        record = WhoisRecord(CidrBlock(network, prefix_len), organization, country, kind)
+        self._records.append(record)
+        self._next_offset = offset + size
+        return record
+
+    def lookup(self, address: IPv4Address) -> WhoisRecord | None:
+        """Find the allocation covering ``address``, if any."""
+        # Allocations are disjoint, so the first hit is the only hit.
+        for record in self._records:
+            if record.block.contains(address):
+                return record
+        return None
+
+    def records(self) -> Iterator[WhoisRecord]:
+        """Iterate over all allocations in allocation order."""
+        return iter(self._records)
+
+    def country_of(self, address: IPv4Address) -> str | None:
+        """Country code for an address, or None if unallocated."""
+        record = self.lookup(address)
+        return record.country if record else None
+
+    def kind_of(self, address: IPv4Address) -> HostKind | None:
+        """Host kind for an address, or None if unallocated."""
+        record = self.lookup(address)
+        return record.kind if record else None

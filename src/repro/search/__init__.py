@@ -1,0 +1,14 @@
+"""A simulated web search engine.
+
+Section 6.2.2 notes that the paper's crawler could not locate some
+registration pages ("not clearly accessible from the home page", text
+embedded in images) and suggests that "it may be possible to rely on
+search engines to help locate the registration pages."  This package
+implements that extension: a spider that reads site sitemaps, indexes
+page text, and answers registration-page queries the crawler can use
+as a fallback.
+"""
+
+from repro.search.engine import SearchEngine, SearchHit
+
+__all__ = ["SearchEngine", "SearchHit"]

@@ -1,0 +1,145 @@
+"""Sitemap-driven search engine over the simulated web."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.html.parser import parse_html
+from repro.net.transport import Transport, TransportError
+
+_LOC_RE = re.compile(r"<loc>([^<]+)</loc>")
+
+#: Query vocabulary for "where do I sign up on this site?", spanning
+#: the languages the extended crawler may enable.
+REGISTRATION_KEYWORDS = (
+    "sign up", "register", "registration", "create account", "join",
+    "registrieren", "konto", "inscription", "inscrire", "regístrate",
+    "registrarse", "cuenta",
+)
+
+#: Words indicating a page carries a credentials form.
+FORM_SIGNALS = ("password", "passwort", "contraseña", "mot de passe", "senha")
+
+
+@dataclass(frozen=True)
+class IndexedPage:
+    """One page in the index."""
+
+    host: str
+    url: str
+    title: str
+    text: str
+    has_password_field: bool
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A ranked query result."""
+
+    url: str
+    score: float
+    title: str
+
+
+class SearchEngine:
+    """Spiders sitemaps and serves keyword queries.
+
+    The engine crawls independently of the measurement crawler — like a
+    real search engine, it has already seen pages (via sitemaps) that a
+    homepage-only crawl misses.
+    """
+
+    def __init__(self, transport: Transport, max_pages_per_site: int = 8):
+        if max_pages_per_site < 1:
+            raise ValueError("max_pages_per_site must be positive")
+        self._transport = transport
+        self._max_pages = max_pages_per_site
+        self._index: dict[str, list[IndexedPage]] = {}
+        self.pages_indexed = 0
+
+    # -- spidering ------------------------------------------------------------
+
+    def index_site(self, host: str) -> int:
+        """Spider one host via its sitemap; returns pages indexed.
+
+        Idempotent: a host already in the index is not re-spidered.
+        """
+        key = host.lower()
+        if key in self._index:
+            return len(self._index[key])
+        pages: list[IndexedPage] = []
+        self._index[key] = pages
+        urls = self._sitemap_urls(key)
+        for url in urls[: self._max_pages]:
+            page = self._fetch(url)
+            if page is not None:
+                pages.append(page)
+                self.pages_indexed += 1
+        return len(pages)
+
+    def _sitemap_urls(self, host: str) -> list[str]:
+        for scheme in ("http", "https"):
+            try:
+                response = self._transport.get(f"{scheme}://{host}/sitemap.xml")
+            except TransportError:
+                continue
+            if response.ok:
+                return _LOC_RE.findall(response.body)
+        return []
+
+    def _fetch(self, url: str) -> IndexedPage | None:
+        try:
+            response = self._transport.get(url)
+        except TransportError:
+            return None
+        if not response.ok:
+            return None
+        dom = parse_html(response.body)
+        title_node = dom.find_first("title")
+        has_password = any(
+            node.get("type") == "password" for node in dom.find_all("input")
+        )
+        host = url.split("://", 1)[-1].split("/", 1)[0].lower()
+        return IndexedPage(
+            host=host,
+            url=url,
+            title=title_node.text_content() if title_node else "",
+            text=dom.text_content(),
+            has_password_field=has_password,
+        )
+
+    # -- querying --------------------------------------------------------------
+
+    def query(self, keywords: tuple[str, ...], site: str | None = None) -> list[SearchHit]:
+        """Keyword search, optionally scoped to one host (``site:``)."""
+        hits: list[SearchHit] = []
+        hosts = [site.lower()] if site else list(self._index)
+        for host in hosts:
+            for page in self._index.get(host, []):
+                haystack = f"{page.title} {page.text}".lower()
+                score = sum(2.0 for k in keywords if k in haystack)
+                if any(signal in haystack for signal in FORM_SIGNALS):
+                    score += 3.0
+                if page.has_password_field:
+                    score += 5.0
+                if score > 0:
+                    hits.append(SearchHit(url=page.url, score=score, title=page.title))
+        hits.sort(key=lambda h: (-h.score, h.url))
+        return hits
+
+    def find_registration_page(self, host: str) -> str | None:
+        """Best guess at a host's registration page URL, or None.
+
+        Spiders the host on first use, then ranks its pages for
+        registration keywords and credential forms, skipping pure
+        login pages.
+        """
+        self.index_site(host)
+        for hit in self.query(REGISTRATION_KEYWORDS, site=host):
+            path = hit.url.split("://", 1)[-1].partition("/")[2]
+            if path.startswith("login"):
+                continue
+            if hit.score >= 5.0 and path not in ("", "about", "contact"):
+                return hit.url
+        return None

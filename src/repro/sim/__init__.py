@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel: clock and event queue."""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["SimClock", "Event", "EventQueue"]

@@ -1,0 +1,42 @@
+"""The simulation clock.
+
+A single monotonically non-decreasing clock drives the whole world:
+crawler page loads advance it by their rate-limit delay, the event queue
+jumps it to the next scheduled event, and every log entry (registration,
+email, login) is stamped from it.
+"""
+
+from __future__ import annotations
+
+from repro.util.timeutil import STUDY_START, SimInstant, format_instant
+
+
+class ClockMovedBackward(RuntimeError):
+    """An attempt was made to move simulated time backwards."""
+
+
+class SimClock:
+    """Monotonic simulated wall clock."""
+
+    def __init__(self, start: SimInstant = STUDY_START):
+        self._now: SimInstant = start
+
+    def now(self) -> SimInstant:
+        """Current simulated instant."""
+        return self._now
+
+    def advance(self, seconds: int) -> SimInstant:
+        """Move forward by a non-negative number of seconds."""
+        if seconds < 0:
+            raise ClockMovedBackward(f"advance({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, instant: SimInstant) -> SimInstant:
+        """Jump forward to ``instant``; no-op if already past it."""
+        if instant > self._now:
+            self._now = instant
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock({format_instant(self._now, with_time=True)})"

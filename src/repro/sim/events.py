@@ -1,0 +1,92 @@
+"""A priority event queue driving scheduled simulation actions.
+
+Attacker campaigns, provider dump exports and registration batches are
+scheduled as events; :meth:`EventQueue.run_until` pops them in time
+order, jumping the shared clock to each event's instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.clock import SimClock
+from repro.util.timeutil import SimInstant
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled action with a stable tiebreak order."""
+
+    time: SimInstant
+    sequence: int
+    label: str
+    action: Callable[[], None] = field(compare=False)
+
+    def sort_key(self) -> tuple[SimInstant, int]:
+        """Ordering: by time, then insertion order."""
+        return (self.time, self.sequence)
+
+
+class EventQueue:
+    """Min-heap of events sharing one :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._heap: list[tuple[tuple[SimInstant, int], Event]] = []
+        self._counter = itertools.count()
+        self._executed: list[Event] = []
+
+    @property
+    def clock(self) -> SimClock:
+        """The clock this queue advances."""
+        return self._clock
+
+    def schedule(self, time: SimInstant, label: str, action: Callable[[], None]) -> Event:
+        """Add an event; events in the past fire immediately on run."""
+        event = Event(time=time, sequence=next(self._counter), label=label, action=action)
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> SimInstant | None:
+        """Time of the next event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+    def run_until(self, deadline: SimInstant) -> int:
+        """Execute every event scheduled at or before ``deadline``.
+
+        The clock jumps to each event's time (never backwards).  Events
+        scheduled *by* an executing action are honored if they fall
+        within the deadline.  Returns the number of events executed.
+        """
+        executed = 0
+        while self._heap and self._heap[0][1].time <= deadline:
+            _key, event = heapq.heappop(self._heap)
+            self._clock.advance_to(event.time)
+            event.action()
+            self._executed.append(event)
+            executed += 1
+        self._clock.advance_to(deadline)
+        return executed
+
+    def run_all(self) -> int:
+        """Execute every queued event regardless of time."""
+        executed = 0
+        while self._heap:
+            _key, event = heapq.heappop(self._heap)
+            self._clock.advance_to(event.time)
+            event.action()
+            self._executed.append(event)
+            executed += 1
+        return executed
+
+    def executed_events(self) -> list[Event]:
+        """Events already run, in execution order."""
+        return list(self._executed)

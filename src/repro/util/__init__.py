@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG trees, simulated time, text, tables."""
+
+from repro.util.rngtree import RngTree, weighted_choice
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    SimInstant,
+    days_between,
+    format_instant,
+    instant_from_date,
+)
+from repro.util.tables import render_table
+
+__all__ = [
+    "RngTree",
+    "weighted_choice",
+    "SimInstant",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "instant_from_date",
+    "format_instant",
+    "days_between",
+    "render_table",
+]

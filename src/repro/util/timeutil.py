@@ -1,0 +1,74 @@
+"""Simulated time.
+
+The study spans July 2014 through February 2017.  All simulated events
+carry a :class:`SimInstant` — an integer number of seconds since the Unix
+epoch (UTC).  Using plain integers keeps event ordering, arithmetic and
+serialization trivial and avoids timezone pitfalls entirely.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+SimInstant = int
+
+MINUTE: int = 60
+HOUR: int = 60 * MINUTE
+DAY: int = 24 * HOUR
+WEEK: int = 7 * DAY
+
+_EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
+
+
+def instant_from_date(
+    year: int, month: int, day: int, hour: int = 0, minute: int = 0, second: int = 0
+) -> SimInstant:
+    """Build a :class:`SimInstant` from a UTC calendar date."""
+    moment = _dt.datetime(year, month, day, hour, minute, second, tzinfo=_dt.timezone.utc)
+    return int((moment - _EPOCH).total_seconds())
+
+
+def instant_to_datetime(instant: SimInstant) -> _dt.datetime:
+    """Convert an instant back to an aware UTC datetime."""
+    return _EPOCH + _dt.timedelta(seconds=instant)
+
+
+def format_instant(instant: SimInstant, with_time: bool = False) -> str:
+    """Render an instant as ``YYYY-MM-DD`` (optionally with ``HH:MM:SS``)."""
+    moment = instant_to_datetime(instant)
+    if with_time:
+        return moment.strftime("%Y-%m-%d %H:%M:%S")
+    return moment.strftime("%Y-%m-%d")
+
+
+def day_of(instant: SimInstant) -> SimInstant:
+    """Truncate an instant to midnight of its UTC day."""
+    return instant - (instant % DAY)
+
+
+def days_between(start: SimInstant, end: SimInstant) -> int:
+    """Whole calendar days between two instants (end - start).
+
+    Matches the paper's "days until first access" accounting: the
+    difference of the two UTC day numbers, which may be negative when
+    ``end`` precedes ``start``.
+    """
+    return (day_of(end) - day_of(start)) // DAY
+
+
+def month_label(instant: SimInstant) -> str:
+    """Short ``M/YY`` label used on the Figure 2 time axis."""
+    moment = instant_to_datetime(instant)
+    return f"{moment.month}/{moment.strftime('%y')}"
+
+
+# Landmarks of the pilot study (Section 5 / Figure 2).
+STUDY_START: SimInstant = instant_from_date(2014, 7, 1)
+SEED_CRAWL_START: SimInstant = instant_from_date(2014, 12, 1)
+MAIN_CRAWL_START: SimInstant = instant_from_date(2015, 1, 15)
+MAIN_CRAWL_END: SimInstant = instant_from_date(2015, 3, 31)
+TOP30K_CRAWL_START: SimInstant = instant_from_date(2015, 11, 20)
+MANUAL_CRAWL_START: SimInstant = instant_from_date(2016, 5, 10)
+LOG_GAP_START: SimInstant = instant_from_date(2015, 3, 20)
+LOG_GAP_END: SimInstant = instant_from_date(2015, 6, 1)
+STUDY_END: SimInstant = instant_from_date(2017, 2, 1)

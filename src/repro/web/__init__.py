@@ -1,0 +1,38 @@
+"""Simulated website population.
+
+Each simulated site renders real HTML (homepage, registration form,
+response pages, verification landing) through the transport layer, runs
+an account database with a configurable password-storage policy, and
+optionally sends verification/welcome email through the simulated mail
+system.  The generator draws site characteristics from distributions
+calibrated to the paper's own measurements (Table 4 eligibility rates,
+Section 7.2 bot-check and multi-stage incidence), so the crawler's
+funnel emerges from mechanism rather than being hard-coded.
+"""
+
+from repro.web.passwords import PasswordStorage, StoredCredential
+from repro.web.accounts import SiteAccount, SiteAccountDatabase
+from repro.web.spec import (
+    LinkPlacement,
+    RegistrationStyle,
+    ResponseStyle,
+    SiteSpec,
+)
+from repro.web.site import Website
+from repro.web.generator import SiteGenerator
+from repro.web.population import InternetPopulation, RankedSite
+
+__all__ = [
+    "PasswordStorage",
+    "StoredCredential",
+    "SiteAccount",
+    "SiteAccountDatabase",
+    "SiteSpec",
+    "RegistrationStyle",
+    "ResponseStyle",
+    "LinkPlacement",
+    "Website",
+    "SiteGenerator",
+    "InternetPopulation",
+    "RankedSite",
+]

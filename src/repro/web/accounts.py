@@ -1,0 +1,121 @@
+"""Site account databases, optionally sharded.
+
+Section 4.4 discusses sharded databases: a breach may expose only a
+subset of shards, in which case Tripwire detects the compromise only if
+one of its accounts landed in an exposed shard.  Accounts are assigned
+to shards by a stable hash of the username.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.util.timeutil import SimInstant
+from repro.web.passwords import PasswordStorage, StoredCredential
+
+
+@dataclass
+class SiteAccount:
+    """One account row at a site."""
+
+    username: str
+    email: str
+    credential: StoredCredential
+    created_at: SimInstant
+    profile: dict[str, str] = field(default_factory=dict)
+    activated: bool = True
+    verification_token: str | None = None
+
+    @property
+    def shard_key(self) -> str:
+        """Stable key used for shard assignment."""
+        return self.username.lower()
+
+
+class DuplicateAccountError(ValueError):
+    """The username or email is already registered."""
+
+
+class SiteAccountDatabase:
+    """Account storage for one site."""
+
+    def __init__(self, storage: PasswordStorage, shard_count: int = 1):
+        if shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        self.storage = storage
+        self.shard_count = shard_count
+        self._by_username: dict[str, SiteAccount] = {}
+        self._by_email: dict[str, SiteAccount] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_username)
+
+    def register(
+        self,
+        username: str,
+        email: str,
+        password: str,
+        created_at: SimInstant,
+        profile: dict[str, str] | None = None,
+        activated: bool = True,
+        verification_token: str | None = None,
+    ) -> SiteAccount:
+        """Create an account; raises :class:`DuplicateAccountError` on reuse."""
+        user_key, email_key = username.lower(), email.lower()
+        if user_key in self._by_username:
+            raise DuplicateAccountError(f"username taken: {username!r}")
+        if email_key in self._by_email:
+            raise DuplicateAccountError(f"email already registered: {email!r}")
+        account = SiteAccount(
+            username=username,
+            email=email,
+            credential=StoredCredential.store(self.storage, password, salt_source=user_key),
+            created_at=created_at,
+            profile=dict(profile or {}),
+            activated=activated,
+            verification_token=verification_token,
+        )
+        self._by_username[user_key] = account
+        self._by_email[email_key] = account
+        return account
+
+    def lookup(self, username_or_email: str) -> SiteAccount | None:
+        """Find an account by username or email address."""
+        key = username_or_email.lower()
+        return self._by_username.get(key) or self._by_email.get(key)
+
+    def check_login(self, username_or_email: str, password: str) -> bool:
+        """Whether a site login with these credentials succeeds."""
+        account = self.lookup(username_or_email)
+        if account is None or not account.activated:
+            return False
+        return account.credential.verify(password)
+
+    def activate_by_token(self, token: str) -> SiteAccount | None:
+        """Complete email verification; returns the activated account."""
+        for account in self._by_username.values():
+            if account.verification_token == token:
+                account.activated = True
+                account.verification_token = None
+                return account
+        return None
+
+    def shard_of(self, account: SiteAccount) -> int:
+        """Stable shard index for an account."""
+        digest = hashlib.sha256(account.shard_key.encode("utf-8")).digest()
+        return digest[0] % self.shard_count
+
+    def dump_shards(self, shards: set[int] | None = None) -> list[SiteAccount]:
+        """What a database breach exposes.
+
+        ``None`` means all shards (the common, full-dump case).
+        """
+        accounts = sorted(self._by_username.values(), key=lambda a: a.username.lower())
+        if shards is None:
+            return accounts
+        return [a for a in accounts if self.shard_of(a) in shards]
+
+    def all_accounts(self) -> list[SiteAccount]:
+        """Every account, ordered by username."""
+        return self.dump_shards(None)

@@ -1,0 +1,18 @@
+"""The captcha challenge/answer contract.
+
+Sites embed a challenge token in the page; the expected answer is a
+pure function of the token.  This stands in for the captcha *image*:
+the site knows the answer behind the token, and the third-party solving
+service (humans looking at the image) can usually — but not always —
+produce it.  Nothing in the crawler computes answers itself; it only
+relays tokens to a solver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def captcha_answer_for(token: str) -> str:
+    """The ground-truth solution for a challenge token."""
+    return hashlib.sha256(f"captcha|{token}".encode("utf-8")).hexdigest()[:6]

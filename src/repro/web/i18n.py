@@ -1,0 +1,311 @@
+"""Localization tables for simulated sites.
+
+Non-English sites made up 44.3% of the paper's eligibility sample and
+were entirely unsupported by the English-only crawler heuristics
+(Sections 6.2.1, 7.1).  Simulated sites render their chrome, anchor
+texts, field labels *and field name attributes* in their language, so
+the crawler's failure on them is mechanical, not scripted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Lexicon:
+    """Strings a site needs to render registration chrome."""
+
+    lang: str
+    sign_up: str
+    log_in: str
+    email: str
+    password: str
+    confirm_password: str
+    username: str
+    first_name: str
+    last_name: str
+    phone: str
+    submit: str
+    welcome: str
+    success: str
+    error_missing: str
+    captcha_prompt: str
+    terms: str
+    filler: tuple[str, ...]  # body copy the language detector sees
+    field_names: dict[str, str]  # semantic key -> form "name" attribute
+
+
+ENGLISH = Lexicon(
+    lang="en",
+    sign_up="Sign up",
+    log_in="Log in",
+    email="Email address",
+    password="Password",
+    confirm_password="Confirm password",
+    username="Username",
+    first_name="First name",
+    last_name="Last name",
+    phone="Phone number",
+    submit="Create account",
+    welcome="Welcome",
+    success="Your registration was successful. Welcome aboard!",
+    error_missing="There was a problem with your submission. Please correct the errors below.",
+    captcha_prompt="Enter the characters shown in the image",
+    terms="I agree to the terms of service",
+    filler=(
+        "the", "and", "with", "your", "for", "this", "that", "from",
+        "news", "community", "latest", "popular", "about", "contact",
+    ),
+    field_names={
+        "email": "email",
+        "password": "password",
+        "password_confirm": "password2",
+        "username": "username",
+        "first_name": "first_name",
+        "last_name": "last_name",
+        "phone": "phone",
+        "captcha": "captcha",
+        "terms": "tos",
+    },
+)
+
+GERMAN = Lexicon(
+    lang="de",
+    sign_up="Registrieren",
+    log_in="Anmelden",
+    email="E-Mail-Adresse",
+    password="Passwort",
+    confirm_password="Passwort bestätigen",
+    username="Benutzername",
+    first_name="Vorname",
+    last_name="Nachname",
+    phone="Telefonnummer",
+    submit="Konto erstellen",
+    welcome="Willkommen",
+    success="Ihre Registrierung war erfolgreich. Willkommen an Bord!",
+    error_missing="Es gab ein Problem mit Ihrer Übermittlung.",
+    captcha_prompt="Geben Sie die angezeigten Zeichen ein",
+    terms="Ich stimme den Nutzungsbedingungen zu",
+    filler=("und", "der", "die", "das", "mit", "für", "nachrichten", "gemeinschaft", "über", "kontakt"),
+    field_names={
+        "email": "emailadresse",
+        "password": "passwort",
+        "password_confirm": "passwort2",
+        "username": "benutzername",
+        "first_name": "vorname",
+        "last_name": "nachname",
+        "phone": "telefon",
+        "captcha": "sicherheitscode",
+        "terms": "agb",
+    },
+)
+
+FRENCH = Lexicon(
+    lang="fr",
+    sign_up="S'inscrire",
+    log_in="Connexion",
+    email="Adresse e-mail",
+    password="Mot de passe",
+    confirm_password="Confirmez le mot de passe",
+    username="Nom d'utilisateur",
+    first_name="Prénom",
+    last_name="Nom",
+    phone="Téléphone",
+    submit="Créer un compte",
+    welcome="Bienvenue",
+    success="Votre inscription a réussi. Bienvenue à bord!",
+    error_missing="Un problème est survenu avec votre soumission.",
+    captcha_prompt="Entrez les caractères affichés",
+    terms="J'accepte les conditions d'utilisation",
+    filler=("les", "des", "avec", "votre", "pour", "actualités", "communauté", "dernières", "propos"),
+    field_names={
+        "email": "courriel",
+        "password": "motdepasse",
+        "password_confirm": "motdepasse2",
+        "username": "pseudo",
+        "first_name": "prenom",
+        "last_name": "nom",
+        "phone": "telephone",
+        "captcha": "code",
+        "terms": "conditions",
+    },
+)
+
+SPANISH = Lexicon(
+    lang="es",
+    sign_up="Regístrate",
+    log_in="Iniciar sesión",
+    email="Correo electrónico",
+    password="Contraseña",
+    confirm_password="Confirmar contraseña",
+    username="Nombre de usuario",
+    first_name="Nombre",
+    last_name="Apellido",
+    phone="Teléfono",
+    submit="Crear cuenta",
+    welcome="Bienvenido",
+    success="Su registro fue exitoso. ¡Bienvenido a bordo!",
+    error_missing="Hubo un problema con su envío.",
+    captcha_prompt="Ingrese los caracteres mostrados",
+    terms="Acepto los términos de servicio",
+    filler=("los", "las", "con", "para", "noticias", "comunidad", "últimas", "acerca", "contacto"),
+    field_names={
+        "email": "correo",
+        "password": "contrasena",
+        "password_confirm": "contrasena2",
+        "username": "usuario",
+        "first_name": "nombre",
+        "last_name": "apellido",
+        "phone": "telefono",
+        "captcha": "codigo",
+        "terms": "terminos",
+    },
+)
+
+RUSSIAN = Lexicon(
+    lang="ru",
+    sign_up="Регистрация",
+    log_in="Войти",
+    email="Адрес электронной почты",
+    password="Пароль",
+    confirm_password="Подтвердите пароль",
+    username="Имя пользователя",
+    first_name="Имя",
+    last_name="Фамилия",
+    phone="Телефон",
+    submit="Создать аккаунт",
+    welcome="Добро пожаловать",
+    success="Ваша регистрация прошла успешно.",
+    error_missing="Возникла проблема с вашей заявкой.",
+    captcha_prompt="Введите символы с картинки",
+    terms="Я согласен с условиями использования",
+    filler=("и", "в", "на", "с", "новости", "сообщество", "последние", "контакты"),
+    field_names={
+        "email": "pochta",
+        "password": "parol",
+        "password_confirm": "parol2",
+        "username": "imya",
+        "first_name": "imya_f",
+        "last_name": "familiya",
+        "phone": "telefon",
+        "captcha": "kod",
+        "terms": "usloviya",
+    },
+)
+
+CHINESE = Lexicon(
+    lang="zh",
+    sign_up="注册",
+    log_in="登录",
+    email="电子邮件地址",
+    password="密码",
+    confirm_password="确认密码",
+    username="用户名",
+    first_name="名字",
+    last_name="姓氏",
+    phone="电话号码",
+    submit="创建账户",
+    welcome="欢迎",
+    success="您的注册已成功。",
+    error_missing="您的提交出现问题。",
+    captcha_prompt="请输入图片中的字符",
+    terms="我同意服务条款",
+    filler=("的", "和", "新闻", "社区", "最新", "关于", "联系"),
+    field_names={
+        "email": "youxiang",
+        "password": "mima",
+        "password_confirm": "mima2",
+        "username": "yonghuming",
+        "first_name": "mingzi",
+        "last_name": "xingshi",
+        "phone": "dianhua",
+        "captcha": "yanzhengma",
+        "terms": "tiaokuan",
+    },
+)
+
+PORTUGUESE = Lexicon(
+    lang="pt",
+    sign_up="Cadastre-se",
+    log_in="Entrar",
+    email="Endereço de e-mail",
+    password="Senha",
+    confirm_password="Confirme a senha",
+    username="Nome de usuário",
+    first_name="Nome",
+    last_name="Sobrenome",
+    phone="Telefone",
+    submit="Criar conta",
+    welcome="Bem-vindo",
+    success="Seu cadastro foi realizado com sucesso.",
+    error_missing="Houve um problema com seu envio.",
+    captcha_prompt="Digite os caracteres mostrados",
+    terms="Aceito os termos de serviço",
+    filler=("os", "das", "com", "para", "notícias", "comunidade", "últimas", "sobre", "contato"),
+    field_names={
+        "email": "emailpt",
+        "password": "senha",
+        "password_confirm": "senha2",
+        "username": "usuario",
+        "first_name": "nome",
+        "last_name": "sobrenome",
+        "phone": "telefone",
+        "captcha": "codigo",
+        "terms": "termos",
+    },
+)
+
+JAPANESE = Lexicon(
+    lang="ja",
+    sign_up="新規登録",
+    log_in="ログイン",
+    email="メールアドレス",
+    password="パスワード",
+    confirm_password="パスワードを確認",
+    username="ユーザー名",
+    first_name="名",
+    last_name="姓",
+    phone="電話番号",
+    submit="アカウントを作成",
+    welcome="ようこそ",
+    success="登録が完了しました。",
+    error_missing="送信に問題がありました。",
+    captcha_prompt="表示された文字を入力してください",
+    terms="利用規約に同意します",
+    filler=("の", "と", "ニュース", "コミュニティ", "最新", "お問い合わせ"),
+    field_names={
+        "email": "meru",
+        "password": "pasuwado",
+        "password_confirm": "pasuwado2",
+        "username": "yuzamei",
+        "first_name": "mei",
+        "last_name": "sei",
+        "phone": "denwa",
+        "captcha": "ninsho",
+        "terms": "kiyaku",
+    },
+)
+
+LEXICONS: dict[str, Lexicon] = {
+    lex.lang: lex
+    for lex in (ENGLISH, GERMAN, FRENCH, SPANISH, RUSSIAN, CHINESE, PORTUGUESE, JAPANESE)
+}
+
+#: Relative prevalence of non-English languages in the population,
+#: echoing §6.2.1 (six of seven missed non-English breaches were
+#: Chinese-language sites, one Russian).
+NON_ENGLISH_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("zh", 30.0),
+    ("ru", 16.0),
+    ("es", 14.0),
+    ("de", 12.0),
+    ("ja", 10.0),
+    ("pt", 9.0),
+    ("fr", 9.0),
+)
+
+
+def lexicon_for(lang: str) -> Lexicon:
+    """The lexicon for a language code (KeyError for unknown codes)."""
+    return LEXICONS[lang]

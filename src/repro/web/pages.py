@@ -1,0 +1,376 @@
+"""HTML rendering for simulated sites.
+
+Every page a site serves is built here as a genuine DOM and serialized
+to HTML text; the crawler re-parses that text.  Field labeling styles
+vary (``label for=``, wrapping labels, placeholder-only, adjacent
+text) so the crawler's descriptor-gathering logic is actually
+exercised.
+"""
+
+from __future__ import annotations
+
+from repro.html.builder import el, page_skeleton, render_document
+from repro.html.dom import Element
+from repro.web.i18n import Lexicon
+from repro.web.spec import BotCheck, LinkPlacement, RegistrationStyle, SiteSpec
+
+#: English anchor-text variants for registration links; non-English
+#: sites use their lexicon's ``sign_up`` string.
+ENGLISH_ANCHOR_VARIANTS = (
+    "Sign up", "Register", "Create an account", "Join now", "Join free",
+    "Get started", "Sign up free", "Create account",
+)
+
+#: Anchor texts real sites use that the crawler's link heuristics do
+#: NOT match — one of the §6.2.2 "registration page not obvious from
+#: the text of the page" failure modes.
+UNUSUAL_ANCHOR_VARIANTS = (
+    "Become a member", "Open an account", "Start here", "My Account",
+    "Get involved", "Membership",
+)
+
+#: Registration paths paired with unusual anchors (no signup/register
+#: substring for the href heuristics to latch onto).
+NEUTRAL_REGISTRATION_PATHS = ("/members", "/start", "/portal", "/welcome")
+
+
+def _nav(spec: SiteSpec, lex: Lexicon) -> Element:
+    nav = el("div", {"class": "nav"})
+    nav.append(el("a", {"href": "/"}, "Home" if spec.is_english else lex.welcome))
+    nav.append(el("a", {"href": "/about"}, "About" if spec.is_english else lex.filler[0]))
+    nav.append(el("a", {"href": "/login"}, lex.log_in))
+    if spec.advertises_registration and (
+        spec.link_placement is LinkPlacement.PROMINENT
+        or spec.registration_style is RegistrationStyle.EXTERNAL_ONLY
+    ):
+        nav.append(el("a", {"href": spec.registration_path, "class": "cta"}, spec.anchor_text))
+    return nav
+
+
+def _footer(spec: SiteSpec, lex: Lexicon) -> Element:
+    footer = el("div", {"class": "footer"})
+    footer.append(el("a", {"href": "/contact"}, "Contact" if spec.is_english else lex.filler[-1]))
+    footer.append(el("a", {"href": "/privacy"}, "Privacy" if spec.is_english else lex.filler[1]))
+    if spec.link_placement is LinkPlacement.FOOTER and spec.advertises_registration:
+        footer.append(el("a", {"href": spec.registration_path}, spec.anchor_text))
+    if spec.link_placement is LinkPlacement.IMAGE_ONLY and spec.advertises_registration:
+        # The link exists but carries no anchor text — only an image,
+        # whose meaning the crawler cannot read (§6.2.2).
+        footer.append(
+            el("a", {"href": spec.registration_path},
+               el("img", {"src": "/static/join-button.png", "alt": ""}))
+        )
+    return footer
+
+
+def _body_copy(spec: SiteSpec, lex: Lexicon) -> Element:
+    copy = el("div", {"class": "content"})
+    copy.append(el("h1", None, f"{spec.host.split('.')[0].title()} — {spec.category}"))
+    sentence = " ".join(lex.filler) + "."
+    for _ in range(3):
+        copy.append(el("p", None, sentence))
+    return copy
+
+
+def render_homepage(spec: SiteSpec, lex: Lexicon) -> str:
+    """The site's landing page."""
+    root, body = page_skeleton(f"{spec.host} — {spec.category}", lang=lex.lang)
+    body.append(_nav(spec, lex))
+    body.append(_body_copy(spec, lex))
+    body.append(_footer(spec, lex))
+    return render_document(root)
+
+
+def _labeled_control(
+    spec: SiteSpec,
+    label_text: str,
+    control: Element,
+    wrapper: Element,
+) -> None:
+    """Attach a control to the form using the site's labeling style."""
+    style = spec.label_style
+    if style == "for" and control.get("id"):
+        wrapper.append(el("label", {"for": control.get("id")}, label_text))
+        wrapper.append(control)
+    elif style == "wrap":
+        wrapper.append(el("label", None, label_text, control))
+    elif style == "placeholder":
+        control.set("placeholder", label_text)
+        wrapper.append(control)
+    else:  # adjacent text
+        wrapper.append(el("span", None, label_text))
+        wrapper.append(control)
+
+
+def _field(
+    spec: SiteSpec,
+    lex: Lexicon,
+    semantic: str,
+    label: str,
+    input_type: str = "text",
+    required: bool = True,
+    maxlength: int | None = None,
+) -> tuple[str, Element]:
+    """Build one labeled input; returns (name attribute, row element)."""
+    name = lex.field_names.get(semantic, semantic)
+    attrs = {"type": input_type, "name": name, "id": f"f_{name}"}
+    if required:
+        attrs["required"] = ""
+    if maxlength is not None:
+        attrs["maxlength"] = str(maxlength)
+    control = el("input", attrs)
+    row = el("div", {"class": "row"})
+    _labeled_control(spec, label, control, row)
+    return name, row
+
+
+def registration_fields(spec: SiteSpec, lex: Lexicon, step: int = 1) -> list[str]:
+    """Semantic field list for a registration page (by stage)."""
+    if spec.registration_style is RegistrationStyle.MULTISTAGE:
+        if spec.multistage_credentials_first:
+            if step == 1:
+                fields = ["email"]
+                if spec.wants_username:
+                    fields.append("username")
+                fields.append("password")
+                if spec.wants_confirm_password:
+                    fields.append("password_confirm")
+                return fields
+            fields = []
+            if spec.wants_name:
+                fields.extend(["first_name", "last_name"])
+            if spec.wants_phone:
+                fields.append("phone")
+            return fields or ["first_name", "last_name"]
+        if step == 1:
+            fields = ["email"]
+            if spec.wants_username:
+                fields.append("username")
+            return fields
+        fields = ["password"]
+        if spec.wants_confirm_password:
+            fields.append("password_confirm")
+        if spec.wants_name:
+            fields.extend(["first_name", "last_name"])
+        if spec.wants_phone:
+            fields.append("phone")
+        return fields
+    fields = ["email"]
+    if spec.wants_username:
+        fields.append("username")
+    fields.append("password")
+    if spec.wants_confirm_password:
+        fields.append("password_confirm")
+    if spec.wants_name:
+        fields.extend(["first_name", "last_name"])
+    if spec.wants_phone:
+        fields.append("phone")
+    return fields
+
+
+_LABELS = {
+    "email": lambda lex: lex.email,
+    "username": lambda lex: lex.username,
+    "password": lambda lex: lex.password,
+    "password_confirm": lambda lex: lex.confirm_password,
+    "first_name": lambda lex: lex.first_name,
+    "last_name": lambda lex: lex.last_name,
+    "phone": lambda lex: lex.phone,
+}
+
+_TYPES = {
+    "email": "email",
+    "password": "password",
+    "password_confirm": "password",
+    "phone": "tel",
+}
+
+
+def render_registration_page(
+    spec: SiteSpec,
+    lex: Lexicon,
+    step: int = 1,
+    captcha_token: str | None = None,
+    stage_token: str | None = None,
+    error: str | None = None,
+) -> str:
+    """The registration form page (or a stage of it)."""
+    root, body = page_skeleton(f"{spec.anchor_text} — {spec.host}", lang=lex.lang)
+    body.append(_nav(spec, lex))
+    container = el("div", {"class": "register"})
+    container.append(el("h2", None, spec.anchor_text))
+    if error:
+        container.append(el("div", {"class": "error"}, error))
+
+    if spec.registration_style is RegistrationStyle.EXTERNAL_ONLY:
+        container.append(el("p", None, lex.sign_up))
+        container.append(el("a", {"href": "https://oauth.example/google", "class": "oauth"},
+                            "Continue with Google"))
+        container.append(el("a", {"href": "https://oauth.example/facebook", "class": "oauth"},
+                            "Continue with Facebook"))
+        body.append(container)
+        body.append(_footer(spec, lex))
+        return render_document(root)
+
+    is_multistage = spec.registration_style is RegistrationStyle.MULTISTAGE
+    action = spec.registration_path + ("/step2" if is_multistage and step == 1 else "/submit")
+    form = el("form", {"action": action, "method": "post", "id": "register-form"})
+
+    for semantic in registration_fields(spec, lex, step):
+        label = _LABELS[semantic](lex)
+        input_type = _TYPES.get(semantic, "text")
+        maxlength = None
+        if semantic == "email" and spec.max_email_length is not None:
+            maxlength = None  # the limit is enforced server side, invisibly
+        if semantic == "username" and spec.max_username_length is not None:
+            maxlength = spec.max_username_length
+        _name, row = _field(spec, lex, semantic, label, input_type, maxlength=maxlength)
+        form.append(row)
+
+    if spec.wants_birthdate and (not is_multistage or step > 1):
+        form.append(_birthdate_row(spec, lex))
+    if spec.wants_gender and (not is_multistage or step > 1):
+        form.append(_gender_row(spec, lex))
+
+    if spec.registration_style is RegistrationStyle.PAYMENT_REQUIRED and (not is_multistage or step > 1):
+        _name, row = _field(spec, lex, "card_number", "Credit card number")
+        form.append(row)
+        _name, row = _field(spec, lex, "card_cvv", "CVV", maxlength=4)
+        form.append(row)
+
+    if spec.extra_unlabeled_field and (not is_multistage or step > 1):
+        # An opaque field no heuristic can interpret.  When marked
+        # required it aborts the fill (a "fields missing" exit after
+        # credentials were typed); when not, the crawler skips it, the
+        # server silently rejects, and an ambiguous response page turns
+        # into an invalid "OK submission" (Table 1's 59% validity).
+        attrs = {"type": "text", "name": "x_fld_71"}
+        if spec.extra_field_required:
+            attrs["required"] = ""
+        form.append(el("div", {"class": "row"}, el("input", attrs)))
+
+    final_step = not is_multistage or step > 1
+    if final_step and spec.bot_check is not BotCheck.NONE:
+        form.append(_bot_check_row(spec, lex, captcha_token))
+
+    if final_step and spec.wants_terms_checkbox:
+        terms_box = el("input", {"type": "checkbox", "name": lex.field_names["terms"],
+                                 "id": "f_terms", "value": "1", "required": ""})
+        row = el("div", {"class": "row"})
+        _labeled_control(spec, lex.terms, terms_box, row)
+        form.append(row)
+
+    if stage_token is not None:
+        form.append(el("input", {"type": "hidden", "name": "stage_token", "value": stage_token}))
+
+    submit_label = "Continue" if (is_multistage and step == 1 and spec.is_english) else lex.submit
+    form.append(el("button", {"type": "submit"}, submit_label))
+    container.append(form)
+    body.append(container)
+    body.append(_footer(spec, lex))
+    return render_document(root)
+
+
+def _select(name: str, options: list[str], placeholder: str) -> Element:
+    control = el("select", {"name": name, "id": f"f_{name}"})
+    control.append(el("option", {"value": ""}, placeholder))
+    for option in options:
+        control.append(el("option", {"value": option}, option))
+    return control
+
+
+def _birthdate_row(spec: SiteSpec, lex: Lexicon) -> Element:
+    """Month/day/year dropdowns — select controls the crawler must fill."""
+    row = el("div", {"class": "row birthdate"})
+    label = "Date of birth" if spec.is_english else lex.filler[0]
+    row.append(el("span", None, label))
+    row.append(_select("birth_month", [str(m) for m in range(1, 13)], "Month"))
+    row.append(_select("birth_day", [str(d) for d in range(1, 29)], "Day"))
+    row.append(_select("birth_year", [str(y) for y in range(1940, 2006)], "Year"))
+    return row
+
+
+def _gender_row(spec: SiteSpec, lex: Lexicon) -> Element:
+    row = el("div", {"class": "row gender"})
+    label = "Gender" if spec.is_english else lex.filler[-1]
+    row.append(el("span", None, label))
+    row.append(_select("gender", ["M", "F", "Other"], "Select"))
+    return row
+
+
+def _bot_check_row(spec: SiteSpec, lex: Lexicon, captcha_token: str | None) -> Element:
+    row = el("div", {"class": "row captcha"})
+    name = lex.field_names["captcha"]
+    if spec.bot_check is BotCheck.CAPTCHA_IMAGE:
+        row.append(el("img", {"src": "/captcha.png", "alt": "captcha"}))
+        control = el("input", {
+            "type": "text", "name": name, "id": f"f_{name}",
+            "data-challenge": captcha_token or "", "required": "",
+        })
+        _labeled_control(spec, lex.captcha_prompt, control, row)
+    elif spec.bot_check is BotCheck.KNOWLEDGE_QUESTION:
+        control = el("input", {
+            "type": "text", "name": name, "id": f"f_{name}",
+            "data-challenge": captcha_token or "", "required": "",
+        })
+        question = ("What do you get when you add three and four?"
+                    if spec.is_english else lex.captcha_prompt)
+        _labeled_control(spec, question, control, row)
+    else:  # INTERACTIVE — a widget with no fillable input at all
+        row.append(el("div", {"class": "g-recaptcha", "data-sitekey": "sim"}, "I am not a robot"))
+        row.append(el("input", {"type": "hidden", "name": f"{name}_response", "value": ""}))
+    if captcha_token is not None:
+        # Session surrogate: ties the submission back to the challenge.
+        row.append(el("input", {"type": "hidden", "name": "_challenge_token",
+                                "value": captcha_token}))
+    return row
+
+
+def render_response_page(spec: SiteSpec, lex: Lexicon, ok: bool, error: str | None = None) -> str:
+    """The page shown after a submission, honoring the response style."""
+    from repro.web.spec import ResponseStyle
+
+    root, body = page_skeleton(spec.host, lang=lex.lang)
+    body.append(_nav(spec, lex))
+    box = el("div", {"class": "message"})
+    if spec.response_style is ResponseStyle.CLEAR:
+        if ok:
+            box.append(el("h2", None, lex.welcome))
+            box.append(el("p", None, lex.success))
+        else:
+            box.append(el("h2", None, "Error" if spec.is_english else lex.error_missing))
+            box.append(el("p", None, error or lex.error_missing))
+    elif spec.response_style is ResponseStyle.NOISY:
+        # Boilerplate that reads like an error regardless of outcome —
+        # the crawler's keyword heuristics misjudge these pages.
+        if ok:
+            box.append(el("p", None, lex.welcome))
+        box.append(el("p", None,
+                      "If you entered an invalid email address, try again "
+                      "or contact support to report the problem with registration."
+                      if spec.is_english else lex.error_missing))
+    else:
+        # The same noncommittal page regardless of outcome.
+        neutral = ("Thank you for visiting. Check your email for more information."
+                   if spec.is_english else lex.welcome)
+        box.append(el("p", None, neutral))
+    body.append(box)
+    body.append(_footer(spec, lex))
+    return render_document(root)
+
+
+def render_verification_landing(spec: SiteSpec, lex: Lexicon, ok: bool) -> str:
+    """Landing page for verification-link clicks."""
+    root, body = page_skeleton(f"Verification — {spec.host}", lang=lex.lang)
+    if ok:
+        body.append(el("p", None, "Your email address has been confirmed."
+                       if spec.is_english else lex.success))
+    else:
+        body.append(el("p", None, "Invalid or expired verification token."
+                       if spec.is_english else lex.error_missing))
+    return render_document(root)
+
+
+def render_load_failure() -> str:
+    """Body for a site whose page fails to render meaningfully."""
+    return "<html><body></body></html>"

@@ -1,0 +1,99 @@
+"""Site-side password storage policies.
+
+What an attacker recovers from a breached account database depends on
+how the site stored passwords (Section 6.1.2):
+
+- plaintext or a reversible scheme exposes **every** password;
+- any one-way hash (salted or not, weak or strong) still falls to a
+  dictionary attack for dictionary-derived ("easy") passwords, while
+  random ("hard") passwords survive;
+- salting/strong hashing additionally *delays* cracking, which we model
+  as extra days before cracked credentials become usable.
+
+The stored form is a :class:`StoredCredential`; the site itself can
+always *verify* a password against it, but only some forms can be
+inverted by an attacker.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+
+class PasswordStorage(enum.Enum):
+    """How a site persists account passwords."""
+
+    PLAINTEXT = "plaintext"
+    REVERSIBLE = "reversible"  # "encrypted" with a recoverable scheme
+    UNSALTED_MD5 = "unsalted_md5"  # fast unsalted hash (site C, site L)
+    SALTED_HASH = "salted_hash"
+    STRONG_HASH = "strong_hash"  # bcrypt-class, per-user salt + high cost
+
+    @property
+    def exposes_all_passwords(self) -> bool:
+        """Whether a database dump yields every password directly."""
+        return self in (PasswordStorage.PLAINTEXT, PasswordStorage.REVERSIBLE)
+
+    @property
+    def crack_delay_days(self) -> int:
+        """Typical extra days a dictionary attack needs against a dump."""
+        return {
+            PasswordStorage.PLAINTEXT: 0,
+            PasswordStorage.REVERSIBLE: 0,
+            PasswordStorage.UNSALTED_MD5: 1,
+            PasswordStorage.SALTED_HASH: 7,
+            PasswordStorage.STRONG_HASH: 21,
+        }[self]
+
+
+def _digest(scheme: str, salt: str, password: str) -> str:
+    return hashlib.sha256(f"{scheme}|{salt}|{password}".encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredCredential:
+    """A password at rest under some storage policy.
+
+    ``secret`` is the literal password for reversible schemes and a
+    digest otherwise; ``salt`` is empty for unsalted schemes.
+    """
+
+    storage: PasswordStorage
+    secret: str
+    salt: str = ""
+
+    @classmethod
+    def store(cls, storage: PasswordStorage, password: str, salt_source: str = "") -> "StoredCredential":
+        """Persist a password under ``storage``.
+
+        ``salt_source`` seeds the per-user salt for salted schemes (the
+        account database passes the username).
+        """
+        if storage.exposes_all_passwords:
+            return cls(storage=storage, secret=password)
+        if storage is PasswordStorage.UNSALTED_MD5:
+            return cls(storage=storage, secret=_digest("md5", "", password))
+        salt = hashlib.sha256(f"salt|{salt_source}".encode("utf-8")).hexdigest()[:16]
+        scheme = "bcrypt" if storage is PasswordStorage.STRONG_HASH else "sha-salted"
+        return cls(storage=storage, secret=_digest(scheme, salt, password), salt=salt)
+
+    def verify(self, password: str) -> bool:
+        """Site-side check: does ``password`` match this credential?"""
+        if self.storage.exposes_all_passwords:
+            return self.secret == password
+        if self.storage is PasswordStorage.UNSALTED_MD5:
+            return self.secret == _digest("md5", "", password)
+        scheme = "bcrypt" if self.storage is PasswordStorage.STRONG_HASH else "sha-salted"
+        return self.secret == _digest(scheme, self.salt, password)
+
+    def recover_directly(self) -> str | None:
+        """The password itself when the scheme is reversible, else None."""
+        if self.storage.exposes_all_passwords:
+            return self.secret
+        return None
+
+    def matches_guess(self, guess: str) -> bool:
+        """Offline attacker guess check (identical math to verify)."""
+        return self.verify(guess)

@@ -1,0 +1,423 @@
+"""The website behavior: routing, validation, accounts, email.
+
+A :class:`Website` is the transport handler for one host.  It renders
+the pages from :mod:`repro.web.pages`, runs server-side validation with
+the quirks its spec prescribes, maintains the account database, and
+sends verification/welcome email through the simulated mail system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mail.messages import EmailMessage, MessageKind
+from repro.net.transport import HttpRequest, HttpResponse
+from repro.sim.clock import SimClock
+from repro.util.timeutil import SimInstant
+from repro.web import pages
+from repro.web.accounts import DuplicateAccountError, SiteAccount, SiteAccountDatabase
+from repro.web.i18n import Lexicon, lexicon_for
+from repro.web.spec import (
+    BotCheck,
+    EmailBehavior,
+    RegistrationStyle,
+    SiteSpec,
+    storage_policy,
+)
+
+from repro.web.captcha import captcha_answer_for
+
+MailRouter = Callable[[EmailMessage], object]
+
+
+@dataclass(frozen=True)
+class RegistrationRecord:
+    """Ground truth about one server-side registration attempt."""
+
+    time: SimInstant
+    email: str
+    username: str
+    accepted: bool
+    error: str | None
+
+
+class Website:
+    """Transport handler plus server state for one site."""
+
+    SITE_LOGIN_FAILURE_LIMIT = 20
+
+    def __init__(
+        self,
+        spec: SiteSpec,
+        clock: SimClock,
+        rng: random.Random,
+        mail_router: MailRouter | None = None,
+    ):
+        self.spec = spec
+        self.lex: Lexicon = lexicon_for(spec.language)
+        self._clock = clock
+        self._rng = rng
+        self._mail_router = mail_router
+        self.accounts = SiteAccountDatabase(storage_policy(spec), spec.shard_count)
+        self._captcha_counter = 0
+        self._stage_counter = 0
+        self._stages: dict[str, dict[str, str]] = {}
+        self.registration_log: list[RegistrationRecord] = []
+        # Plaintexts as the registration handler observed them.  This is
+        # what an attacker with code execution on the site (key logging,
+        # a tapped handler) sees regardless of storage policy; only
+        # online-capture breaches may read it.
+        self._observed_plaintexts: dict[str, str] = {}
+        self.sales_call_numbers: list[str] = []
+        self._login_failures: dict[str, int] = {}
+        self._locked_logins: set[str] = set()
+
+    # -- routing ----------------------------------------------------------------
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request."""
+        path = request.path.rstrip("/") or "/"
+        reg = self.spec.registration_path.rstrip("/")
+        if path == "/":
+            return self._ok(pages.render_homepage(self.spec, self.lex))
+        if path in ("/about", "/contact", "/privacy"):
+            return self._ok(pages.render_homepage(self.spec, self.lex))
+        if path == reg:
+            return self._serve_registration_page()
+        if path == f"{reg}/step2" and request.method == "POST":
+            return self._serve_stage2(request)
+        if path == f"{reg}/submit" and request.method == "POST":
+            return self._handle_submission(request)
+        if path == "/verify":
+            return self._handle_verification(request)
+        if path == "/login" and request.method == "POST":
+            return self._handle_login(request)
+        if path == "/login":
+            return self._ok(pages.render_homepage(self.spec, self.lex))
+        if path == "/sitemap.xml":
+            return self._serve_sitemap()
+        if path == "/users" and self.spec.lists_usernames_publicly:
+            return self._serve_member_list()
+        return HttpResponse(404, pages.render_load_failure())
+
+    def _serve_member_list(self) -> HttpResponse:
+        """A public member directory (sites E/F listed usernames, §6.3.5)."""
+        from repro.html.builder import el, page_skeleton, render_document
+
+        root, body = page_skeleton(f"Members — {self.spec.host}", lang=self.lex.lang)
+        listing = el("ul", {"class": "members"})
+        for account in self.accounts.all_accounts():
+            listing.append(el("li", {"class": "member"}, account.username))
+        body.append(el("h2", None, "Members"))
+        body.append(listing)
+        return self._ok(render_document(root))
+
+    def _serve_sitemap(self) -> HttpResponse:
+        """The sitemap a search-engine spider reads.
+
+        Registration pages appear here even when the homepage hides
+        them — which is why a search engine can find pages the paper's
+        crawler could not (§6.2.2).
+        """
+        scheme = "https" if self.spec.supports_https else "http"
+        paths = ["/", "/about", "/contact", "/login"]
+        if self.spec.advertises_registration:
+            paths.append(self.spec.registration_path)
+        urls = "\n".join(
+            f"  <url><loc>{scheme}://{self.spec.host}{p}</loc></url>" for p in paths
+        )
+        body = f'<?xml version="1.0" encoding="UTF-8"?>\n<urlset>\n{urls}\n</urlset>\n'
+        return HttpResponse(200, body, headers={"Content-Type": "application/xml"})
+
+    def _ok(self, body: str) -> HttpResponse:
+        return HttpResponse(200, body)
+
+    # -- registration pages --------------------------------------------------------
+
+    def _new_captcha_token(self) -> str:
+        self._captcha_counter += 1
+        return f"ch-{self.spec.host}-{self._captcha_counter}"
+
+    def _serve_registration_page(self) -> HttpResponse:
+        if not self.spec.advertises_registration:
+            return HttpResponse(404, pages.render_load_failure())
+        token = None
+        if self.spec.bot_check is not BotCheck.NONE:
+            token = self._new_captcha_token()
+        body = pages.render_registration_page(self.spec, self.lex, step=1, captcha_token=token)
+        return self._ok(body)
+
+    def _serve_stage2(self, request: HttpRequest) -> HttpResponse:
+        """Accept stage-1 data, hand back the stage-2 form."""
+        self._stage_counter += 1
+        stage_token = f"st-{self._stage_counter}"
+        self._stages[stage_token] = dict(request.form)
+        if self.spec.multistage_creates_at_step1 and self.spec.multistage_credentials_first:
+            self._create_from_stage1(dict(request.form))
+        token = None
+        if self.spec.bot_check is not BotCheck.NONE:
+            token = self._new_captcha_token()
+        body = pages.render_registration_page(
+            self.spec, self.lex, step=2, captcha_token=token, stage_token=stage_token
+        )
+        return self._ok(body)
+
+    def _create_from_stage1(self, form: dict[str, str]) -> None:
+        """Some multistage sites persist the account after step 1.
+
+        The paper's crawler never completed step 2, yet ~7% of its
+        "bad heuristics" attempts turned out valid — this is the
+        mechanism that produces those.
+        """
+        names = self.lex.field_names
+        email = form.get(names["email"], "").strip()
+        password = form.get(names["password"], "")
+        username = form.get(names["username"], "").strip() or (email.split("@")[0] if email else "")
+        if not email or "@" not in email or len(password) < 8:
+            return
+        now = self._clock.now()
+        try:
+            account = self._create_account(form, email, username, password, now)
+        except DuplicateAccountError:
+            return
+        self._send_post_registration_email(account, now)
+        self.registration_log.append(
+            RegistrationRecord(time=now, email=email, username=username,
+                               accepted=True, error=None)
+        )
+
+    # -- submission handling -----------------------------------------------------------
+
+    def _merged_form(self, request: HttpRequest) -> dict[str, str]:
+        form = dict(request.form)
+        stage_token = form.pop("stage_token", None)
+        if stage_token and stage_token in self._stages:
+            merged = dict(self._stages.pop(stage_token))
+            merged.update(form)
+            return merged
+        return form
+
+    def _validation_error(self, form: dict[str, str]) -> str | None:
+        """First server-side validation failure, or None when clean."""
+        names = self.lex.field_names
+        email = form.get(names["email"], "").strip()
+        password = form.get(names["password"], "")
+
+        if self.spec.bot_check in (BotCheck.CAPTCHA_IMAGE, BotCheck.KNOWLEDGE_QUESTION):
+            answer = form.get(names["captcha"], "")
+            token = form.get("_challenge_token", "")
+            if not token or captcha_answer_for(token) != answer:
+                return "bot_check_failed"
+        if self.spec.bot_check is BotCheck.INTERACTIVE:
+            if not form.get(f"{names['captcha']}_response"):
+                return "bot_check_failed"
+
+        if not email or "@" not in email:
+            return "missing_email"
+        if not password:
+            return "missing_password"
+        if self.spec.wants_username and not form.get(names["username"], "").strip():
+            return "missing_username"
+        if self.spec.wants_confirm_password:
+            if form.get(names["password_confirm"], "") != password:
+                return "password_mismatch"
+        if self.spec.wants_terms_checkbox and not form.get(names["terms"]):
+            return "terms_not_accepted"
+        if self.spec.extra_unlabeled_field and not form.get("x_fld_71"):
+            return "missing_field"
+        if self.spec.registration_style is RegistrationStyle.PAYMENT_REQUIRED:
+            if not form.get("card_number"):
+                return "payment_required"
+        if len(password) < 8:
+            return "password_too_short"
+        if self.spec.requires_special_char and password.isalnum():
+            return "password_needs_special_char"
+        if self.spec.max_email_length is not None and len(email) > self.spec.max_email_length:
+            return "email_too_long"
+        username = form.get(names["username"], "").strip() or email.split("@")[0]
+        if self.spec.max_username_length is not None and len(username) > self.spec.max_username_length:
+            return "username_too_long"
+        return None
+
+    def _handle_submission(self, request: HttpRequest) -> HttpResponse:
+        form = self._merged_form(request)
+        now = self._clock.now()
+        names = self.lex.field_names
+        email = form.get(names["email"], "").strip()
+        password = form.get(names["password"], "")
+        username = form.get(names["username"], "").strip() or (email.split("@")[0] if email else "")
+
+        error = self._validation_error(form)
+        shadow_banned = False
+        if error is None and self._rng.random() < self.spec.shadow_ban_rate:
+            # Fraud scoring silently discards the signup while showing
+            # the normal success page — indistinguishable to a crawler.
+            shadow_banned = True
+            error = "shadow_ban"
+        if error is None:
+            try:
+                account = self._create_account(form, email, username, password, now)
+            except DuplicateAccountError:
+                error = "duplicate_account"
+            else:
+                self._send_post_registration_email(account, now)
+                self._maybe_sales_call(form)
+        self.registration_log.append(
+            RegistrationRecord(time=now, email=email, username=username,
+                               accepted=error is None, error=error)
+        )
+        looks_ok = error is None or shadow_banned
+        body = pages.render_response_page(
+            self.spec, self.lex, ok=looks_ok,
+            error=None if looks_ok else self.lex.error_missing,
+        )
+        return self._ok(body)
+
+    def _create_account(
+        self,
+        form: dict[str, str],
+        email: str,
+        username: str,
+        password: str,
+        now: SimInstant,
+    ) -> SiteAccount:
+        names = self.lex.field_names
+        profile = {
+            key: form.get(names.get(key, key), "")
+            for key in ("first_name", "last_name", "phone")
+            if form.get(names.get(key, key))
+        }
+        self._observed_plaintexts[username.lower()] = password
+        needs_verification = self.spec.email_behavior is EmailBehavior.VERIFICATION_LINK
+        token = None
+        if self.spec.email_behavior in (EmailBehavior.VERIFICATION_LINK,
+                                        EmailBehavior.VERIFICATION_OPTIONAL):
+            token = hashlib.sha256(
+                f"verify|{self.spec.host}|{username}|{now}".encode("utf-8")
+            ).hexdigest()[:20]
+        return self.accounts.register(
+            username=username,
+            email=email,
+            password=password,
+            created_at=now,
+            profile=profile,
+            activated=not needs_verification,
+            verification_token=token,
+        )
+
+    def _send_post_registration_email(self, account: SiteAccount, now: SimInstant) -> None:
+        if self._mail_router is None:
+            return
+        behavior = self.spec.email_behavior
+        if behavior is EmailBehavior.NOTHING:
+            return
+        scheme = "https" if self.spec.supports_https else "http"
+        sender = f"noreply@{self.spec.host}"
+        if behavior in (EmailBehavior.VERIFICATION_LINK, EmailBehavior.VERIFICATION_OPTIONAL):
+            link = f"{scheme}://{self.spec.host}/verify?token={account.verification_token}"
+            message = EmailMessage(
+                sender=sender,
+                recipient=account.email,
+                subject=f"Please verify your email address for {self.spec.host}",
+                body=(
+                    f"Hi {account.username},\n\n"
+                    f"Thanks for registering at {self.spec.host}. Please confirm your "
+                    f"account by clicking the link below:\n\n{link}\n"
+                ),
+                time=now,
+                kind=MessageKind.VERIFICATION,
+            )
+        else:
+            message = EmailMessage(
+                sender=sender,
+                recipient=account.email,
+                subject=f"Welcome to {self.spec.host}!",
+                body=(
+                    f"Hi {account.username},\n\nYour new account at {self.spec.host} is "
+                    f"ready. Visit {scheme}://{self.spec.host}/ to get started.\n"
+                ),
+                time=now,
+                kind=MessageKind.WELCOME,
+            )
+        self._mail_router(message)
+
+    def _maybe_sales_call(self, form: dict[str, str]) -> None:
+        if not self.spec.is_free_trial:
+            return
+        phone = form.get(self.lex.field_names.get("phone", "phone"), "")
+        if phone and self._rng.random() < 0.5:
+            self.sales_call_numbers.append(phone)
+
+    # -- verification ----------------------------------------------------------------
+
+    def _handle_verification(self, request: HttpRequest) -> HttpResponse:
+        token = request.query.get("token", "")
+        account = self.accounts.activate_by_token(token) if token else None
+        body = pages.render_verification_landing(self.spec, self.lex, ok=account is not None)
+        return self._ok(body)
+
+    # -- site login (used by success estimation and attackers) ------------------------
+
+    def _handle_login(self, request: HttpRequest) -> HttpResponse:
+        user = request.form.get("login", "") or request.form.get(
+            self.lex.field_names["email"], ""
+        )
+        password = request.form.get(self.lex.field_names["password"], "")
+        key = user.lower()
+        if self.spec.site_brute_force_protection and key in self._locked_logins:
+            return HttpResponse(429, pages.render_response_page(self.spec, self.lex, ok=False))
+        if self.spec.requires_admin_approval:
+            return HttpResponse(401, pages.render_response_page(self.spec, self.lex, ok=False))
+        if self.accounts.check_login(user, password):
+            self._login_failures.pop(key, None)
+            return self._ok(pages.render_response_page(self.spec, self.lex, ok=True))
+        failures = self._login_failures.get(key, 0) + 1
+        self._login_failures[key] = failures
+        if self.spec.site_brute_force_protection and failures >= self.SITE_LOGIN_FAILURE_LIMIT:
+            self._locked_logins.add(key)
+        return HttpResponse(401, pages.render_response_page(self.spec, self.lex, ok=False))
+
+    # -- direct (non-HTTP) conveniences -----------------------------------------------
+
+    def seed_organic_accounts(self, count: int) -> int:
+        """Populate the database with non-Tripwire user accounts.
+
+        Breached hauls should contain more than honey rows; organic
+        accounts use third-party email domains, so the credential
+        checker never tests them at the monitored provider.  Returns
+        how many were actually created (collisions are skipped).
+        """
+        created = 0
+        now = self._clock.now()
+        for index in range(count):
+            username = f"user{self._rng.randrange(10**7):07d}"
+            domain = self._rng.choice(("webpost.example", "quickmail.example",
+                                       "inboxly.example", "mailnest.example"))
+            email = f"{username}@{domain}"
+            if self._rng.random() < 0.45:
+                password = f"{self._rng.choice(('Sunshine', 'Monkey12', 'Football'))}{index % 10}"
+            else:
+                password = f"pw{self._rng.randrange(10**10):010d}"
+            try:
+                account = self.accounts.register(
+                    username=username, email=email, password=password,
+                    created_at=now, activated=True,
+                )
+            except DuplicateAccountError:
+                continue
+            self._observed_plaintexts[account.username.lower()] = password
+            created += 1
+        return created
+
+    def observed_plaintext(self, username: str) -> str | None:
+        """What an on-site interception point saw for this username."""
+        return self._observed_plaintexts.get(username.lower())
+
+    def check_credentials(self, username_or_email: str, password: str) -> bool:
+        """Offline credential check used by manual-login estimation."""
+        if self.spec.requires_admin_approval:
+            return False
+        return self.accounts.check_login(username_or_email, password)

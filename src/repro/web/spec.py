@@ -1,0 +1,180 @@
+"""Site specification: every generated characteristic of one website.
+
+A :class:`SiteSpec` is pure data; :class:`repro.web.site.Website` gives
+it behavior.  The generator draws specs from rank-calibrated
+distributions (see :mod:`repro.web.generator`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RegistrationStyle(enum.Enum):
+    """Shape of the site's registration flow."""
+
+    SIMPLE = "simple"  # one form, one POST
+    MULTISTAGE = "multistage"  # split across two pages (§7.2)
+    EXTERNAL_ONLY = "external_only"  # OAuth buttons only, no local form
+    PAYMENT_REQUIRED = "payment_required"  # needs a credit card (§6.2.3)
+    OFFLINE_ONLY = "offline_only"  # accounts created out of band (§6.2.3)
+    NONE = "none"  # no accounts at all
+
+
+class LinkPlacement(enum.Enum):
+    """How discoverable the registration link is from the homepage."""
+
+    PROMINENT = "prominent"  # nav link with a standard anchor text
+    FOOTER = "footer"  # standard text, buried in the footer
+    IMAGE_ONLY = "image_only"  # an image link with no anchor text (§6.2.2)
+    UNLINKED = "unlinked"  # reachable only by knowing the URL (§6.2.2)
+
+
+class ResponseStyle(enum.Enum):
+    """How the site answers a registration submission."""
+
+    CLEAR = "clear"  # explicit success/error copy
+    AMBIGUOUS = "ambiguous"  # generic page either way
+    NOISY = "noisy"  # success page contains error-looking boilerplate
+
+
+class BotCheck(enum.Enum):
+    """Turing-test gate on the registration form (§7.2)."""
+
+    NONE = "none"
+    CAPTCHA_IMAGE = "captcha_image"  # solvable via the third-party service
+    KNOWLEDGE_QUESTION = "knowledge_question"  # free-form question
+    INTERACTIVE = "interactive"  # reCAPTCHA/KeyCAPTCHA-class; unsolvable
+
+
+class EmailBehavior(enum.Enum):
+    """What the site emails after a successful registration."""
+
+    VERIFICATION_LINK = "verification_link"  # must click to activate
+    VERIFICATION_OPTIONAL = "verification_optional"  # link sent, account active anyway
+    WELCOME_ONLY = "welcome_only"
+    NOTHING = "nothing"
+
+
+@dataclass
+class SiteSpec:
+    """Complete description of one simulated website."""
+
+    host: str
+    rank: int
+    category: str
+    language: str  # lexicon code; "en" or a non-English code
+    # -- availability --------------------------------------------------------
+    load_fails: bool = False
+    supports_https: bool = False
+    shared_backend: str | None = None  # non-None → filtered pre-crawl (§5.1)
+    # Sites E and F in the paper were owned by one company and shared a
+    # registration backend: one breach exposed both, and their stolen
+    # accounts showed periodic, temporally aligned logins (§6.4.1).
+    backend_family: str | None = None
+    # -- registration flow ----------------------------------------------------
+    registration_style: RegistrationStyle = RegistrationStyle.SIMPLE
+    link_placement: LinkPlacement = LinkPlacement.PROMINENT
+    registration_path: str = "/signup"
+    anchor_text: str = "Sign up"  # label on the registration link
+    label_style: str = "for"  # for | wrap | placeholder | adjacent
+    bot_check: BotCheck = BotCheck.NONE
+    response_style: ResponseStyle = ResponseStyle.CLEAR
+    email_behavior: EmailBehavior = EmailBehavior.WELCOME_ONLY
+    # -- multistage details ------------------------------------------------------
+    multistage_credentials_first: bool = False  # step 1 asks for email+password
+    multistage_creates_at_step1: bool = False  # account exists after step 1
+    # -- form composition -------------------------------------------------------
+    wants_username: bool = True  # separate username field vs email-as-login
+    wants_name: bool = False
+    wants_phone: bool = False
+    wants_birthdate: bool = False  # month/day/year dropdowns
+    wants_gender: bool = False  # a gender dropdown
+    wants_confirm_password: bool = False
+    wants_terms_checkbox: bool = False
+    extra_unlabeled_field: bool = False  # a field with an opaque name/label
+    extra_field_required: bool = False  # ...marked required in the HTML too
+    # -- server-side validation quirks -------------------------------------------
+    requires_special_char: bool = False  # rejects both Tripwire classes (§7.2)
+    shadow_ban_rate: float = 0.0  # fraud-scored signups silently dropped
+    max_email_length: int | None = None  # site that rejected an 18-char local (§6.2.3)
+    max_username_length: int | None = None
+    # -- account handling -----------------------------------------------------
+    password_storage: "PasswordStorageName" = "salted_hash"
+    requires_admin_approval: bool = False  # account unusable until staff approve
+    # Sites E/F list usernames on public pages (§6.3.5); combined with
+    # missing login rate limits this enables online brute-forcing.
+    lists_usernames_publicly: bool = False
+    shard_count: int = 1
+    site_brute_force_protection: bool = True
+    is_free_trial: bool = False  # sales teams may phone the number (§5.2.2)
+    # -- derived conveniences -----------------------------------------------------
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_english(self) -> bool:
+        """Whether the site renders in English."""
+        return self.language == "en"
+
+    @property
+    def has_local_registration(self) -> bool:
+        """Whether any purely-online local registration exists."""
+        return self.registration_style in (
+            RegistrationStyle.SIMPLE,
+            RegistrationStyle.MULTISTAGE,
+        )
+
+    @property
+    def advertises_registration(self) -> bool:
+        """Whether the homepage links to some signup flow at all."""
+        return self.registration_style not in (
+            RegistrationStyle.NONE,
+            RegistrationStyle.OFFLINE_ONLY,
+        )
+
+    @property
+    def eligible_for_tripwire(self) -> bool:
+        """Ground-truth eligibility per the Table 4 taxonomy.
+
+        Loads, is in English, and offers a purely-online registration
+        that needs no payment or out-of-band step.
+        """
+        return (
+            not self.load_fails
+            and self.is_english
+            and self.has_local_registration
+            and not self.requires_unavailable_info
+        )
+
+    @property
+    def requires_unavailable_info(self) -> bool:
+        """Whether registration needs data Tripwire cannot supply."""
+        return self.registration_style is RegistrationStyle.PAYMENT_REQUIRED
+
+    @property
+    def eligibility_bucket(self) -> str:
+        """Table 4 bucket: load_failure / non_english / no_registration /
+        ineligible / rest."""
+        if self.load_fails:
+            return "load_failure"
+        if not self.is_english:
+            return "non_english"
+        if self.registration_style in (RegistrationStyle.NONE, RegistrationStyle.OFFLINE_ONLY,
+                                       RegistrationStyle.EXTERNAL_ONLY):
+            return "no_registration"
+        if self.requires_unavailable_info:
+            return "ineligible"
+        return "rest"
+
+
+#: The storage field is a plain string to keep SiteSpec import-light;
+#: :meth:`storage_policy` upgrades it to the enum.
+PasswordStorageName = str
+
+
+def storage_policy(spec: SiteSpec):
+    """The spec's :class:`repro.web.passwords.PasswordStorage`."""
+    from repro.web.passwords import PasswordStorage
+
+    return PasswordStorage(spec.password_storage)

@@ -1,0 +1,25 @@
+"""Tests for the §5.2.2 phone-call attribution."""
+
+from repro.analysis.phone_calls import collect_phone_calls, render_phone_call_report
+
+
+class TestPhoneCalls:
+    def test_all_attributed_calls_trace_to_burned_identities(self, pilot_result):
+        calls, _stray = collect_phone_calls(pilot_result.system, pilot_result.campaign)
+        pool = pilot_result.system.pool
+        for call in calls:
+            assert pool.site_for(call.identity_id) == call.site_host
+
+    def test_calls_only_from_free_trial_sites(self, pilot_result):
+        calls, _stray = collect_phone_calls(pilot_result.system, pilot_result.campaign)
+        population = pilot_result.system.population
+        for call in calls:
+            rank = population.rank_of_host(call.site_host)
+            assert population.spec_at_rank(rank).is_free_trial
+
+    def test_render_redacts_numbers(self, pilot_result):
+        calls, stray = collect_phone_calls(pilot_result.system, pilot_result.campaign)
+        text = render_phone_call_report(calls, stray)
+        assert "xxx-xxxx" in text or not calls
+        for call in calls:
+            assert call.phone not in text  # full numbers never printed

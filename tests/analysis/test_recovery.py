@@ -1,0 +1,33 @@
+"""Tests for the §6.1.4 recovery analysis."""
+
+from repro.analysis.recovery import build_recovery_report, render_recovery_report
+from repro.util.timeutil import MANUAL_CRAWL_START
+
+
+class TestRecovery:
+    def test_fates_cover_only_reregistered_sites(self, pilot_result):
+        fates = build_recovery_report(pilot_result)
+        for fate in fates:
+            assert fate.site_host in pilot_result.reregistration_hosts
+            assert fate.registered_at >= MANUAL_CRAWL_START
+
+    def test_accessed_accounts_have_first_access(self, pilot_result):
+        for fate in build_recovery_report(pilot_result):
+            if fate.accessed:
+                assert fate.first_access is not None
+                assert fate.first_access >= fate.registered_at
+            else:
+                assert fate.first_access is None
+
+    def test_minority_of_reregistrations_accessed(self, pilot_result):
+        """§6.1.4: most sites recover; at most the one re-breached site
+        (the site-H analogue) shows post-detection access."""
+        fates = build_recovery_report(pilot_result)
+        accessed_sites = {f.site_host for f in fates if f.accessed}
+        assert len(accessed_sites) <= 1
+
+    def test_render(self, pilot_result):
+        fates = build_recovery_report(pilot_result)
+        text = render_recovery_report(fates)
+        assert "6.1.4" in text
+        assert "site H" in text

@@ -1,0 +1,128 @@
+"""Tests for the table builders (Tables 1-4)."""
+
+from repro.analysis.table1 import build_table1, render_table1
+from repro.analysis.table2 import assign_site_letters, build_table2, render_table2
+from repro.analysis.table3 import build_table3, render_table3
+from repro.analysis.table4 import (
+    PAPER_TABLE4,
+    average_row,
+    build_table4,
+    render_table4,
+)
+
+
+class TestTable1:
+    def test_rows_in_paper_order_with_total(self, pilot_result):
+        rows = build_table1(pilot_result.estimates)
+        labels = [row.label for row in rows]
+        assert labels == [
+            "Email verified", "Email received", "OK submission",
+            "Bad heuristics/Fields missing", "Manual", "Total",
+        ]
+
+    def test_total_row_sums(self, pilot_result):
+        rows = build_table1(pilot_result.estimates)
+        total = rows[-1]
+        assert total.attempted_total == sum(r.attempted_total for r in rows[:-1])
+        assert total.estimated_total == sum(r.estimated_total for r in rows[:-1])
+
+    def test_render_contains_paper_rates(self, pilot_result):
+        text = render_table1(build_table1(pilot_result.estimates))
+        assert "Paper" in text
+        assert "98%" in text  # the paper's email-verified rate
+        assert "Total" in text
+
+
+class TestTable2:
+    def test_letters_assigned_in_detection_order(self, pilot_result):
+        letters = assign_site_letters(pilot_result.monitor)
+        detections = pilot_result.monitor.detected_sites()
+        assert [letters[d.site_host] for d in detections] == [
+            chr(ord("A") + i) for i in range(len(detections))
+        ]
+
+    def test_rows_match_detections(self, pilot_result):
+        rows = build_table2(pilot_result)
+        assert len(rows) == pilot_result.monitor.site_count()
+        for row in rows:
+            assert row.accounts_accessed <= row.accounts_registered
+            assert row.hard_accessed in ("Y", "N", "-")
+            assert row.alexa_rank_rounded % 500 == 0
+
+    def test_hard_flag_consistent_with_monitor(self, pilot_result):
+        rows = {row.host: row for row in build_table2(pilot_result)}
+        for detection in pilot_result.monitor.detected_sites():
+            row = rows[detection.site_host]
+            if row.hard_accessed == "Y":
+                assert detection.hard_accessed
+            if row.hard_accessed == "N":
+                assert not detection.hard_accessed
+
+    def test_render_anonymizes_hosts(self, pilot_result):
+        rows = build_table2(pilot_result)
+        text = render_table2(rows)
+        for row in rows:
+            assert row.host not in text  # Section 3: identities obscured
+
+
+class TestTable3:
+    def test_aliases_follow_site_letters(self, pilot_result):
+        rows = build_table3(pilot_result)
+        letters = {v.lower() for v in assign_site_letters(pilot_result.monitor).values()}
+        for row in rows:
+            assert row.alias[0] in letters
+            assert row.alias[1:].isdigit()
+
+    def test_one_row_per_accessed_account(self, pilot_result):
+        rows = build_table3(pilot_result)
+        total_accounts = sum(
+            len(d.accounts_accessed) for d in pilot_result.monitor.detected_sites()
+        )
+        assert len(rows) == total_accounts
+
+    def test_counts_and_day_ranges_consistent(self, pilot_result):
+        for row in build_table3(pilot_result):
+            assert row.login_count >= 1
+            assert row.days_until_first >= 0
+            assert row.days_since_last >= 0
+            assert row.days_accessed >= 0
+            assert row.password_type in ("hard", "easy")
+            assert row.frozen in ("Y", "N")
+
+    def test_render_has_paper_columns(self, pilot_result):
+        text = render_table3(build_table3(pilot_result))
+        for column in ("# Logins", "Until", "Since", "Frozen", "Days Accessed"):
+            assert column in text
+
+
+class TestTable4:
+    def test_fractions_sum_to_one(self, pilot_result):
+        rows = build_table4(pilot_result.system.population, (1, 101), 100)
+        for row in rows:
+            total = (row.load_failure + row.non_english + row.no_registration
+                     + row.ineligible + row.rest)
+            assert abs(total - 1.0) < 1e-9
+
+    def test_windows_beyond_population_skipped(self, pilot_result):
+        rows = build_table4(pilot_result.system.population, (1, 10**7), 100)
+        assert len(rows) == 1
+
+    def test_average_row(self, pilot_result):
+        rows = build_table4(pilot_result.system.population, (1, 101, 201), 100)
+        avg = average_row(rows)
+        assert abs(avg.non_english
+                   - sum(r.non_english for r in rows) / len(rows)) < 1e-9
+
+    def test_non_english_rate_in_paper_ballpark(self, pilot_result):
+        rows = build_table4(pilot_result.system.population, (1, 101, 201), 100)
+        avg = average_row(rows)
+        assert 0.25 <= avg.non_english <= 0.60  # paper average: 44.3%
+
+    def test_render_includes_paper_rows(self, pilot_result):
+        rows = build_table4(pilot_result.system.population, (1,), 100)
+        text = render_table4(rows, include_paper=True)
+        assert "(paper 1)" in text
+        assert "Average" in text
+
+    def test_paper_reference_values_recorded(self):
+        assert PAPER_TABLE4[1][1] == 0.43  # 43% non-English in the top-100

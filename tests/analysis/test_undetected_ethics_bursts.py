@@ -1,0 +1,119 @@
+"""Unit tests for the §6.2 miss taxonomy, §3 ethics audit and §6.4.2 bursts."""
+
+from repro.analysis.bursts import (
+    AccountBurstiness,
+    analyze_account,
+    build_burst_report,
+    render_burst_report,
+)
+from repro.analysis.ethics import audit_load, render_ethics_audit
+from repro.analysis.undetected import (
+    MissReason,
+    explain_miss,
+    miss_report,
+    render_miss_report,
+)
+from repro.core.monitor import AttributedLogin
+from repro.email_provider.telemetry import LoginEvent, LoginMethod
+from repro.identity.passwords import PasswordClass
+from repro.net.ipaddr import IPv4Address
+from repro.util.timeutil import MINUTE
+
+
+class TestMissTaxonomy:
+    def test_detected_host_classified_detected(self, pilot_result):
+        detected = pilot_result.detected_hosts
+        if not detected:
+            return
+        host = sorted(detected)[0]
+        reason = explain_miss(pilot_result.system, pilot_result.campaign,
+                              detected, host)
+        assert reason is MissReason.DETECTED
+
+    def test_unattempted_host_is_out_of_corpus(self, pilot_result):
+        population = pilot_result.system.population
+        attempted = {a.site_host for a in pilot_result.campaign.attempts}
+        for rank in range(population.size, 0, -1):
+            spec = population.spec_at_rank(rank)
+            if spec.host not in attempted:
+                reason = explain_miss(pilot_result.system, pilot_result.campaign,
+                                      set(), spec.host)
+                assert reason is MissReason.RANK_OUTSIDE_CORPUS
+                return
+
+    def test_non_english_attempts_classified(self, pilot_result):
+        from repro.crawler.outcomes import TerminationCode
+
+        for attempt in pilot_result.campaign.attempts:
+            if attempt.outcome.code is TerminationCode.NOT_ENGLISH:
+                reason = explain_miss(pilot_result.system, pilot_result.campaign,
+                                      set(), attempt.site_host)
+                assert reason is MissReason.NON_ENGLISH
+                return
+
+    def test_miss_report_totals(self, pilot_result):
+        hosts = sorted({a.site_host for a in pilot_result.campaign.attempts})[:20]
+        tally = miss_report(pilot_result.system, pilot_result.campaign,
+                            pilot_result.detected_hosts, hosts)
+        assert sum(tally.values()) == len(hosts)
+        text = render_miss_report(tally)
+        assert "Section 6.2" in text and "subtotals:" in text
+
+    def test_every_reason_has_category(self):
+        for reason in MissReason:
+            assert reason.category in ("detected", "scale/scope", "technical",
+                                       "inherent", "coverage")
+
+
+class TestEthicsAudit:
+    def test_audit_over_pilot(self, pilot_result):
+        audit = audit_load(pilot_result.campaign, pilot_result.system.transport)
+        assert audit.sites_contacted > 0
+        assert audit.majority_two_or_fewer
+        assert audit.min_inter_request_gap >= 3  # the §3 rate limit
+        text = render_ethics_audit(audit)
+        assert "ethics audit" in text
+
+    def test_attempt_counts_bounded(self, pilot_result):
+        audit = audit_load(pilot_result.campaign, pilot_result.system.transport)
+        assert audit.max_attempts_per_site <= 4
+        assert audit.sites_with_more_than_eight_attempts == 0
+
+
+def login_at(time, ip_value):
+    return AttributedLogin(
+        event=LoginEvent("acct", time, IPv4Address(ip_value), LoginMethod.IMAP),
+        identity_id=1, site_host="s.test", password_class=PasswordClass.EASY,
+    )
+
+
+class TestBurstAnalysis:
+    def test_multi_ip_burst_detected(self):
+        logins = [login_at(i * MINUTE, 100 + i) for i in range(8)]
+        stats = analyze_account("acct", "s.test", logins)
+        assert stats.peak_ips_in_window == 8
+        assert stats.has_multi_ip_burst
+        assert not stats.has_hammering
+
+    def test_hammering_detected(self):
+        logins = [login_at(i, 42) for i in range(30)]  # one IP, 30 logins/30s
+        stats = analyze_account("acct", "s.test", logins)
+        assert stats.max_hammer_run == 30
+        assert stats.has_hammering
+        assert stats.hammer_share == 1.0
+        assert not stats.has_multi_ip_burst
+
+    def test_slow_scraper_not_bursty(self):
+        logins = [login_at(i * 86400, 100 + i) for i in range(10)]
+        stats = analyze_account("acct", "s.test", logins)
+        assert not stats.has_multi_ip_burst
+        assert not stats.has_hammering
+
+    def test_report_over_pilot(self, pilot_result):
+        rows = build_burst_report(pilot_result.monitor)
+        total_accounts = sum(
+            len(d.accounts_accessed) for d in pilot_result.monitor.detected_sites()
+        )
+        assert len(rows) == total_accounts
+        text = render_burst_report(rows)
+        assert "6.4.2" in text

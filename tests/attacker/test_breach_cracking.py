@@ -1,0 +1,110 @@
+"""Tests for breaches and offline cracking (Sections 6.1.2, 4.4)."""
+
+import pytest
+
+from repro.attacker.breach import BreachEvent, BreachMethod, execute_breach
+from repro.attacker.cracking import crack_records, dictionary_guesses
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import DAY
+from repro.web.site import Website
+from repro.web.spec import SiteSpec
+
+
+def make_site(storage: str, shards: int = 1) -> Website:
+    spec = SiteSpec(host="victim.test", rank=100, category="Gaming", language="en",
+                    password_storage=storage, shard_count=shards)
+    return Website(spec, SimClock(500_000), RngTree(41).rng())
+
+
+def populate(site: Website):
+    site.accounts.register("easyuser", "easy@bigmail.example", "Website1",
+                           created_at=0)
+    site.accounts.register("harduser", "hard@bigmail.example", "i5Nss87yf3",
+                           created_at=0)
+    site._observed_plaintexts["easyuser"] = "Website1"
+    site._observed_plaintexts["harduser"] = "i5Nss87yf3"
+
+
+class TestBreachExecution:
+    def test_db_dump_takes_all_accounts(self):
+        site = make_site("salted_hash")
+        populate(site)
+        records = execute_breach(site, BreachEvent("victim.test", 100, BreachMethod.DB_DUMP))
+        assert {r.username for r in records} == {"easyuser", "harduser"}
+
+    def test_db_dump_plaintext_storage_reveals_passwords(self):
+        site = make_site("plaintext")
+        populate(site)
+        records = execute_breach(site, BreachEvent("victim.test", 100, BreachMethod.DB_DUMP))
+        assert {r.plaintext for r in records} == {"Website1", "i5Nss87yf3"}
+
+    def test_db_dump_hashed_storage_hides_passwords(self):
+        site = make_site("strong_hash")
+        populate(site)
+        records = execute_breach(site, BreachEvent("victim.test", 100, BreachMethod.DB_DUMP))
+        assert all(r.plaintext is None for r in records)
+
+    def test_online_capture_bypasses_hashing(self):
+        site = make_site("strong_hash")
+        populate(site)
+        records = execute_breach(
+            site, BreachEvent("victim.test", 100, BreachMethod.ONLINE_CAPTURE))
+        assert {r.plaintext for r in records} == {"Website1", "i5Nss87yf3"}
+
+    def test_sharded_breach_exposes_subset(self):
+        site = make_site("salted_hash", shards=4)
+        for i in range(40):
+            site.accounts.register(f"user{i}", f"u{i}@m.test", "Website1", created_at=0)
+        event = BreachEvent("victim.test", 100, BreachMethod.DB_DUMP,
+                            exposed_shards=frozenset({0}))
+        records = execute_breach(site, event)
+        assert 0 < len(records) < 40
+
+    def test_describe(self):
+        event = BreachEvent("victim.test", 100, BreachMethod.DB_DUMP)
+        assert "victim.test" in event.describe()
+        assert "all shards" in event.describe()
+
+
+class TestCracking:
+    def test_easy_passwords_fall_to_dictionary(self):
+        site = make_site("strong_hash")
+        populate(site)
+        records = execute_breach(site, BreachEvent("victim.test", 100, BreachMethod.DB_DUMP))
+        cracked = crack_records(records, breach_time=100)
+        assert [c.password for c in cracked] == ["Website1"]
+
+    def test_hard_passwords_survive_hashing(self):
+        site = make_site("salted_hash")
+        populate(site)
+        records = execute_breach(site, BreachEvent("victim.test", 100, BreachMethod.DB_DUMP))
+        cracked = crack_records(records, breach_time=100)
+        assert all(c.password != "i5Nss87yf3" for c in cracked)
+
+    def test_plaintext_available_immediately(self):
+        site = make_site("plaintext")
+        populate(site)
+        records = execute_breach(site, BreachEvent("victim.test", 100, BreachMethod.DB_DUMP))
+        cracked = crack_records(records, breach_time=100)
+        assert all(c.available_at == 100 for c in cracked)
+        assert len(cracked) == 2
+
+    def test_crack_delay_scales_with_hash_strength(self):
+        weak_site = make_site("unsalted_md5")
+        populate(weak_site)
+        strong_site = make_site("strong_hash")
+        populate(strong_site)
+        weak = crack_records(
+            execute_breach(weak_site, BreachEvent("victim.test", 0, BreachMethod.DB_DUMP)),
+            breach_time=0)
+        strong = crack_records(
+            execute_breach(strong_site, BreachEvent("victim.test", 0, BreachMethod.DB_DUMP)),
+            breach_time=0)
+        assert weak[0].available_at < strong[0].available_at
+        assert strong[0].available_at >= 21 * DAY
+
+    def test_dictionary_guesses_shape(self):
+        guesses = dictionary_guesses()
+        assert "Website1" in guesses
+        assert all(len(g) == 8 for g in guesses)

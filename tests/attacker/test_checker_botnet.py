@@ -1,0 +1,211 @@
+"""Tests for the botnet and the credential checker."""
+
+import pytest
+
+from repro.attacker.botnet import BotnetProxyNetwork
+from repro.attacker.checker import CredentialChecker
+from repro.attacker.cracking import CrackedCredential
+from repro.attacker.monetize import Monetizer
+from repro.attacker.profiles import CheckerArchetype, CheckerProfile, draw_profile
+from repro.email_provider.provider import EmailProvider
+from repro.email_provider.telemetry import LoginMethod
+from repro.net.whois import HostKind, WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import DAY
+
+
+class TestBotnet:
+    def test_blocks_mostly_residential(self, whois):
+        botnet = BotnetProxyNetwork(whois, RngTree(1).rng(), block_count=60)
+        kinds = [b.kind for b in botnet.blocks()]
+        residential = sum(1 for k in kinds if k is HostKind.RESIDENTIAL)
+        assert residential / len(kinds) > 0.6
+
+    def test_country_diversity(self, whois):
+        botnet = BotnetProxyNetwork(whois, RngTree(2).rng(), block_count=80)
+        countries = {b.country for b in botnet.blocks()}
+        assert len(countries) >= 10
+
+    def test_fresh_ips_mostly_distinct(self, whois):
+        botnet = BotnetProxyNetwork(whois, RngTree(3).rng(), block_count=40)
+        ips = [botnet.fresh_ip() for _ in range(300)]
+        assert len(set(ips)) > 200
+
+    def test_ips_come_from_leased_blocks(self, whois):
+        botnet = BotnetProxyNetwork(whois, RngTree(4).rng(), block_count=10)
+        blocks = botnet.blocks()
+        for _ in range(50):
+            ip = botnet.fresh_ip()
+            assert any(b.block.contains(ip) for b in blocks)
+
+    def test_block_count_validated(self, whois):
+        with pytest.raises(ValueError):
+            BotnetProxyNetwork(whois, RngTree(5).rng(), block_count=0)
+
+
+class TestProfiles:
+    def test_draw_profile_diversity(self):
+        rng = RngTree(6).rng()
+        archetypes = {draw_profile(rng).archetype for _ in range(60)}
+        assert archetypes == set(CheckerArchetype)
+
+    def test_verifier_small_session_counts(self):
+        rng = RngTree(7).rng()
+        profiles = [draw_profile(rng) for _ in range(200)]
+        verifiers = [p for p in profiles if p.archetype is CheckerArchetype.VERIFIER]
+        assert all(p.session_count <= 4 for p in verifiers)
+
+    def test_method_draw_dominated_by_imap(self):
+        rng = RngTree(8).rng()
+        profile = draw_profile(rng)
+        methods = [profile.draw_method(rng) for _ in range(500)]
+        imap_share = sum(1 for m in methods if m is LoginMethod.IMAP) / len(methods)
+        assert imap_share > 0.6
+
+
+def checker_world(test_fraction=1.0, avoided=(), horizon=None):
+    clock = SimClock(0)
+    queue = EventQueue(clock)
+    provider = EmailProvider("prov.example", clock, RngTree(9))
+    provider.provision("VictimAcct1", "V", "Website1")
+    whois = WhoisRegistry()
+    botnet = BotnetProxyNetwork(whois, RngTree(10).rng(), block_count=20)
+    checker = CredentialChecker(
+        provider, botnet, queue, RngTree(11).rng(),
+        test_fraction=test_fraction,
+        avoided_domains=frozenset(avoided),
+        horizon=horizon,
+    )
+    return clock, queue, provider, checker
+
+
+def credential(email="VictimAcct1@prov.example", password="Website1", at=0):
+    return CrackedCredential(site_host="victim.test", username="victim",
+                             email=email, password=password, available_at=at)
+
+
+def quick_profile(sessions=3):
+    return CheckerProfile(
+        archetype=CheckerArchetype.SCRAPER,
+        initial_delay_days=1.0,
+        session_count=sessions,
+        period_days=2.0,
+        multi_ip_burst_prob=0.0,
+        hammer_prob=0.0,
+    )
+
+
+class TestCredentialChecker:
+    def test_successful_campaign_produces_telemetry(self):
+        clock, queue, provider, checker = checker_world()
+        assert checker.launch([credential()], quick_profile()) == 1
+        queue.run_until(60 * DAY)
+        events = provider.telemetry.all_events_ground_truth()
+        assert len(events) == 3  # one per session
+        assert all(e.local_part == "VictimAcct1" for e in events)
+
+    def test_wrong_password_abandons_after_first_try(self):
+        clock, queue, provider, checker = checker_world()
+        checker.launch([credential(password="WrongOne1")], quick_profile())
+        queue.run_until(60 * DAY)
+        assert provider.telemetry.all_events_ground_truth() == []
+        assert checker.campaigns[0].abandoned
+
+    def test_other_provider_domains_ignored(self):
+        clock, queue, provider, checker = checker_world()
+        started = checker.launch([credential(email="x@gmailish.example")], quick_profile())
+        assert started == 0
+
+    def test_avoided_domain_skipped(self):
+        clock, queue, provider, checker = checker_world(avoided=("prov.example",))
+        started = checker.launch([credential()], quick_profile())
+        assert started == 0
+        assert checker.skipped_by_avoidance == 1
+
+    def test_sampling_fraction_zero_tests_nothing(self):
+        clock, queue, provider, checker = checker_world(test_fraction=0.0)
+        started = checker.launch([credential()], quick_profile())
+        assert started == 0
+        assert checker.skipped_by_sampling == 1
+
+    def test_sampling_fraction_validated(self):
+        with pytest.raises(ValueError):
+            checker_world(test_fraction=1.5)
+
+    def test_horizon_pulls_first_check_inside(self):
+        horizon = 30 * DAY
+        clock, queue, provider, checker = checker_world(horizon=horizon)
+        late_profile = CheckerProfile(
+            archetype=CheckerArchetype.VERIFIER,
+            initial_delay_days=400.0,  # would land past the horizon
+            session_count=1, period_days=10.0,
+            multi_ip_burst_prob=0.0, hammer_prob=0.0,
+        )
+        checker.launch([credential()], late_profile)
+        queue.run_until(horizon)
+        assert len(provider.telemetry.all_events_ground_truth()) == 1
+
+    def test_burst_uses_many_ips(self):
+        clock, queue, provider, checker = checker_world()
+        profile = CheckerProfile(
+            archetype=CheckerArchetype.COLLECTOR,
+            initial_delay_days=0.5, session_count=1, period_days=5.0,
+            multi_ip_burst_prob=1.0, hammer_prob=0.0,
+        )
+        checker.launch([credential()], profile)
+        queue.run_until(10 * DAY)
+        events = provider.telemetry.all_events_ground_truth()
+        assert len(events) >= 5
+        assert len({e.ip for e in events}) >= 5
+
+    def test_hammer_reuses_one_ip(self):
+        clock, queue, provider, checker = checker_world()
+        profile = CheckerProfile(
+            archetype=CheckerArchetype.COLLECTOR,
+            initial_delay_days=0.5, session_count=1, period_days=5.0,
+            multi_ip_burst_prob=0.0, hammer_prob=1.0,
+        )
+        checker.launch([credential()], profile)
+        queue.run_until(10 * DAY)
+        events = provider.telemetry.all_events_ground_truth()
+        assert len(events) >= 15
+        assert len({e.ip for e in events}) == 1
+
+
+class TestMonetizer:
+    def test_spam_eventually_deactivates(self):
+        clock = SimClock(0)
+        provider = EmailProvider("prov.example", clock, RngTree(12))
+        provider.provision("SpamTarget1", "S", "Website1")
+        monetizer = Monetizer(provider, RngTree(13).rng())
+        monetizer.SPAM_PROB = 1.0  # force the behavior
+        monetizer.after_login("SpamTarget1", "Website1", successes=5)
+        log = monetizer.log_for("SpamTarget1")
+        assert log.spam_sent > 0
+        assert provider.account("SpamTarget1").state.value == "deactivated"
+
+    def test_warmup_respected(self):
+        clock = SimClock(0)
+        provider = EmailProvider("prov.example", clock, RngTree(14))
+        provider.provision("QuietOne12", "Q", "Website1")
+        monetizer = Monetizer(provider, RngTree(15).rng())
+        monetizer.SPAM_PROB = 1.0
+        monetizer.after_login("QuietOne12", "Website1", successes=1)
+        assert monetizer.log_for("QuietOne12").spam_sent == 0
+
+    def test_hijack_changes_password_and_forwarding(self):
+        clock = SimClock(0)
+        provider = EmailProvider("prov.example", clock, RngTree(16))
+        provider.provision("Hijacked99", "H", "Website1",
+                           forwarding_address="Hijacked99@cover.example")
+        monetizer = Monetizer(provider, RngTree(17).rng())
+        monetizer.HIJACK_PROB = 1.0
+        new_password = monetizer.after_login("Hijacked99", "Website1", successes=5)
+        assert new_password is not None
+        account = provider.account("Hijacked99")
+        assert account.password == new_password
+        assert account.forwarding_address is None
+        log = monetizer.log_for("Hijacked99")
+        assert log.password_changed and log.forwarding_removed

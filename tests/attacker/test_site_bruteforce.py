@@ -1,0 +1,116 @@
+"""Tests for the online site brute-force channel (§4.4, §6.3.5)."""
+
+import pytest
+
+from repro.attacker.checker import CredentialChecker
+from repro.attacker.botnet import BotnetProxyNetwork
+from repro.attacker.profiles import CheckerArchetype, CheckerProfile
+from repro.attacker.site_bruteforce import SiteBruteForcer
+from repro.core.monitor import CompromiseMonitor
+from repro.core.system import TripwireSystem
+from repro.identity.passwords import PasswordClass
+from repro.net.ipaddr import IPv4Address
+from repro.util.timeutil import DAY
+from repro.web.spec import BotCheck, LinkPlacement, RegistrationStyle, ResponseStyle
+
+ATTACKER_IP = IPv4Address.parse("25.99.0.7")
+
+
+def build_world(protection: bool, public_list: bool = True):
+    overrides = {1: {
+        "bucket": "rest",
+        "host": "forum.test",
+        "language": "en",
+        "load_fails": False,
+        "registration_style": RegistrationStyle.SIMPLE,
+        "link_placement": LinkPlacement.PROMINENT,
+        "registration_path": "/signup",
+        "anchor_text": "Sign up",
+        "bot_check": BotCheck.NONE,
+        "response_style": ResponseStyle.CLEAR,
+        "extra_unlabeled_field": False,
+        "requires_special_char": False,
+        "shadow_ban_rate": 0.0,
+        "max_email_length": None,
+        "max_username_length": None,
+        "requires_admin_approval": False,
+        "email_behavior": __import__("repro.web.spec", fromlist=["EmailBehavior"]).EmailBehavior.NOTHING,
+        "site_brute_force_protection": protection,
+        "lists_usernames_publicly": public_list,
+        "wants_username": True,
+        "wants_confirm_password": False,
+        "wants_terms_checkbox": False,
+        "wants_name": False,
+        "wants_phone": False,
+        "label_style": "for",
+    }}
+    system = TripwireSystem(seed=314, population_size=2, site_overrides=overrides)
+    system.crawler.config.system_error_rate = 0.0
+    system.provision_identities(2, PasswordClass.EASY)
+    site = system.population.site_at_rank(1)
+    # Register an easy-password honey account directly through HTTP.
+    identity = system.pool.checkout_any("forum.test", PasswordClass.EASY)
+    system.transport.post("http://forum.test/signup/submit", {
+        "email": identity.email_address,
+        "username": identity.site_username,
+        "password": identity.password,
+    }, client_ip=system.proxy_pool.acquire_for_site("forum.test"))
+    system.pool.burn(identity.identity_id)
+    assert site.accounts.lookup(identity.email_address) is not None
+    return system, site, identity
+
+
+class TestHarvesting:
+    def test_public_member_list_scraped(self):
+        system, _site, identity = build_world(protection=False)
+        forcer = SiteBruteForcer(system.transport, ATTACKER_IP)
+        usernames = forcer.harvest_usernames("forum.test")
+        assert identity.site_username in usernames
+
+    def test_no_public_list_no_usernames(self):
+        system, _site, _identity = build_world(protection=False, public_list=False)
+        forcer = SiteBruteForcer(system.transport, ATTACKER_IP)
+        assert forcer.harvest_usernames("forum.test") == []
+
+
+class TestBruteForce:
+    def test_unprotected_site_leaks_easy_credentials(self):
+        system, _site, identity = build_world(protection=False)
+        forcer = SiteBruteForcer(system.transport, ATTACKER_IP,
+                                 provider_domain=system.provider.domain)
+        recovered = forcer.attack("forum.test", when=system.clock.now())
+        passwords = {c.password for c in recovered}
+        assert identity.password in passwords
+        assert forcer.stats.login_attempts > 0
+
+    def test_rate_limited_site_resists(self):
+        system, _site, _identity = build_world(protection=True)
+        forcer = SiteBruteForcer(system.transport, ATTACKER_IP,
+                                 provider_domain=system.provider.domain)
+        recovered = forcer.attack("forum.test", when=system.clock.now())
+        assert recovered == []
+        assert forcer.stats.locked_out_accounts >= 1
+
+    def test_tripwire_detects_bruteforce_channel(self):
+        """§4.4: "Tripwire would correctly declare a site as compromised
+        in this situation" — no database breach required."""
+        system, _site, identity = build_world(protection=False)
+        if identity.site_username != identity.email_local:
+            pytest.skip("local part longer than the site-username prefix")
+        forcer = SiteBruteForcer(system.transport, ATTACKER_IP,
+                                 provider_domain=system.provider.domain)
+        recovered = forcer.attack("forum.test", when=system.clock.now())
+        botnet = BotnetProxyNetwork(system.whois, system.tree.child("botnet").rng())
+        checker = CredentialChecker(system.provider, botnet, system.queue,
+                                    system.tree.child("checker").rng())
+        profile = CheckerProfile(archetype=CheckerArchetype.VERIFIER,
+                                 initial_delay_days=1, session_count=1,
+                                 period_days=5, multi_ip_burst_prob=0.0,
+                                 hammer_prob=0.0)
+        checker.launch(recovered, profile)
+        system.queue.run_until(system.clock.now() + 10 * DAY)
+        monitor = CompromiseMonitor(system.pool, system.control_locals,
+                                    system.provider.domain)
+        monitor.ingest_dump(system.provider.collect_login_dump())
+        assert "forum.test" in monitor.detections
+        assert monitor.alarms == []

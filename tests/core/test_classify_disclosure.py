@@ -1,0 +1,143 @@
+"""Unit tests for attempt classification and the disclosure pipeline."""
+
+import pytest
+
+from repro.core.classify import AccountStatus, classify_attempt
+from repro.core.campaign import AttemptRecord
+from repro.core.disclosure import DisclosureCoordinator, ResponseKind
+from repro.crawler.outcomes import CrawlOutcome, TerminationCode
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.mail.messages import EmailMessage, MessageKind
+from repro.mail.server import TripwireMailServer
+from repro.net.dns import DnsResolver
+from repro.net.ipaddr import IPv4Address
+from repro.net.transport import HttpResponse, Transport
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+
+
+@pytest.fixture
+def mail_server(transport):
+    transport.register_host("s.test", lambda r: HttpResponse(200, "ok"))
+    return TripwireMailServer(transport, RngTree(3).rng(),
+                              verification_click_failure_rate=0.0)
+
+
+def attempt(code, exposed=True, manual=False, identity=None, when=1000):
+    identity = identity or IdentityFactory(RngTree(61)).create(PasswordClass.HARD)
+    outcome = CrawlOutcome(
+        site_host="s.test", url="http://s.test/", code=code,
+        exposed_email=exposed, exposed_password=exposed,
+        started_at=when, finished_at=when + 60,
+    )
+    return AttemptRecord(site_host="s.test", rank=1, url="http://s.test/",
+                         identity=identity, password_class=identity.password_class,
+                         outcome=outcome, manual=manual, registered_at=when)
+
+
+class TestClassification:
+    def test_unexposed_attempt_unclassified(self, mail_server):
+        record = attempt(TerminationCode.NO_REGISTRATION_FOUND, exposed=False)
+        assert classify_attempt(record, mail_server) is None
+
+    def test_manual_category(self, mail_server):
+        record = attempt(TerminationCode.OK_SUBMISSION, manual=True)
+        assert classify_attempt(record, mail_server) is AccountStatus.MANUAL
+
+    def test_ok_submission_without_email(self, mail_server):
+        record = attempt(TerminationCode.OK_SUBMISSION)
+        assert classify_attempt(record, mail_server) is AccountStatus.OK_SUBMISSION
+
+    def test_bad_heuristics_without_email(self, mail_server):
+        record = attempt(TerminationCode.SUBMISSION_HEURISTICS_FAILED)
+        assert classify_attempt(record, mail_server) is AccountStatus.BAD_HEURISTICS
+        record = attempt(TerminationCode.REQUIRED_FIELDS_MISSING)
+        assert classify_attempt(record, mail_server) is AccountStatus.BAD_HEURISTICS
+
+    def test_verification_email_upgrades_to_verified(self, mail_server):
+        record = attempt(TerminationCode.SUBMISSION_HEURISTICS_FAILED)
+        local = record.identity.email_local
+        mail_server.expect_registration(local, "s.test", time=1000)
+        mail_server.receive(EmailMessage(
+            sender="noreply@s.test", recipient=f"{local}@cover.example",
+            subject="Please verify your account",
+            body="http://s.test/verify?token=1", time=1500,
+            kind=MessageKind.VERIFICATION))
+        assert classify_attempt(record, mail_server) is AccountStatus.EMAIL_VERIFIED
+
+    def test_nonverification_email_is_email_received(self, mail_server):
+        record = attempt(TerminationCode.OK_SUBMISSION)
+        local = record.identity.email_local
+        mail_server.receive(EmailMessage(
+            sender="noreply@s.test", recipient=f"{local}@cover.example",
+            subject="Welcome to s.test", body="hello", time=1500))
+        assert classify_attempt(record, mail_server) is AccountStatus.EMAIL_RECEIVED
+
+    def test_mail_before_registration_ignored(self, mail_server):
+        record = attempt(TerminationCode.OK_SUBMISSION, when=5000)
+        local = record.identity.email_local
+        mail_server.receive(EmailMessage(
+            sender="x@old.test", recipient=f"{local}@cover.example",
+            subject="Welcome to old.test", body="old mail", time=100))
+        assert classify_attempt(record, mail_server) is AccountStatus.OK_SUBMISSION
+
+
+class TestDisclosure:
+    def make_coordinator(self, with_mx=True):
+        dns = DnsResolver()
+        dns.register_host("victim.test", IPv4Address(5))
+        if with_mx:
+            dns.zone("victim.test").add_mx("mail.victim.test")
+        return DisclosureCoordinator(dns, RngTree(7).rng())
+
+    def test_contacts_include_security_aliases(self):
+        coordinator = self.make_coordinator()
+        contacts = coordinator.candidate_contacts("victim.test")
+        assert "security@victim.test" in contacts
+        assert "webmaster@victim.test" in contacts
+
+    def test_no_mx_means_undeliverable(self):
+        coordinator = self.make_coordinator(with_mx=False)
+        record = coordinator.disclose("victim.test", now=1000)
+        assert not record.deliverable
+        assert record.response is ResponseKind.NO_RESPONSE
+        assert any("no MX" in note for note in record.notes)
+
+    def test_skip_for_public_breach(self):
+        coordinator = self.make_coordinator()
+        record = coordinator.disclose("victim.test", now=1000, skip=True)
+        assert record.response is ResponseKind.NO_RESPONSE
+        assert any("already public" in note for note in record.notes)
+
+    def test_response_rate_roughly_one_third(self):
+        dns = DnsResolver()
+        rng = RngTree(8).rng()
+        coordinator = DisclosureCoordinator(dns, rng)
+        for index in range(120):
+            host = f"site{index}.test"
+            dns.register_host(host, IPv4Address(1000 + index))
+            dns.zone(host).add_mx(f"mail.{host}")
+            coordinator.disclose(host, now=1000)
+        summary = coordinator.summary()
+        rate = summary["responded"] / 120
+        assert 0.18 <= rate <= 0.50  # paper: 6/18 = 33%
+
+    def test_no_site_ever_notifies_users(self):
+        coordinator = self.make_coordinator()
+        for index in range(30):
+            coordinator.disclose(f"v{index}.test", now=1000)
+        assert coordinator.summary()["notified_users"] == 0
+
+    def test_responders_reply_within_paper_bounds(self):
+        dns = DnsResolver()
+        coordinator = DisclosureCoordinator(dns, RngTree(9).rng())
+        for index in range(80):
+            host = f"r{index}.test"
+            dns.register_host(host, IPv4Address(2000 + index))
+            dns.zone(host).add_mx(f"mail.{host}")
+            coordinator.disclose(host, now=0)
+        for record in coordinator.records:
+            if record.response is not ResponseKind.NO_RESPONSE:
+                # 10 minutes (site A) up to ~6 days (site C).
+                assert 600 <= record.response_delay <= 6 * 86400

@@ -1,0 +1,81 @@
+"""Unit tests for the success estimator's mechanics."""
+
+import pytest
+
+from repro.core.campaign import RegistrationCampaign
+from repro.core.classify import AccountStatus
+from repro.core.estimation import SuccessEstimator
+from repro.core.system import TripwireSystem
+from repro.identity.passwords import PasswordClass
+
+
+@pytest.fixture(scope="module")
+def estimated_world():
+    system = TripwireSystem(seed=402, population_size=120)
+    system.provision_identities(140, PasswordClass.HARD)
+    system.provision_identities(80, PasswordClass.EASY)
+    campaign = RegistrationCampaign(system)
+    campaign.run_batch(system.population.alexa_top(120))
+    estimator = SuccessEstimator(system)
+    estimates = estimator.estimate(campaign.exposed_attempts())
+    return system, campaign, estimator, estimates
+
+
+class TestEstimator:
+    def test_sample_size_bounded(self, estimated_world):
+        _system, _campaign, _estimator, estimates = estimated_world
+        for estimate in estimates:
+            assert estimate.sample_size <= SuccessEstimator.SAMPLE_SIZE
+            assert estimate.sample_size <= estimate.attempted_total
+
+    def test_estimates_scale_with_rate(self, estimated_world):
+        _system, _campaign, _estimator, estimates = estimated_world
+        for estimate in estimates:
+            expected = round(estimate.attempted_hard * estimate.success_rate)
+            assert estimate.estimated_hard == expected
+
+    def test_rate_is_probability(self, estimated_world):
+        _system, _campaign, _estimator, estimates = estimated_world
+        for estimate in estimates:
+            assert 0.0 <= estimate.success_rate <= 1.0
+
+    def test_manual_login_matches_ground_truth(self, estimated_world):
+        system, campaign, estimator, _estimates = estimated_world
+        for attempt in campaign.exposed_attempts()[:40]:
+            site = system.population.site_by_host(attempt.site_host)
+            if site is None:
+                continue
+            works = estimator.manual_login_works(attempt)
+            truth = site.check_credentials(
+                attempt.identity.email_address, attempt.identity.password
+            ) or site.check_credentials(
+                attempt.identity.site_username, attempt.identity.password
+            )
+            assert works == truth
+
+    def test_buckets_partition_exposed_attempts(self, estimated_world):
+        _system, campaign, estimator, _estimates = estimated_world
+        exposed = campaign.exposed_attempts()
+        buckets = estimator.classify_all(exposed)
+        total = sum(len(bucket) for bucket in buckets.values())
+        assert total == len(exposed)
+
+    def test_category_order_stable(self, estimated_world):
+        _system, _campaign, _estimator, estimates = estimated_world
+        assert [e.status for e in estimates] == [
+            AccountStatus.EMAIL_VERIFIED,
+            AccountStatus.EMAIL_RECEIVED,
+            AccountStatus.OK_SUBMISSION,
+            AccountStatus.BAD_HEURISTICS,
+            AccountStatus.MANUAL,
+        ]
+
+    def test_unknown_site_login_fails(self, estimated_world):
+        system, campaign, estimator, _estimates = estimated_world
+        attempt = campaign.exposed_attempts()[0]
+        ghost = type(attempt)(
+            site_host="never-instantiated.test", rank=1, url="http://x/",
+            identity=attempt.identity, password_class=attempt.password_class,
+            outcome=attempt.outcome,
+        )
+        assert not estimator.manual_login_works(ghost)

@@ -1,0 +1,103 @@
+"""Tests for compromise inference (the no-false-positive core claim)."""
+
+import pytest
+
+from repro.core.monitor import CompromiseMonitor
+from repro.email_provider.telemetry import LoginEvent, LoginMethod
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityPool
+from repro.net.ipaddr import IPv4Address
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture
+def world():
+    factory = IdentityFactory(RngTree(55), email_domain="prov.example")
+    pool = IdentityPool()
+    burned_hard = factory.create(PasswordClass.HARD)
+    burned_easy = factory.create(PasswordClass.EASY)
+    unused = factory.create(PasswordClass.HARD)
+    control = factory.create(PasswordClass.HARD)
+    pool.add(burned_hard)
+    pool.add(burned_easy)
+    pool.add(unused)
+    pool.add_control(control)
+    pool.checkout(burned_hard.identity_id, "sitea.test")
+    pool.burn(burned_hard.identity_id)
+    pool.checkout(burned_easy.identity_id, "sitea.test")
+    pool.burn(burned_easy.identity_id)
+    monitor = CompromiseMonitor(pool, {control.email_local.lower()}, "prov.example")
+    return monitor, burned_hard, burned_easy, unused, control
+
+
+def login(identity, day=10, ip=99):
+    return LoginEvent(identity.email_local, day * DAY, IPv4Address(ip), LoginMethod.IMAP)
+
+
+class TestAttribution:
+    def test_burned_account_login_detects_site(self, world):
+        monitor, hard, _easy, _unused, _control = world
+        attributed = monitor.ingest_dump([login(hard)])
+        assert len(attributed) == 1
+        assert monitor.site_count() == 1
+        detection = monitor.detected_sites()[0]
+        assert detection.site_host == "sitea.test"
+        assert detection.hard_accessed
+
+    def test_easy_only_access_infers_hashed_storage(self, world):
+        monitor, _hard, easy, _unused, _control = world
+        monitor.ingest_dump([login(easy)])
+        detection = monitor.detected_sites()[0]
+        assert not detection.hard_accessed
+        assert "hashed" in detection.storage_inference()
+
+    def test_hard_access_infers_plaintext(self, world):
+        monitor, hard, _easy, _unused, _control = world
+        monitor.ingest_dump([login(hard)])
+        assert "plaintext" in monitor.detected_sites()[0].storage_inference()
+
+    def test_multiple_logins_aggregate(self, world):
+        monitor, hard, easy, _unused, _control = world
+        monitor.ingest_dump([login(hard, day=10), login(easy, day=12),
+                             login(hard, day=20, ip=123)])
+        detection = monitor.detected_sites()[0]
+        assert detection.login_count == 3
+        assert len(detection.accounts_accessed) == 2
+        assert detection.first_login_time == 10 * DAY
+        assert detection.last_login_time == 20 * DAY
+
+    def test_logins_for_account(self, world):
+        monitor, hard, easy, _unused, _control = world
+        monitor.ingest_dump([login(hard), login(easy)])
+        assert len(monitor.logins_for_account(hard.email_local)) == 1
+
+
+class TestIntegrity:
+    def test_control_logins_not_detections(self, world):
+        monitor, _hard, _easy, _unused, control = world
+        monitor.ingest_dump([login(control)])
+        assert monitor.site_count() == 0
+        assert len(monitor.control_logins) == 1
+        assert monitor.alarms == []
+
+    def test_unused_account_login_raises_alarm(self, world):
+        monitor, _hard, _easy, unused, _control = world
+        monitor.ingest_dump([login(unused)])
+        assert monitor.site_count() == 0
+        assert len(monitor.alarms) == 1
+        assert "unused" in monitor.alarms[0].reason
+
+    def test_unknown_account_login_raises_alarm(self, world):
+        monitor, _hard, _easy, _unused, _control = world
+        ghost = LoginEvent("NeverCreated99", 5 * DAY, IPv4Address(1), LoginMethod.POP3)
+        monitor.ingest_dump([ghost])
+        assert monitor.site_count() == 0
+        assert "never created" in monitor.alarms[0].reason
+
+    def test_no_events_no_detections(self, world):
+        monitor, *_ = world
+        assert monitor.ingest_dump([]) == []
+        assert monitor.site_count() == 0
+        assert monitor.ingested_events == 0

@@ -1,0 +1,68 @@
+"""Tests for shared-backend site families (the paper's sites E/F)."""
+
+import pytest
+
+from repro.core.scenario import PilotScenario, ScenarioConfig
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture(scope="module")
+def family_result():
+    config = ScenarioConfig(
+        seed=29,  # a seed where both family accounts register and trip
+        population_size=250,
+        seed_list_size=40,
+        main_crawl_top=200,
+        second_crawl_top=250,
+        manual_top=10,
+        breach_count=6,
+        breach_hard_exposing=2,
+        unused_account_count=60,
+        control_account_count=3,
+        site_family_count=1,
+    )
+    return PilotScenario(config).run()
+
+
+def family_hosts(result):
+    return {
+        site.spec.host
+        for site in result.system.population.instantiated_sites()
+        if site.spec.backend_family
+    }
+
+
+class TestFamilies:
+    def test_family_pair_exists_in_population(self, family_result):
+        hosts = family_hosts(family_result)
+        assert len(hosts) == 2
+
+    def test_one_breach_exposes_the_whole_family(self, family_result):
+        hosts = family_hosts(family_result)
+        breached = {b.event.site_host for b in family_result.breaches}
+        family_breached = hosts & breached
+        # The wave scheduler picked one member; the backend pulled in
+        # the sibling at the same instant.
+        assert family_breached == hosts
+        # The *initial* breach hits both members at the same instant
+        # (a later §6.1.4 re-breach may add more events for one member).
+        first_by_host = {}
+        for breach in family_result.breaches:
+            if breach.event.site_host in hosts:
+                first_by_host.setdefault(breach.event.site_host, breach.event.time)
+        assert len(set(first_by_host.values())) == 1
+
+    def test_family_logins_temporally_aligned(self, family_result):
+        hosts = family_hosts(family_result)
+        detected = {h: d for h, d in family_result.monitor.detections.items()
+                    if h in hosts}
+        if len(detected) < 2:
+            pytest.skip("family accounts not both registered this seed")
+        first_logins = [d.first_login_time for d in detected.values()]
+        # §6.4.1: "periodic, temporally aligned logins" — first accesses
+        # land within days of each other, driven by one checker profile.
+        assert abs(first_logins[0] - first_logins[1]) <= 7 * DAY
+
+    def test_family_not_counted_as_false_positive(self, family_result):
+        assert family_result.monitor.alarms == []
+        assert family_result.detected_hosts <= family_result.breached_hosts

@@ -1,0 +1,182 @@
+"""Tests for the wired system and registration campaigns."""
+
+import pytest
+
+from repro.core.campaign import RegistrationCampaign, RegistrationPolicy
+from repro.core.system import TripwireSystem
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityState
+
+
+@pytest.fixture
+def system():
+    return TripwireSystem(seed=13, population_size=80)
+
+
+def provision(system, hard=60, easy=40):
+    system.provision_identities(hard, PasswordClass.HARD)
+    system.provision_identities(easy, PasswordClass.EASY)
+
+
+class TestProvisioning:
+    def test_identities_become_provider_accounts(self, system):
+        added = system.provision_identities(10, PasswordClass.HARD)
+        assert added == 10
+        assert system.provider.account_count() == 10
+        identity = system.pool.all_identities()[0]
+        account = system.provider.account(identity.email_local)
+        assert account is not None
+        assert account.password == identity.password  # the reuse bait
+        assert account.display_name == identity.full_name
+
+    def test_forwarding_addresses_on_cover_domains(self, system):
+        system.provision_identities(4, PasswordClass.HARD)
+        for identity in system.pool.all_identities():
+            account = system.provider.account(identity.email_local)
+            assert system.forwarding_hop.accepts(account.forwarding_address)
+
+    def test_control_accounts_separate(self, system):
+        created = system.provision_control_accounts(3)
+        assert len(created) == 3
+        assert len(system.control_locals) == 3
+        # Controls are never handed out for registrations.
+        assert system.pool.checkout_any("x.test") is None
+
+    def test_control_logins_always_succeed_and_are_recorded(self, system):
+        system.provision_control_accounts(3)
+        assert system.login_control_accounts() == 3
+        events = system.provider.telemetry.all_events_ground_truth()
+        assert len(events) == 3
+
+
+class TestMailRouting:
+    def test_site_mail_reaches_tripwire_server(self, system):
+        from repro.mail.messages import EmailMessage
+
+        system.provision_identities(1, PasswordClass.HARD)
+        identity = system.pool.all_identities()[0]
+        message = EmailMessage(sender="noreply@s.test",
+                               recipient=identity.email_address,
+                               subject="Welcome to s.test", body="hi", time=0)
+        assert system.route_site_mail(message)
+        assert system.mail_server.stored_count == 1
+
+    def test_foreign_domain_mail_dropped(self, system):
+        from repro.mail.messages import EmailMessage
+
+        message = EmailMessage(sender="noreply@s.test", recipient="u@elsewhere.example",
+                               subject="x", body="y", time=0)
+        assert not system.route_site_mail(message)
+
+
+class TestCampaign:
+    def test_hard_attempt_first(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system)
+        campaign.run_batch(system.population.alexa_top(20))
+        first_by_site = {}
+        for attempt in campaign.attempts:
+            first_by_site.setdefault(attempt.site_host, attempt)
+        assert all(a.password_class is PasswordClass.HARD
+                   for a in first_by_site.values())
+
+    def test_easy_only_after_believed_success(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system)
+        campaign.run_batch(system.population.alexa_top(40))
+        easy_sites = {a.site_host for a in campaign.attempts
+                      if a.password_class is PasswordClass.EASY}
+        believed_sites = {a.site_host for a in campaign.attempts
+                          if a.password_class is PasswordClass.HARD and a.believed_success}
+        assert easy_sites <= believed_sites
+
+    def test_exposed_identities_burned_others_released(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system)
+        campaign.run_batch(system.population.alexa_top(30))
+        exposing_site = {}
+        for attempt in campaign.attempts:
+            if attempt.exposed:
+                # An identity is exposed at most once, ever.
+                assert attempt.identity.identity_id not in exposing_site
+                exposing_site[attempt.identity.identity_id] = attempt.site_host
+        for attempt in campaign.attempts:
+            identity_id = attempt.identity.identity_id
+            state = system.pool.state(identity_id)
+            if identity_id in exposing_site:
+                assert state is IdentityState.BURNED
+                assert system.pool.site_for(identity_id) == exposing_site[identity_id]
+            else:
+                assert state is IdentityState.AVAILABLE
+
+    def test_shared_backend_sites_filtered(self, system):
+        provision(system, hard=20, easy=10)
+        campaign = RegistrationCampaign(system)
+        from repro.web.population import RankedSite
+
+        entry = RankedSite(rank=1, host="amazon42.com", url="http://amazon42.com/")
+        campaign.run_batch([entry])
+        assert campaign.stats.sites_filtered == 1
+        assert campaign.attempts == []
+
+    def test_no_site_attempted_twice_across_batches(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system)
+        top = system.population.alexa_top(20)
+        campaign.run_batch(top)
+        before = len(campaign.attempts)
+        campaign.run_batch(top)  # same list again
+        assert len(campaign.attempts) == before
+
+    def test_ethics_page_load_budget_per_site(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system)
+        campaign.run_batch(system.population.alexa_top(40))
+        # Section 3: the overwhelming majority of sites got <= 2
+        # registration attempts; none got more than a handful beyond
+        # the crawler's page budget per attempt.
+        for host in {a.site_host for a in campaign.attempts}:
+            attempts = campaign.attempts_for_site(host)
+            assert len(attempts) <= 3
+
+    def test_easy_first_policy_flips_order(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system, policy=RegistrationPolicy.EASY_FIRST)
+        campaign.run_batch(system.population.alexa_top(20))
+        first_by_site = {}
+        for attempt in campaign.attempts:
+            first_by_site.setdefault(attempt.site_host, attempt)
+        assert all(a.password_class is PasswordClass.EASY
+                   for a in first_by_site.values())
+
+    def test_simultaneous_policy_attempts_both(self, system):
+        provision(system)
+        campaign = RegistrationCampaign(system, policy=RegistrationPolicy.SIMULTANEOUS,
+                                        second_hard_probability=0.0)
+        campaign.run_batch(system.population.alexa_top(20))
+        by_site = {}
+        for attempt in campaign.attempts:
+            by_site.setdefault(attempt.site_host, []).append(attempt)
+        multi = [attempts for attempts in by_site.values() if len(attempts) >= 2]
+        assert multi, "simultaneous policy should try both classes somewhere"
+
+
+class TestManualRegistration:
+    def test_manual_only_on_eligible_sites(self, system):
+        provision(system, hard=10, easy=30)
+        campaign = RegistrationCampaign(system)
+        results = []
+        for entry in system.population.alexa_top(40):
+            record = campaign.manual_register(entry)
+            if record is not None:
+                results.append(record)
+        assert results, "some top sites should be manually registrable"
+        for record in results:
+            assert record.manual
+            assert record.password_class is PasswordClass.EASY
+            rank = system.population.rank_of_host(record.site_host)
+            assert system.population.spec_at_rank(rank).eligible_for_tripwire
+            # The human really created a working account.
+            site = system.population.site_by_host(record.site_host)
+            identity = record.identity
+            assert site.accounts.lookup(identity.email_address) is not None

@@ -1,0 +1,84 @@
+"""Edge-case tests for system wiring and provisioning."""
+
+import pytest
+
+from repro.core.system import TripwireSystem
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityState
+
+
+class TestProvisioningEdges:
+    def test_collision_identities_discarded_not_pooled(self):
+        system = TripwireSystem(seed=21, population_size=10)
+        # Pre-claim a block of names by provisioning them out of band.
+        added = system.provision_identities(20, PasswordClass.HARD)
+        # A second system sharing the same seed would regenerate the
+        # same locals; within one system the factory never collides, so
+        # all requested identities are added.
+        assert added == 20
+        assert system.provider.account_count() == 20
+
+    def test_pool_counts_track_states(self):
+        system = TripwireSystem(seed=22, population_size=10)
+        system.provision_identities(5, PasswordClass.HARD)
+        system.provision_control_accounts(2)
+        counts = system.pool.count_by_state()
+        assert counts[IdentityState.AVAILABLE] == 5
+        assert counts[IdentityState.CONTROL] == 2
+
+    def test_forward_index_spreads_domains(self):
+        system = TripwireSystem(seed=23, population_size=10)
+        system.provision_identities(6, PasswordClass.HARD)
+        domains = set()
+        for identity in system.pool.all_identities():
+            account = system.provider.account(identity.email_local)
+            domains.add(account.forwarding_address.partition("@")[2])
+        assert len(domains) == 2  # both cover domains in use
+
+    def test_control_login_uses_institution_ip(self):
+        system = TripwireSystem(seed=24, population_size=10)
+        system.provision_control_accounts(1)
+        system.login_control_accounts()
+        events = system.provider.telemetry.all_events_ground_truth()
+        assert len(events) == 1
+        assert system.proxy_pool.owns(events[0].ip)
+
+    def test_https_sites_get_https_verification_links(self):
+        # Sites with certificates send https:// links; the mail server
+        # must be able to fetch them (transport cert check).
+        from repro.web.spec import EmailBehavior
+
+        system = TripwireSystem(
+            seed=25, population_size=2,
+            site_overrides={1: {
+                "bucket": "rest", "host": "sec.test", "language": "en",
+                "load_fails": False, "supports_https": True,
+                "registration_path": "/signup",
+                "registration_style": __import__(
+                    "repro.web.spec", fromlist=["RegistrationStyle"]
+                ).RegistrationStyle.SIMPLE,
+                "email_behavior": EmailBehavior.VERIFICATION_LINK,
+                "wants_username": False, "wants_confirm_password": False,
+                "wants_terms_checkbox": False, "wants_name": False,
+                "wants_phone": False, "wants_birthdate": False,
+                "wants_gender": False, "extra_unlabeled_field": False,
+                "requires_special_char": False, "shadow_ban_rate": 0.0,
+                "max_email_length": None, "max_username_length": None,
+                "bot_check": __import__("repro.web.spec", fromlist=["BotCheck"]).BotCheck.NONE,
+            }},
+        )
+        system.provision_identities(1, PasswordClass.HARD)
+        site = system.population.site_at_rank(1)
+        identity = system.pool.checkout_any("sec.test")
+        system.mail_server.expect_registration(identity.email_local, "sec.test",
+                                               system.clock.now())
+        system.transport.post("https://sec.test/signup/submit", {
+            "email": identity.email_address,
+            "password": identity.password,
+        }, client_ip=system.proxy_pool.acquire_for_site("sec.test"))
+        account = site.accounts.lookup(identity.email_address)
+        assert account is not None
+        # The verification link was https and the click succeeded.
+        assert account.activated
+        assert system.mail_server.saved_pages
+        assert system.mail_server.saved_pages[0][0].startswith("https://sec.test/")

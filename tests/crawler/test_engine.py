@@ -1,0 +1,199 @@
+"""Tests for the crawler engine against real generated sites."""
+
+import pytest
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.crawler.outcomes import TerminationCode
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.net.dns import DnsResolver
+from repro.net.transport import Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.web.population import InternetPopulation
+from repro.web.spec import BotCheck, EmailBehavior, LinkPlacement, RegistrationStyle
+
+
+def build_world(overrides, seed=77):
+    """One-site world with fully pinned characteristics."""
+    base = {
+        "bucket": "rest",
+        "host": "target.test",
+        "language": "en",
+        "load_fails": False,
+        "registration_style": RegistrationStyle.SIMPLE,
+        "link_placement": LinkPlacement.PROMINENT,
+        "registration_path": "/signup",
+        "anchor_text": "Sign up",
+        "bot_check": BotCheck.NONE,
+        "email_behavior": EmailBehavior.NOTHING,
+        "wants_username": True,
+        "wants_confirm_password": False,
+        "wants_terms_checkbox": False,
+        "wants_name": False,
+        "wants_phone": False,
+        "extra_unlabeled_field": False,
+        "extra_field_required": False,
+        "requires_special_char": False,
+        "max_email_length": None,
+        "max_username_length": None,
+        "shadow_ban_rate": 0.0,
+        "supports_https": False,
+        "label_style": "for",
+    }
+    base.update(overrides)
+    clock = SimClock()
+    transport = Transport(clock)
+    population = InternetPopulation(
+        RngTree(seed), clock, transport, WhoisRegistry(), DnsResolver(),
+        size=3, overrides={1: base},
+    )
+    site = population.site_at_rank(1)
+    crawler = RegistrationCrawler(
+        transport,
+        CaptchaSolverService(RngTree(seed).child("solver").rng(), image_accuracy=1.0),
+        RngTree(seed).child("crawler").rng(),
+        config=CrawlerConfig(system_error_rate=0.0),
+    )
+    identity = IdentityFactory(RngTree(seed)).create(PasswordClass.HARD)
+    return site, crawler, identity, clock
+
+
+class TestHappyPath:
+    def test_simple_registration_succeeds(self):
+        site, crawler, identity, _clock = build_world({})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+        assert outcome.exposed_credentials
+        assert site.accounts.lookup(identity.email_address) is not None
+
+    def test_account_password_matches_identity(self):
+        site, crawler, identity, _clock = build_world({})
+        crawler.register_at("http://target.test/", identity)
+        assert site.check_credentials(identity.email_address, identity.password)
+
+    def test_footer_link_found(self):
+        site, crawler, identity, _clock = build_world(
+            {"link_placement": LinkPlacement.FOOTER})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+
+    def test_captcha_site_with_perfect_solver(self):
+        site, crawler, identity, _clock = build_world(
+            {"bot_check": BotCheck.CAPTCHA_IMAGE})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+        assert len(site.accounts) == 1
+
+    def test_https_preferred_when_available(self):
+        site, crawler, identity, _clock = build_world({"supports_https": True})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+
+
+class TestFailureModes:
+    def test_image_only_link_not_found(self):
+        _site, crawler, identity, _clock = build_world(
+            {"link_placement": LinkPlacement.IMAGE_ONLY,
+             "registration_path": "/members"})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.NO_REGISTRATION_FOUND
+        assert not outcome.exposed_credentials
+
+    def test_unusual_anchor_not_found(self):
+        _site, crawler, identity, _clock = build_world(
+            {"anchor_text": "Become a member", "registration_path": "/members"})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.NO_REGISTRATION_FOUND
+
+    def test_non_english_site_gated(self):
+        _site, crawler, identity, _clock = build_world(
+            {"bucket": "non_english", "language": "de", "anchor_text": "Registrieren"})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.NOT_ENGLISH
+
+    def test_external_only_no_form(self):
+        _site, crawler, identity, _clock = build_world(
+            {"registration_style": RegistrationStyle.EXTERNAL_ONLY,
+             "bucket": "no_registration"})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.NO_REGISTRATION_FOUND
+
+    def test_load_failure_is_system_error(self):
+        _site, crawler, identity, _clock = build_world(
+            {"load_fails": True, "bucket": "load_failure"})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.SYSTEM_ERROR
+
+    def test_payment_site_aborts_after_exposure(self):
+        site, crawler, identity, _clock = build_world(
+            {"registration_style": RegistrationStyle.PAYMENT_REQUIRED,
+             "bucket": "ineligible"})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.REQUIRED_FIELDS_MISSING
+        assert outcome.exposed_credentials  # email/password typed before card
+        assert len(site.accounts) == 0
+
+    def test_required_opaque_field_aborts(self):
+        _site, crawler, identity, _clock = build_world(
+            {"extra_unlabeled_field": True, "extra_field_required": True})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.REQUIRED_FIELDS_MISSING
+        assert outcome.exposed_credentials
+
+    def test_optional_opaque_field_silent_rejection(self):
+        site, crawler, identity, _clock = build_world(
+            {"extra_unlabeled_field": True, "extra_field_required": False})
+        outcome = crawler.register_at("http://target.test/", identity)
+        # The crawler submits without the field; the server rejects.
+        assert outcome.attempted_submission
+        assert len(site.accounts) == 0
+
+    def test_multistage_email_first_unsupported(self):
+        _site, crawler, identity, _clock = build_world(
+            {"registration_style": RegistrationStyle.MULTISTAGE,
+             "multistage_credentials_first": False})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code in (TerminationCode.NO_REGISTRATION_FOUND,
+                                TerminationCode.REQUIRED_FIELDS_MISSING)
+
+    def test_multistage_credentials_first_exposes_then_fails(self):
+        site, crawler, identity, _clock = build_world(
+            {"registration_style": RegistrationStyle.MULTISTAGE,
+             "multistage_credentials_first": True,
+             "multistage_creates_at_step1": True})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.SUBMISSION_HEURISTICS_FAILED
+        assert outcome.exposed_credentials
+        # ...yet the account actually exists: the 7%-valid bucket.
+        assert site.accounts.lookup(identity.email_address) is not None
+
+    def test_interactive_captcha_rejected_at_submit(self):
+        site, crawler, identity, _clock = build_world(
+            {"bot_check": BotCheck.INTERACTIVE})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.attempted_submission
+        assert len(site.accounts) == 0
+
+    def test_forced_system_error(self):
+        _site, crawler, identity, _clock = build_world({})
+        crawler.config.system_error_rate = 1.0
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.code is TerminationCode.SYSTEM_ERROR
+
+
+class TestEthicsConstraints:
+    def test_rate_limit_between_page_loads(self):
+        _site, crawler, identity, clock = build_world({})
+        start = clock.now()
+        outcome = crawler.register_at("http://target.test/", identity)
+        elapsed = clock.now() - start
+        # At least min_page_delay per page load.
+        assert elapsed >= outcome.pages_loaded * crawler.config.min_page_delay
+
+    def test_page_budget_bounded(self):
+        _site, crawler, identity, _clock = build_world({})
+        outcome = crawler.register_at("http://target.test/", identity)
+        assert outcome.pages_loaded <= crawler.config.max_pages

@@ -1,0 +1,86 @@
+"""Edge-case tests for the crawler engine."""
+
+import pytest
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.crawler.outcomes import TerminationCode
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.net.dns import DnsResolver
+from repro.net.proxies import ResearchProxyPool
+from repro.net.transport import HttpResponse, Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.web.population import InternetPopulation
+
+
+@pytest.fixture
+def simple_world():
+    clock = SimClock()
+    transport = Transport(clock)
+    population = InternetPopulation(
+        RngTree(301), clock, transport, WhoisRegistry(), DnsResolver(), size=3,
+        overrides={1: {"bucket": "rest", "host": "edge.test", "language": "en",
+                       "load_fails": False}},
+    )
+    population.site_at_rank(1)
+    return clock, transport, population
+
+
+def make_crawler(transport, pool=None, **config_kwargs):
+    config_kwargs.setdefault("system_error_rate", 0.0)
+    return RegistrationCrawler(
+        transport, CaptchaSolverService(RngTree(302).rng()),
+        RngTree(303).rng(), config=CrawlerConfig(**config_kwargs),
+        proxy_pool=pool,
+    )
+
+
+class TestEngineEdges:
+    def test_proxy_exhaustion_is_system_error(self, simple_world, whois):
+        _clock, transport, _population = simple_world
+        pool = ResearchProxyPool(whois, RngTree(304).rng(), pool_size=1)
+        crawler = make_crawler(transport, pool=pool)
+        factory = IdentityFactory(RngTree(305))
+        first = crawler.register_at("http://edge.test/",
+                                    factory.create(PasswordClass.HARD))
+        assert first.code is not None  # consumed the only proxy IP
+        second = crawler.register_at("http://edge.test/",
+                                     factory.create(PasswordClass.HARD))
+        assert second.code is TerminationCode.SYSTEM_ERROR
+        assert "proxy" in second.detail
+
+    def test_page_budget_exhaustion(self, simple_world):
+        _clock, transport, _population = simple_world
+        crawler = make_crawler(transport, max_pages=1)
+        outcome = crawler.register_at("http://edge.test/",
+                                      IdentityFactory(RngTree(306)).create(PasswordClass.HARD))
+        # One page is only ever enough when the homepage itself carries
+        # the form; this spec uses a separate registration page.
+        assert outcome.pages_loaded <= 1
+        assert outcome.code in (TerminationCode.NO_REGISTRATION_FOUND,
+                                TerminationCode.SYSTEM_ERROR)
+
+    def test_404_homepage_is_system_error(self, transport):
+        transport.register_host("broken.test", lambda r: HttpResponse(500, "boom"))
+        crawler = make_crawler(transport)
+        outcome = crawler.register_at("http://broken.test/",
+                                      IdentityFactory(RngTree(307)).create(PasswordClass.HARD))
+        assert outcome.code is TerminationCode.SYSTEM_ERROR
+
+    def test_outcome_timestamps_ordered(self, simple_world):
+        _clock, transport, _population = simple_world
+        crawler = make_crawler(transport)
+        outcome = crawler.register_at("http://edge.test/",
+                                      IdentityFactory(RngTree(308)).create(PasswordClass.HARD))
+        assert outcome.finished_at >= outcome.started_at
+
+    def test_filled_fields_recorded_on_submission(self, simple_world):
+        _clock, transport, _population = simple_world
+        crawler = make_crawler(transport)
+        outcome = crawler.register_at("http://edge.test/",
+                                      IdentityFactory(RngTree(309)).create(PasswordClass.HARD))
+        if outcome.attempted_submission:
+            assert outcome.filled_fields  # the serialized field names

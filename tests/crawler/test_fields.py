@@ -1,0 +1,109 @@
+"""Tests for the field-identification heuristics."""
+
+import pytest
+
+from repro.crawler.fields import FieldMeaning, classify_field
+from repro.html.forms import extract_form_model
+from repro.html.parser import parse_html
+
+
+def field_from(html: str):
+    dom = parse_html(f"<form>{html}</form>")
+    model = extract_form_model(dom, dom.find_first("form"))
+    return model.fields[0]
+
+
+def classify(html: str) -> FieldMeaning:
+    meaning, _score = classify_field(field_from(html))
+    return meaning
+
+
+class TestEnglishFields:
+    @pytest.mark.parametrize("html,expected", [
+        ('<input name="email">', FieldMeaning.EMAIL),
+        ('<input type="email" name="u1">', FieldMeaning.EMAIL),
+        ('<input name="x" placeholder="Your e-mail address">', FieldMeaning.EMAIL),
+        ('<input type="password" name="p">', FieldMeaning.PASSWORD),
+        ('<input name="passwd">', FieldMeaning.PASSWORD),
+        ('<input type="password" name="p2" placeholder="Confirm password">',
+         FieldMeaning.PASSWORD_CONFIRM),
+        ('<input name="confirm_email">', FieldMeaning.EMAIL_CONFIRM),
+        ('<input name="username">', FieldMeaning.USERNAME),
+        ('<input name="screen_name">', FieldMeaning.USERNAME),
+        ('<input name="first_name">', FieldMeaning.FIRST_NAME),
+        ('<input name="fname">', FieldMeaning.FIRST_NAME),
+        ('<input name="surname">', FieldMeaning.LAST_NAME),
+        ('<input name="full_name">', FieldMeaning.FULL_NAME),
+        ('<input type="tel" name="x9">', FieldMeaning.PHONE),
+        ('<input name="mobile">', FieldMeaning.PHONE),
+        ('<input name="zip">', FieldMeaning.ZIP),
+        ('<input name="city">', FieldMeaning.CITY),
+        ('<input name="dob">', FieldMeaning.BIRTHDATE),
+        ('<input name="company">', FieldMeaning.EMPLOYER),
+        ('<input name="gender">', FieldMeaning.GENDER),
+        ('<input name="card_number">', FieldMeaning.CARD_NUMBER),
+        ('<input name="cvv">', FieldMeaning.CARD_CVV),
+    ])
+    def test_classification(self, html, expected):
+        assert classify(html) is expected
+
+    def test_label_text_drives_classification(self):
+        dom = parse_html(
+            '<form><label for="f">Email address</label><input id="f" name="q7"></form>'
+        )
+        model = extract_form_model(dom, dom.find_first("form"))
+        meaning, _ = classify_field(model.fields[0])
+        assert meaning is FieldMeaning.EMAIL
+
+    def test_captcha_by_prompt(self):
+        assert classify(
+            '<input name="q" placeholder="Enter the characters shown in the image">'
+        ) is FieldMeaning.CAPTCHA
+
+    def test_captcha_by_challenge_token(self):
+        assert classify('<input name="z" data-challenge="ch-1" '
+                        'placeholder="security code">') is FieldMeaning.CAPTCHA
+
+    def test_knowledge_question(self):
+        assert classify(
+            '<input name="k" placeholder="What do you get when you add three and four?">'
+        ) is FieldMeaning.CAPTCHA
+
+    def test_terms_checkbox(self):
+        dom = parse_html(
+            '<form><label><input type="checkbox" name="tos"> I agree to the terms'
+            "</label></form>"
+        )
+        model = extract_form_model(dom, dom.find_first("form"))
+        meaning, _ = classify_field(model.fields[0])
+        assert meaning is FieldMeaning.TERMS
+
+
+class TestFailureModes:
+    def test_opaque_name_unknown(self):
+        assert classify('<input name="x_fld_71">') is FieldMeaning.UNKNOWN
+
+    def test_non_english_names_unknown(self):
+        # German field names defeat the English-only heuristics (§4.3.1).
+        for html in ('<input name="passwort">', '<input name="benutzername">',
+                     '<input name="vorname">'):
+            assert classify(html) is FieldMeaning.UNKNOWN
+
+    def test_non_english_labels_unknown(self):
+        dom = parse_html(
+            '<form><label for="f">E-Mail-Adresse bestätigen Sie</label>'
+            '<input id="f" name="q"></form>'
+        )
+        model = extract_form_model(dom, dom.find_first("form"))
+        meaning, _ = classify_field(model.fields[0])
+        # "E-Mail" still matches the email regex — descriptive labels in
+        # Latin-script languages can coincide; the *names* do not.
+        assert meaning in (FieldMeaning.EMAIL, FieldMeaning.UNKNOWN)
+
+    def test_confirm_beats_plain_password(self):
+        meaning = classify('<input type="password" name="password_confirm">')
+        assert meaning is FieldMeaning.PASSWORD_CONFIRM
+
+    def test_score_threshold(self):
+        _meaning, score = classify_field(field_from('<input name="email">'))
+        assert score >= 2.0

@@ -1,0 +1,182 @@
+"""Tests for serial form filling and submission-response heuristics."""
+
+import pytest
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.checks import SubmissionVerdict, judge_submission_response
+from repro.crawler.formfill import plan_form_fill
+from repro.html.browser import Page
+from repro.html.forms import extract_form_model
+from repro.html.parser import parse_html
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.util.rngtree import RngTree
+from repro.web.captcha import captcha_answer_for
+
+
+@pytest.fixture
+def identity():
+    return IdentityFactory(RngTree(31)).create(PasswordClass.HARD)
+
+
+def model_from(html: str):
+    dom = parse_html(f"<form action='/s' method='post'>{html}</form>")
+    return extract_form_model(dom, dom.find_first("form"))
+
+
+class TestFormFill:
+    def test_simple_form_filled_completely(self, identity):
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input name="username" required>'
+            '<input type="password" name="password" required>'
+        )
+        plan = plan_form_fill(model, identity)
+        assert plan.complete
+        assert plan.values["email"] == identity.email_address
+        assert plan.values["username"] == identity.site_username
+        assert plan.values["password"] == identity.password
+        assert plan.exposed_email and plan.exposed_password
+
+    def test_abort_on_required_unknown_after_exposure(self, identity):
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input type="password" name="password" required>'
+            '<input name="x_fld_71" required>'
+        )
+        plan = plan_form_fill(model, identity)
+        assert plan.aborted
+        # The horizontal line in Figure 1: credentials were already typed.
+        assert plan.exposed_email and plan.exposed_password
+
+    def test_abort_before_exposure_when_unknown_comes_first(self, identity):
+        model = model_from(
+            '<input name="x_fld_71" required>'
+            '<input type="email" name="email" required>'
+            '<input type="password" name="password" required>'
+        )
+        plan = plan_form_fill(model, identity)
+        assert plan.aborted
+        assert not plan.exposed_email and not plan.exposed_password
+
+    def test_optional_unknown_skipped(self, identity):
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input name="x_fld_71">'
+            '<input type="password" name="password" required>'
+        )
+        plan = plan_form_fill(model, identity)
+        assert plan.complete
+        assert "x_fld_71" not in plan.values
+
+    def test_card_number_unfillable(self, identity):
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input type="password" name="password" required>'
+            '<input name="card_number" required>'
+        )
+        plan = plan_form_fill(model, identity)
+        assert plan.aborted
+        assert "card_number" in plan.abort_reason
+
+    def test_terms_checkbox_checked(self, identity):
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input type="password" name="password" required>'
+            '<label><input type="checkbox" name="tos" value="1" required> '
+            "I agree to the terms</label>"
+        )
+        plan = plan_form_fill(model, identity)
+        assert plan.complete
+        assert plan.values["tos"] == "1"
+
+    def test_maxlength_truncation(self, identity):
+        model = model_from('<input name="username" maxlength="8" required>')
+        plan = plan_form_fill(model, identity)
+        assert len(plan.values["username"]) == 8
+
+    def test_captcha_solved_via_service(self, identity):
+        solver = CaptchaSolverService(RngTree(1).rng(), image_accuracy=1.0)
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input type="password" name="password" required>'
+            '<input name="captcha" data-challenge="ch-9" required '
+            ' placeholder="Enter the characters shown in the image">'
+        )
+        plan = plan_form_fill(model, identity, solver=solver)
+        assert plan.complete
+        assert plan.values["captcha"] == captcha_answer_for("ch-9")
+
+    def test_captcha_without_solver_aborts(self, identity):
+        model = model_from(
+            '<input type="email" name="email" required>'
+            '<input type="password" name="password" required>'
+            '<input name="captcha" data-challenge="ch-9" required '
+            ' placeholder="security code">'
+        )
+        plan = plan_form_fill(model, identity, solver=None)
+        assert plan.aborted
+
+
+def page_with(body: str) -> Page:
+    return Page(url="http://s.test/r", status=200, dom=parse_html(body))
+
+
+class TestSubmissionChecks:
+    def test_success_copy(self):
+        page = page_with("<p>Your registration was successful. Welcome aboard!</p>")
+        assert judge_submission_response(page) is SubmissionVerdict.SUCCESS
+
+    def test_error_copy(self):
+        page = page_with("<p>Error: please try again</p>")
+        assert judge_submission_response(page) is SubmissionVerdict.FAILURE
+
+    def test_error_beats_success_wording(self):
+        page = page_with("<p>Welcome aboard! If you entered an invalid email, "
+                         "contact support.</p>")
+        assert judge_submission_response(page) is SubmissionVerdict.FAILURE
+
+    def test_neutral_page_ambiguous_ok(self):
+        page = page_with("<p>Thanks for visiting our site today.</p>")
+        assert judge_submission_response(page) is SubmissionVerdict.AMBIGUOUS_OK
+
+    def test_check_your_email_hint_is_ok(self):
+        page = page_with("<p>Check your email for more information.</p>")
+        assert judge_submission_response(page) is SubmissionVerdict.AMBIGUOUS_OK
+
+    def test_represented_password_form_is_failure(self):
+        page = page_with('<form><input type="password" name="p"></form>')
+        assert judge_submission_response(page) is SubmissionVerdict.FAILURE
+
+    def test_next_stage_form_is_failure(self):
+        page = page_with('<form><input name="first_name"><input name="last_name"></form>')
+        assert judge_submission_response(page) is SubmissionVerdict.FAILURE
+
+
+class TestCaptchaSolver:
+    def test_perfect_accuracy_always_correct(self):
+        solver = CaptchaSolverService(RngTree(2).rng(), image_accuracy=1.0)
+        assert solver.solve("tok") == captcha_answer_for("tok")
+        assert solver.solves_correct == 1
+
+    def test_zero_accuracy_always_wrong(self):
+        solver = CaptchaSolverService(RngTree(3).rng(), image_accuracy=0.0)
+        assert solver.solve("tok") != captcha_answer_for("tok")
+
+    def test_empty_token_unsupported(self):
+        solver = CaptchaSolverService(RngTree(4).rng())
+        assert solver.solve("") is None
+
+    def test_question_accuracy_used(self):
+        solver = CaptchaSolverService(RngTree(5).rng(), image_accuracy=1.0,
+                                      question_accuracy=0.0)
+        assert solver.solve("tok", is_knowledge_question=True) != captcha_answer_for("tok")
+
+    def test_cost_accounting(self):
+        solver = CaptchaSolverService(RngTree(6).rng(), cost_per_solve=0.01)
+        solver.solve("a"); solver.solve("b")
+        assert solver.total_cost == pytest.approx(0.02)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            CaptchaSolverService(RngTree(7).rng(), image_accuracy=1.5)

@@ -1,0 +1,135 @@
+"""Tests for the multi-language crawler extension (§7.2)."""
+
+import pytest
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.crawler.fields import FieldMeaning, classify_field
+from repro.crawler.langpacks import AVAILABLE_PACKS, packs_for
+from repro.crawler.language import detect_language
+from repro.crawler.links import LINK_SCORE_THRESHOLD, score_registration_link
+from repro.crawler.outcomes import TerminationCode
+from repro.html.forms import extract_form_model
+from repro.html.parser import parse_html
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.net.dns import DnsResolver
+from repro.net.transport import Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.web.i18n import lexicon_for
+from repro.web.pages import render_homepage, render_registration_page
+from repro.web.population import InternetPopulation
+from repro.web.spec import BotCheck, LinkPlacement, RegistrationStyle, SiteSpec
+
+
+class TestPackRegistry:
+    def test_available_languages(self):
+        assert set(AVAILABLE_PACKS) == {"de", "es", "fr"}
+
+    def test_packs_for_filters_unknown(self):
+        packs = packs_for({"de", "zz", "fr"})
+        assert [p.language for p in packs] == ["de", "fr"]
+
+
+class TestDetectLanguage:
+    @pytest.mark.parametrize("lang", ["de", "fr", "es", "pt"])
+    def test_latin_script_languages(self, lang):
+        lexicon = lexicon_for(lang)
+        spec = SiteSpec(host="x.test", rank=5, category="News", language=lang,
+                        anchor_text=lexicon.sign_up)
+        dom = parse_html(render_homepage(spec, lexicon))
+        assert detect_language(dom) == lang
+
+    def test_english(self):
+        spec = SiteSpec(host="x.test", rank=5, category="News", language="en")
+        dom = parse_html(render_homepage(spec, lexicon_for("en")))
+        assert detect_language(dom) == "en"
+
+    @pytest.mark.parametrize("lang", ["ru", "zh", "ja"])
+    def test_non_latin_scripts(self, lang):
+        lexicon = lexicon_for(lang)
+        spec = SiteSpec(host="x.test", rank=5, category="News", language=lang,
+                        anchor_text=lexicon.sign_up)
+        dom = parse_html(render_homepage(spec, lexicon))
+        assert detect_language(dom) == lang
+
+
+class TestPackHeuristics:
+    def test_german_fields_classified_with_pack(self):
+        spec = SiteSpec(host="de.test", rank=5, category="News", language="de",
+                        label_style="for")
+        html = render_registration_page(spec, lexicon_for("de"))
+        dom = parse_html(html)
+        model = extract_form_model(dom, dom.find_first("form"))
+        packs = packs_for({"de"})
+        meanings = {classify_field(f, packs=packs)[0] for f in model.visible_fields()}
+        assert FieldMeaning.EMAIL in meanings
+        assert FieldMeaning.PASSWORD in meanings
+
+    def test_german_anchor_scored_with_pack(self):
+        packs = packs_for({"de"})
+        score = score_registration_link("http://x.test/portal", "Registrieren",
+                                        packs=packs)
+        assert score >= LINK_SCORE_THRESHOLD
+
+    def test_without_pack_german_anchor_fails(self):
+        assert score_registration_link("http://x.test/portal", "Registrieren") \
+            < LINK_SCORE_THRESHOLD
+
+
+class TestEndToEndGermanRegistration:
+    def build_world(self, enabled_languages):
+        clock = SimClock()
+        transport = Transport(clock)
+        overrides = {
+            "bucket": "non_english",
+            "host": "deutsch.test",
+            "language": "de",
+            "load_fails": False,
+            "registration_style": RegistrationStyle.SIMPLE,
+            "link_placement": LinkPlacement.PROMINENT,
+            "registration_path": "/registrierung",
+            "anchor_text": "Registrieren",
+            "bot_check": BotCheck.NONE,
+            "extra_unlabeled_field": False,
+            "requires_special_char": False,
+            "shadow_ban_rate": 0.0,
+            "max_email_length": None,
+            "max_username_length": None,
+            "label_style": "for",
+        }
+        from repro.web.spec import ResponseStyle
+
+        overrides["response_style"] = ResponseStyle.CLEAR
+        population = InternetPopulation(
+            RngTree(81), clock, transport, WhoisRegistry(), DnsResolver(), size=3,
+            overrides={1: overrides},
+        )
+        site = population.site_at_rank(1)
+        crawler = RegistrationCrawler(
+            transport,
+            CaptchaSolverService(RngTree(82).rng(), image_accuracy=1.0),
+            RngTree(83).rng(),
+            config=CrawlerConfig(system_error_rate=0.0,
+                                 enabled_languages=frozenset(enabled_languages)),
+        )
+        identity = IdentityFactory(RngTree(84)).create(PasswordClass.HARD)
+        return site, crawler, identity
+
+    def test_english_only_crawler_skips_german_site(self):
+        _site, crawler, identity = self.build_world(())
+        outcome = crawler.register_at("http://deutsch.test/", identity)
+        assert outcome.code is TerminationCode.NOT_ENGLISH
+
+    def test_german_pack_registers_successfully(self):
+        site, crawler, identity = self.build_world(("de",))
+        outcome = crawler.register_at("http://deutsch.test/", identity)
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+        assert site.accounts.lookup(identity.email_address) is not None
+
+    def test_pack_for_wrong_language_does_not_help(self):
+        _site, crawler, identity = self.build_world(("fr",))
+        outcome = crawler.register_at("http://deutsch.test/", identity)
+        assert outcome.code is TerminationCode.NOT_ENGLISH

@@ -1,0 +1,83 @@
+"""Tests for link heuristics and the language gate."""
+
+from repro.crawler.language import english_word_fraction, looks_english
+from repro.crawler.links import (
+    LINK_SCORE_THRESHOLD,
+    rank_registration_links,
+    score_registration_link,
+)
+from repro.html.parser import parse_html
+from repro.web.i18n import LEXICONS, lexicon_for
+from repro.web.pages import render_homepage
+from repro.web.spec import SiteSpec
+
+
+class TestLinkScoring:
+    def test_signup_text_scores_high(self):
+        assert score_registration_link("http://x.test/signup", "Sign up") >= 5
+
+    def test_login_text_penalized(self):
+        assert score_registration_link("http://x.test/login", "Log in") < 0
+
+    def test_href_alone_can_qualify(self):
+        assert score_registration_link("http://x.test/register", "") >= LINK_SCORE_THRESHOLD
+
+    def test_unusual_anchor_with_neutral_path_fails(self):
+        # The §6.2.2 miss: nothing matches "Become a member" at /members.
+        assert score_registration_link("http://x.test/members", "Become a member") \
+            < LINK_SCORE_THRESHOLD
+
+    def test_ranking_sorted_and_thresholded(self):
+        candidates = rank_registration_links([
+            ("http://x.test/signup", "Sign up"),
+            ("http://x.test/about", "About us"),
+            ("http://x.test/join", "Join now"),
+        ])
+        urls = [c.url for c in candidates]
+        assert "http://x.test/about" not in urls
+        assert urls[0] == "http://x.test/signup"
+
+    def test_duplicate_urls_keep_best_score(self):
+        candidates = rank_registration_links([
+            ("http://x.test/signup", ""),
+            ("http://x.test/signup", "Sign up"),
+        ])
+        assert len(candidates) == 1
+        assert candidates[0].text == "Sign up"
+
+    def test_non_english_anchor_fails(self):
+        for lang in ("de", "fr", "ru", "zh"):
+            anchor = lexicon_for(lang).sign_up
+            assert score_registration_link("http://x.test/portal", anchor) \
+                < LINK_SCORE_THRESHOLD, lang
+
+
+def homepage_dom(language: str):
+    lexicon = lexicon_for(language)
+    spec = SiteSpec(host="l.test", rank=10, category="News", language=language,
+                    anchor_text=lexicon.sign_up)
+    return parse_html(render_homepage(spec, lexicon))
+
+
+class TestLanguageGate:
+    def test_english_site_passes(self):
+        assert looks_english(homepage_dom("en"))
+
+    def test_all_non_english_sites_fail(self):
+        for lang in LEXICONS:
+            if lang == "en":
+                continue
+            assert not looks_english(homepage_dom(lang)), lang
+
+    def test_fraction_zero_for_empty(self):
+        assert english_word_fraction("") == 0.0
+
+    def test_fraction_high_for_english(self):
+        assert english_word_fraction("this is the news about your account and more") > 0.3
+
+    def test_lang_attr_hint_for_sparse_pages(self):
+        assert looks_english(parse_html('<html lang="en"><body>xq</body></html>'))
+
+    def test_non_latin_scripts_rejected(self):
+        body = "这是一个中文网站 " * 10
+        assert not looks_english(parse_html(f"<html><body>{body}</body></html>"))

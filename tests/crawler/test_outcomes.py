@@ -1,0 +1,50 @@
+"""Tests for termination codes and crawl-outcome semantics."""
+
+from repro.crawler.outcomes import (
+    EXPOSING_CODES,
+    CrawlOutcome,
+    TerminationCode,
+)
+
+
+def outcome(code, email=False, password=False):
+    return CrawlOutcome(site_host="s.test", url="http://s.test/", code=code,
+                        exposed_email=email, exposed_password=password)
+
+
+class TestTerminationCodes:
+    def test_submission_codes(self):
+        assert TerminationCode.OK_SUBMISSION.attempted_submission
+        assert TerminationCode.SUBMISSION_HEURISTICS_FAILED.attempted_submission
+        assert not TerminationCode.NO_REGISTRATION_FOUND.attempted_submission
+        assert not TerminationCode.NOT_ENGLISH.attempted_submission
+        assert not TerminationCode.SYSTEM_ERROR.attempted_submission
+
+    def test_exposing_codes_include_fields_missing(self):
+        # Figure 1's horizontal line sits inside the fill loop.
+        assert TerminationCode.REQUIRED_FIELDS_MISSING in EXPOSING_CODES
+        assert TerminationCode.NO_REGISTRATION_FOUND not in EXPOSING_CODES
+
+    def test_all_codes_have_distinct_values(self):
+        values = [code.value for code in TerminationCode]
+        assert len(values) == len(set(values)) == 6
+
+
+class TestCrawlOutcome:
+    def test_exposure_requires_either_credential(self):
+        assert not outcome(TerminationCode.OK_SUBMISSION).exposed_credentials
+        assert outcome(TerminationCode.OK_SUBMISSION, email=True).exposed_credentials
+        assert outcome(TerminationCode.OK_SUBMISSION, password=True).exposed_credentials
+
+    def test_attempted_submission_delegates_to_code(self):
+        assert outcome(TerminationCode.OK_SUBMISSION).attempted_submission
+        assert not outcome(TerminationCode.SYSTEM_ERROR).attempted_submission
+
+    def test_outcome_is_immutable(self):
+        import dataclasses
+
+        import pytest
+
+        record = outcome(TerminationCode.OK_SUBMISSION)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            record.code = TerminationCode.SYSTEM_ERROR  # type: ignore[misc]

@@ -1,0 +1,94 @@
+"""Tests for select-control (dropdown) handling end to end."""
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.crawler.formfill import plan_form_fill
+from repro.crawler.outcomes import TerminationCode
+from repro.html.forms import extract_form_model
+from repro.html.parser import parse_html
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.net.dns import DnsResolver
+from repro.net.transport import Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import instant_to_datetime
+from repro.web.i18n import ENGLISH
+from repro.web.pages import render_registration_page
+from repro.web.population import InternetPopulation
+from repro.web.spec import BotCheck, LinkPlacement, RegistrationStyle, ResponseStyle, SiteSpec
+
+
+def identity():
+    return IdentityFactory(RngTree(201)).create(PasswordClass.HARD)
+
+
+class TestFillingSelects:
+    def plan_for(self, **spec_overrides):
+        spec = SiteSpec(host="sel.test", rank=5, category="News", language="en",
+                        wants_username=False, wants_confirm_password=False,
+                        label_style="for", **spec_overrides)
+        html = render_registration_page(spec, ENGLISH)
+        dom = parse_html(html)
+        model = extract_form_model(dom, dom.find_first("form"))
+        ident = identity()
+        return ident, plan_form_fill(model, ident)
+
+    def test_birthdate_selects_filled_from_identity(self):
+        ident, plan = self.plan_for(wants_birthdate=True)
+        dob = instant_to_datetime(ident.date_of_birth)
+        assert plan.complete
+        assert plan.values["birth_month"] == str(dob.month)
+        assert plan.values["birth_day"] == str(dob.day)
+        assert plan.values["birth_year"] == str(dob.year)
+
+    def test_gender_select_matches_identity(self):
+        ident, plan = self.plan_for(wants_gender=True)
+        assert plan.complete
+        assert plan.values["gender"] == ident.gender
+
+    def test_unknown_select_takes_first_real_option(self):
+        dom = parse_html(
+            "<form><select name='mystery9'>"
+            "<option value=''>pick</option>"
+            "<option value='a'>A</option><option value='b'>B</option>"
+            "</select></form>"
+        )
+        model = extract_form_model(dom, dom.find_first("form"))
+        plan = plan_form_fill(model, identity())
+        assert plan.complete
+        assert plan.values["mystery9"] == "a"
+
+
+class TestEndToEndWithSelects:
+    def test_registration_succeeds_on_birthdate_site(self):
+        clock = SimClock()
+        transport = Transport(clock)
+        overrides = {1: {
+            "bucket": "rest", "host": "dob.test", "language": "en",
+            "load_fails": False,
+            "registration_style": RegistrationStyle.SIMPLE,
+            "link_placement": LinkPlacement.PROMINENT,
+            "registration_path": "/signup", "anchor_text": "Sign up",
+            "bot_check": BotCheck.NONE,
+            "response_style": ResponseStyle.CLEAR,
+            "extra_unlabeled_field": False, "requires_special_char": False,
+            "shadow_ban_rate": 0.0, "max_email_length": None,
+            "max_username_length": None, "wants_birthdate": True,
+            "wants_gender": True, "label_style": "for",
+        }}
+        population = InternetPopulation(
+            RngTree(202), clock, transport, WhoisRegistry(), DnsResolver(),
+            size=2, overrides=overrides,
+        )
+        site = population.site_at_rank(1)
+        crawler = RegistrationCrawler(
+            transport, CaptchaSolverService(RngTree(203).rng()),
+            RngTree(204).rng(), config=CrawlerConfig(system_error_rate=0.0),
+        )
+        ident = identity()
+        outcome = crawler.register_at("http://dob.test/", ident)
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+        account = site.accounts.lookup(ident.email_address)
+        assert account is not None

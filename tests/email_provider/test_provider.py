@@ -1,0 +1,177 @@
+"""Tests for the email provider (Section 4.2)."""
+
+import pytest
+
+from repro.email_provider.accounts import AccountState, NamingPolicy
+from repro.email_provider.provider import EmailProvider, LoginResult
+from repro.email_provider.telemetry import LoginMethod
+from repro.mail.messages import EmailMessage
+from repro.net.ipaddr import IPv4Address
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import HOUR
+
+
+IP = IPv4Address.parse("25.1.2.3")
+OTHER_IP = IPv4Address.parse("25.9.9.9")
+
+
+@pytest.fixture
+def provider():
+    clock = SimClock(1_000_000)
+    provider = EmailProvider("prov.example", clock, RngTree(5))
+    provider.provision("AlphaUser01", "Alpha User", "Secret1234")
+    return provider
+
+
+class TestProvisioning:
+    def test_collision_rejected(self, provider):
+        result = provider.provision("alphauser01", "Dup", "x" * 10)
+        assert not result.created
+        assert "taken" in result.reason
+
+    def test_preexisting_names_collide(self):
+        clock = SimClock()
+        provider = EmailProvider(
+            "p.example", clock, RngTree(1), preexisting_locals=frozenset({"organic"})
+        )
+        assert not provider.provision("Organic", "X", "pass123456").created
+
+    def test_naming_policy_enforced(self, provider):
+        too_short = provider.provision("abc", "X", "p" * 10)
+        assert not too_short.created
+        bad_chars = provider.provision("has space!", "X", "p" * 10)
+        assert not bad_chars.created
+
+    def test_account_count(self, provider):
+        assert provider.account_count() == 1
+
+    def test_policy_violation_messages(self):
+        policy = NamingPolicy(min_length=6, max_length=10)
+        assert "shorter" in policy.violation("abc")
+        assert "longer" in policy.violation("a" * 11)
+        assert "characters" in policy.violation("9starts")
+        assert policy.violation("Fine123") is None
+
+
+class TestLogin:
+    def test_success_recorded_in_telemetry(self, provider):
+        result = provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+        assert result is LoginResult.SUCCESS
+        events = provider.telemetry.all_events_ground_truth()
+        assert len(events) == 1
+        assert events[0].ip == IP
+        assert events[0].method is LoginMethod.IMAP
+
+    def test_bad_password_not_in_telemetry(self, provider):
+        result = provider.attempt_login("AlphaUser01", "wrong", IP, LoginMethod.IMAP)
+        assert result is LoginResult.BAD_PASSWORD
+        assert provider.telemetry.all_events_ground_truth() == []
+
+    def test_no_such_account(self, provider):
+        assert (
+            provider.attempt_login("Ghost", "x", IP, LoginMethod.IMAP)
+            is LoginResult.NO_SUCH_ACCOUNT
+        )
+
+    def test_case_insensitive_local(self, provider):
+        assert (
+            provider.attempt_login("ALPHAUSER01", "Secret1234", IP, LoginMethod.POP3)
+            is LoginResult.SUCCESS
+        )
+
+    def test_brute_force_throttling(self, provider):
+        for _ in range(EmailProvider.BRUTE_FORCE_LIMIT):
+            provider.attempt_login("AlphaUser01", "wrong", IP, LoginMethod.IMAP)
+        # Even the correct password is now rejected.
+        assert (
+            provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+            is LoginResult.THROTTLED
+        )
+
+    def test_throttle_expires(self, provider):
+        for _ in range(EmailProvider.BRUTE_FORCE_LIMIT):
+            provider.attempt_login("AlphaUser01", "wrong", IP, LoginMethod.IMAP)
+        provider._clock.advance(EmailProvider.BRUTE_FORCE_LOCKOUT + HOUR)
+        assert (
+            provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+            is LoginResult.SUCCESS
+        )
+
+
+class TestAbuseHandling:
+    def test_spam_deactivation(self, provider):
+        sent = provider.send_spam_from(
+            "AlphaUser01", "Secret1234", EmailProvider.SPAM_DEACTIVATION_THRESHOLD + 10
+        )
+        assert sent == EmailProvider.SPAM_DEACTIVATION_THRESHOLD
+        account = provider.account("AlphaUser01")
+        assert account.state is AccountState.DEACTIVATED
+        assert (
+            provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+            is LoginResult.ACCOUNT_DEACTIVATED
+        )
+
+    def test_spam_requires_password(self, provider):
+        assert provider.send_spam_from("AlphaUser01", "wrong", 5) == 0
+
+    def test_change_password(self, provider):
+        assert provider.change_password("AlphaUser01", "Secret1234", "NewPass999")
+        assert (
+            provider.attempt_login("AlphaUser01", "NewPass999", IP, LoginMethod.IMAP)
+            is LoginResult.SUCCESS
+        )
+        assert not provider.change_password("AlphaUser01", "Secret1234", "zzz")
+
+    def test_remove_forwarding(self):
+        clock = SimClock()
+        provider = EmailProvider("p.example", clock, RngTree(2))
+        provider.provision("BravoUser", "B", "pw12345678",
+                           forwarding_address="BravoUser@cover.example")
+        assert provider.remove_forwarding("BravoUser", "pw12345678")
+        assert provider.account("BravoUser").forwarding_address is None
+
+    def test_suspicious_ip_diversity_can_freeze(self):
+        clock = SimClock(1_000_000)
+        provider = EmailProvider("p.example", clock, RngTree(3))
+        provider.provision("CharlieUsr", "C", "pw12345678")
+        for i in range(600):
+            ip = IPv4Address(0x19000000 + i)
+            provider.attempt_login("CharlieUsr", "pw12345678", ip, LoginMethod.IMAP)
+            clock.advance(600)
+            if provider.account("CharlieUsr").state is not AccountState.ACTIVE:
+                break
+        assert provider.account("CharlieUsr").state in (
+            AccountState.FROZEN, AccountState.RESET_FORCED,
+        )
+
+
+class TestDelivery:
+    def make_message(self, recipient):
+        return EmailMessage(sender="a@b.test", recipient=recipient,
+                            subject="s", body="b", time=0)
+
+    def test_delivery_to_existing_account(self, provider):
+        assert provider.deliver(self.make_message("AlphaUser01@prov.example"))
+        assert provider.account("AlphaUser01").received_message_count == 1
+
+    def test_delivery_wrong_domain_rejected(self, provider):
+        assert not provider.deliver(self.make_message("AlphaUser01@other.example"))
+
+    def test_delivery_to_missing_account_rejected(self, provider):
+        assert not provider.deliver(self.make_message("Ghost@prov.example"))
+
+    def test_forwarding_hop_invoked(self):
+        clock = SimClock()
+        provider = EmailProvider("p.example", clock, RngTree(4))
+        provider.provision("DeltaUser1", "D", "pw12345678",
+                           forwarding_address="DeltaUser1@cover.example")
+        relayed = []
+        provider.set_forwarding_hop(relayed.append)
+        provider.deliver(self.make_message("DeltaUser1@p.example"))
+        assert len(relayed) == 1
+        assert relayed[0].recipient == "DeltaUser1@cover.example"
+
+    def test_deactivated_account_bounces(self, provider):
+        provider.send_spam_from("AlphaUser01", "Secret1234", 100)
+        assert not provider.deliver(self.make_message("AlphaUser01@prov.example"))

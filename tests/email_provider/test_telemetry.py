@@ -1,0 +1,67 @@
+"""Tests for login telemetry and the retention gap."""
+
+import pytest
+
+from repro.email_provider.telemetry import LoginEvent, LoginMethod, LoginTelemetry
+from repro.net.ipaddr import IPv4Address
+from repro.util.timeutil import DAY
+
+
+def event(local, day):
+    return LoginEvent(local, day * DAY, IPv4Address(1000 + day), LoginMethod.IMAP)
+
+
+class TestDumps:
+    def test_dump_includes_new_events_once(self):
+        telemetry = LoginTelemetry(retention_days=60)
+        telemetry.record(event("a", 10))
+        first = telemetry.collect_dump(now=20 * DAY)
+        assert [e.local_part for e in first] == ["a"]
+        assert telemetry.collect_dump(now=21 * DAY) == []
+
+    def test_events_must_be_ordered(self):
+        telemetry = LoginTelemetry()
+        telemetry.record(event("a", 10))
+        with pytest.raises(ValueError):
+            telemetry.record(event("b", 5))
+
+    def test_retention_gap_loses_events(self):
+        telemetry = LoginTelemetry(retention_days=60)
+        telemetry.record(event("early", 10))
+        telemetry.collect_dump(now=15 * DAY)
+        # An event at day 30, next dump at day 120: the event expired
+        # at day 60 of retention (120-60=60 > 30) before collection.
+        telemetry.record(event("lost", 30))
+        telemetry.record(event("kept", 100))
+        dump = telemetry.collect_dump(now=120 * DAY)
+        assert [e.local_part for e in dump] == ["kept"]
+        assert telemetry.lost_windows() == [(15 * DAY, 60 * DAY)]
+
+    def test_no_gap_when_dumps_frequent(self):
+        telemetry = LoginTelemetry(retention_days=60)
+        telemetry.record(event("a", 10))
+        telemetry.collect_dump(now=30 * DAY)
+        telemetry.record(event("b", 40))
+        telemetry.collect_dump(now=70 * DAY)
+        assert telemetry.lost_windows() == []
+
+    def test_no_gap_recorded_without_lost_events(self):
+        telemetry = LoginTelemetry(retention_days=30)
+        telemetry.collect_dump(now=100 * DAY)
+        telemetry.collect_dump(now=400 * DAY)
+        assert telemetry.lost_windows() == []
+
+    def test_retention_validation(self):
+        with pytest.raises(ValueError):
+            LoginTelemetry(retention_days=0)
+
+
+class TestAnonymization:
+    def test_anonymized_granularity(self):
+        raw = LoginEvent("acct", 5 * DAY + 12345, IPv4Address.parse("25.3.7.99"),
+                         LoginMethod.POP3)
+        local, day, slash24, method = raw.anonymized()
+        assert local == "acct"
+        assert day == 5 * DAY  # rounded to the day
+        assert slash24 == "25.3.7.0/24"  # /24, not the full address
+        assert method == "POP3"

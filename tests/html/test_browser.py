@@ -1,0 +1,90 @@
+"""Tests for the headless browser."""
+
+import pytest
+
+from repro.html.browser import Browser, BrowserError
+from repro.net.transport import HttpResponse
+
+
+HOMEPAGE = """
+<html><head><title>My Site</title></head><body>
+<a href="/signup">Sign up</a>
+<a href="#frag">skip</a>
+<a href="javascript:void(0)">skip too</a>
+<a href="mailto:a@b.c">mail</a>
+<a href="http://other.test/abs">elsewhere</a>
+<form action="/register" method="post">
+  <input name="email"><input type="password" name="pw">
+  <button type="submit">Go</button>
+</form>
+</body></html>
+"""
+
+
+@pytest.fixture
+def site(transport):
+    posts = []
+
+    def handler(request):
+        if request.method == "POST":
+            posts.append(dict(request.form))
+            return HttpResponse(200, "<p>registration successful</p>")
+        return HttpResponse(200, HOMEPAGE)
+
+    transport.register_host("b.test", handler)
+    return posts
+
+
+class TestLoad:
+    def test_load_sets_current_page(self, transport, site):
+        browser = Browser(transport)
+        page = browser.load("http://b.test/")
+        assert page.ok
+        assert browser.current_page is page
+        assert page.title == "My Site"
+
+    def test_links_absolute_and_filtered(self, transport, site):
+        page = Browser(transport).load("http://b.test/")
+        urls = [url for url, _text in page.links()]
+        assert "http://b.test/signup" in urls
+        assert "http://other.test/abs" in urls
+        assert not any(u.startswith(("javascript:", "mailto:")) for u in urls)
+        assert not any("#" in u for u in urls)
+
+    def test_unreachable_host_raises_browser_error(self, transport):
+        with pytest.raises(BrowserError):
+            Browser(transport).load("http://ghost.test/")
+
+
+class TestSubmit:
+    def test_submit_posts_serialized_values(self, transport, site):
+        browser = Browser(transport)
+        page = browser.load("http://b.test/")
+        form = page.forms()[0]
+        landing = browser.submit_form(form, {"email": "a@x.test", "pw": "secret"})
+        assert "successful" in landing.visible_text()
+        assert site == [{"email": "a@x.test", "pw": "secret"}]
+
+    def test_submit_without_page_rejected(self, transport, site):
+        browser = Browser(transport)
+        page = Browser(transport).load("http://b.test/")
+        form = page.forms()[0]
+        with pytest.raises(BrowserError):
+            browser.submit_form(form, {})
+
+    def test_get_method_form_uses_query(self, transport):
+        seen = {}
+
+        def handler(request):
+            if request.path == "/search":
+                seen.update(request.query)
+                return HttpResponse(200, "<p>results</p>")
+            return HttpResponse(
+                200, '<form action="/search" method="get"><input name="q"></form>'
+            )
+
+        transport.register_host("g.test", handler)
+        browser = Browser(transport)
+        page = browser.load("http://g.test/")
+        browser.submit_form(page.forms()[0], {"q": "term"})
+        assert seen == {"q": "term"}

@@ -1,0 +1,95 @@
+"""Tests for password classes (Section 4.1.2)."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.words import DICTIONARY_WORDS
+from repro.identity import passwords as pw
+
+
+class TestHardPasswords:
+    def test_length_and_charset(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            candidate = pw.generate_hard_password(rng)
+            assert len(candidate) == 10
+            assert candidate.isalnum()
+
+    def test_complexity_guarantee(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            candidate = pw.generate_hard_password(rng)
+            assert any(c.islower() for c in candidate)
+            assert any(c.isupper() for c in candidate)
+            assert any(c.isdigit() for c in candidate)
+
+    def test_validator_accepts_generated(self):
+        rng = random.Random(3)
+        assert all(pw.is_valid_hard_password(pw.generate_hard_password(rng))
+                   for _ in range(50))
+
+    def test_validator_rejects_easy_shape(self):
+        assert not pw.is_valid_hard_password("Website1")
+
+    def test_validator_rejects_special_chars(self):
+        assert not pw.is_valid_hard_password("i5Nss87yf!")
+
+    def test_paper_example_shape(self):
+        # "i5Nss87yf" is 9 chars in the paper text; padded to 10 it fits.
+        assert pw.is_valid_hard_password("i5Nss87yf3")
+
+
+class TestEasyPasswords:
+    def test_shape(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            candidate = pw.generate_easy_password(rng)
+            assert len(candidate) == 8
+            assert candidate[0].isupper()
+            assert candidate[-1].isdigit()
+            assert candidate[:7].lower() in DICTIONARY_WORDS
+
+    def test_paper_example(self):
+        assert pw.is_valid_easy_password("Website1")
+
+    def test_rejects_uncapitalized(self):
+        assert not pw.is_valid_easy_password("website1")
+
+    def test_rejects_unknown_word(self):
+        assert not pw.is_valid_easy_password("Zzzzzzz1")
+
+    def test_rejects_wrong_length(self):
+        assert not pw.is_valid_easy_password("Website12")
+
+
+class TestClassify:
+    def test_classify_easy(self):
+        assert pw.classify_password("Website1") is pw.PasswordClass.EASY
+
+    def test_classify_hard(self):
+        rng = random.Random(5)
+        assert pw.classify_password(pw.generate_hard_password(rng)) is pw.PasswordClass.HARD
+
+    def test_classify_neither(self):
+        assert pw.classify_password("short") is None
+        assert pw.classify_password("") is None
+
+    @given(st.integers())
+    def test_generated_classes_never_collide(self, seed):
+        rng = random.Random(seed)
+        easy = pw.generate_easy_password(rng)
+        hard = pw.generate_hard_password(rng)
+        assert pw.classify_password(easy) is pw.PasswordClass.EASY
+        assert pw.classify_password(hard) is pw.PasswordClass.HARD
+
+
+class TestDictionary:
+    def test_words_are_seven_ascii_letters(self):
+        for word in DICTIONARY_WORDS:
+            assert len(word) == 7
+            assert word.isascii() and word.isalpha() and word.islower()
+
+    def test_cracking_dictionary_covers_generator(self):
+        assert set(pw.dictionary_for_cracking()) == set(DICTIONARY_WORDS)

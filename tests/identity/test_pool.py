@@ -1,0 +1,156 @@
+"""Tests for identity pool burn semantics (Section 4.3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import (
+    BurnedIdentityError,
+    IdentityPool,
+    IdentityState,
+    UnknownIdentityError,
+)
+from repro.util.rngtree import RngTree
+
+
+@pytest.fixture
+def pool_with_identities():
+    factory = IdentityFactory(RngTree(9))
+    pool = IdentityPool()
+    identities = [factory.create(PasswordClass.HARD) for _ in range(3)]
+    identities += [factory.create(PasswordClass.EASY) for _ in range(2)]
+    for identity in identities:
+        pool.add(identity)
+    return pool, identities
+
+
+class TestLifecycle:
+    def test_checkout_then_burn(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        identity = pool.checkout(identities[0].identity_id, "site.test")
+        assert pool.state(identity.identity_id) is IdentityState.CHECKED_OUT
+        pool.burn(identity.identity_id)
+        assert pool.state(identity.identity_id) is IdentityState.BURNED
+        assert pool.site_for(identity.identity_id) == "site.test"
+
+    def test_release_returns_to_pool(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        identity = pool.checkout(identities[0].identity_id, "site.test")
+        pool.release(identity.identity_id)
+        assert pool.state(identity.identity_id) is IdentityState.AVAILABLE
+        assert pool.site_for(identity.identity_id) is None
+
+    def test_burned_identity_never_reusable(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        pool.checkout(identities[0].identity_id, "a.test")
+        pool.burn(identities[0].identity_id)
+        with pytest.raises(BurnedIdentityError):
+            pool.checkout(identities[0].identity_id, "b.test")
+
+    def test_burn_is_idempotent(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        pool.checkout(identities[0].identity_id, "a.test")
+        pool.burn(identities[0].identity_id)
+        pool.burn(identities[0].identity_id)
+        assert pool.site_for(identities[0].identity_id) == "a.test"
+
+    def test_burn_without_checkout_rejected(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        with pytest.raises(BurnedIdentityError):
+            pool.burn(identities[0].identity_id)
+
+    def test_release_without_checkout_rejected(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        with pytest.raises(BurnedIdentityError):
+            pool.release(identities[0].identity_id)
+
+    def test_unknown_identity(self, pool_with_identities):
+        pool, _ = pool_with_identities
+        with pytest.raises(UnknownIdentityError):
+            pool.state(9999)
+
+    def test_duplicate_add_rejected(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        with pytest.raises(ValueError):
+            pool.add(identities[0])
+
+
+class TestCheckoutAny:
+    def test_checkout_any_lowest_id(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        assert pool.checkout_any("s.test").identity_id == identities[0].identity_id
+
+    def test_checkout_any_filters_by_class(self, pool_with_identities):
+        pool, _ = pool_with_identities
+        identity = pool.checkout_any("s.test", PasswordClass.EASY)
+        assert identity.password_class is PasswordClass.EASY
+
+    def test_checkout_any_exhausted_returns_none(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        for _ in range(len(identities)):
+            pool.checkout_any("s.test")
+        assert pool.checkout_any("s.test") is None
+
+
+class TestControlAndQueries:
+    def test_control_accounts_not_checkoutable(self):
+        factory = IdentityFactory(RngTree(1))
+        pool = IdentityPool()
+        control = factory.create(PasswordClass.HARD)
+        pool.add_control(control)
+        assert pool.state(control.identity_id) is IdentityState.CONTROL
+        assert pool.checkout_any("s.test") is None
+
+    def test_identity_for_email(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        found = pool.identity_for_email(identities[1].email_address.upper())
+        assert found is identities[1]
+        assert pool.identity_for_email("nobody@nowhere.test") is None
+
+    def test_one_to_one_site_mapping(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        for index, identity in enumerate(identities):
+            pool.checkout(identity.identity_id, f"site{index}.test")
+            pool.burn(identity.identity_id)
+        sites = [site for _identity, site in pool.burned_identities()]
+        assert len(sites) == len(set(sites)) == len(identities)
+
+    def test_identities_for_site(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        for identity in identities[:2]:
+            pool.checkout(identity.identity_id, "shared.test")
+            pool.burn(identity.identity_id)
+        assert len(pool.identities_for_site("SHARED.test")) == 2
+
+    def test_count_by_state(self, pool_with_identities):
+        pool, identities = pool_with_identities
+        pool.checkout(identities[0].identity_id, "s.test")
+        counts = pool.count_by_state()
+        assert counts[IdentityState.CHECKED_OUT] == 1
+        assert counts[IdentityState.AVAILABLE] == len(identities) - 1
+
+
+@given(st.lists(st.sampled_from(["checkout", "burn", "release"]), max_size=30))
+def test_state_machine_never_corrupts(operations):
+    """Property: arbitrary operation sequences keep the pool consistent."""
+    factory = IdentityFactory(RngTree(3))
+    pool = IdentityPool()
+    identity = factory.create(PasswordClass.HARD)
+    pool.add(identity)
+    for operation in operations:
+        state = pool.state(identity.identity_id)
+        try:
+            if operation == "checkout":
+                pool.checkout(identity.identity_id, "s.test")
+            elif operation == "burn":
+                pool.burn(identity.identity_id)
+            else:
+                pool.release(identity.identity_id)
+        except BurnedIdentityError:
+            # Invalid transitions must not change state.
+            assert pool.state(identity.identity_id) is state
+    final = pool.state(identity.identity_id)
+    if final is IdentityState.BURNED:
+        assert pool.site_for(identity.identity_id) == "s.test"

@@ -1,0 +1,43 @@
+"""Tests for identity record semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.identity.records import SITE_USERNAME_MAX
+from repro.util.rngtree import RngTree
+from repro.web.captcha import captcha_answer_for
+
+
+class TestIdentityRecords:
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_site_username_is_prefix(self, seed):
+        identity = IdentityFactory(RngTree(seed)).create(PasswordClass.HARD)
+        assert identity.email_local.startswith(identity.site_username)
+        assert len(identity.site_username) <= SITE_USERNAME_MAX
+
+    def test_full_name_join(self):
+        identity = IdentityFactory(RngTree(1)).create(PasswordClass.HARD)
+        assert identity.full_name == f"{identity.first_name} {identity.last_name}"
+
+    def test_email_and_site_password_identical(self):
+        """The core of the technique: one password, two services."""
+        identity = IdentityFactory(RngTree(2)).create(PasswordClass.EASY)
+        assert identity.form_value_for("password") == identity.password
+        # There is no separate site password anywhere in the record.
+        assert "password" not in identity.address.one_line()
+
+
+class TestCaptchaOracle:
+    def test_answer_deterministic(self):
+        assert captcha_answer_for("tok-1") == captcha_answer_for("tok-1")
+
+    def test_answers_differ_by_token(self):
+        assert captcha_answer_for("tok-1") != captcha_answer_for("tok-2")
+
+    @given(st.text(max_size=40))
+    def test_answer_shape(self, token):
+        answer = captcha_answer_for(token)
+        assert len(answer) == 6
+        assert all(c in "0123456789abcdef" for c in answer)

@@ -1,0 +1,63 @@
+"""The falsification test: a world with no breaches yields no detections.
+
+Tripwire's headline property is the absence of false positives
+("admits no false positives — presuming the email provider itself is
+not compromised").  A full pilot with every attacker mechanism disabled
+must end with zero detections, zero alarms, and analysis artifacts that
+render cleanly in their empty states.
+"""
+
+import pytest
+
+from repro.analysis.fig2 import build_fig2, render_fig2
+from repro.analysis.table2 import build_table2, render_table2
+from repro.analysis.table3 import build_table3, render_table3
+from repro.core.scenario import PilotScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def quiet_world():
+    config = ScenarioConfig(
+        seed=404,
+        population_size=200,
+        seed_list_size=30,
+        main_crawl_top=160,
+        second_crawl_top=200,
+        manual_top=8,
+        breach_count=0,  # nobody attacks anything
+        rebreach_one_site=False,
+        unused_account_count=60,
+        control_account_count=4,
+    )
+    return PilotScenario(config).run()
+
+
+class TestQuietWorld:
+    def test_no_detections_without_breaches(self, quiet_world):
+        assert quiet_world.breaches == []
+        assert quiet_world.monitor.site_count() == 0
+        assert quiet_world.monitor.alarms == []
+
+    def test_control_logins_still_flow(self, quiet_world):
+        # The pipeline is alive even though nothing tripped.
+        assert len(quiet_world.monitor.control_logins) > 0
+
+    def test_registrations_still_happened(self, quiet_world):
+        assert len(quiet_world.campaign.exposed_attempts()) > 0
+
+    def test_only_control_logins_in_telemetry(self, quiet_world):
+        control = quiet_world.system.control_locals
+        for event in quiet_world.system.provider.telemetry.all_events_ground_truth():
+            assert event.local_part.lower() in control
+
+    def test_empty_analyses_render(self, quiet_world):
+        assert build_table2(quiet_world) == []
+        assert build_table3(quiet_world) == []
+        assert "no detected compromises" in render_fig2(build_fig2(quiet_world))
+        # Renderers tolerate empty row sets.
+        assert render_table2([])
+        assert render_table3([])
+
+    def test_estimates_still_produced(self, quiet_world):
+        assert len(quiet_world.estimates) == 5
+        assert sum(e.attempted_total for e in quiet_world.estimates) > 0

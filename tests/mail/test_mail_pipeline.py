@@ -1,0 +1,129 @@
+"""Tests for the forwarding hop and the Tripwire mail server."""
+
+import pytest
+
+from repro.mail.forwarding import ForwardingHop
+from repro.mail.messages import EmailMessage, MessageKind
+from repro.mail.server import TripwireMailServer, VerificationOutcome
+from repro.net.transport import HttpResponse, Transport
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import DAY
+
+
+def message(recipient, subject="", body="", time=0, kind=MessageKind.OTHER):
+    return EmailMessage(sender="noreply@site.test", recipient=recipient,
+                        subject=subject, body=body, time=time, kind=kind)
+
+
+class TestForwardingHop:
+    def test_relays_cover_domain_mail(self):
+        received = []
+        hop = ForwardingHop(["cover.example"], received.append)
+        hop(message("user@cover.example"))
+        assert len(received) == 1
+        assert hop.relayed_count == 1
+
+    def test_drops_foreign_domains(self):
+        received = []
+        hop = ForwardingHop(["cover.example"], received.append)
+        hop(message("user@elsewhere.example"))
+        assert received == []
+        assert hop.rejected_count == 1
+
+    def test_addresses_spread_across_domains(self):
+        hop = ForwardingHop(["a.example", "b.example"], lambda m: None)
+        addresses = {hop.address_for("user", index) for index in range(4)}
+        assert addresses == {"user@a.example", "user@b.example"}
+
+    def test_requires_domains(self):
+        with pytest.raises(ValueError):
+            ForwardingHop([], lambda m: None)
+
+
+@pytest.fixture
+def server(transport):
+    fetched = []
+
+    def verify_handler(request):
+        fetched.append(request.url)
+        return HttpResponse(200, "<p>confirmed</p>")
+
+    transport.register_host("site.test", verify_handler)
+    server = TripwireMailServer(transport, RngTree(2).rng(),
+                               verification_click_failure_rate=0.0)
+    return server
+
+
+class TestMailServer:
+    def test_verification_clicked_when_expected(self, server):
+        server.expect_registration("user1", "site.test", time=0)
+        stored = server.receive(message(
+            "user1@cover.example", subject="Verify your account",
+            body="http://site.test/verify?token=t1", time=100))
+        assert stored.verification is VerificationOutcome.CLICKED
+        assert server.verification_state("user1") is VerificationOutcome.CLICKED
+        assert len(server.saved_pages) == 1
+
+    def test_unexpected_verification_not_clicked(self, server):
+        stored = server.receive(message(
+            "strange@cover.example", subject="Verify now",
+            body="http://site.test/verify?token=x", time=100))
+        assert stored.verification is VerificationOutcome.NOT_EXPECTED
+        assert server.saved_pages == []
+
+    def test_expectation_window_expires(self, server):
+        server.expect_registration("user2", "site.test", time=0)
+        stored = server.receive(message(
+            "user2@cover.example", subject="Verify",
+            body="http://site.test/verify?token=y",
+            time=TripwireMailServer.EXPECTATION_WINDOW + DAY))
+        assert stored.verification is VerificationOutcome.NOT_EXPECTED
+
+    def test_fetch_failure_reported(self, transport):
+        server = TripwireMailServer(transport, RngTree(3).rng(),
+                                    verification_click_failure_rate=0.0)
+        server.expect_registration("user3", "down.test", time=0)
+        stored = server.receive(message(
+            "user3@cover.example", subject="Verify",
+            body="http://down.test/verify?token=z", time=10))
+        assert stored.verification is VerificationOutcome.FETCH_FAILED
+
+    def test_click_failure_mode(self, transport):
+        # §6.2.2: one breach was missed because verification was never
+        # completed; with failure rate 1.0 every click is skipped.
+        transport.register_host("site.test", lambda r: HttpResponse(200, "ok"))
+        server = TripwireMailServer(transport, RngTree(4).rng(),
+                                    verification_click_failure_rate=1.0)
+        server.expect_registration("user4", "site.test", time=0)
+        stored = server.receive(message(
+            "user4@cover.example", subject="Verify",
+            body="http://site.test/verify?token=q", time=10))
+        assert stored.verification is VerificationOutcome.SKIPPED
+
+    def test_welcome_classified_not_verification(self, server):
+        server.expect_registration("user5", "site.test", time=0)
+        stored = server.receive(message(
+            "user5@cover.example", subject="Welcome to site.test!",
+            body="enjoy http://site.test/", time=10))
+        assert stored.classified_kind is MessageKind.WELCOME
+        assert stored.verification is None
+
+    def test_received_any_since(self, server):
+        server.receive(message("user6@cover.example", subject="x", time=50))
+        assert server.received_any("user6", since=0)
+        assert not server.received_any("user6", since=100)
+
+    def test_messages_for_case_insensitive(self, server):
+        server.receive(message("User7@cover.example", subject="x", time=1))
+        assert len(server.messages_for("user7")) == 1
+
+    def test_failure_rate_validation(self, transport):
+        with pytest.raises(ValueError):
+            TripwireMailServer(transport, RngTree(1).rng(),
+                               verification_click_failure_rate=1.5)
+
+    def test_stored_count(self, server):
+        server.receive(message("a@cover.example", time=1))
+        server.receive(message("b@cover.example", time=2))
+        assert server.stored_count == 2

@@ -1,0 +1,68 @@
+"""Tests for email message heuristics."""
+
+from repro.mail.messages import (
+    EmailMessage,
+    MessageKind,
+    looks_like_registration_related,
+    looks_like_verification,
+)
+
+
+def message(subject="", body=""):
+    return EmailMessage(sender="noreply@s.test", recipient="u@p.example",
+                        subject=subject, body=body, time=0)
+
+
+class TestUrlExtraction:
+    def test_urls_found(self):
+        m = message(body="click http://s.test/verify?token=abc now")
+        assert m.urls() == ["http://s.test/verify?token=abc"]
+
+    def test_https_and_multiple(self):
+        m = message(body="a https://x.test/1 b http://y.test/2")
+        assert len(m.urls()) == 2
+
+    def test_no_urls(self):
+        assert message(body="nothing here").urls() == []
+
+    def test_url_stops_at_quote(self):
+        m = message(body='<a href="http://s.test/v">go</a>')
+        assert m.urls() == ["http://s.test/v"]
+
+
+class TestVerificationHeuristic:
+    def test_verification_cue_plus_link(self):
+        m = message(subject="Please verify your email",
+                    body="http://s.test/verify?token=1")
+        assert looks_like_verification(m)
+
+    def test_cue_without_link_not_verification(self):
+        assert not looks_like_verification(message(subject="Please confirm", body="no link"))
+
+    def test_link_without_cue_not_verification(self):
+        assert not looks_like_verification(message(subject="Hi", body="http://x.test/"))
+
+    def test_activation_wording(self):
+        m = message(subject="Activate your account", body="http://s.test/a?t=2")
+        assert looks_like_verification(m)
+
+
+class TestRegistrationRelatedHeuristic:
+    def test_welcome_message(self):
+        assert looks_like_registration_related(message(subject="Welcome to s.test!"))
+
+    def test_account_wording(self):
+        assert looks_like_registration_related(message(body="Your account is ready"))
+
+    def test_unrelated_not_matched(self):
+        assert not looks_like_registration_related(message(subject="50% off shoes"))
+
+
+class TestReaddressing:
+    def test_with_recipient_copies(self):
+        original = message(subject="s", body="b")
+        forwarded = original.with_recipient("u@cover.example")
+        assert forwarded.recipient == "u@cover.example"
+        assert forwarded.subject == original.subject
+        assert forwarded.kind is MessageKind.OTHER
+        assert original.recipient == "u@p.example"  # original untouched

@@ -1,0 +1,55 @@
+"""Tests for DNS."""
+
+import pytest
+
+from repro.net.dns import DnsResolver, NxDomain
+from repro.net.ipaddr import IPv4Address
+
+
+class TestDnsResolver:
+    def test_register_and_resolve_a(self, dns):
+        ip = IPv4Address.parse("25.0.0.1")
+        dns.register_host("example.test", ip)
+        assert dns.resolve_a("example.test") == [ip]
+
+    def test_names_case_insensitive(self, dns):
+        dns.register_host("Example.TEST", IPv4Address(1))
+        assert dns.resolve_a("example.test") == [IPv4Address(1)]
+
+    def test_unknown_name_raises(self, dns):
+        with pytest.raises(NxDomain):
+            dns.resolve_a("missing.test")
+
+    def test_mx_absent_returns_empty_for_known_zone(self, dns):
+        # Site J's failure mode: a live domain without an MX record.
+        dns.register_host("sitej.test", IPv4Address(2))
+        assert dns.resolve_mx("sitej.test") == []
+
+    def test_mx_unknown_zone_raises(self, dns):
+        with pytest.raises(NxDomain):
+            dns.resolve_mx("ghost.test")
+
+    def test_mx_preference_ordering(self, dns):
+        zone = dns.zone("mail.test")
+        zone.add_mx("backup.mail.test", preference=20)
+        zone.add_mx("primary.mail.test", preference=5)
+        assert dns.resolve_mx("mail.test") == ["primary.mail.test", "backup.mail.test"]
+
+    def test_ptr_registered_with_host(self, dns):
+        ip = IPv4Address.parse("25.0.9.9")
+        dns.register_host("rev.test", ip)
+        assert dns.resolve_ptr(ip) == "rev.test"
+
+    def test_ptr_absent(self, dns):
+        assert dns.resolve_ptr(IPv4Address(12345)) is None
+
+    def test_set_ptr_overwrites(self, dns):
+        ip = IPv4Address(77)
+        dns.set_ptr(ip, "one.test")
+        dns.set_ptr(ip, "TWO.test")
+        assert dns.resolve_ptr(ip) == "two.test"
+
+    def test_has_zone(self, dns):
+        assert not dns.has_zone("z.test")
+        dns.zone("z.test")
+        assert dns.has_zone("z.test")

@@ -1,0 +1,91 @@
+"""Tests for IPv4 address and CIDR modeling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipaddr import CidrBlock, IPv4Address
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        assert str(IPv4Address.parse("192.0.2.1")) == "192.0.2.1"
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            IPv4Address.parse("1.2.3")
+
+    def test_parse_rejects_big_octet(self):
+        with pytest.raises(ValueError):
+            IPv4Address.parse("1.2.3.256")
+
+    def test_parse_rejects_leading_zero(self):
+        with pytest.raises(ValueError):
+            IPv4Address.parse("01.2.3.4")
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+    def test_octets(self):
+        assert IPv4Address.parse("10.20.30.40").octets() == (10, 20, 30, 40)
+
+    def test_ordering_and_add(self):
+        a = IPv4Address.parse("10.0.0.1")
+        assert a + 1 == IPv4Address.parse("10.0.0.2")
+        assert a < a + 1
+
+    def test_slash24(self):
+        block = IPv4Address.parse("10.1.2.77").slash24()
+        assert str(block) == "10.1.2.0/24"
+
+    def test_hashable(self):
+        assert len({IPv4Address(1), IPv4Address(1), IPv4Address(2)}) == 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_parse_str_roundtrip_property(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address.parse(str(address)) == address
+
+
+class TestCidrBlock:
+    def test_parse(self):
+        block = CidrBlock.parse("10.0.0.0/8")
+        assert block.prefix_len == 8
+        assert block.size() == 1 << 24
+
+    def test_parse_requires_prefix(self):
+        with pytest.raises(ValueError):
+            CidrBlock.parse("10.0.0.0")
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            CidrBlock.parse("10.0.0.1/24")
+
+    def test_contains(self):
+        block = CidrBlock.parse("10.1.0.0/16")
+        assert IPv4Address.parse("10.1.200.3") in block
+        assert IPv4Address.parse("10.2.0.1") not in block
+
+    def test_address_at(self):
+        block = CidrBlock.parse("10.0.0.0/30")
+        assert str(block.address_at(3)) == "10.0.0.3"
+        with pytest.raises(ValueError):
+            block.address_at(4)
+
+    def test_prefix_bounds(self):
+        with pytest.raises(ValueError):
+            CidrBlock(IPv4Address(0), 33)
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_size_times_count_covers_space(self, prefix):
+        block = CidrBlock(IPv4Address(0), prefix)
+        assert block.size() == 2 ** (32 - prefix)
+
+    @given(st.integers(min_value=8, max_value=30), st.integers(min_value=0, max_value=255))
+    def test_address_at_stays_inside(self, prefix, fuzz):
+        block = CidrBlock(IPv4Address(0), prefix)
+        offset = fuzz % block.size()
+        assert block.contains(block.address_at(offset))

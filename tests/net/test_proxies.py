@@ -1,0 +1,54 @@
+"""Tests for the research proxy pool."""
+
+import pytest
+
+from repro.net.proxies import ProxyPoolExhausted, ResearchProxyPool
+from repro.net.whois import HostKind
+from repro.util.rngtree import RngTree
+
+
+def make_pool(whois, size=8):
+    return ResearchProxyPool(whois, RngTree(3).rng(), pool_size=size)
+
+
+class TestResearchProxyPool:
+    def test_whois_names_institution(self, whois):
+        pool = make_pool(whois)
+        assert pool.allocation.kind is HostKind.INSTITUTION
+        assert "UCSD" in pool.allocation.organization
+
+    def test_one_ip_per_site(self, whois):
+        pool = make_pool(whois, size=8)
+        used = {pool.acquire_for_site("site.test") for _ in range(8)}
+        assert len(used) == 8  # never the same IP twice for one site
+
+    def test_exhaustion_raises(self, whois):
+        pool = make_pool(whois, size=2)
+        pool.acquire_for_site("s.test")
+        pool.acquire_for_site("s.test")
+        with pytest.raises(ProxyPoolExhausted):
+            pool.acquire_for_site("s.test")
+
+    def test_sites_tracked_independently(self, whois):
+        pool = make_pool(whois, size=2)
+        for _ in range(2):
+            pool.acquire_for_site("a.test")
+        # A different site still has the full pool available.
+        assert pool.acquire_for_site("b.test") is not None
+        assert pool.uses_for_site("a.test") == 2
+        assert pool.uses_for_site("b.test") == 1
+
+    def test_addresses_inside_allocation(self, whois):
+        pool = make_pool(whois)
+        for ip in pool.addresses:
+            assert pool.allocation.block.contains(ip)
+            assert pool.owns(ip)
+
+    def test_pool_size_validation(self, whois):
+        with pytest.raises(ValueError):
+            ResearchProxyPool(whois, RngTree(1).rng(), pool_size=0)
+
+    def test_host_case_insensitive(self, whois):
+        pool = make_pool(whois, size=3)
+        pool.acquire_for_site("MiXeD.test")
+        assert pool.uses_for_site("mixed.test") == 1

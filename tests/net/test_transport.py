@@ -1,0 +1,136 @@
+"""Tests for the HTTP transport."""
+
+import pytest
+
+from repro.net.ipaddr import IPv4Address
+from repro.net.transport import (
+    HostUnreachable,
+    HttpRequest,
+    HttpResponse,
+    TlsError,
+    Transport,
+    TransportError,
+    absolutize,
+    with_query,
+)
+from repro.sim.clock import SimClock
+
+
+def echo_handler(request: HttpRequest) -> HttpResponse:
+    return HttpResponse(200, f"{request.method} {request.path}")
+
+
+class TestRouting:
+    def test_basic_get(self, transport):
+        transport.register_host("a.test", echo_handler)
+        response = transport.get("http://a.test/page")
+        assert response.ok
+        assert response.body == "GET /page"
+
+    def test_unknown_host_raises(self, transport):
+        with pytest.raises(HostUnreachable):
+            transport.get("http://nowhere.test/")
+
+    def test_down_host_raises_and_recovers(self, transport):
+        transport.register_host("b.test", echo_handler)
+        transport.set_host_down("b.test")
+        with pytest.raises(HostUnreachable):
+            transport.get("http://b.test/")
+        transport.set_host_down("b.test", down=False)
+        assert transport.get("http://b.test/").ok
+
+    def test_url_without_host_rejected(self, transport):
+        with pytest.raises(TransportError):
+            transport.get("not-a-url")
+
+    def test_post_form_passed_through(self, transport):
+        seen = {}
+
+        def handler(request):
+            seen.update(request.form)
+            return HttpResponse(200, "ok")
+
+        transport.register_host("c.test", handler)
+        transport.post("http://c.test/submit", {"x": "1"})
+        assert seen == {"x": "1"}
+
+
+class TestHttps:
+    def test_https_requires_cert(self, transport):
+        transport.register_host("plain.test", echo_handler, https=False)
+        with pytest.raises(TlsError):
+            transport.get("https://plain.test/")
+
+    def test_https_with_cert_ok(self, transport):
+        transport.register_host("secure.test", echo_handler, https=True)
+        assert transport.get("https://secure.test/").ok
+        assert transport.supports_https("secure.test")
+
+
+class TestRedirects:
+    def test_redirect_followed(self, transport):
+        def redirector(request):
+            if request.path == "/start":
+                return HttpResponse(302, "", headers={"Location": "/end"})
+            return HttpResponse(200, "arrived")
+
+        transport.register_host("r.test", redirector)
+        response = transport.get("http://r.test/start")
+        assert response.body == "arrived"
+        assert response.final_url.endswith("/end")
+
+    def test_redirect_loop_detected(self, transport):
+        transport.register_host(
+            "loop.test",
+            lambda request: HttpResponse(302, "", headers={"Location": "/again"}),
+        )
+        with pytest.raises(TransportError):
+            transport.get("http://loop.test/")
+
+    def test_cross_host_redirect(self, transport):
+        transport.register_host(
+            "from.test",
+            lambda request: HttpResponse(301, "", headers={"Location": "http://to.test/x"}),
+        )
+        transport.register_host("to.test", echo_handler)
+        assert transport.get("http://from.test/").body == "GET /x"
+
+
+class TestClockAndLog:
+    def test_requests_advance_clock(self):
+        clock = SimClock(0)
+        transport = Transport(clock, network_latency=2)
+        transport.register_host("t.test", echo_handler)
+        transport.get("http://t.test/")
+        assert clock.now() == 2
+
+    def test_request_log_and_load(self, transport):
+        transport.register_host("l.test", echo_handler)
+        transport.get("http://l.test/a")
+        transport.get("http://l.test/b", client_ip=IPv4Address(9))
+        log = transport.request_log("l.test")
+        assert [entry.path for entry in log] == ["/a", "/b"]
+        assert log[1].client_ip == IPv4Address(9)
+        assert transport.load_on_host("l.test") == 2
+        assert transport.load_on_host("other.test") == 0
+
+
+class TestUrlHelpers:
+    def test_absolutize_absolute_passthrough(self):
+        assert absolutize("http://x.test/a", base="http://y.test/") == "http://x.test/a"
+
+    def test_absolutize_rooted(self):
+        assert absolutize("/p", base="http://y.test/deep/page") == "http://y.test/p"
+
+    def test_absolutize_relative(self):
+        assert absolutize("next", base="http://y.test/dir/page") == "http://y.test/dir/next"
+
+    def test_with_query_appends(self):
+        assert with_query("http://x.test/p", a="1") == "http://x.test/p?a=1"
+
+    def test_request_accessors(self):
+        request = HttpRequest("GET", "https://Host.Test/path?a=1&b=2")
+        assert request.scheme == "https"
+        assert request.host == "host.test"
+        assert request.path == "/path"
+        assert request.query == {"a": "1", "b": "2"}

@@ -1,0 +1,62 @@
+"""Tests for the WHOIS registry."""
+
+import pytest
+
+from repro.net.ipaddr import IPv4Address
+from repro.net.whois import AddressSpaceExhausted, HostKind, WhoisRegistry
+
+
+class TestAllocation:
+    def test_allocations_disjoint(self):
+        registry = WhoisRegistry()
+        first = registry.allocate_block(24, "Org A", "US", HostKind.DATACENTER)
+        second = registry.allocate_block(24, "Org B", "DE", HostKind.RESIDENTIAL)
+        assert not first.block.contains(second.block.network)
+        assert not second.block.contains(first.block.network)
+
+    def test_alignment(self):
+        registry = WhoisRegistry()
+        registry.allocate_block(30, "tiny", "US", HostKind.DATACENTER)
+        big = registry.allocate_block(16, "big", "US", HostKind.DATACENTER)
+        assert big.block.network.value % big.block.size() == 0
+
+    def test_exhaustion(self):
+        registry = WhoisRegistry(base="25.0.0.0/30")
+        registry.allocate_block(31, "a", "US", HostKind.DATACENTER)
+        registry.allocate_block(31, "b", "US", HostKind.DATACENTER)
+        with pytest.raises(AddressSpaceExhausted):
+            registry.allocate_block(31, "c", "US", HostKind.DATACENTER)
+
+    def test_prefix_smaller_than_base_rejected(self):
+        registry = WhoisRegistry(base="25.0.0.0/16")
+        with pytest.raises(ValueError):
+            registry.allocate_block(8, "x", "US", HostKind.DATACENTER)
+
+
+class TestLookup:
+    def test_lookup_inside_allocation(self):
+        registry = WhoisRegistry()
+        record = registry.allocate_block(24, "Acme ISP", "VN", HostKind.RESIDENTIAL)
+        probe = record.block.address_at(7)
+        found = registry.lookup(probe)
+        assert found is record
+        assert registry.country_of(probe) == "VN"
+        assert registry.kind_of(probe) is HostKind.RESIDENTIAL
+
+    def test_lookup_unallocated_is_none(self):
+        registry = WhoisRegistry()
+        assert registry.lookup(IPv4Address.parse("25.200.0.1")) is None
+        assert registry.country_of(IPv4Address.parse("25.200.0.1")) is None
+
+    def test_describe_mentions_org_and_country(self):
+        registry = WhoisRegistry()
+        record = registry.allocate_block(24, "UCSD", "US", HostKind.INSTITUTION)
+        text = record.describe()
+        assert "UCSD" in text and "US" in text and "institution" in text
+
+    def test_records_iteration_order(self):
+        registry = WhoisRegistry()
+        names = ["a", "b", "c"]
+        for name in names:
+            registry.allocate_block(24, name, "US", HostKind.DATACENTER)
+        assert [r.organization for r in registry.records()] == names

@@ -1,0 +1,70 @@
+"""Property-based tests: the HTML substrate never breaks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html.builder import el, page_skeleton, render_document
+from repro.html.dom import Element
+from repro.html.parser import parse_html
+
+# Arbitrary text, excluding raw control characters and surrogates.
+printable_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=120
+)
+
+tag_names = st.from_regex(r"[a-z][a-z0-9]{0,6}", fullmatch=True)
+
+
+class TestParserRobustness:
+    @given(printable_text)
+    @settings(max_examples=200)
+    def test_parser_never_raises_on_arbitrary_text(self, text):
+        dom = parse_html(text)
+        assert dom.tag == "html"
+
+    @given(printable_text)
+    def test_parser_never_raises_on_tag_soup(self, text):
+        soup = f"<div><p>{text}</p><input value='{text[:10]}'><unclosed>"
+        dom = parse_html(soup)
+        assert dom.find_first("div") is not None
+
+    @given(st.lists(tag_names, min_size=1, max_size=6))
+    def test_nested_structure_roundtrip(self, tags):
+        node = root = Element("body")
+        for tag in tags:
+            child = Element(tag)
+            node.append(child)
+            node = child
+        node.append("leaf")
+        reparsed = parse_html(root.to_html())
+        # The nesting chain survives (void tags flatten out, so walk
+        # what remains and check the leaf text is reachable).
+        assert "leaf" in reparsed.text_content()
+
+
+class TestSerializationProperties:
+    @given(printable_text)
+    def test_text_escaping_roundtrip(self, text):
+        node = el("p", None, text)
+        reparsed = parse_html(f"<html>{node.to_html()}</html>")
+        assert reparsed.find_first("p").text_content() == " ".join(text.split())
+
+    @given(st.dictionaries(
+        keys=st.from_regex(r"[a-z][a-z0-9]{0,7}", fullmatch=True),
+        values=printable_text,
+        min_size=0, max_size=4,
+    ))
+    def test_attribute_escaping_roundtrip(self, attrs):
+        node = el("div", attrs)
+        reparsed = parse_html(node.to_html())
+        div = reparsed.find_first("div")
+        for name, value in attrs.items():
+            assert div.get(name) == value
+
+    @given(printable_text)
+    def test_serialize_parse_serialize_stable(self, text):
+        root, body = page_skeleton("T")
+        body.append(el("p", {"class": "x"}, text))
+        once = render_document(root)
+        twice = "<!DOCTYPE html>\n" + parse_html(once).to_html()
+        assert parse_html(twice).text_content() == parse_html(once).text_content()

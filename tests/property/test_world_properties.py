@@ -1,0 +1,108 @@
+"""Property-based tests over the simulation substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacker.cracking import crack_records
+from repro.attacker.breach import StolenRecord
+from repro.identity.passwords import (
+    PasswordClass,
+    generate_easy_password,
+    generate_hard_password,
+)
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.web.passwords import PasswordStorage, StoredCredential
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=40))
+    def test_random_schedules_execute_sorted(self, times):
+        clock = SimClock(0)
+        queue = EventQueue(clock)
+        fired: list[int] = []
+        for t in times:
+            queue.schedule(t, "e", lambda t=t: fired.append(t))
+        queue.run_all()
+        assert fired == sorted(times)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=40),
+           st.integers(min_value=0, max_value=10**6))
+    def test_run_until_partitions_by_deadline(self, times, deadline):
+        clock = SimClock(0)
+        queue = EventQueue(clock)
+        fired: list[int] = []
+        for t in times:
+            queue.schedule(t, "e", lambda t=t: fired.append(t))
+        queue.run_until(deadline)
+        assert fired == sorted(t for t in times if t <= deadline)
+        assert clock.now() >= deadline
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**5), min_size=1, max_size=30))
+    def test_clock_never_goes_backward(self, times):
+        clock = SimClock(0)
+        queue = EventQueue(clock)
+        observed: list[int] = []
+        for t in times:
+            queue.schedule(t, "e", lambda: observed.append(clock.now()))
+        queue.run_all()
+        assert observed == sorted(observed)
+
+
+def _stored(storage: PasswordStorage, password: str) -> StolenRecord:
+    return StolenRecord(
+        site_host="s.test", username="u", email="u@bigmail.example",
+        credential=StoredCredential.store(storage, password, salt_source="u"),
+        plaintext=password if storage.exposes_all_passwords else None,
+    )
+
+
+class TestCrackingProperties:
+    @given(st.integers(), st.sampled_from(list(PasswordStorage)))
+    @settings(max_examples=60, deadline=None)
+    def test_easy_passwords_always_recoverable(self, seed, storage):
+        """Dictionary-derived passwords fall to any storage policy."""
+        password = generate_easy_password(random.Random(seed))
+        cracked = crack_records([_stored(storage, password)], breach_time=0)
+        assert len(cracked) == 1
+        assert cracked[0].password == password
+
+    @given(st.integers(), st.sampled_from([
+        PasswordStorage.UNSALTED_MD5, PasswordStorage.SALTED_HASH,
+        PasswordStorage.STRONG_HASH,
+    ]))
+    @settings(max_examples=60, deadline=None)
+    def test_hard_passwords_never_crack_from_hashes(self, seed, storage):
+        password = generate_hard_password(random.Random(seed))
+        cracked = crack_records([_stored(storage, password)], breach_time=0)
+        assert cracked == []
+
+    @given(st.integers(), st.sampled_from([
+        PasswordStorage.PLAINTEXT, PasswordStorage.REVERSIBLE,
+    ]))
+    @settings(max_examples=60, deadline=None)
+    def test_hard_passwords_fall_to_reversible_storage(self, seed, storage):
+        password = generate_hard_password(random.Random(seed))
+        cracked = crack_records([_stored(storage, password)], breach_time=0)
+        assert [c.password for c in cracked] == [password]
+
+    @given(st.integers())
+    @settings(max_examples=30, deadline=None)
+    def test_crack_availability_never_precedes_breach(self, seed):
+        rng = random.Random(seed)
+        storage = rng.choice(list(PasswordStorage))
+        password = generate_easy_password(rng)
+        breach_time = rng.randrange(0, 10**9)
+        cracked = crack_records([_stored(storage, password)], breach_time=breach_time)
+        assert all(c.available_at >= breach_time for c in cracked)
+
+
+class TestPasswordClassSeparation:
+    @given(st.integers(), st.integers())
+    @settings(max_examples=60)
+    def test_classes_never_collide(self, seed_a, seed_b):
+        easy = generate_easy_password(random.Random(seed_a))
+        hard = generate_hard_password(random.Random(seed_b))
+        assert easy != hard  # length 8 vs 10, structurally disjoint

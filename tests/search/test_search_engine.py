@@ -1,0 +1,112 @@
+"""Tests for the search-engine extension (§6.2.2's suggestion)."""
+
+import pytest
+
+from repro.net.dns import DnsResolver
+from repro.net.transport import Transport
+from repro.net.whois import WhoisRegistry
+from repro.search import SearchEngine
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.web.population import InternetPopulation
+from repro.web.spec import LinkPlacement, RegistrationStyle
+
+
+def build_world(overrides):
+    clock = SimClock()
+    transport = Transport(clock)
+    population = InternetPopulation(
+        RngTree(91), clock, transport, WhoisRegistry(), DnsResolver(), size=3,
+        overrides={1: overrides},
+    )
+    population.site_at_rank(1)
+    return transport, population
+
+
+HIDDEN_SITE = {
+    "bucket": "rest",
+    "host": "hidden.test",
+    "language": "en",
+    "load_fails": False,
+    "registration_style": RegistrationStyle.SIMPLE,
+    "link_placement": LinkPlacement.UNLINKED,  # homepage never links it
+    "registration_path": "/members",
+    "anchor_text": "Become a member",
+}
+
+
+class TestSpidering:
+    def test_sitemap_served_and_indexed(self):
+        transport, _population = build_world(dict(HIDDEN_SITE))
+        engine = SearchEngine(transport)
+        indexed = engine.index_site("hidden.test")
+        assert indexed >= 4  # home, about, contact, login, registration
+        assert engine.pages_indexed == indexed
+
+    def test_indexing_idempotent(self):
+        transport, _population = build_world(dict(HIDDEN_SITE))
+        engine = SearchEngine(transport)
+        first = engine.index_site("hidden.test")
+        assert engine.index_site("hidden.test") == first
+        assert engine.pages_indexed == first
+
+    def test_unreachable_host_indexes_nothing(self, transport):
+        engine = SearchEngine(transport)
+        assert engine.index_site("ghost.test") == 0
+
+    def test_max_pages_validated(self, transport):
+        with pytest.raises(ValueError):
+            SearchEngine(transport, max_pages_per_site=0)
+
+
+class TestRegistrationDiscovery:
+    def test_finds_page_the_homepage_hides(self):
+        transport, _population = build_world(dict(HIDDEN_SITE))
+        engine = SearchEngine(transport)
+        url = engine.find_registration_page("hidden.test")
+        assert url is not None
+        assert url.endswith("/members")
+
+    def test_no_registration_site_yields_nothing(self):
+        overrides = dict(HIDDEN_SITE)
+        overrides["registration_style"] = RegistrationStyle.NONE
+        overrides["bucket"] = "no_registration"
+        transport, _population = build_world(overrides)
+        engine = SearchEngine(transport)
+        assert engine.find_registration_page("hidden.test") is None
+
+    def test_query_scoped_to_site(self):
+        transport, _population = build_world(dict(HIDDEN_SITE))
+        engine = SearchEngine(transport)
+        engine.index_site("hidden.test")
+        hits = engine.query(("register",), site="hidden.test")
+        assert all("hidden.test" in h.url for h in hits)
+
+
+class TestCrawlerFallback:
+    def test_crawler_with_search_engine_recovers_hidden_registration(self):
+        from repro.crawler.captcha import CaptchaSolverService
+        from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+        from repro.crawler.outcomes import TerminationCode
+        from repro.identity.generator import IdentityFactory
+        from repro.identity.passwords import PasswordClass
+
+        transport, population = build_world(dict(HIDDEN_SITE))
+        identity_factory = IdentityFactory(RngTree(92))
+        solver = CaptchaSolverService(RngTree(93).rng(), image_accuracy=1.0)
+        config = CrawlerConfig(system_error_rate=0.0)
+
+        plain = RegistrationCrawler(transport, solver, RngTree(94).rng(), config=config)
+        outcome = plain.register_at("http://hidden.test/",
+                                    identity_factory.create(PasswordClass.HARD))
+        assert outcome.code is TerminationCode.NO_REGISTRATION_FOUND
+
+        assisted = RegistrationCrawler(
+            transport, solver, RngTree(95).rng(), config=config,
+            search_engine=SearchEngine(transport),
+        )
+        outcome = assisted.register_at("http://hidden.test/",
+                                       identity_factory.create(PasswordClass.HARD))
+        assert outcome.code is TerminationCode.OK_SUBMISSION
+        site = population.site_by_host("hidden.test")
+        assert len(site.accounts) == 1

@@ -1,0 +1,38 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import ClockMovedBackward, SimClock
+from repro.util.timeutil import STUDY_START
+
+
+class TestSimClock:
+    def test_starts_at_study_start_by_default(self):
+        assert SimClock().now() == STUDY_START
+
+    def test_custom_start(self):
+        assert SimClock(100).now() == 100
+
+    def test_advance(self):
+        clock = SimClock(0)
+        assert clock.advance(10) == 10
+        assert clock.now() == 10
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(5)
+        clock.advance(0)
+        assert clock.now() == 5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ClockMovedBackward):
+            SimClock(0).advance(-1)
+
+    def test_advance_to_forward(self):
+        clock = SimClock(0)
+        clock.advance_to(50)
+        assert clock.now() == 50
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(100)
+        clock.advance_to(50)
+        assert clock.now() == 100

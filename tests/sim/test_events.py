@@ -1,0 +1,85 @@
+"""Tests for the event queue."""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+
+def make_queue(start=0):
+    clock = SimClock(start)
+    return clock, EventQueue(clock)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        clock, queue = make_queue()
+        fired = []
+        queue.schedule(30, "b", lambda: fired.append("b"))
+        queue.schedule(10, "a", lambda: fired.append("a"))
+        queue.schedule(20, "m", lambda: fired.append("m"))
+        queue.run_until(100)
+        assert fired == ["a", "m", "b"]
+
+    def test_ties_break_by_insertion_order(self):
+        clock, queue = make_queue()
+        fired = []
+        queue.schedule(10, "first", lambda: fired.append(1))
+        queue.schedule(10, "second", lambda: fired.append(2))
+        queue.run_until(10)
+        assert fired == [1, 2]
+
+    def test_clock_jumps_to_event_times(self):
+        clock, queue = make_queue()
+        seen = []
+        queue.schedule(25, "x", lambda: seen.append(clock.now()))
+        queue.run_until(100)
+        assert seen == [25]
+        assert clock.now() == 100
+
+    def test_run_until_leaves_future_events(self):
+        clock, queue = make_queue()
+        fired = []
+        queue.schedule(10, "now", lambda: fired.append("now"))
+        queue.schedule(200, "later", lambda: fired.append("later"))
+        executed = queue.run_until(50)
+        assert executed == 1
+        assert fired == ["now"]
+        assert len(queue) == 1
+        assert queue.peek_time() == 200
+
+    def test_events_scheduled_during_run_are_honored(self):
+        clock, queue = make_queue()
+        fired = []
+
+        def chain():
+            fired.append("outer")
+            queue.schedule(clock.now() + 5, "inner", lambda: fired.append("inner"))
+
+        queue.schedule(10, "outer", chain)
+        queue.run_until(100)
+        assert fired == ["outer", "inner"]
+
+    def test_run_all_drains_everything(self):
+        clock, queue = make_queue()
+        fired = []
+        for t in (5, 500, 50):
+            queue.schedule(t, str(t), lambda t=t: fired.append(t))
+        assert queue.run_all() == 3
+        assert fired == [5, 50, 500]
+        assert len(queue) == 0
+
+    def test_past_events_fire_immediately_without_moving_clock_back(self):
+        clock, queue = make_queue(start=100)
+        fired = []
+        queue.schedule(10, "past", lambda: fired.append(clock.now()))
+        queue.run_until(100)
+        assert fired == [100]
+
+    def test_executed_events_recorded(self):
+        clock, queue = make_queue()
+        queue.schedule(1, "a", lambda: None)
+        queue.run_until(5)
+        assert [e.label for e in queue.executed_events()] == ["a"]
+
+    def test_peek_time_empty(self):
+        _clock, queue = make_queue()
+        assert queue.peek_time() is None

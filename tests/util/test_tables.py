@@ -1,0 +1,52 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import percent, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+
+    def test_title_prepended(self):
+        text = render_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_right_alignment(self):
+        text = render_table(["name", "count"], [["a", 5], ["b", 123]], align_right=(1,))
+        lines = text.splitlines()
+        assert lines[-1].endswith("123")
+        assert lines[-2].endswith("  5")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_none_renders_empty(self):
+        text = render_table(["a", "b"], [["x", None]])
+        assert text.splitlines()[-1].rstrip() == "x"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert len(text.splitlines()) == 2  # header + rule
+
+
+class TestPercent:
+    def test_normal(self):
+        assert percent(1, 4) == "25.0%"
+
+    def test_zero_whole(self):
+        assert percent(1, 0) == "-"
+
+    def test_digits(self):
+        assert percent(1, 3, digits=2) == "33.33%"

@@ -1,0 +1,75 @@
+"""Tests for simulated time helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import timeutil as tu
+
+
+class TestInstantConversions:
+    def test_epoch_is_zero(self):
+        assert tu.instant_from_date(1970, 1, 1) == 0
+
+    def test_one_day_later(self):
+        assert tu.instant_from_date(1970, 1, 2) == tu.DAY
+
+    def test_format_date_only(self):
+        instant = tu.instant_from_date(2015, 3, 20)
+        assert tu.format_instant(instant) == "2015-03-20"
+
+    def test_format_with_time(self):
+        instant = tu.instant_from_date(2015, 3, 20, 14, 30, 5)
+        assert tu.format_instant(instant, with_time=True) == "2015-03-20 14:30:05"
+
+    def test_roundtrip_through_datetime(self):
+        instant = tu.instant_from_date(2016, 7, 4, 12)
+        assert int(tu.instant_to_datetime(instant).timestamp()) == instant
+
+
+class TestDayArithmetic:
+    def test_day_of_truncates(self):
+        noon = tu.instant_from_date(2015, 5, 1, 12, 30)
+        assert tu.day_of(noon) == tu.instant_from_date(2015, 5, 1)
+
+    def test_days_between_same_day_is_zero(self):
+        a = tu.instant_from_date(2015, 5, 1, 1)
+        b = tu.instant_from_date(2015, 5, 1, 23)
+        assert tu.days_between(a, b) == 0
+
+    def test_days_between_spanning_midnight(self):
+        a = tu.instant_from_date(2015, 5, 1, 23)
+        b = tu.instant_from_date(2015, 5, 2, 1)
+        assert tu.days_between(a, b) == 1
+
+    def test_days_between_negative(self):
+        a = tu.instant_from_date(2015, 5, 2)
+        b = tu.instant_from_date(2015, 5, 1)
+        assert tu.days_between(a, b) == -1
+
+    @given(st.integers(min_value=0, max_value=2_000_000_000),
+           st.integers(min_value=0, max_value=10_000))
+    def test_days_between_additive_in_whole_days(self, start, days):
+        end = start + days * tu.DAY
+        assert tu.days_between(start, end) == days
+
+
+class TestStudyLandmarks:
+    def test_landmark_ordering(self):
+        assert (
+            tu.STUDY_START
+            < tu.SEED_CRAWL_START
+            < tu.MAIN_CRAWL_START
+            < tu.LOG_GAP_START
+            < tu.LOG_GAP_END
+            < tu.TOP30K_CRAWL_START
+            < tu.MANUAL_CRAWL_START
+            < tu.STUDY_END
+        )
+
+    def test_month_label(self):
+        assert tu.month_label(tu.instant_from_date(2015, 2, 10)) == "2/15"
+        assert tu.month_label(tu.instant_from_date(2016, 11, 1)) == "11/16"
+
+    def test_gap_matches_paper_dates(self):
+        assert tu.format_instant(tu.LOG_GAP_START) == "2015-03-20"
+        assert tu.format_instant(tu.LOG_GAP_END) == "2015-06-01"

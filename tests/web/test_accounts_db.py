@@ -1,0 +1,103 @@
+"""Tests for the site account database and sharding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.web.accounts import DuplicateAccountError, SiteAccountDatabase
+from repro.web.passwords import PasswordStorage
+
+
+def make_db(storage=PasswordStorage.SALTED_HASH, shards=1):
+    return SiteAccountDatabase(storage, shard_count=shards)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        db = make_db()
+        db.register("alice", "alice@mail.test", "pw1234567", created_at=0)
+        assert db.lookup("alice") is not None
+        assert db.lookup("ALICE@mail.test") is not None
+        assert len(db) == 1
+
+    def test_duplicate_username_rejected(self):
+        db = make_db()
+        db.register("alice", "a@x.test", "pw1234567", created_at=0)
+        with pytest.raises(DuplicateAccountError):
+            db.register("ALICE", "b@x.test", "pw1234567", created_at=0)
+
+    def test_duplicate_email_rejected(self):
+        db = make_db()
+        db.register("alice", "a@x.test", "pw1234567", created_at=0)
+        with pytest.raises(DuplicateAccountError):
+            db.register("bob", "A@X.TEST", "pw1234567", created_at=0)
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            make_db(shards=0)
+
+
+class TestLogin:
+    def test_login_by_username_or_email(self):
+        db = make_db()
+        db.register("carol", "c@x.test", "pw1234567", created_at=0)
+        assert db.check_login("carol", "pw1234567")
+        assert db.check_login("c@x.test", "pw1234567")
+        assert not db.check_login("carol", "wrong")
+
+    def test_inactive_account_rejected(self):
+        db = make_db()
+        db.register("dave", "d@x.test", "pw1234567", created_at=0,
+                    activated=False, verification_token="tok")
+        assert not db.check_login("dave", "pw1234567")
+
+    def test_activation_by_token(self):
+        db = make_db()
+        db.register("erin", "e@x.test", "pw1234567", created_at=0,
+                    activated=False, verification_token="tok9")
+        account = db.activate_by_token("tok9")
+        assert account is not None and account.activated
+        assert account.verification_token is None
+        assert db.check_login("erin", "pw1234567")
+
+    def test_activation_bad_token(self):
+        db = make_db()
+        assert db.activate_by_token("nope") is None
+
+
+class TestSharding:
+    def test_shard_assignment_stable(self):
+        db = make_db(shards=4)
+        account = db.register("frank", "f@x.test", "pw1234567", created_at=0)
+        assert db.shard_of(account) == db.shard_of(account)
+        assert 0 <= db.shard_of(account) < 4
+
+    def test_full_dump_includes_everyone(self):
+        db = make_db(shards=4)
+        for i in range(20):
+            db.register(f"user{i}", f"u{i}@x.test", "pw1234567", created_at=0)
+        assert len(db.dump_shards(None)) == 20
+
+    def test_partial_dump_is_subset(self):
+        db = make_db(shards=4)
+        for i in range(40):
+            db.register(f"user{i}", f"u{i}@x.test", "pw1234567", created_at=0)
+        exposed = db.dump_shards({0, 1})
+        assert 0 < len(exposed) < 40
+        for account in exposed:
+            assert db.shard_of(account) in {0, 1}
+
+    def test_shards_partition_accounts(self):
+        db = make_db(shards=3)
+        for i in range(30):
+            db.register(f"user{i}", f"u{i}@x.test", "pw1234567", created_at=0)
+        total = sum(len(db.dump_shards({s})) for s in range(3))
+        assert total == 30
+
+    @given(st.sets(st.integers(min_value=0, max_value=7), max_size=8))
+    def test_dump_shards_property(self, shards):
+        db = make_db(shards=8)
+        for i in range(16):
+            db.register(f"user{i}", f"u{i}@x.test", "pw1234567", created_at=0)
+        dumped = db.dump_shards(shards)
+        assert all(db.shard_of(a) in shards for a in dumped)

@@ -1,0 +1,60 @@
+"""Tests for the localization tables."""
+
+import pytest
+
+from repro.web.i18n import LEXICONS, NON_ENGLISH_WEIGHTS, lexicon_for
+
+
+class TestLexiconCompleteness:
+    REQUIRED_FIELD_KEYS = {
+        "email", "password", "password_confirm", "username",
+        "first_name", "last_name", "phone", "captcha", "terms",
+    }
+
+    @pytest.mark.parametrize("lang", sorted(LEXICONS))
+    def test_field_names_complete(self, lang):
+        lexicon = lexicon_for(lang)
+        assert self.REQUIRED_FIELD_KEYS <= set(lexicon.field_names)
+
+    @pytest.mark.parametrize("lang", sorted(LEXICONS))
+    def test_strings_nonempty(self, lang):
+        lexicon = lexicon_for(lang)
+        for attr in ("sign_up", "log_in", "email", "password", "submit",
+                     "success", "error_missing", "captcha_prompt", "terms"):
+            assert getattr(lexicon, attr), f"{lang}.{attr}"
+
+    @pytest.mark.parametrize("lang", sorted(LEXICONS))
+    def test_filler_words_present(self, lang):
+        assert len(lexicon_for(lang).filler) >= 5
+
+    def test_field_name_attributes_ascii(self):
+        # Form "name" attributes must be URL/HTML-safe in every language.
+        for lang, lexicon in LEXICONS.items():
+            for key, name in lexicon.field_names.items():
+                assert name.isascii(), (lang, key)
+                assert " " not in name
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(KeyError):
+            lexicon_for("xx")
+
+
+class TestLanguageWeights:
+    def test_weights_cover_known_lexicons(self):
+        for code, weight in NON_ENGLISH_WEIGHTS:
+            assert code in LEXICONS
+            assert weight > 0
+
+    def test_chinese_most_prevalent(self):
+        # §6.2.1: six of seven missed non-English breaches were Chinese.
+        weights = dict(NON_ENGLISH_WEIGHTS)
+        assert weights["zh"] == max(weights.values())
+
+    def test_field_names_distinct_from_english(self):
+        english = set(LEXICONS["en"].field_names.values())
+        for lang, lexicon in LEXICONS.items():
+            if lang == "en":
+                continue
+            overlap = english & set(lexicon.field_names.values())
+            # Localized name attributes defeat English heuristics.
+            assert not overlap, (lang, overlap)

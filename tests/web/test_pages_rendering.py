@@ -1,0 +1,140 @@
+"""Tests for page rendering across languages, styles and flows."""
+
+import pytest
+
+from repro.html.forms import extract_form_model
+from repro.html.parser import parse_html
+from repro.web.i18n import LEXICONS, lexicon_for
+from repro.web.pages import (
+    render_homepage,
+    render_registration_page,
+    render_response_page,
+    render_verification_landing,
+    registration_fields,
+)
+from repro.web.spec import (
+    BotCheck,
+    LinkPlacement,
+    RegistrationStyle,
+    ResponseStyle,
+    SiteSpec,
+)
+
+
+def spec_for(lang="en", **overrides):
+    lexicon = lexicon_for(lang)
+    spec = SiteSpec(host="page.test", rank=10, category="News", language=lang,
+                    anchor_text=lexicon.sign_up)
+    for name, value in overrides.items():
+        setattr(spec, name, value)
+    return spec, lexicon
+
+
+class TestHomepage:
+    @pytest.mark.parametrize("lang", sorted(LEXICONS))
+    def test_all_languages_render_and_parse(self, lang):
+        spec, lexicon = spec_for(lang)
+        dom = parse_html(render_homepage(spec, lexicon))
+        assert dom.get("lang") == lang
+        assert dom.find_first("title") is not None
+
+    def test_prominent_link_in_nav(self):
+        spec, lexicon = spec_for(link_placement=LinkPlacement.PROMINENT)
+        dom = parse_html(render_homepage(spec, lexicon))
+        hrefs = [a.get("href") for a in dom.find_all("a")]
+        assert spec.registration_path in hrefs
+
+    def test_unlinked_placement_hides_registration(self):
+        spec, lexicon = spec_for(link_placement=LinkPlacement.UNLINKED)
+        dom = parse_html(render_homepage(spec, lexicon))
+        hrefs = [a.get("href") for a in dom.find_all("a")]
+        assert spec.registration_path not in hrefs
+
+    def test_image_only_link_has_no_text(self):
+        spec, lexicon = spec_for(link_placement=LinkPlacement.IMAGE_ONLY)
+        dom = parse_html(render_homepage(spec, lexicon))
+        for anchor in dom.find_all("a"):
+            if anchor.get("href") == spec.registration_path:
+                assert anchor.text_content() == ""
+                assert anchor.find_first("img") is not None
+                break
+        else:
+            pytest.fail("image link missing")
+
+
+class TestRegistrationPage:
+    @pytest.mark.parametrize("label_style", ["for", "wrap", "placeholder", "adjacent"])
+    def test_label_styles_expose_descriptors(self, label_style):
+        spec, lexicon = spec_for(label_style=label_style, wants_username=True)
+        dom = parse_html(render_registration_page(spec, lexicon))
+        model = extract_form_model(dom, dom.find_first("form"))
+        email_name = lexicon.field_names["email"]
+        field = model.field_by_name(email_name)
+        assert field is not None
+        assert field.descriptor_texts(), label_style
+
+    def test_field_order_credentials_before_profile(self):
+        spec, lexicon = spec_for(wants_name=True, wants_phone=True)
+        fields = registration_fields(spec, lexicon)
+        assert fields.index("email") < fields.index("first_name")
+        assert fields.index("password") < fields.index("phone")
+
+    def test_captcha_row_carries_token(self):
+        spec, lexicon = spec_for(bot_check=BotCheck.CAPTCHA_IMAGE)
+        html = render_registration_page(spec, lexicon, captcha_token="tok-1")
+        dom = parse_html(html)
+        tokens = [n.get("data-challenge") for n in dom.iter() if n.get("data-challenge")]
+        assert tokens == ["tok-1"]
+        hidden = [n for n in dom.find_all("input") if n.get("name") == "_challenge_token"]
+        assert hidden and hidden[0].get("value") == "tok-1"
+
+    def test_interactive_widget_has_no_fillable_captcha(self):
+        spec, lexicon = spec_for(bot_check=BotCheck.INTERACTIVE)
+        dom = parse_html(render_registration_page(spec, lexicon, captcha_token="t"))
+        model = extract_form_model(dom, dom.find_first("form"))
+        names = [f.name for f in model.visible_fields()]
+        assert lexicon.field_names["captcha"] not in names
+
+    def test_external_only_has_no_form(self):
+        spec, lexicon = spec_for(registration_style=RegistrationStyle.EXTERNAL_ONLY)
+        dom = parse_html(render_registration_page(spec, lexicon))
+        assert dom.find_all("form") == []
+        assert "oauth" in dom.to_html()
+
+    def test_multistage_step1_action_points_to_step2(self):
+        spec, lexicon = spec_for(registration_style=RegistrationStyle.MULTISTAGE,
+                                 multistage_credentials_first=True)
+        dom = parse_html(render_registration_page(spec, lexicon, step=1))
+        form = dom.find_first("form")
+        assert form.get("action").endswith("/step2")
+
+    def test_error_banner_rendered(self):
+        spec, lexicon = spec_for()
+        html = render_registration_page(spec, lexicon, error="Something broke")
+        assert "Something broke" in html
+
+
+class TestResponsePages:
+    def test_clear_success_and_failure_differ(self):
+        spec, lexicon = spec_for(response_style=ResponseStyle.CLEAR)
+        ok = render_response_page(spec, lexicon, ok=True)
+        fail = render_response_page(spec, lexicon, ok=False)
+        assert "successful" in ok
+        assert "Error" in fail
+        assert ok != fail
+
+    def test_ambiguous_identical_either_way(self):
+        spec, lexicon = spec_for(response_style=ResponseStyle.AMBIGUOUS)
+        ok = render_response_page(spec, lexicon, ok=True)
+        fail = render_response_page(spec, lexicon, ok=False)
+        assert ok == fail
+
+    def test_noisy_success_contains_error_words(self):
+        spec, lexicon = spec_for(response_style=ResponseStyle.NOISY)
+        ok = render_response_page(spec, lexicon, ok=True)
+        assert "invalid" in ok  # the misleading boilerplate
+
+    def test_verification_landing(self):
+        spec, lexicon = spec_for()
+        assert "confirmed" in render_verification_landing(spec, lexicon, ok=True)
+        assert "Invalid" in render_verification_landing(spec, lexicon, ok=False)

@@ -1,0 +1,76 @@
+"""Tests for site-side password storage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.web.passwords import PasswordStorage, StoredCredential
+
+ALL_POLICIES = list(PasswordStorage)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("storage", ALL_POLICIES)
+    def test_verify_accepts_original(self, storage):
+        credential = StoredCredential.store(storage, "Website1", salt_source="user")
+        assert credential.verify("Website1")
+
+    @pytest.mark.parametrize("storage", ALL_POLICIES)
+    def test_verify_rejects_other(self, storage):
+        credential = StoredCredential.store(storage, "Website1", salt_source="user")
+        assert not credential.verify("Website2")
+
+    @given(st.text(min_size=1, max_size=30), st.sampled_from(ALL_POLICIES))
+    def test_verify_roundtrip_property(self, password, storage):
+        credential = StoredCredential.store(storage, password, salt_source="u")
+        assert credential.verify(password)
+
+
+class TestExposure:
+    def test_plaintext_recoverable(self):
+        credential = StoredCredential.store(PasswordStorage.PLAINTEXT, "pw123456")
+        assert credential.recover_directly() == "pw123456"
+
+    def test_reversible_recoverable(self):
+        credential = StoredCredential.store(PasswordStorage.REVERSIBLE, "pw123456")
+        assert credential.recover_directly() == "pw123456"
+
+    @pytest.mark.parametrize("storage", [
+        PasswordStorage.UNSALTED_MD5, PasswordStorage.SALTED_HASH,
+        PasswordStorage.STRONG_HASH,
+    ])
+    def test_hashed_not_directly_recoverable(self, storage):
+        credential = StoredCredential.store(storage, "pw123456", salt_source="u")
+        assert credential.recover_directly() is None
+        assert credential.secret != "pw123456"
+
+    def test_salted_schemes_differ_per_user(self):
+        a = StoredCredential.store(PasswordStorage.SALTED_HASH, "same", salt_source="alice")
+        b = StoredCredential.store(PasswordStorage.SALTED_HASH, "same", salt_source="bob")
+        assert a.secret != b.secret
+
+    def test_unsalted_identical_for_same_password(self):
+        a = StoredCredential.store(PasswordStorage.UNSALTED_MD5, "same")
+        b = StoredCredential.store(PasswordStorage.UNSALTED_MD5, "same")
+        assert a.secret == b.secret  # rainbow tables work on these
+
+    def test_guess_checking_matches_verify(self):
+        credential = StoredCredential.store(PasswordStorage.SALTED_HASH, "Target99",
+                                            salt_source="u")
+        assert credential.matches_guess("Target99")
+        assert not credential.matches_guess("Other000")
+
+
+class TestPolicyMetadata:
+    def test_exposes_all_flags(self):
+        assert PasswordStorage.PLAINTEXT.exposes_all_passwords
+        assert PasswordStorage.REVERSIBLE.exposes_all_passwords
+        assert not PasswordStorage.SALTED_HASH.exposes_all_passwords
+
+    def test_crack_delays_monotonic_in_strength(self):
+        assert (
+            PasswordStorage.PLAINTEXT.crack_delay_days
+            <= PasswordStorage.UNSALTED_MD5.crack_delay_days
+            <= PasswordStorage.SALTED_HASH.crack_delay_days
+            <= PasswordStorage.STRONG_HASH.crack_delay_days
+        )

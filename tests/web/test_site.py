@@ -1,0 +1,282 @@
+"""Tests for the Website handler: routing, validation, email, login."""
+
+import pytest
+
+from repro.mail.messages import MessageKind
+from repro.net.transport import HttpRequest
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.web.captcha import captcha_answer_for
+from repro.web.site import Website
+from repro.web.spec import (
+    BotCheck,
+    EmailBehavior,
+    RegistrationStyle,
+    ResponseStyle,
+    SiteSpec,
+)
+
+
+def make_site(mailbox=None, **spec_overrides):
+    spec = SiteSpec(
+        host="shop.test",
+        rank=50,
+        category="Shopping",
+        language="en",
+        wants_username=True,
+        wants_confirm_password=False,
+        wants_terms_checkbox=False,
+        wants_name=False,
+        wants_phone=False,
+        extra_unlabeled_field=False,
+        bot_check=BotCheck.NONE,
+        email_behavior=EmailBehavior.WELCOME_ONLY,
+        response_style=ResponseStyle.CLEAR,
+        shadow_ban_rate=0.0,
+    )
+    for name, value in spec_overrides.items():
+        setattr(spec, name, value)
+    clock = SimClock(1000)
+    router = mailbox.append if mailbox is not None else None
+    return Website(spec, clock, RngTree(8).rng(), mail_router=router), spec
+
+
+def get(site, path):
+    return site(HttpRequest("GET", f"http://{site.spec.host}{path}"))
+
+
+def post(site, path, form):
+    return site(HttpRequest("POST", f"http://{site.spec.host}{path}", form=form))
+
+
+def valid_form(email="user@p.example", password="Website1", username="user14chars"):
+    return {"email": email, "password": password, "username": username}
+
+
+class TestRouting:
+    def test_homepage_served(self):
+        site, spec = make_site()
+        response = get(site, "/")
+        assert response.ok
+        assert spec.anchor_text in response.body
+
+    def test_registration_page_served(self):
+        site, spec = make_site()
+        response = get(site, spec.registration_path)
+        assert response.ok
+        assert "<form" in response.body
+
+    def test_unknown_path_404(self):
+        site, _ = make_site()
+        assert get(site, "/no/such/page").status == 404
+
+    def test_no_registration_page_when_offline_only(self):
+        site, spec = make_site(registration_style=RegistrationStyle.OFFLINE_ONLY)
+        assert get(site, spec.registration_path).status == 404
+
+
+class TestRegistrationValidation:
+    def test_valid_submission_creates_account(self):
+        site, spec = make_site()
+        response = post(site, f"{spec.registration_path}/submit", valid_form())
+        assert response.ok
+        assert site.accounts.lookup("user@p.example") is not None
+        assert site.registration_log[-1].accepted
+
+    def test_missing_email_rejected(self):
+        site, spec = make_site()
+        form = valid_form(email="")
+        post(site, f"{spec.registration_path}/submit", form)
+        assert not site.registration_log[-1].accepted
+        assert site.registration_log[-1].error == "missing_email"
+
+    def test_short_password_rejected(self):
+        site, spec = make_site()
+        post(site, f"{spec.registration_path}/submit", valid_form(password="short"))
+        assert site.registration_log[-1].error == "password_too_short"
+
+    def test_special_char_policy(self):
+        site, spec = make_site(requires_special_char=True)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.registration_log[-1].error == "password_needs_special_char"
+
+    def test_email_length_limit(self):
+        site, spec = make_site(max_email_length=16)
+        post(site, f"{spec.registration_path}/submit",
+             valid_form(email="eighteen-chars@x.y"))
+        assert site.registration_log[-1].error == "email_too_long"
+
+    def test_confirm_password_mismatch(self):
+        site, spec = make_site(wants_confirm_password=True)
+        form = valid_form()
+        form["password2"] = "Different9"
+        post(site, f"{spec.registration_path}/submit", form)
+        assert site.registration_log[-1].error == "password_mismatch"
+
+    def test_terms_checkbox_required(self):
+        site, spec = make_site(wants_terms_checkbox=True)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.registration_log[-1].error == "terms_not_accepted"
+
+    def test_extra_field_required_server_side(self):
+        site, spec = make_site(extra_unlabeled_field=True)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.registration_log[-1].error == "missing_field"
+        form = valid_form()
+        form["x_fld_71"] = "anything"
+        post(site, f"{spec.registration_path}/submit", form)
+        assert site.registration_log[-1].accepted
+
+    def test_duplicate_account_rejected(self):
+        site, spec = make_site()
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.registration_log[-1].error == "duplicate_account"
+
+    def test_shadow_ban_drops_silently_with_success_page(self):
+        site, spec = make_site(shadow_ban_rate=1.0)
+        response = post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.registration_log[-1].error == "shadow_ban"
+        assert site.accounts.lookup("user@p.example") is None
+        # The page still reads like success.
+        assert "successful" in response.body or "Welcome" in response.body
+
+
+class TestBotChecks:
+    def test_captcha_required_and_checked(self):
+        site, spec = make_site(bot_check=BotCheck.CAPTCHA_IMAGE)
+        page = get(site, spec.registration_path)
+        assert "data-challenge" in page.body
+        form = valid_form()
+        form["captcha"] = "wrong!"
+        form["_challenge_token"] = "ch-shop.test-1"
+        post(site, f"{spec.registration_path}/submit", form)
+        assert site.registration_log[-1].error == "bot_check_failed"
+
+    def test_captcha_correct_answer_accepted(self):
+        site, spec = make_site(bot_check=BotCheck.CAPTCHA_IMAGE)
+        get(site, spec.registration_path)
+        token = "ch-shop.test-1"
+        form = valid_form()
+        form["captcha"] = captcha_answer_for(token)
+        form["_challenge_token"] = token
+        post(site, f"{spec.registration_path}/submit", form)
+        assert site.registration_log[-1].accepted
+
+    def test_interactive_widget_rejects_without_token(self):
+        site, spec = make_site(bot_check=BotCheck.INTERACTIVE)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.registration_log[-1].error == "bot_check_failed"
+
+
+class TestEmailBehavior:
+    def test_verification_email_sent_with_working_link(self):
+        mailbox = []
+        site, spec = make_site(mailbox, email_behavior=EmailBehavior.VERIFICATION_LINK)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert len(mailbox) == 1
+        assert mailbox[0].kind is MessageKind.VERIFICATION
+        account = site.accounts.lookup("user@p.example")
+        assert not account.activated
+        token = mailbox[0].urls()[0].split("token=")[1]
+        get(site, f"/verify?token={token}")
+        assert account.activated
+
+    def test_welcome_email_sent(self):
+        mailbox = []
+        site, spec = make_site(mailbox, email_behavior=EmailBehavior.WELCOME_ONLY)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert mailbox[0].kind is MessageKind.WELCOME
+
+    def test_nothing_sends_nothing(self):
+        mailbox = []
+        site, spec = make_site(mailbox, email_behavior=EmailBehavior.NOTHING)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert mailbox == []
+
+    def test_verification_optional_account_active(self):
+        mailbox = []
+        site, spec = make_site(mailbox, email_behavior=EmailBehavior.VERIFICATION_OPTIONAL)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.accounts.lookup("user@p.example").activated
+
+
+class TestMultistage:
+    def test_stage2_returns_form_with_token(self):
+        site, spec = make_site(registration_style=RegistrationStyle.MULTISTAGE,
+                               multistage_credentials_first=True)
+        response = post(site, f"{spec.registration_path}/step2", valid_form())
+        assert "stage_token" in response.body
+
+    def test_stage1_values_merged_at_submit(self):
+        site, spec = make_site(registration_style=RegistrationStyle.MULTISTAGE,
+                               multistage_credentials_first=True, wants_name=True)
+        post(site, f"{spec.registration_path}/step2", valid_form())
+        post(site, f"{spec.registration_path}/submit",
+             {"stage_token": "st-1", "first_name": "A", "last_name": "B"})
+        assert site.registration_log[-1].accepted
+        account = site.accounts.lookup("user@p.example")
+        assert account.profile.get("first_name") == "A"
+
+    def test_creates_at_step1(self):
+        site, spec = make_site(registration_style=RegistrationStyle.MULTISTAGE,
+                               multistage_credentials_first=True,
+                               multistage_creates_at_step1=True)
+        post(site, f"{spec.registration_path}/step2", valid_form())
+        assert site.accounts.lookup("user@p.example") is not None
+
+
+class TestSiteLogin:
+    def test_login_success_and_failure(self):
+        site, spec = make_site()
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        ok = post(site, "/login", {"login": "user@p.example", "password": "Website1"})
+        assert ok.status == 200
+        bad = post(site, "/login", {"login": "user@p.example", "password": "nope1234"})
+        assert bad.status == 401
+
+    def test_brute_force_lockout(self):
+        site, spec = make_site()
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        for _ in range(Website.SITE_LOGIN_FAILURE_LIMIT):
+            post(site, "/login", {"login": "user@p.example", "password": "wrong000"})
+        locked = post(site, "/login", {"login": "user@p.example", "password": "Website1"})
+        assert locked.status == 429
+
+    def test_no_protection_when_disabled(self):
+        site, spec = make_site(site_brute_force_protection=False)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        for _ in range(Website.SITE_LOGIN_FAILURE_LIMIT + 5):
+            post(site, "/login", {"login": "user@p.example", "password": "wrong000"})
+        ok = post(site, "/login", {"login": "user@p.example", "password": "Website1"})
+        assert ok.status == 200
+
+    def test_admin_approval_blocks_login(self):
+        site, spec = make_site(requires_admin_approval=True)
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert not site.check_credentials("user@p.example", "Website1")
+
+
+class TestGroundTruth:
+    def test_observed_plaintext(self):
+        site, spec = make_site()
+        post(site, f"{spec.registration_path}/submit", valid_form())
+        assert site.observed_plaintext("user14chars") == "Website1"
+        assert site.observed_plaintext("ghost") is None
+
+    def test_organic_seeding(self):
+        site, _ = make_site()
+        created = site.seed_organic_accounts(50)
+        assert created == 50
+        assert len(site.accounts) == 50
+        for account in site.accounts.all_accounts():
+            assert not account.email.endswith("@bigmail.example")
+
+    def test_sales_call_on_free_trial(self):
+        site, spec = make_site(is_free_trial=True, wants_phone=True)
+        called = 0
+        for i in range(30):
+            form = valid_form(email=f"u{i}@p.example", username=f"user{i:04d}")
+            form["phone"] = f"619-555-{i:04d}"
+            post(site, f"{spec.registration_path}/submit", form)
+        assert len(site.sales_call_numbers) > 0
