@@ -1,14 +1,29 @@
-"""End-to-end pilot wall-time benchmark.
+"""End-to-end pilot wall-time benchmarks.
 
-Times one complete (small-scale) pilot: identity provisioning, three
-registration batches, breaches, attacker campaigns, dumps, monitoring,
-disclosure and estimation.  The assertions re-check the headline
-result: real breaches detected, zero false positives.
+Two workloads:
+
+- ``test_pilot_end_to_end`` times one complete (small-scale) pilot:
+  identity provisioning, three registration batches, breaches, attacker
+  campaigns, dumps, monitoring, disclosure and estimation.  The
+  assertions re-check the headline result: real breaches detected,
+  zero false positives.
+- ``test_pilot_campaign_serial_vs_sharded`` times the registration
+  campaign (the crawl-bound phase that dominates a production run) on
+  the pilot-scale site list, serial vs a 4-worker process pool, and
+  verifies the two produce bit-identical merged results.
+
+Both emit a machine-readable JSON summary alongside the text output.
 """
+
+import os
+import time
 
 import pytest
 
+from repro.core.runner import CampaignRunner
 from repro.core.scenario import PilotScenario, ScenarioConfig
+from repro.core.substrate import WorldShard
+from repro.util.rngtree import RngTree
 
 SMALL = ScenarioConfig(
     seed=31,
@@ -23,12 +38,20 @@ SMALL = ScenarioConfig(
     control_account_count=4,
 )
 
+#: Pilot-scale campaign workload for the serial-vs-sharded comparison.
+CAMPAIGN_SEED = 31
+CAMPAIGN_POPULATION = 350
+CAMPAIGN_TOP = 300
+CAMPAIGN_SHARDS = 8
+
 
 @pytest.mark.benchmark(group="end-to-end")
-def test_pilot_end_to_end(benchmark, record):
+def test_pilot_end_to_end(benchmark, record, record_json):
+    began = time.perf_counter()
     result = benchmark.pedantic(
         lambda: PilotScenario(SMALL).run(), rounds=1, iterations=1
     )
+    wall = time.perf_counter() - began
     summary = "\n".join([
         "End-to-end pilot (small scale):",
         f"  attempts:          {len(result.campaign.attempts)}",
@@ -39,7 +62,81 @@ def test_pilot_end_to_end(benchmark, record):
         f"  attacker logins:   {result.checker.total_login_attempts}",
     ])
     record("pilot_end_to_end", summary)
+    record_json("pilot_end_to_end", {
+        "attempts": len(result.campaign.attempts),
+        "identities_burned": len(result.campaign.exposed_attempts()),
+        "breaches": len(result.breaches),
+        "detected": len(result.detected_hosts),
+        "integrity_alarms": len(result.monitor.alarms),
+        "attacker_logins": result.checker.total_login_attempts,
+        "wall_seconds": wall,
+    })
 
     assert result.monitor.alarms == []  # no false positives, ever
     assert result.detected_hosts <= result.breached_hosts
     assert len(result.detected_hosts) >= 1
+
+
+def _fingerprint(result) -> list[tuple]:
+    return [
+        (a.site_host, a.identity.email_local, a.password_class.value,
+         a.outcome.code.value, a.outcome.started_at, a.outcome.finished_at)
+        for a in result.attempts
+    ]
+
+
+@pytest.mark.benchmark(group="end-to-end")
+def test_pilot_campaign_serial_vs_sharded(benchmark, record, record_json):
+    """Serial baseline vs 4-worker process pool on the pilot crawl."""
+    listing = WorldShard(RngTree(CAMPAIGN_SEED)).build_population(CAMPAIGN_POPULATION)
+    sites = listing.alexa_top(CAMPAIGN_TOP)
+
+    def run_with(workers: int, executor: str):
+        runner = CampaignRunner(
+            seed=CAMPAIGN_SEED,
+            population_size=CAMPAIGN_POPULATION,
+            shards=CAMPAIGN_SHARDS,
+            workers=workers,
+            executor=executor,
+        )
+        began = time.perf_counter()
+        result = runner.run(sites)
+        return result, time.perf_counter() - began
+
+    serial_result, serial_wall = run_with(1, "serial")
+    sharded_result, sharded_wall = benchmark.pedantic(
+        lambda: run_with(4, "process"), rounds=1, iterations=1
+    )
+
+    # The determinism contract: worker count never changes results.
+    assert _fingerprint(sharded_result) == _fingerprint(serial_result)
+    assert sharded_result.stats == serial_result.stats
+    assert sharded_result.telemetry == serial_result.telemetry
+
+    speedup = serial_wall / sharded_wall if sharded_wall > 0 else float("inf")
+    summary = "\n".join([
+        "Pilot campaign, serial vs sharded (8 shards, top "
+        f"{CAMPAIGN_TOP} of {CAMPAIGN_POPULATION}):",
+        f"  serial wall:     {serial_wall:.2f}s",
+        f"  4-worker wall:   {sharded_wall:.2f}s (process pool)",
+        f"  speedup:         {speedup:.2f}x",
+        f"  attempts:        {serial_result.stats.attempts}",
+        f"  cpu count:       {os.cpu_count()}",
+    ])
+    record("pilot_campaign_serial_vs_sharded", summary)
+    record_json("pilot_campaign_serial_vs_sharded", {
+        "shards": CAMPAIGN_SHARDS,
+        "sites": len(sites),
+        "serial_wall_seconds": serial_wall,
+        "sharded_wall_seconds": sharded_wall,
+        "sharded_workers": 4,
+        "sharded_executor": "process",
+        "speedup": speedup,
+        "attempts": serial_result.stats.attempts,
+        "cpu_count": os.cpu_count(),
+        "results_identical": True,
+    })
+    # Real parallelism needs real cores; single-core CI boxes only
+    # check the determinism contract above.
+    if (os.cpu_count() or 1) >= 4:
+        assert sharded_wall < serial_wall

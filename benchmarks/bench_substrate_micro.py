@@ -5,8 +5,12 @@ and parsing dominate crawl time, and a full-scale pilot (30k sites)
 performs hundreds of thousands of these operations.
 """
 
+import time
+
 import pytest
 
+from repro.core.runner import CampaignRunner
+from repro.core.substrate import WorldShard
 from repro.crawler.captcha import CaptchaSolverService
 from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
 from repro.html.parser import parse_html
@@ -62,3 +66,46 @@ def test_bench_single_site_crawl(benchmark):
 
     outcome = benchmark(crawl_once)
     assert outcome.code is not None
+
+
+#: Small sharded-campaign workload shared by the workers axis below.
+_SHARDED_SEED = 97
+_SHARDED_POPULATION = 220
+_SHARDED_TOP = 32
+
+
+@pytest.mark.benchmark(group="sharded-campaign")
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_sharded_campaign_workers(benchmark, record_json, workers):
+    """One campaign fan-out per worker count; serial is the baseline.
+
+    Emits ``substrate_sharded_campaign_w<N>.json`` so the serial vs
+    sharded wall-clock comparison is machine-readable.
+    """
+    from repro.util.rngtree import RngTree
+
+    listing = WorldShard(RngTree(_SHARDED_SEED)).build_population(_SHARDED_POPULATION)
+    sites = listing.alexa_top(_SHARDED_TOP)
+    runner = CampaignRunner(
+        seed=_SHARDED_SEED,
+        population_size=_SHARDED_POPULATION,
+        shards=4,
+        workers=workers,
+        executor="serial" if workers == 1 else "thread",
+    )
+
+    began = time.perf_counter()
+    result = benchmark.pedantic(lambda: runner.run(sites), rounds=1, iterations=1)
+    wall = time.perf_counter() - began
+
+    record_json(f"substrate_sharded_campaign_w{workers}", {
+        "workers": workers,
+        "shards": 4,
+        "executor": runner.executor,
+        "sites": len(sites),
+        "attempts": result.stats.attempts,
+        "exposed_attempts": result.stats.exposed_attempts,
+        "transport_requests": result.telemetry.transport_requests,
+        "wall_seconds": wall,
+    })
+    assert result.stats.sites_considered == len(sites)

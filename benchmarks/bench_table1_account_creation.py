@@ -7,7 +7,6 @@ estimated-valid counts.
 """
 
 from repro.analysis.table1 import build_table1, render_table1
-from repro.core.classify import AccountStatus
 from repro.core.estimation import SuccessEstimator
 
 

@@ -8,6 +8,7 @@ The end-to-end and ablation benches run their own scenarios.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -44,5 +45,19 @@ def record():
     def _record(name: str, text: str) -> None:
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write a machine-readable summary to benchmarks/output/<name>.json."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, payload: dict) -> None:
+        path = OUTPUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\nwrote {path}\n")
 
     return _record

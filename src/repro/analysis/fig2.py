@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.analysis.table2 import assign_site_letters
 from repro.core.scenario import PilotResult
 from repro.identity.passwords import PasswordClass
-from repro.util.timeutil import DAY, SimInstant, month_label
+from repro.util.timeutil import SimInstant, month_label
 
 
 @dataclass

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.campaign import AttemptRecord
-from repro.core.estimation import CategoryEstimate
 from repro.crawler.outcomes import TerminationCode
 from repro.core.scenario import PilotResult
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.monitor import CompromiseMonitor, DetectedCompromise
+from repro.core.monitor import CompromiseMonitor
 from repro.core.scenario import PilotResult
 from repro.util.tables import render_table
 

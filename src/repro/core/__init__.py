@@ -1,8 +1,14 @@
 """Tripwire core: the measurement system itself.
 
-- :mod:`repro.core.system` — wires the full substrate (network, email
-  provider, mail server, identities, crawler, website population) into
-  one :class:`TripwireSystem`.
+- :mod:`repro.core.substrate` — the world layer: clock, event queue,
+  transport, WHOIS/DNS and site population as one :class:`WorldShard`.
+- :mod:`repro.core.apparatus` — the measurement layer: provider, mail
+  chain, identities and crawler as one :class:`MeasurementApparatus`.
+- :mod:`repro.core.system` — the :class:`TripwireSystem` facade wiring
+  one substrate and one apparatus into the familiar flat API.
+- :mod:`repro.core.runner` — sharded campaign execution: partition a
+  ranked list, run each shard on a private world (serial, thread-pool
+  or process-pool), merge results deterministically.
 - :mod:`repro.core.campaign` — registration campaigns: hard-first
   attempts, conditional easy/second-hard follow-ups, identity burning,
   shared-backend URL filtering, manual registrations.
@@ -17,6 +23,9 @@
 """
 
 from repro.core.system import TripwireSystem
+from repro.core.substrate import WorldShard
+from repro.core.apparatus import MeasurementApparatus
+from repro.core.runner import CampaignRunner, CampaignRunResult, ShardPlan, ShardResult, ShardTelemetry
 from repro.core.campaign import AttemptRecord, RegistrationCampaign, RegistrationPolicy
 from repro.core.classify import AccountStatus, classify_attempt
 from repro.core.estimation import CategoryEstimate, SuccessEstimator
@@ -26,6 +35,13 @@ from repro.core.scenario import PilotResult, PilotScenario, ScenarioConfig
 
 __all__ = [
     "TripwireSystem",
+    "WorldShard",
+    "MeasurementApparatus",
+    "CampaignRunner",
+    "CampaignRunResult",
+    "ShardPlan",
+    "ShardResult",
+    "ShardTelemetry",
     "RegistrationCampaign",
     "RegistrationPolicy",
     "AttemptRecord",

@@ -1,0 +1,123 @@
+"""The measurement apparatus: everything Tripwire itself operates.
+
+A :class:`MeasurementApparatus` owns the email-provider relationship,
+the forwarding chain and mail server, the identity machinery and the
+registration crawler.  It is wired against a
+:class:`repro.core.substrate.WorldShard`'s protocol seams
+(:mod:`repro.sim.protocols`), never against global singletons, so the
+same apparatus code runs identically on the single shared world of
+:class:`repro.core.system.TripwireSystem` and on each independent
+shard of a :class:`repro.core.runner.CampaignRunner` execution.
+
+Randomness comes from an *apparatus tree* that may be namespaced per
+shard (``root.child("shard", k)``): shards then mint distinct
+identities and crawl with distinct error streams, while the substrate
+tree — which governs site specs — stays the root so every shard agrees
+on what the web looks like.
+"""
+
+from __future__ import annotations
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.email_provider.provider import EmailProvider
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityPool
+from repro.mail.forwarding import ForwardingHop
+from repro.mail.server import TripwireMailServer
+from repro.net.proxies import ResearchProxyPool
+from repro.core.substrate import WorldShard
+from repro.util.rngtree import RngTree
+
+#: Cover domains whose mail is hosted third-party then relayed to us.
+DEFAULT_COVER_DOMAINS = ("plainmailbox.example", "mailrelay-7.example")
+
+
+class MeasurementApparatus:
+    """Provider, mail chain, identities and crawler over one substrate."""
+
+    def __init__(
+        self,
+        world: WorldShard,
+        tree: RngTree,
+        provider_domain: str = "bigmail.example",
+        retention_days: int = 60,
+        crawler_config: CrawlerConfig | None = None,
+        proxy_pool_size: int = 64,
+        cover_domains: tuple[str, ...] = DEFAULT_COVER_DOMAINS,
+    ):
+        self.world = world
+        self.tree = tree
+
+        # -- email provider and mail chain ---------------------------------
+        self.provider = EmailProvider(
+            provider_domain, world.clock, tree, retention_days=retention_days
+        )
+        self.mail_server = TripwireMailServer(
+            world.transport, tree.child("mail-server").rng()
+        )
+        self.forwarding_hop = ForwardingHop(
+            list(cover_domains), self.mail_server.receive
+        )
+        self.provider.set_forwarding_hop(self.forwarding_hop)
+
+        # -- identities ------------------------------------------------------
+        self.identity_factory = IdentityFactory(tree, email_domain=provider_domain)
+        self.pool = IdentityPool()
+        self.control_locals: set[str] = set()
+        self._forward_index = 0
+
+        # -- crawler apparatus ------------------------------------------------
+        self.proxy_pool = ResearchProxyPool(
+            world.whois, tree.child("proxies").rng(), pool_size=proxy_pool_size
+        )
+        self.solver = CaptchaSolverService(tree.child("solver").rng())
+        self.crawler = RegistrationCrawler(
+            world.transport,
+            self.solver,
+            tree.child("crawler").rng(),
+            config=crawler_config,
+            proxy_pool=self.proxy_pool,
+        )
+
+    # -- identity provisioning ----------------------------------------------
+
+    def provision_identities(self, count: int, password_class: PasswordClass) -> int:
+        """Create identities and the matching provider accounts.
+
+        Identities the provider rejects (collision / naming policy) are
+        discarded, as in the paper.  Returns how many joined the pool.
+        """
+        added = 0
+        for _ in range(count):
+            identity = self.identity_factory.create(password_class)
+            result = self.provider.provision(
+                identity.email_local,
+                identity.full_name,
+                identity.password,
+                forwarding_address=self.forwarding_hop.address_for(
+                    identity.email_local, self._forward_index
+                ),
+            )
+            self._forward_index += 1
+            if not result.created:
+                continue
+            self.pool.add(identity)
+            added += 1
+        return added
+
+    def provision_control_accounts(self, count: int) -> list[str]:
+        """Create control accounts we log into ourselves (Section 4.2)."""
+        created = []
+        for _ in range(count):
+            identity = self.identity_factory.create(PasswordClass.HARD)
+            result = self.provider.provision(
+                identity.email_local, identity.full_name, identity.password
+            )
+            if not result.created:
+                continue
+            self.pool.add_control(identity)
+            self.control_locals.add(identity.email_local.lower())
+            created.append(identity.email_local)
+        return created

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.system import TripwireSystem
 from repro.crawler.outcomes import CrawlOutcome, TerminationCode
@@ -88,10 +88,16 @@ class RegistrationCampaign:
         self.system = system
         self.policy = policy
         self.second_hard_probability = second_hard_probability
-        self._rng = system.tree.child("campaign").rng()
+        tree = getattr(system, "apparatus_tree", None) or system.tree
+        self._rng = tree.child("campaign").rng()
         self.attempts: list[AttemptRecord] = []
         self.stats = CampaignStats()
         self._attempted_hosts: set[str] = set()
+        # Incremental per-host indexes; scanning `attempts` per site is
+        # quadratic over a ranked list (the pilot walks tens of
+        # thousands of entries).
+        self._attempts_by_host: dict[str, list[AttemptRecord]] = {}
+        self._succeeded_hosts: set[str] = set()
 
     # -- batch API -----------------------------------------------------------------
 
@@ -176,9 +182,24 @@ class RegistrationCampaign:
             self.stats.identities_consumed += 1
         else:
             system.pool.release(identity.identity_id)
-        self.attempts.append(record)
+        self._remember(record)
         self.stats.attempts += 1
         return record
+
+    def _remember(self, record: AttemptRecord) -> None:
+        self.attempts.append(record)
+        self._attempts_by_host.setdefault(record.site_host, []).append(record)
+        if record.believed_success:
+            self._succeeded_hosts.add(record.site_host)
+
+    def record_external_attempt(self, record: AttemptRecord) -> None:
+        """Fold an attempt made outside the batch API into the ledger.
+
+        Scenario code (e.g. §6.1.4 re-registration) drives the crawler
+        directly but still wants the attempt in this campaign's history
+        and indexes.
+        """
+        self._remember(record)
 
     # -- manual registration (Section 5.1's top-500 pass) ----------------------------
 
@@ -194,9 +215,7 @@ class RegistrationCampaign:
         spec = system.population.spec_at_rank(rank)
         if not spec.eligible_for_tripwire:
             return None
-        if entry.host in self._attempted_hosts and any(
-            a.site_host == entry.host and a.believed_success for a in self.attempts
-        ):
+        if entry.host in self._succeeded_hosts:
             return None  # already have an account here
         site = system.population.site_at_rank(rank)
         identity = system.pool.checkout_any(entry.host, PasswordClass.EASY)
@@ -235,7 +254,7 @@ class RegistrationCampaign:
             manual=True,
             registered_at=now,
         )
-        self.attempts.append(record)
+        self._remember(record)
         self.stats.attempts += 1
         self.stats.exposed_attempts += 1
         self._attempted_hosts.add(entry.host)
@@ -322,8 +341,7 @@ class RegistrationCampaign:
 
     def attempts_for_site(self, host: str) -> list[AttemptRecord]:
         """All attempts at one site, oldest first."""
-        wanted = host.lower()
-        return [a for a in self.attempts if a.site_host == wanted]
+        return list(self._attempts_by_host.get(host.lower(), ()))
 
     def exposed_attempts(self) -> list[AttemptRecord]:
         """Attempts where an identity was burned (Table 1's universe)."""

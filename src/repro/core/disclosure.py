@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.net.dns import DnsResolver, NxDomain
-from repro.util.timeutil import DAY, HOUR, MINUTE, SimInstant
+from repro.util.timeutil import DAY, MINUTE, SimInstant
 
 
 class ResponseKind(enum.Enum):

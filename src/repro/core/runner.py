@@ -1,0 +1,339 @@
+"""Sharded, deterministically-mergeable campaign execution.
+
+The paper's pilot crawled ~2,300 sites serially; scaling to millions
+needs independent per-site work units fanned out over workers.  A
+:class:`CampaignRunner` partitions a ranked site list into N shards,
+executes each shard's registration campaign on its own private world
+(substrate + apparatus, see :mod:`repro.core.substrate` and
+:mod:`repro.core.apparatus`), then merges attempts and telemetry back
+in the original list order.
+
+Determinism contract
+--------------------
+
+Each shard is a pure function of ``(seed, shard_index, shard sites,
+configs)``: the shard builds a fresh :class:`TripwireSystem` whose
+substrate tree is the root seed (so site specs are identical across
+shards and runs) and whose apparatus tree is namespaced
+``("shard", shard_index)`` (so shards mint distinct identities and
+crawl with independent error streams).  No state is shared between
+shards, so executing them serially, on a thread pool, or on a process
+pool yields **bit-identical merged results for any worker count**.
+The merge is keyed on each site's position in the input list, never on
+completion order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass
+
+from repro.core.campaign import AttemptRecord, CampaignStats, RegistrationCampaign, RegistrationPolicy
+from repro.core.system import TripwireSystem
+from repro.crawler.engine import CrawlerConfig
+from repro.identity.passwords import PasswordClass
+from repro.identity.pool import IdentityState
+from repro.util.timeutil import STUDY_START, SimInstant
+from repro.web.generator import GeneratorConfig
+from repro.web.population import RankedSite
+
+#: Executor backends accepted by :class:`CampaignRunner`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything a worker needs to run one shard, picklable.
+
+    ``positions`` carries each site's index in the original ranked
+    list; the merge is keyed on it, which is what makes the merged
+    output independent of shard completion order.
+    """
+
+    shard_index: int
+    shard_count: int
+    seed: int
+    population_size: int
+    sites: tuple[RankedSite, ...]
+    positions: tuple[int, ...]
+    policy: RegistrationPolicy = RegistrationPolicy.HARD_FIRST
+    start: SimInstant = STUDY_START
+    generator_config: GeneratorConfig | None = None
+    crawler_config: CrawlerConfig | None = None
+    site_overrides: tuple[tuple[int, tuple[tuple[str, object], ...]], ...] = ()
+    identity_headroom: int = 8
+
+
+@dataclass(frozen=True)
+class ShardTelemetry:
+    """Deterministic per-shard counters, merged by summation."""
+
+    transport_requests: int = 0
+    mail_stored: int = 0
+    verification_pages_fetched: int = 0
+    identities_provisioned: int = 0
+    identities_burned: int = 0
+    pages_loaded: int = 0
+    sim_seconds_elapsed: int = 0
+
+    def merged_with(self, other: "ShardTelemetry") -> "ShardTelemetry":
+        return ShardTelemetry(
+            transport_requests=self.transport_requests + other.transport_requests,
+            mail_stored=self.mail_stored + other.mail_stored,
+            verification_pages_fetched=(
+                self.verification_pages_fetched + other.verification_pages_fetched
+            ),
+            identities_provisioned=(
+                self.identities_provisioned + other.identities_provisioned
+            ),
+            identities_burned=self.identities_burned + other.identities_burned,
+            pages_loaded=self.pages_loaded + other.pages_loaded,
+            sim_seconds_elapsed=self.sim_seconds_elapsed + other.sim_seconds_elapsed,
+        )
+
+
+@dataclass
+class ShardResult:
+    """One shard's output: attempts grouped per input-list position."""
+
+    shard_index: int
+    site_attempts: list[tuple[int, list[AttemptRecord]]]
+    stats: CampaignStats
+    telemetry: ShardTelemetry
+
+
+@dataclass
+class CampaignRunResult:
+    """Merged output of a sharded campaign run."""
+
+    attempts: list[AttemptRecord]
+    stats: CampaignStats
+    telemetry: ShardTelemetry
+    shard_results: list[ShardResult]
+    wall_seconds: float
+    workers: int
+    shards: int
+    executor: str
+
+    def exposed_attempts(self) -> list[AttemptRecord]:
+        """Attempts where an identity was burned."""
+        return [a for a in self.attempts if a.exposed]
+
+
+def partition_sites(
+    sites: list[RankedSite], shards: int
+) -> list[tuple[tuple[RankedSite, ...], tuple[int, ...]]]:
+    """Round-robin the list into ``shards`` (sites, positions) slices.
+
+    Round-robin keeps shard loads even when eligibility correlates
+    with rank (it does: top-ranked sites are crawled more heavily).
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    buckets: list[list[RankedSite]] = [[] for _ in range(shards)]
+    positions: list[list[int]] = [[] for _ in range(shards)]
+    for index, entry in enumerate(sites):
+        buckets[index % shards].append(entry)
+        positions[index % shards].append(index)
+    return [
+        (tuple(bucket), tuple(pos)) for bucket, pos in zip(buckets, positions)
+    ]
+
+
+def _overrides_to_dict(
+    packed: tuple[tuple[int, tuple[tuple[str, object], ...]], ...],
+) -> dict[int, dict[str, object]] | None:
+    if not packed:
+        return None
+    return {rank: dict(items) for rank, items in packed}
+
+
+def pack_overrides(
+    overrides: dict[int, dict[str, object]] | None,
+) -> tuple[tuple[int, tuple[tuple[str, object], ...]], ...]:
+    """Freeze a site-override mapping into a hashable, picklable form."""
+    if not overrides:
+        return ()
+    return tuple(
+        (rank, tuple(sorted(items.items())))
+        for rank, items in sorted(overrides.items())
+    )
+
+
+def run_shard(plan: ShardPlan) -> ShardResult:
+    """Execute one shard's campaign on a private world.
+
+    Top-level (not a closure) so the process-pool backend can pickle
+    it.  Identity provisioning is sized from the shard's site count:
+    every site may take a hard attempt, a follow-up easy attempt and
+    an occasional second hard attempt.
+    """
+    system = TripwireSystem(
+        seed=plan.seed,
+        population_size=plan.population_size,
+        start=plan.start,
+        generator_config=plan.generator_config,
+        crawler_config=plan.crawler_config,
+        site_overrides=_overrides_to_dict(plan.site_overrides),
+        apparatus_namespace=("shard", plan.shard_index),
+    )
+    hard_needed = 2 * len(plan.sites) + plan.identity_headroom
+    easy_needed = len(plan.sites) + plan.identity_headroom
+    provisioned = system.provision_identities(hard_needed, PasswordClass.HARD)
+    provisioned += system.provision_identities(easy_needed, PasswordClass.EASY)
+
+    campaign = RegistrationCampaign(system, policy=plan.policy)
+    site_attempts: list[tuple[int, list[AttemptRecord]]] = []
+    for position, entry in zip(plan.positions, plan.sites):
+        before = len(campaign.attempts)
+        campaign.run_batch([entry])
+        site_attempts.append((position, campaign.attempts[before:]))
+
+    burned = system.pool.count_by_state()[IdentityState.BURNED]
+    telemetry = ShardTelemetry(
+        transport_requests=system.transport.request_count,
+        mail_stored=system.mail_server.stored_count,
+        verification_pages_fetched=len(system.mail_server.saved_pages),
+        identities_provisioned=provisioned,
+        identities_burned=burned,
+        pages_loaded=sum(a.outcome.pages_loaded for a in campaign.attempts),
+        sim_seconds_elapsed=system.clock.now() - plan.start,
+    )
+    return ShardResult(
+        shard_index=plan.shard_index,
+        site_attempts=site_attempts,
+        stats=campaign.stats,
+        telemetry=telemetry,
+    )
+
+
+def merge_shard_results(results: list[ShardResult]) -> tuple[
+    list[AttemptRecord], CampaignStats, ShardTelemetry
+]:
+    """Merge shard outputs in input-list order (deterministic).
+
+    Attempts come back ordered by each site's position in the original
+    ranked list, with per-site attempt order preserved; stats and
+    telemetry merge by summation.  The result is invariant to the
+    order ``results`` arrives in.
+    """
+    indexed: list[tuple[int, list[AttemptRecord]]] = []
+    for result in results:
+        indexed.extend(result.site_attempts)
+    indexed.sort(key=lambda pair: pair[0])
+    attempts = [record for _position, group in indexed for record in group]
+
+    stats = CampaignStats()
+    telemetry = ShardTelemetry()
+    for result in sorted(results, key=lambda r: r.shard_index):
+        stats.sites_considered += result.stats.sites_considered
+        stats.sites_filtered += result.stats.sites_filtered
+        stats.attempts += result.stats.attempts
+        stats.exposed_attempts += result.stats.exposed_attempts
+        stats.identities_consumed += result.stats.identities_consumed
+        stats.skipped_no_identity += result.stats.skipped_no_identity
+        telemetry = telemetry.merged_with(result.telemetry)
+    return attempts, stats, telemetry
+
+
+class CampaignRunner:
+    """Partition, fan out, merge — the production campaign surface.
+
+    ``executor`` picks the backend: ``"serial"`` (the baseline the
+    parallel backends must match bit-for-bit), ``"thread"``
+    (I/O-bound friendly; bounded by the GIL for this pure-Python
+    workload) or ``"process"`` (true parallelism; shards rebuild their
+    worlds in the worker process from the picklable plan).
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        population_size: int = 30000,
+        shards: int = 1,
+        workers: int = 1,
+        executor: str = "serial",
+        policy: RegistrationPolicy = RegistrationPolicy.HARD_FIRST,
+        start: SimInstant = STUDY_START,
+        generator_config: GeneratorConfig | None = None,
+        crawler_config: CrawlerConfig | None = None,
+        site_overrides: dict[int, dict[str, object]] | None = None,
+        identity_headroom: int = 8,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.seed = seed
+        self.population_size = population_size
+        self.shards = shards
+        self.workers = workers
+        self.executor = executor
+        self.policy = policy
+        self.start = start
+        self.generator_config = generator_config
+        self.crawler_config = crawler_config
+        self.site_overrides = site_overrides
+        self.identity_headroom = identity_headroom
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, sites: list[RankedSite]) -> list[ShardPlan]:
+        """The shard plans for a ranked list (empty shards dropped)."""
+        packed = pack_overrides(self.site_overrides)
+        plans = []
+        for index, (bucket, positions) in enumerate(partition_sites(sites, self.shards)):
+            if not bucket:
+                continue
+            plans.append(
+                ShardPlan(
+                    shard_index=index,
+                    shard_count=self.shards,
+                    seed=self.seed,
+                    population_size=self.population_size,
+                    sites=bucket,
+                    positions=positions,
+                    policy=self.policy,
+                    start=self.start,
+                    generator_config=self.generator_config,
+                    crawler_config=self.crawler_config,
+                    site_overrides=packed,
+                    identity_headroom=self.identity_headroom,
+                )
+            )
+        return plans
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, sites: list[RankedSite]) -> CampaignRunResult:
+        """Execute the sharded campaign over a ranked list."""
+        plans = self.plan(sites)
+        began = time.perf_counter()
+        if self.executor == "serial" or self.workers == 1 or len(plans) <= 1:
+            shard_results = [run_shard(plan) for plan in plans]
+        else:
+            shard_results = self._run_pooled(plans)
+        wall = time.perf_counter() - began
+        attempts, stats, telemetry = merge_shard_results(shard_results)
+        return CampaignRunResult(
+            attempts=attempts,
+            stats=stats,
+            telemetry=telemetry,
+            shard_results=sorted(shard_results, key=lambda r: r.shard_index),
+            wall_seconds=wall,
+            workers=self.workers,
+            shards=self.shards,
+            executor=self.executor,
+        )
+
+    def _run_pooled(self, plans: list[ShardPlan]) -> list[ShardResult]:
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if self.executor == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=self.workers) as pool:
+            return list(pool.map(run_shard, plans))

@@ -530,7 +530,7 @@ class PilotScenario:
                 self.system.pool.release(identity.identity_id)
             # Recorded in the campaign ledger so the §6.1.4 recovery
             # analysis can track each fresh account's fate.
-            self.campaign.attempts.append(
+            self.campaign.record_external_attempt(
                 AttemptRecord(
                     site_host=host,
                     rank=rank,

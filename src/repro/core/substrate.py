@@ -1,0 +1,73 @@
+"""The world substrate: everything a measurement runs *against*.
+
+A :class:`WorldShard` bundles the simulation kernel (clock + event
+queue), the network plane (transport, WHOIS, DNS) and the lazily
+instantiated website population.  Shards are cheap and independent:
+a sharded campaign builds one per rank-partition, each from the same
+root seed, so every shard generates byte-identical site specs for the
+ranks it touches while keeping all mutable state (clock, request logs,
+site storage) private to the shard.
+
+The apparatus layer (:mod:`repro.core.apparatus`) is wired against the
+:mod:`repro.sim.protocols` seams, never against a shard directly, so
+either a full shared world or a per-shard world can sit underneath it.
+"""
+
+from __future__ import annotations
+
+from repro.net.dns import DnsResolver
+from repro.net.transport import Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import STUDY_START, SimInstant
+from repro.web.generator import GeneratorConfig
+from repro.web.population import InternetPopulation
+from repro.web.site import MailRouter
+
+
+class WorldShard:
+    """One self-contained slice of the simulated world.
+
+    The substrate tree passed in governs site-spec generation; two
+    shards built from the same tree agree on every spec (host names,
+    eligibility, registration style) for every rank, which is what
+    makes sharded results mergeable against a single ranked list.
+    """
+
+    def __init__(self, tree: RngTree, start: SimInstant = STUDY_START):
+        self.tree = tree
+        self.clock = SimClock(start)
+        self.queue = EventQueue(self.clock)
+        self.transport = Transport(self.clock)
+        self.whois = WhoisRegistry()
+        self.dns = DnsResolver()
+        self.population: InternetPopulation | None = None
+
+    def build_population(
+        self,
+        size: int,
+        mail_router: MailRouter | None = None,
+        config: GeneratorConfig | None = None,
+        overrides: dict[int, dict[str, object]] | None = None,
+    ) -> InternetPopulation:
+        """Attach the ranked population (once) and return it.
+
+        Built last because the mail router usually closes over the
+        apparatus, which in turn needs the substrate's clock/transport.
+        """
+        if self.population is not None:
+            raise RuntimeError("population already built for this shard")
+        self.population = InternetPopulation(
+            self.tree,
+            self.clock,
+            self.transport,
+            self.whois,
+            self.dns,
+            size=size,
+            mail_router=mail_router,
+            config=config,
+            overrides=overrides,
+        )
+        return self.population

@@ -1,37 +1,33 @@
 """Assembly of the full Tripwire measurement system.
 
-One :class:`TripwireSystem` owns the simulated world (clock, event
-queue, network, site population) plus the measurement apparatus (email
-provider relationship, forwarding chain, mail server, identity pool,
-crawler).  Everything is deterministic given the seed.
+:class:`TripwireSystem` is a thin facade over the two explicit layers:
+a :class:`repro.core.substrate.WorldShard` (clock, event queue,
+transport, WHOIS/DNS, site population) and a
+:class:`repro.core.apparatus.MeasurementApparatus` (email provider,
+mail chain, identity machinery, crawler).  Everything is deterministic
+given the seed; the familiar flat attributes (``system.clock``,
+``system.crawler``, ...) are aliases into the layers so existing code
+and tests are unaffected by the decomposition.
+
+Sharded campaign execution (:mod:`repro.core.runner`) builds one
+system per rank-partition with an ``apparatus_namespace`` so each
+shard mints distinct identities while agreeing on the site population.
 """
 
 from __future__ import annotations
 
-from repro.crawler.captcha import CaptchaSolverService
-from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
-from repro.email_provider.provider import EmailProvider
+from repro.core.apparatus import DEFAULT_COVER_DOMAINS, MeasurementApparatus
+from repro.core.substrate import WorldShard
+from repro.crawler.engine import CrawlerConfig
 from repro.email_provider.telemetry import LoginMethod
-from repro.identity.generator import IdentityFactory
 from repro.identity.passwords import PasswordClass
-from repro.identity.pool import IdentityPool
-from repro.mail.forwarding import ForwardingHop
 from repro.mail.messages import EmailMessage
-from repro.mail.server import TripwireMailServer
-from repro.net.dns import DnsResolver
 from repro.net.ipaddr import IPv4Address
-from repro.net.proxies import ResearchProxyPool
-from repro.net.transport import Transport
-from repro.net.whois import WhoisRegistry
-from repro.sim.clock import SimClock
-from repro.sim.events import EventQueue
 from repro.util.rngtree import RngTree
 from repro.util.timeutil import STUDY_START, SimInstant
 from repro.web.generator import GeneratorConfig
-from repro.web.population import InternetPopulation
 
-#: Cover domains whose mail is hosted third-party then relayed to us.
-DEFAULT_COVER_DOMAINS = ("plainmailbox.example", "mailrelay-7.example")
+__all__ = ["DEFAULT_COVER_DOMAINS", "TripwireSystem"]
 
 
 class TripwireSystem:
@@ -48,57 +44,47 @@ class TripwireSystem:
         crawler_config: CrawlerConfig | None = None,
         site_overrides: dict[int, dict[str, object]] | None = None,
         proxy_pool_size: int = 64,
+        apparatus_namespace: tuple[object, ...] = (),
     ):
         self.tree = RngTree(seed)
-        self.clock = SimClock(start)
-        self.queue = EventQueue(self.clock)
-        self.transport = Transport(self.clock)
-        self.whois = WhoisRegistry()
-        self.dns = DnsResolver()
-
-        # -- email provider and mail chain ---------------------------------
-        self.provider = EmailProvider(
-            provider_domain, self.clock, self.tree, retention_days=retention_days
-        )
-        self.mail_server = TripwireMailServer(
-            self.transport, self.tree.child("mail-server").rng()
-        )
-        self.forwarding_hop = ForwardingHop(
-            list(DEFAULT_COVER_DOMAINS), self.mail_server.receive
-        )
-        self.provider.set_forwarding_hop(self.forwarding_hop)
-
-        # -- identities ------------------------------------------------------
-        self.identity_factory = IdentityFactory(self.tree, email_domain=provider_domain)
-        self.pool = IdentityPool()
-        self.control_locals: set[str] = set()
-        self._forward_index = 0
-
-        # -- crawler apparatus --------------------------------------------------
-        self.proxy_pool = ResearchProxyPool(
-            self.whois, self.tree.child("proxies").rng(), pool_size=proxy_pool_size
-        )
-        self.solver = CaptchaSolverService(self.tree.child("solver").rng())
-        self.crawler = RegistrationCrawler(
-            self.transport,
-            self.solver,
-            self.tree.child("crawler").rng(),
-            config=crawler_config,
-            proxy_pool=self.proxy_pool,
+        #: The apparatus draws from a (possibly shard-namespaced) tree
+        #: so parallel shards mint distinct identities; the substrate
+        #: always uses the root tree so site specs agree across shards.
+        self.apparatus_tree = (
+            self.tree.child(*apparatus_namespace) if apparatus_namespace else self.tree
         )
 
-        # -- the web -----------------------------------------------------------
-        self.population = InternetPopulation(
-            self.tree,
-            self.clock,
-            self.transport,
-            self.whois,
-            self.dns,
-            size=population_size,
+        self.world = WorldShard(self.tree, start=start)
+        self.apparatus = MeasurementApparatus(
+            self.world,
+            self.apparatus_tree,
+            provider_domain=provider_domain,
+            retention_days=retention_days,
+            crawler_config=crawler_config,
+            proxy_pool_size=proxy_pool_size,
+        )
+        self.population = self.world.build_population(
+            population_size,
             mail_router=self.route_site_mail,
             config=generator_config,
             overrides=site_overrides,
         )
+
+        # -- flat aliases into the layers (the pre-decomposition API) ------
+        self.clock = self.world.clock
+        self.queue = self.world.queue
+        self.transport = self.world.transport
+        self.whois = self.world.whois
+        self.dns = self.world.dns
+        self.provider = self.apparatus.provider
+        self.mail_server = self.apparatus.mail_server
+        self.forwarding_hop = self.apparatus.forwarding_hop
+        self.identity_factory = self.apparatus.identity_factory
+        self.pool = self.apparatus.pool
+        self.control_locals = self.apparatus.control_locals
+        self.proxy_pool = self.apparatus.proxy_pool
+        self.solver = self.apparatus.solver
+        self.crawler = self.apparatus.crawler
 
     # -- mail routing ------------------------------------------------------------
 
@@ -117,43 +103,12 @@ class TripwireSystem:
     # -- identity provisioning -------------------------------------------------------
 
     def provision_identities(self, count: int, password_class: PasswordClass) -> int:
-        """Create identities and the matching provider accounts.
-
-        Identities the provider rejects (collision / naming policy) are
-        discarded, as in the paper.  Returns how many joined the pool.
-        """
-        added = 0
-        for _ in range(count):
-            identity = self.identity_factory.create(password_class)
-            result = self.provider.provision(
-                identity.email_local,
-                identity.full_name,
-                identity.password,
-                forwarding_address=self.forwarding_hop.address_for(
-                    identity.email_local, self._forward_index
-                ),
-            )
-            self._forward_index += 1
-            if not result.created:
-                continue
-            self.pool.add(identity)
-            added += 1
-        return added
+        """Create identities and the matching provider accounts."""
+        return self.apparatus.provision_identities(count, password_class)
 
     def provision_control_accounts(self, count: int) -> list[str]:
         """Create control accounts we log into ourselves (Section 4.2)."""
-        created = []
-        for _ in range(count):
-            identity = self.identity_factory.create(PasswordClass.HARD)
-            result = self.provider.provision(
-                identity.email_local, identity.full_name, identity.password
-            )
-            if not result.created:
-                continue
-            self.pool.add_control(identity)
-            self.control_locals.add(identity.email_local.lower())
-            created.append(identity.email_local)
-        return created
+        return self.apparatus.provision_control_accounts(count)
 
     def login_control_accounts(self) -> int:
         """Log into every control account from an institution IP.

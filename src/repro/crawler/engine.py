@@ -10,8 +10,8 @@ processing delays — the ethics constraint of Section 3.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
+from random import Random
 
 from repro.crawler.captcha import CaptchaSolverService
 from repro.crawler.checks import SubmissionVerdict, judge_submission_response
@@ -25,7 +25,7 @@ from repro.html.browser import Browser, BrowserError, Page
 from repro.html.forms import FormModel
 from repro.identity.records import Identity
 from repro.net.proxies import ProxyPoolExhausted, ResearchProxyPool
-from repro.net.transport import Transport
+from repro.sim.protocols import TransportLike
 from repro.util.timeutil import SimInstant
 from urllib.parse import urlsplit, urlunsplit
 
@@ -51,9 +51,9 @@ class RegistrationCrawler:
 
     def __init__(
         self,
-        transport: Transport,
+        transport: TransportLike,
         solver: CaptchaSolverService | None,
-        rng: random.Random,
+        rng: Random,
         config: CrawlerConfig | None = None,
         proxy_pool: ResearchProxyPool | None = None,
         search_engine=None,
@@ -240,7 +240,7 @@ class _CrawlState:
         self.exposed_password = self.exposed_password or plan.exposed_password
         self.filled_fields = tuple(plan.values)
 
-    def finish(self, transport: Transport, code: TerminationCode, detail: str) -> CrawlOutcome:
+    def finish(self, transport: TransportLike, code: TerminationCode, detail: str) -> CrawlOutcome:
         return CrawlOutcome(
             site_host=self.host,
             url=self.url,

@@ -10,21 +10,15 @@ attempt counts) can be audited after a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable
 from urllib.parse import parse_qsl, urlencode, urlsplit, urlunsplit
 
 from repro.net.ipaddr import IPv4Address
+from repro.sim.protocols import ClockLike
 from repro.util.timeutil import SimInstant
 
-
-class Clock(Protocol):
-    """Anything that can tell simulated time and advance it."""
-
-    def now(self) -> SimInstant:  # pragma: no cover - protocol
-        ...
-
-    def advance(self, seconds: int) -> SimInstant:  # pragma: no cover - protocol
-        ...
+#: Back-compat alias: the clock seam now lives in :mod:`repro.sim.protocols`.
+Clock = ClockLike
 
 
 class TransportError(Exception):
@@ -243,6 +237,11 @@ class Transport:
     def load_on_host(self, host: str) -> int:
         """Total requests a host has received (ethics accounting)."""
         return len(self.request_log(host))
+
+    @property
+    def request_count(self) -> int:
+        """Total requests routed, without copying the log."""
+        return len(self._log)
 
 
 def absolutize(location: str, base: str) -> str:

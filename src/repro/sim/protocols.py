@@ -1,0 +1,110 @@
+"""Structural seams between the substrate and the apparatus.
+
+The measurement apparatus (crawler, mail chain, identity machinery) is
+wired against these :class:`~typing.Protocol` types rather than the
+concrete substrate classes, so a world can be swapped wholesale: the
+single shared world of :class:`repro.core.system.TripwireSystem`, or
+one independent :class:`repro.core.substrate.WorldShard` per
+rank-partition in a sharded campaign run.
+
+Nothing here is instantiated; the concrete implementations live in
+:mod:`repro.sim.clock`, :mod:`repro.sim.events`,
+:mod:`repro.net.transport` and :mod:`repro.web.population`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.util.timeutil import SimInstant
+
+if TYPE_CHECKING:  # concrete types referenced only in signatures
+    from repro.net.transport import HttpResponse, RequestLogEntry
+    from repro.web.site import Website
+    from repro.web.spec import SiteSpec
+
+
+@runtime_checkable
+class ClockLike(Protocol):
+    """Anything that can tell simulated time and advance it."""
+
+    def now(self) -> SimInstant:  # pragma: no cover - protocol
+        ...
+
+    def advance(self, seconds: int) -> SimInstant:  # pragma: no cover - protocol
+        ...
+
+    def advance_to(self, instant: SimInstant) -> SimInstant:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class EventQueueLike(Protocol):
+    """A time-ordered action queue bound to a clock."""
+
+    def schedule(
+        self, time: SimInstant, label: str, action: Callable[[], None]
+    ) -> object:  # pragma: no cover - protocol
+        ...
+
+    def run_until(self, deadline: SimInstant) -> int:  # pragma: no cover - protocol
+        ...
+
+    def peek_time(self) -> SimInstant | None:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class TransportLike(Protocol):
+    """HTTP routing over the simulated internet."""
+
+    @property
+    def clock(self) -> ClockLike:  # pragma: no cover - protocol
+        ...
+
+    def register_host(
+        self, host: str, handler: Callable, https: bool = False
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+    def supports_https(self, host: str) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def get(self, url: str, **kwargs: object) -> "HttpResponse":  # pragma: no cover - protocol
+        ...
+
+    def post(
+        self, url: str, form: dict[str, str], **kwargs: object
+    ) -> "HttpResponse":  # pragma: no cover - protocol
+        ...
+
+    def request_log(
+        self, host: str | None = None
+    ) -> list["RequestLogEntry"]:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class PopulationLike(Protocol):
+    """A ranked website population, lazily instantiated."""
+
+    @property
+    def size(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def spec_at_rank(self, rank: int) -> "SiteSpec":  # pragma: no cover - protocol
+        ...
+
+    def site_at_rank(self, rank: int) -> "Website":  # pragma: no cover - protocol
+        ...
+
+    def rank_of_host(self, host: str) -> int | None:  # pragma: no cover - protocol
+        ...
+
+
+__all__ = [
+    "ClockLike",
+    "EventQueueLike",
+    "TransportLike",
+    "PopulationLike",
+]

@@ -17,7 +17,7 @@ guarantee, e.g., a Deals site near rank 500 that stores plaintext.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.data.sites import SHARED_BACKENDS, SITE_CATEGORIES, SITE_NAME_STEMS, SITE_NAME_SUFFIXES, TLDS
 from repro.util.rngtree import RngTree, weighted_choice

@@ -1,7 +1,6 @@
 """Unit tests for the §6.2 miss taxonomy, §3 ethics audit and §6.4.2 bursts."""
 
 from repro.analysis.bursts import (
-    AccountBurstiness,
     analyze_account,
     build_burst_report,
     render_burst_report,

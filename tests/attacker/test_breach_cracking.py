@@ -1,6 +1,5 @@
 """Tests for breaches and offline cracking (Sections 6.1.2, 4.4)."""
 
-import pytest
 
 from repro.attacker.breach import BreachEvent, BreachMethod, execute_breach
 from repro.attacker.cracking import crack_records, dictionary_guesses

@@ -12,8 +12,7 @@ from repro.mail.messages import EmailMessage, MessageKind
 from repro.mail.server import TripwireMailServer
 from repro.net.dns import DnsResolver
 from repro.net.ipaddr import IPv4Address
-from repro.net.transport import HttpResponse, Transport
-from repro.sim.clock import SimClock
+from repro.net.transport import HttpResponse
 from repro.util.rngtree import RngTree
 
 

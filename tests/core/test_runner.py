@@ -1,0 +1,169 @@
+"""Sharded campaign execution: partitioning, merging, determinism."""
+
+import pytest
+
+from repro.core.runner import (
+    CampaignRunner,
+    merge_shard_results,
+    pack_overrides,
+    partition_sites,
+    run_shard,
+)
+from repro.core.substrate import WorldShard
+from repro.util.rngtree import RngTree
+
+SEED = 523
+POPULATION = 260
+TOP = 36
+
+
+@pytest.fixture(scope="module")
+def sites():
+    listing = WorldShard(RngTree(SEED)).build_population(POPULATION)
+    return listing.alexa_top(TOP)
+
+
+def fingerprint(result) -> list[tuple]:
+    """Every field that must be reproduced bit-for-bit."""
+    return [
+        (
+            a.site_host,
+            a.rank,
+            a.url,
+            a.identity.email_local,
+            a.identity.password,
+            a.password_class.value,
+            a.outcome.code.value,
+            a.outcome.detail,
+            a.outcome.exposed_email,
+            a.outcome.exposed_password,
+            a.outcome.pages_loaded,
+            a.outcome.started_at,
+            a.outcome.finished_at,
+            a.outcome.filled_fields,
+        )
+        for a in result.attempts
+    ]
+
+
+class TestPartitioning:
+    def test_round_robin_covers_everything_once(self, sites):
+        slices = partition_sites(sites, 5)
+        seen = [entry for bucket, _pos in slices for entry in bucket]
+        assert sorted(e.host for e in seen) == sorted(e.host for e in sites)
+        positions = sorted(p for _bucket, pos in slices for p in pos)
+        assert positions == list(range(len(sites)))
+
+    def test_single_shard_is_identity(self, sites):
+        (bucket, positions), = partition_sites(sites, 1)
+        assert list(bucket) == sites
+        assert list(positions) == list(range(len(sites)))
+
+    def test_more_shards_than_sites(self, sites):
+        slices = partition_sites(sites[:3], 8)
+        non_empty = [bucket for bucket, _pos in slices if bucket]
+        assert len(non_empty) == 3
+
+    def test_invalid_shard_count(self, sites):
+        with pytest.raises(ValueError):
+            partition_sites(sites, 0)
+
+    def test_pack_overrides_round_trip(self):
+        packed = pack_overrides({3: {"bucket": "rest", "language": "en"}})
+        assert packed == ((3, (("bucket", "rest"), ("language", "en"))),)
+        assert pack_overrides(None) == ()
+
+
+class TestMergeSemantics:
+    def test_merge_is_order_invariant(self, sites):
+        runner = CampaignRunner(seed=SEED, population_size=POPULATION, shards=4)
+        results = [run_shard(plan) for plan in runner.plan(sites)]
+        forward = merge_shard_results(results)
+        backward = merge_shard_results(list(reversed(results)))
+        assert forward[0] == backward[0]
+        assert forward[1] == backward[1]
+        assert forward[2] == backward[2]
+
+    def test_merged_attempts_follow_input_order(self, sites):
+        result = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4
+        ).run(sites)
+        order = {entry.host: index for index, entry in enumerate(sites)}
+        positions = [order[a.site_host] for a in result.attempts]
+        assert positions == sorted(positions)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("shards", [1, 8])
+    def test_workers_do_not_change_results(self, sites, shards):
+        baseline = CampaignRunner(
+            seed=SEED, population_size=POPULATION,
+            shards=shards, workers=1, executor="serial",
+        ).run(sites)
+        for workers in (2, 4):
+            parallel = CampaignRunner(
+                seed=SEED, population_size=POPULATION,
+                shards=shards, workers=workers, executor="thread",
+            ).run(sites)
+            assert fingerprint(parallel) == fingerprint(baseline)
+            assert parallel.stats == baseline.stats
+            assert parallel.telemetry == baseline.telemetry
+
+    def test_process_pool_matches_serial(self, sites):
+        baseline = CampaignRunner(
+            seed=SEED, population_size=POPULATION,
+            shards=4, workers=1, executor="serial",
+        ).run(sites)
+        pooled = CampaignRunner(
+            seed=SEED, population_size=POPULATION,
+            shards=4, workers=2, executor="process",
+        ).run(sites)
+        assert fingerprint(pooled) == fingerprint(baseline)
+        assert pooled.stats == baseline.stats
+        assert pooled.telemetry == baseline.telemetry
+
+    def test_repeated_runs_identical(self, sites):
+        first = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=8
+        ).run(sites)
+        second = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=8
+        ).run(sites)
+        assert fingerprint(first) == fingerprint(second)
+        assert first.telemetry == second.telemetry
+
+    def test_shards_mint_distinct_identities(self, sites):
+        result = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4
+        ).run(sites)
+        by_shard: dict[int, set[str]] = {}
+        for shard in result.shard_results:
+            emails = {
+                a.identity.email_local
+                for _pos, group in shard.site_attempts
+                for a in group
+            }
+            by_shard[shard.shard_index] = emails
+        shard_ids = list(by_shard)
+        for i, left in enumerate(shard_ids):
+            for right in shard_ids[i + 1:]:
+                assert not (by_shard[left] & by_shard[right])
+
+
+class TestRunnerValidation:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(executor="greenlet")
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(shards=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)
+
+    def test_exposed_attempts_view(self, sites):
+        result = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=2
+        ).run(sites)
+        assert all(a.exposed for a in result.exposed_attempts())
+        assert len(result.exposed_attempts()) == result.stats.exposed_attempts

@@ -1,7 +1,6 @@
 """Integration tests over the full pilot scenario (session fixture)."""
 
 from repro.core.classify import AccountStatus
-from repro.core.monitor import DetectedCompromise
 from repro.crawler.outcomes import TerminationCode
 from repro.identity.passwords import PasswordClass
 from repro.util.timeutil import LOG_GAP_END, LOG_GAP_START

@@ -1,6 +1,5 @@
 """Edge-case tests for system wiring and provisioning."""
 
-import pytest
 
 from repro.core.system import TripwireSystem
 from repro.identity.passwords import PasswordClass

@@ -1,6 +1,5 @@
 """Tests for the crawler engine against real generated sites."""
 
-import pytest
 
 from repro.crawler.captcha import CaptchaSolverService
 from repro.crawler.engine import CrawlerConfig, RegistrationCrawler

@@ -1,6 +1,5 @@
 """Tests for form extraction and serialization."""
 
-from repro.html.builder import el
 from repro.html.forms import extract_form_model
 from repro.html.parser import parse_html
 

@@ -5,8 +5,7 @@ import pytest
 from repro.mail.forwarding import ForwardingHop
 from repro.mail.messages import EmailMessage, MessageKind
 from repro.mail.server import TripwireMailServer, VerificationOutcome
-from repro.net.transport import HttpResponse, Transport
-from repro.sim.clock import SimClock
+from repro.net.transport import HttpResponse
 from repro.util.rngtree import RngTree
 from repro.util.timeutil import DAY
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.dns import DnsResolver, NxDomain
+from repro.net.dns import NxDomain
 from repro.net.ipaddr import IPv4Address
 
 

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.attacker.cracking import crack_records
 from repro.attacker.breach import StolenRecord
 from repro.identity.passwords import (
-    PasswordClass,
     generate_easy_password,
     generate_hard_password,
 )

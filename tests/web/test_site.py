@@ -1,6 +1,5 @@
 """Tests for the Website handler: routing, validation, email, login."""
 
-import pytest
 
 from repro.mail.messages import MessageKind
 from repro.net.transport import HttpRequest
