@@ -48,6 +48,7 @@ def render_fig1(data: Fig1Data) -> str:
         TerminationCode.NO_REGISTRATION_FOUND,
         TerminationCode.NOT_ENGLISH,
         TerminationCode.SYSTEM_ERROR,
+        TerminationCode.BUDGET_EXHAUSTED,
     )
     body = []
     for code in order:

@@ -79,7 +79,11 @@ def build_fig3(result: PilotResult) -> Fig3Data:
         eligible_fraction=eligible_fraction,
         crawler_attempts=n,
         no_form_fraction=share(TerminationCode.NO_REGISTRATION_FOUND),
-        system_error_fraction=share(TerminationCode.SYSTEM_ERROR),
+        # The paper's "system errors" bucket covers both transient
+        # crashes and exhausted budgets; the enum split is ours.
+        system_error_fraction=share(
+            TerminationCode.SYSTEM_ERROR, TerminationCode.BUDGET_EXHAUSTED
+        ),
         fields_missing_fraction=share(TerminationCode.REQUIRED_FIELDS_MISSING),
         heuristics_failed_fraction=share(TerminationCode.SUBMISSION_HEURISTICS_FAILED),
         crawler_ok_fraction=share(TerminationCode.OK_SUBMISSION),

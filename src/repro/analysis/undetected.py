@@ -140,7 +140,8 @@ def _technical_reason(
         or TerminationCode.REQUIRED_FIELDS_MISSING in codes
     ):
         return MissReason.BOT_CHECK_FAILED
-    if TerminationCode.SYSTEM_ERROR in codes and codes <= {TerminationCode.SYSTEM_ERROR}:
+    error_codes = {TerminationCode.SYSTEM_ERROR, TerminationCode.BUDGET_EXHAUSTED}
+    if codes & error_codes and codes <= error_codes:
         return MissReason.CRAWLER_ERROR
     if codes & {TerminationCode.REQUIRED_FIELDS_MISSING,
                 TerminationCode.SUBMISSION_HEURISTICS_FAILED,

@@ -36,6 +36,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pilot.add_argument("--seed", type=int, default=2017)
     pilot.add_argument("--breaches", type=int, default=21,
                        help="breaches to schedule (paper detected 19)")
+    _add_fault_arguments(pilot)
 
     survey = commands.add_parser("survey", help="eligibility survey (Table 4)")
     survey.add_argument("--population", type=int, default=1500)
@@ -58,12 +59,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="shard executor backend (default process)")
     campaign.add_argument("--json", type=pathlib.Path, default=None,
                           help="write a machine-readable summary here")
+    _add_fault_arguments(campaign)
 
     commands.add_parser("demo", help="quickstart: one breach, one detection")
 
     evasion = commands.add_parser("evasion", help="attacker evasion sweep (§7.3)")
     evasion.add_argument("--trials", type=int, default=20)
     return parser
+
+
+def _add_fault_arguments(command: argparse.ArgumentParser) -> None:
+    from repro.faults.plan import PROFILES
+
+    command.add_argument(
+        "--fault-profile", choices=sorted(PROFILES), default="off",
+        help="deterministic fault-injection profile (default off)",
+    )
+    command.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="namespace for the fault RNG streams (default 0); the same "
+             "world seed with a different fault seed replays the run "
+             "under a different failure sequence",
+    )
+
+
+def _fault_plan_from(args: argparse.Namespace):
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.from_profile(args.fault_profile, seed=args.fault_seed)
+    return plan if plan.enabled else None
 
 
 def _run_pilot(args: argparse.Namespace) -> int:
@@ -83,14 +107,32 @@ def _run_pilot(args: argparse.Namespace) -> int:
         breach_count=args.breaches,
         breach_hard_exposing=max(3, args.breaches // 2 + 1),
         unused_account_count=scaled(2000, 200),
+        fault_plan=_fault_plan_from(args),
     )
-    print(f"pilot: population={config.population_size} seed={config.seed}",
+    print(f"pilot: population={config.population_size} seed={config.seed}"
+          + (f" faults={args.fault_profile}/{args.fault_seed}"
+             if config.fault_plan else ""),
           file=sys.stderr)
     started = time.time()
     result = PilotScenario(config).run()
     print(f"finished in {time.time() - started:.1f}s", file=sys.stderr)
     print(full_report(result))
+    if config.fault_plan is not None:
+        print()
+        print(_fault_report_table(result.system.fault_report, args))
     return 0
+
+
+def _fault_report_table(report, args: argparse.Namespace) -> str:
+    from repro.util.tables import render_table
+
+    rows = [[name.replace("_", " ").capitalize(), str(value)]
+            for name, value in report.as_dict().items()]
+    return render_table(
+        ["Fault counter", "Count"], rows,
+        title=f"Injected faults (profile={args.fault_profile}, "
+              f"fault-seed={args.fault_seed})",
+    )
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -110,16 +152,19 @@ def _run_campaign(args: argparse.Namespace) -> int:
     listing = WorldShard(RngTree(args.seed)).build_population(args.population)
     sites = listing.alexa_top(args.top)
 
+    fault_plan = _fault_plan_from(args)
     runner = CampaignRunner(
         seed=args.seed,
         population_size=args.population,
         shards=args.shards,
         workers=args.workers,
         executor=executor,
+        fault_plan=fault_plan,
     )
     print(
         f"campaign: top={len(sites)} shards={args.shards} "
-        f"workers={args.workers} executor={executor}",
+        f"workers={args.workers} executor={executor}"
+        + (f" faults={args.fault_profile}/{args.fault_seed}" if fault_plan else ""),
         file=sys.stderr,
     )
     result = runner.run(sites)
@@ -138,6 +183,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
     print(render_table(["Metric", "Value"], rows,
                        title=f"Sharded campaign ({executor}, "
                              f"{args.shards} shards, {args.workers} workers)"))
+    if fault_plan is not None:
+        print()
+        print(_fault_report_table(result.fault_report, args))
 
     if args.json is not None:
         summary = {
@@ -165,6 +213,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 "sim_seconds_elapsed": telemetry.sim_seconds_elapsed,
             },
         }
+        if fault_plan is not None:
+            summary["faults"] = {
+                "profile": args.fault_profile,
+                "fault_seed": args.fault_seed,
+                "report": result.fault_report.as_dict(),
+            }
         args.json.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {args.json}", file=sys.stderr)
     return 0

@@ -14,6 +14,15 @@ shard (``root.child("shard", k)``): shards then mint distinct
 identities and crawl with distinct error streams, while the substrate
 tree — which governs site specs — stays the root so every shard agrees
 on what the web looks like.
+
+With a :class:`~repro.faults.plan.FaultPlan`, the apparatus-side seams
+degrade too: the captcha solver returns unsolved/mis-solved answers,
+the forwarding chain's final leg drops/delays/duplicates mail (with the
+hop retrying transient relay failures under the plan's
+:class:`~repro.faults.retry.RetryPolicy`), provider dumps arrive late
+or truncated, and the crawler retries transient failures with capped
+backoff.  All injectors share the world's
+:class:`~repro.faults.report.FaultReport`.
 """
 
 from __future__ import annotations
@@ -21,6 +30,11 @@ from __future__ import annotations
 from repro.crawler.captcha import CaptchaSolverService
 from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
 from repro.email_provider.provider import EmailProvider
+from repro.faults.injectors import (
+    MailFaultInjector,
+    SolverFaultInjector,
+    TelemetryFaultInjector,
+)
 from repro.identity.generator import IdentityFactory
 from repro.identity.passwords import PasswordClass
 from repro.identity.pool import IdentityPool
@@ -49,6 +63,13 @@ class MeasurementApparatus:
     ):
         self.world = world
         self.tree = tree
+        plan = world.fault_plan
+        faults_on = plan is not None and plan.enabled
+        self.fault_report = world.fault_report
+        #: The apparatus fault streams hang off the (possibly
+        #: shard-namespaced) apparatus tree: shards inject independent
+        #: apparatus-side fault sequences, deterministically.
+        fault_tree = tree.child("faults", plan.seed) if faults_on else None
 
         # -- email provider and mail chain ---------------------------------
         self.provider = EmailProvider(
@@ -57,10 +78,33 @@ class MeasurementApparatus:
         self.mail_server = TripwireMailServer(
             world.transport, tree.child("mail-server").rng()
         )
+        deliver = self.mail_server.receive
+        retry = None
+        retry_rng = None
+        if faults_on:
+            assert plan is not None and fault_tree is not None
+            deliver = MailFaultInjector(
+                deliver, plan, fault_tree.child("mail").rng(),
+                self.fault_report, queue=world.queue,
+            )
+            retry = plan.retry
+            retry_rng = fault_tree.child("mail-retry").rng()
         self.forwarding_hop = ForwardingHop(
-            list(cover_domains), self.mail_server.receive
+            list(cover_domains), deliver,
+            retry=retry, clock=world.clock, rng=retry_rng,
+            fault_report=self.fault_report if faults_on else None,
         )
         self.provider.set_forwarding_hop(self.forwarding_hop)
+
+        #: Telemetry dumps degrade only under a plan; the scenario's
+        #: dump collector consults this when not None.
+        self.telemetry_faults: TelemetryFaultInjector | None = None
+        if faults_on:
+            assert plan is not None and fault_tree is not None
+            self.telemetry_faults = TelemetryFaultInjector(
+                self.provider, plan, fault_tree.child("telemetry").rng(),
+                self.fault_report,
+            )
 
         # -- identities ------------------------------------------------------
         self.identity_factory = IdentityFactory(tree, email_domain=provider_domain)
@@ -72,13 +116,21 @@ class MeasurementApparatus:
         self.proxy_pool = ResearchProxyPool(
             world.whois, tree.child("proxies").rng(), pool_size=proxy_pool_size
         )
-        self.solver = CaptchaSolverService(tree.child("solver").rng())
+        solver: CaptchaSolverService = CaptchaSolverService(tree.child("solver").rng())
+        if faults_on:
+            assert plan is not None and fault_tree is not None
+            solver = SolverFaultInjector(
+                solver, plan, fault_tree.child("solver").rng(), self.fault_report
+            )
+        self.solver = solver
         self.crawler = RegistrationCrawler(
             world.transport,
             self.solver,
             tree.child("crawler").rng(),
             config=crawler_config,
             proxy_pool=self.proxy_pool,
+            retry_policy=plan.retry if faults_on else None,
+            fault_report=self.fault_report if faults_on else None,
         )
 
     # -- identity provisioning ----------------------------------------------

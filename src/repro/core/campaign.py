@@ -269,6 +269,7 @@ class RegistrationCampaign:
         whether the site accepted the registration.
         """
         from repro.html.parser import parse_html
+        from repro.net.transport import TransportError
         from repro.web.captcha import captcha_answer_for
         from repro.web.spec import BotCheck, RegistrationStyle
         from repro.web.pages import registration_fields
@@ -308,32 +309,38 @@ class RegistrationCampaign:
         def common_fields(semantics: list[str]) -> dict[str, str]:
             return {names[s]: value_for(s) for s in semantics}
 
-        system.clock.advance(60)  # human think time per page
-        page = system.transport.get(f"{base}{reg}", client_ip=client_ip)
         before = len(site.registration_log)
-        if spec.registration_style is RegistrationStyle.MULTISTAGE:
-            step1 = common_fields(registration_fields(spec, site.lex, step=1))
-            system.clock.advance(60)
-            step2_page = system.transport.post(
-                f"{base}{reg}/step2", step1, client_ip=client_ip
-            )
-            dom = parse_html(step2_page.body)
-            stage_token = ""
-            for node in dom.iter():
-                if node.get("name") == "stage_token":
-                    stage_token = node.get("value")
-            form = common_fields(registration_fields(spec, site.lex, step=2))
-            form["stage_token"] = stage_token
-            form.update(bot_fields(step2_page.body))
-        else:
-            form = common_fields(registration_fields(spec, site.lex, step=1))
-            form.update(bot_fields(page.body))
-        if spec.wants_terms_checkbox:
-            form[names["terms"]] = "1"
-        if spec.extra_unlabeled_field:
-            form["x_fld_71"] = "n/a"
-        system.clock.advance(90)
-        system.transport.post(f"{base}{reg}/submit", form, client_ip=client_ip)
+        try:
+            system.clock.advance(60)  # human think time per page
+            page = system.transport.get(f"{base}{reg}", client_ip=client_ip)
+            if spec.registration_style is RegistrationStyle.MULTISTAGE:
+                step1 = common_fields(registration_fields(spec, site.lex, step=1))
+                system.clock.advance(60)
+                step2_page = system.transport.post(
+                    f"{base}{reg}/step2", step1, client_ip=client_ip
+                )
+                dom = parse_html(step2_page.body)
+                stage_token = ""
+                for node in dom.iter():
+                    if node.get("name") == "stage_token":
+                        stage_token = node.get("value")
+                form = common_fields(registration_fields(spec, site.lex, step=2))
+                form["stage_token"] = stage_token
+                form.update(bot_fields(step2_page.body))
+            else:
+                form = common_fields(registration_fields(spec, site.lex, step=1))
+                form.update(bot_fields(page.body))
+            if spec.wants_terms_checkbox:
+                form[names["terms"]] = "1"
+            if spec.extra_unlabeled_field:
+                form["x_fld_71"] = "n/a"
+            system.clock.advance(90)
+            system.transport.post(f"{base}{reg}/submit", form, client_ip=client_ip)
+        except TransportError:
+            # Under fault injection the connection can flap mid-flow.
+            # Credentials may already have crossed the wire, so the
+            # caller burns the identity; the registration just failed.
+            return False
         log = site.registration_log[before:]
         return any(r.accepted and r.email == identity.email_address for r in log)
 

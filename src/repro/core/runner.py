@@ -21,17 +21,27 @@ shards, so executing them serially, on a thread pool, or on a process
 pool yields **bit-identical merged results for any worker count**.
 The merge is keyed on each site's position in the input list, never on
 completion order.
+
+Fault injection preserves the contract: a :class:`FaultPlan` rides in
+the picklable :class:`ShardPlan`, each shard derives its injector RNG
+streams from its own (seed, shard_index, plan.seed) and fills a private
+:class:`~repro.faults.report.FaultReport`; reports merge by summation
+in shard-index order.  With any plan and a fixed seed, the merged
+output — attempts, telemetry *and* fault report — is bit-identical for
+any worker count and executor.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.campaign import AttemptRecord, CampaignStats, RegistrationCampaign, RegistrationPolicy
 from repro.core.system import TripwireSystem
 from repro.crawler.engine import CrawlerConfig
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultReport
 from repro.identity.passwords import PasswordClass
 from repro.identity.pool import IdentityState
 from repro.util.timeutil import STUDY_START, SimInstant
@@ -63,6 +73,7 @@ class ShardPlan:
     crawler_config: CrawlerConfig | None = None
     site_overrides: tuple[tuple[int, tuple[tuple[str, object], ...]], ...] = ()
     identity_headroom: int = 8
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -101,6 +112,7 @@ class ShardResult:
     site_attempts: list[tuple[int, list[AttemptRecord]]]
     stats: CampaignStats
     telemetry: ShardTelemetry
+    fault_report: FaultReport = field(default_factory=FaultReport)
 
 
 @dataclass
@@ -115,6 +127,7 @@ class CampaignRunResult:
     workers: int
     shards: int
     executor: str
+    fault_report: FaultReport = field(default_factory=FaultReport)
 
     def exposed_attempts(self) -> list[AttemptRecord]:
         """Attempts where an identity was burned."""
@@ -177,6 +190,7 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         crawler_config=plan.crawler_config,
         site_overrides=_overrides_to_dict(plan.site_overrides),
         apparatus_namespace=("shard", plan.shard_index),
+        fault_plan=plan.fault_plan,
     )
     hard_needed = 2 * len(plan.sites) + plan.identity_headroom
     easy_needed = len(plan.sites) + plan.identity_headroom
@@ -205,18 +219,20 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         site_attempts=site_attempts,
         stats=campaign.stats,
         telemetry=telemetry,
+        fault_report=system.fault_report,
     )
 
 
 def merge_shard_results(results: list[ShardResult]) -> tuple[
-    list[AttemptRecord], CampaignStats, ShardTelemetry
+    list[AttemptRecord], CampaignStats, ShardTelemetry, FaultReport
 ]:
     """Merge shard outputs in input-list order (deterministic).
 
     Attempts come back ordered by each site's position in the original
-    ranked list, with per-site attempt order preserved; stats and
-    telemetry merge by summation.  The result is invariant to the
-    order ``results`` arrives in.
+    ranked list, with per-site attempt order preserved; stats,
+    telemetry and fault reports merge by summation in shard-index
+    order.  The result is invariant to the order ``results`` arrives
+    in.
     """
     indexed: list[tuple[int, list[AttemptRecord]]] = []
     for result in results:
@@ -226,6 +242,7 @@ def merge_shard_results(results: list[ShardResult]) -> tuple[
 
     stats = CampaignStats()
     telemetry = ShardTelemetry()
+    fault_report = FaultReport()
     for result in sorted(results, key=lambda r: r.shard_index):
         stats.sites_considered += result.stats.sites_considered
         stats.sites_filtered += result.stats.sites_filtered
@@ -234,7 +251,8 @@ def merge_shard_results(results: list[ShardResult]) -> tuple[
         stats.identities_consumed += result.stats.identities_consumed
         stats.skipped_no_identity += result.stats.skipped_no_identity
         telemetry = telemetry.merged_with(result.telemetry)
-    return attempts, stats, telemetry
+        fault_report = fault_report.merged_with(result.fault_report)
+    return attempts, stats, telemetry, fault_report
 
 
 class CampaignRunner:
@@ -260,6 +278,7 @@ class CampaignRunner:
         crawler_config: CrawlerConfig | None = None,
         site_overrides: dict[int, dict[str, object]] | None = None,
         identity_headroom: int = 8,
+        fault_plan: FaultPlan | None = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -278,6 +297,7 @@ class CampaignRunner:
         self.crawler_config = crawler_config
         self.site_overrides = site_overrides
         self.identity_headroom = identity_headroom
+        self.fault_plan = fault_plan
 
     # -- planning -----------------------------------------------------------
 
@@ -302,6 +322,7 @@ class CampaignRunner:
                     crawler_config=self.crawler_config,
                     site_overrides=packed,
                     identity_headroom=self.identity_headroom,
+                    fault_plan=self.fault_plan,
                 )
             )
         return plans
@@ -317,7 +338,7 @@ class CampaignRunner:
         else:
             shard_results = self._run_pooled(plans)
         wall = time.perf_counter() - began
-        attempts, stats, telemetry = merge_shard_results(shard_results)
+        attempts, stats, telemetry, fault_report = merge_shard_results(shard_results)
         return CampaignRunResult(
             attempts=attempts,
             stats=stats,
@@ -327,6 +348,7 @@ class CampaignRunner:
             workers=self.workers,
             shards=self.shards,
             executor=self.executor,
+            fault_report=fault_report,
         )
 
     def _run_pooled(self, plans: list[ShardPlan]) -> list[ShardResult]:

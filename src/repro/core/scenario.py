@@ -34,6 +34,7 @@ from repro.core.estimation import CategoryEstimate, SuccessEstimator
 from repro.core.monitor import CompromiseMonitor
 from repro.core.system import TripwireSystem
 from repro.crawler.engine import CrawlerConfig
+from repro.faults.plan import FaultPlan
 from repro.identity.passwords import PasswordClass
 from repro.util.timeutil import (
     DAY,
@@ -82,6 +83,9 @@ class ScenarioConfig:
     generator_config: GeneratorConfig | None = None
     crawler_config: CrawlerConfig | None = None
     site_overrides: dict[int, dict[str, object]] = field(default_factory=dict)
+    #: Deterministic chaos: None (or an all-zero plan) reproduces the
+    #: fault-free run bit for bit.
+    fault_plan: FaultPlan | None = None
 
     def default_dump_dates(self) -> tuple[SimInstant, ...]:
         """Sporadic dumps reproducing the Spring-2015 retention gap."""
@@ -146,6 +150,7 @@ class PilotScenario:
             generator_config=cfg.generator_config,
             crawler_config=cfg.crawler_config,
             site_overrides=cfg.site_overrides or None,
+            fault_plan=cfg.fault_plan,
         )
         self._rng = self.system.tree.child("scenario").rng()
         self.campaign = RegistrationCampaign(self.system, policy=cfg.registration_policy)
@@ -312,7 +317,20 @@ class PilotScenario:
             self.system.queue.schedule(when, "provider-dump", self._collect_dump)
 
     def _collect_dump(self) -> None:
-        events = self.system.provider.collect_login_dump()
+        faults = self.system.apparatus.telemetry_faults
+        if faults is None:
+            events = self.system.provider.collect_login_dump()
+        else:
+            events, postpone = faults.collect_dump()
+            if postpone is not None:
+                # The provider missed the hand-off; the dump arrives
+                # late but the events stay in their retention window.
+                self.system.queue.schedule(
+                    self.system.clock.now() + postpone,
+                    "provider-dump-late",
+                    self._collect_dump,
+                )
+                return
         self.monitor.ingest_dump(events)
 
     def _schedule_control_logins(self) -> None:

@@ -11,10 +11,21 @@ site storage) private to the shard.
 The apparatus layer (:mod:`repro.core.apparatus`) is wired against the
 :mod:`repro.sim.protocols` seams, never against a shard directly, so
 either a full shared world or a per-shard world can sit underneath it.
+
+With a :class:`~repro.faults.plan.FaultPlan`, the substrate's own seams
+are wrapped in fault injectors: the transport flaps (unreachable hosts,
+TLS failures, slow responses) and the resolver intermittently fails.
+Injector randomness derives from the substrate tree at
+``("faults", plan.seed, <component>)``, so the fault stream is a pure
+function of ``(world seed, plan)`` and sharded runs stay bit-identical
+to serial with chaos enabled.
 """
 
 from __future__ import annotations
 
+from repro.faults.injectors import DnsFaultInjector, TransportFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultReport
 from repro.net.dns import DnsResolver
 from repro.net.transport import Transport
 from repro.net.whois import WhoisRegistry
@@ -36,13 +47,34 @@ class WorldShard:
     makes sharded results mergeable against a single ranked list.
     """
 
-    def __init__(self, tree: RngTree, start: SimInstant = STUDY_START):
+    def __init__(
+        self,
+        tree: RngTree,
+        start: SimInstant = STUDY_START,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.tree = tree
         self.clock = SimClock(start)
         self.queue = EventQueue(self.clock)
-        self.transport = Transport(self.clock)
         self.whois = WhoisRegistry()
-        self.dns = DnsResolver()
+        #: One report per world; apparatus-side injectors share it so a
+        #: system yields a single merged fault ledger.
+        self.fault_plan = fault_plan
+        self.fault_report = FaultReport()
+
+        transport = Transport(self.clock)
+        dns = DnsResolver()
+        if fault_plan is not None and fault_plan.enabled:
+            fault_tree = tree.child("faults", fault_plan.seed)
+            transport = TransportFaultInjector(
+                transport, fault_plan, fault_tree.child("transport").rng(),
+                self.fault_report,
+            )
+            dns = DnsFaultInjector(
+                dns, fault_plan, fault_tree.child("dns").rng(), self.fault_report
+            )
+        self.transport = transport
+        self.dns = dns
         self.population: InternetPopulation | None = None
 
     def build_population(
@@ -56,6 +88,9 @@ class WorldShard:
 
         Built last because the mail router usually closes over the
         apparatus, which in turn needs the substrate's clock/transport.
+        Sites register handlers and zones through the (possibly
+        wrapped) transport/DNS — writes always delegate to the real
+        objects, so faults only strike lookups and fetches.
         """
         if self.population is not None:
             raise RuntimeError("population already built for this shard")

@@ -20,6 +20,7 @@ from repro.core.apparatus import DEFAULT_COVER_DOMAINS, MeasurementApparatus
 from repro.core.substrate import WorldShard
 from repro.crawler.engine import CrawlerConfig
 from repro.email_provider.telemetry import LoginMethod
+from repro.faults.plan import FaultPlan
 from repro.identity.passwords import PasswordClass
 from repro.mail.messages import EmailMessage
 from repro.net.ipaddr import IPv4Address
@@ -45,6 +46,7 @@ class TripwireSystem:
         site_overrides: dict[int, dict[str, object]] | None = None,
         proxy_pool_size: int = 64,
         apparatus_namespace: tuple[object, ...] = (),
+        fault_plan: FaultPlan | None = None,
     ):
         self.tree = RngTree(seed)
         #: The apparatus draws from a (possibly shard-namespaced) tree
@@ -54,7 +56,7 @@ class TripwireSystem:
             self.tree.child(*apparatus_namespace) if apparatus_namespace else self.tree
         )
 
-        self.world = WorldShard(self.tree, start=start)
+        self.world = WorldShard(self.tree, start=start, fault_plan=fault_plan)
         self.apparatus = MeasurementApparatus(
             self.world,
             self.apparatus_tree,
@@ -85,6 +87,8 @@ class TripwireSystem:
         self.proxy_pool = self.apparatus.proxy_pool
         self.solver = self.apparatus.solver
         self.crawler = self.apparatus.crawler
+        self.fault_plan = self.world.fault_plan
+        self.fault_report = self.world.fault_report
 
     # -- mail routing ------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from random import Random
+from typing import TYPE_CHECKING
 
 from repro.crawler.captcha import CaptchaSolverService
 from repro.crawler.checks import SubmissionVerdict, judge_submission_response
@@ -29,17 +30,39 @@ from repro.sim.protocols import TransportLike
 from repro.util.timeutil import SimInstant
 from urllib.parse import urlsplit, urlunsplit
 
+if TYPE_CHECKING:
+    from repro.faults.report import FaultReport
+    from repro.faults.retry import RetryPolicy
+
 
 @dataclass
 class CrawlerConfig:
-    """Operational knobs for the crawler."""
+    """Operational knobs for the crawler.
+
+    Two distinct failure families flow through these fields and must
+    not be conflated (they once were):
+
+    - *transient* failures — ``system_error_rate`` models the headless
+      browser crashing mid-crawl; injected network flaps land here too.
+      These finish as :attr:`TerminationCode.SYSTEM_ERROR` and are the
+      only codes a retry policy may re-attempt.
+    - *permanent* budget exhaustion — ``max_pages`` (the hard per-attempt
+      page budget, an ethics constraint) and proxy-pool exhaustion.
+      These finish as :attr:`TerminationCode.BUDGET_EXHAUSTED` and are
+      never retried: the budget they consumed does not come back.
+
+    Retries are budget-aware: the page counter persists across retries
+    of one attempt, so a retry storm can never exceed ``max_pages``
+    loads against a site, and each backoff wait is at least
+    ``min_page_delay`` (the §3 rate limit holds under chaos too).
+    """
 
     min_page_delay: int = 3  # seconds between page loads (ethics, §3)
     max_processing_delay: int = 9  # additional think time per page
     max_link_tries: int = 3  # candidate registration links to click
-    max_pages: int = 8  # hard page budget per attempt
+    max_pages: int = 8  # hard page budget per attempt (permanent on exhaustion)
     prefer_https: bool = True  # use HTTPS when the site presents a cert
-    system_error_rate: float = 0.10  # headless-browser crash probability
+    system_error_rate: float = 0.10  # transient headless-browser crash probability
     #: §7.2 extension: language codes (beyond English) the crawler may
     #: attempt, using the corresponding language packs.  Empty set =
     #: the paper's English-only pilot behavior.
@@ -57,6 +80,8 @@ class RegistrationCrawler:
         config: CrawlerConfig | None = None,
         proxy_pool: ResearchProxyPool | None = None,
         search_engine=None,
+        retry_policy: "RetryPolicy | None" = None,
+        fault_report: "FaultReport | None" = None,
     ):
         self._transport = transport
         self._solver = solver
@@ -67,19 +92,49 @@ class RegistrationCrawler:
         #: as a fallback for locating registration pages.  None keeps
         #: the paper's behavior.
         self._search = search_engine
+        #: Backoff applied to transient (``code.retryable``) failures.
+        #: None — the paper's behavior — means every failure is final.
+        self._retry_policy = retry_policy
+        self._fault_report = fault_report
 
     # -- public API ---------------------------------------------------------------
 
     def register_at(self, url: str, identity: Identity) -> CrawlOutcome:
-        """Attempt one registration; always returns a terminal outcome."""
+        """Attempt one registration; always returns a terminal outcome.
+
+        With a retry policy, transient exits are re-attempted under
+        capped exponential backoff.  Crawl state — most importantly the
+        page budget and the credential-exposure flags — persists across
+        retries, so the ethics budget and the burn decision both see
+        the attempt as one unit.
+        """
         host = (urlsplit(url).hostname or "").lower()
         started = self._transport.clock.now()
         state = _CrawlState(host=host, url=url, started=started)
 
+        outcome = self._attempt_once(url, identity, state)
+        if self._retry_policy is None:
+            return outcome
+        backoff = 0
+        for retry_index in range(self._retry_policy.retries):
+            if not outcome.code.retryable:
+                return outcome
+            if state.pages_loaded >= self.config.max_pages:
+                break  # no budget left to retry with
+            backoff = max(backoff, self._retry_policy.delay_for(retry_index, self._rng))
+            self._transport.clock.advance(max(backoff, self.config.min_page_delay))
+            if self._fault_report is not None:
+                self._fault_report.crawler_retries += 1
+            outcome = self._attempt_once(url, identity, state)
+        if outcome.code.retryable and self._fault_report is not None:
+            self._fault_report.crawler_gave_up += 1
+        return outcome
+
+    def _attempt_once(self, url: str, identity: Identity, state: "_CrawlState") -> CrawlOutcome:
         try:
             return self._run(url, identity, state)
         except ProxyPoolExhausted:
-            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+            return state.finish(self._transport, TerminationCode.BUDGET_EXHAUSTED,
                                 detail="proxy pool exhausted for site")
         except BrowserError as exc:
             return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
@@ -157,7 +212,7 @@ class RegistrationCrawler:
 
         self._think_delay()
         if state.pages_loaded >= self.config.max_pages:
-            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+            return state.finish(self._transport, TerminationCode.BUDGET_EXHAUSTED,
                                 detail="page budget exhausted")
         landing = browser.submit_form(form, plan.values)
         state.pages_loaded += 1

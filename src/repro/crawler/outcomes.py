@@ -14,13 +14,22 @@ class TerminationCode(enum.Enum):
     The first five mirror Figure 1's exit boxes; ``NOT_ENGLISH`` is the
     crawler's early language gate (non-English sites are unsupported,
     Section 4.3.1).
+
+    ``SYSTEM_ERROR`` and ``BUDGET_EXHAUSTED`` used to be one code, which
+    conflated *transient* infrastructure failure (a crashed headless
+    browser, a network flap — worth retrying) with *permanent* resource
+    exhaustion (the per-attempt page budget or the never-reuse proxy
+    pool ran out — retrying can only burn more budget).  Retry logic
+    must consult :attr:`retryable`, never match on ``SYSTEM_ERROR``
+    membership alone.
     """
 
     OK_SUBMISSION = "ok_submission"
     SUBMISSION_HEURISTICS_FAILED = "submission_heuristics_failed"
     REQUIRED_FIELDS_MISSING = "required_fields_missing"
     NO_REGISTRATION_FOUND = "no_registration_found"
-    SYSTEM_ERROR = "system_error"
+    SYSTEM_ERROR = "system_error"  # transient: crash, load failure, network flap
+    BUDGET_EXHAUSTED = "budget_exhausted"  # permanent: page/proxy budget spent
     NOT_ENGLISH = "not_english"
 
     @property
@@ -31,6 +40,22 @@ class TerminationCode(enum.Enum):
             TerminationCode.SUBMISSION_HEURISTICS_FAILED,
         )
 
+    @property
+    def retryable(self) -> bool:
+        """Whether a retry could plausibly change the outcome.
+
+        Only transient system errors qualify; every other exit is a
+        property of the site (no form, wrong language, policy failure)
+        or of an exhausted budget, which a retry cannot restore.
+        """
+        return self in RETRYABLE_CODES
+
+
+#: The transient exits a :class:`~repro.faults.retry.RetryPolicy` may
+#: re-attempt.  Kept as an explicit set so tests can pin retryability
+#: per code.
+RETRYABLE_CODES = frozenset({TerminationCode.SYSTEM_ERROR})
+
 
 #: Codes where credentials may have been exposed (at or past the
 #: horizontal line in Figure 1).
@@ -39,6 +64,7 @@ EXPOSING_CODES = frozenset(
         TerminationCode.OK_SUBMISSION,
         TerminationCode.SUBMISSION_HEURISTICS_FAILED,
         TerminationCode.REQUIRED_FIELDS_MISSING,  # only when filling began
+        TerminationCode.BUDGET_EXHAUSTED,  # page budget can die post-fill
     }
 )
 

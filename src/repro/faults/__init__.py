@@ -1,0 +1,37 @@
+"""Deterministic fault injection over the measurement seams.
+
+The subsystem has four pieces:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, per-component failure
+  rates as named profiles (``off``/``mild``/``moderate``/``heavy``);
+- :mod:`repro.faults.injectors` — decorators over the Protocol seams
+  (transport, DNS, captcha solver, mail forwarding, telemetry);
+- :mod:`repro.faults.retry` — :class:`RetryPolicy`, capped exponential
+  backoff with seeded jitter, shared by the crawler and mail chain;
+- :mod:`repro.faults.report` — :class:`FaultReport`, summable per-run
+  fault accounting, merged across shards by the campaign runner.
+"""
+
+from repro.faults.plan import PROFILES, FaultPlan
+from repro.faults.report import FaultReport
+from repro.faults.retry import NO_RETRY, RetryPolicy
+from repro.faults.injectors import (
+    DnsFaultInjector,
+    MailFaultInjector,
+    SolverFaultInjector,
+    TelemetryFaultInjector,
+    TransportFaultInjector,
+)
+
+__all__ = [
+    "PROFILES",
+    "FaultPlan",
+    "FaultReport",
+    "NO_RETRY",
+    "RetryPolicy",
+    "DnsFaultInjector",
+    "MailFaultInjector",
+    "SolverFaultInjector",
+    "TelemetryFaultInjector",
+    "TransportFaultInjector",
+]

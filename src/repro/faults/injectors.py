@@ -1,0 +1,204 @@
+"""Fault injectors: decorators over the measurement system's seams.
+
+Each injector wraps one Protocol seam (:mod:`repro.sim.protocols`) or
+concrete service, draws against its :class:`~repro.faults.plan.FaultPlan`
+rates from its own seeded RNG stream, counts what it did on the shared
+:class:`~repro.faults.report.FaultReport`, and otherwise delegates to
+the wrapped object (``__getattr__`` passthrough), so a wrapped seam is
+a drop-in replacement for an unwrapped one.
+
+Determinism: every injector's RNG is derived from the system's
+:class:`~repro.util.rngtree.RngTree` at
+``("faults", plan.seed, <component>)``.  Within one system the call
+sequence against each seam is serial and deterministic, so the injected
+fault stream — and therefore the whole run — is a pure function of
+``(world seed, fault plan)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+from urllib.parse import urlsplit
+
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultReport
+from repro.mail.forwarding import TransientDeliveryError
+from repro.net.dns import DnsResolver, NxDomain
+from repro.net.transport import HostUnreachable, HttpResponse, TlsError
+
+if TYPE_CHECKING:
+    from repro.crawler.captcha import CaptchaSolverService
+    from repro.email_provider.provider import EmailProvider
+    from repro.email_provider.telemetry import LoginEvent
+    from repro.mail.messages import EmailMessage
+    from repro.sim.protocols import EventQueueLike, TransportLike
+
+
+class _Injector:
+    """Shared plumbing: plan, seeded rng, report, delegation."""
+
+    def __init__(self, inner: object, plan: FaultPlan, rng: random.Random,
+                 report: FaultReport):
+        self._inner = inner
+        self._plan = plan
+        self._rng = rng
+        self._report = report
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class TransportFaultInjector(_Injector):
+    """Transient network failure in front of a ``TransportLike``.
+
+    Injects ``HostUnreachable`` (host flaps, routing loss), ``TlsError``
+    (certificate hiccups on HTTPS fetches) and slow responses (extra
+    simulated latency) ahead of the real routing.  Registration,
+    logging and host management delegate untouched, so sites keep
+    serving exactly as before.
+    """
+
+    _inner: "TransportLike"
+
+    def request(self, method: str, url: str, **kwargs: object) -> HttpResponse:
+        self._maybe_fail(url)
+        return self._inner.request(method, url, **kwargs)  # type: ignore[attr-defined]
+
+    def get(self, url: str, **kwargs: object) -> HttpResponse:
+        self._maybe_fail(url)
+        return self._inner.get(url, **kwargs)
+
+    def post(self, url: str, form: dict[str, str], **kwargs: object) -> HttpResponse:
+        self._maybe_fail(url)
+        return self._inner.post(url, form, **kwargs)
+
+    def _maybe_fail(self, url: str) -> None:
+        parts = urlsplit(url)
+        host = (parts.hostname or "").lower()
+        plan, rng = self._plan, self._rng
+        if rng.random() < plan.transport_unreachable_rate:
+            self._report.transport_unreachable += 1
+            raise HostUnreachable(host)
+        if parts.scheme == "https" and rng.random() < plan.transport_tls_rate:
+            self._report.transport_tls_errors += 1
+            raise TlsError(f"transient TLS failure for {host}")
+        if rng.random() < plan.transport_slow_rate:
+            extra = 1 + rng.randrange(max(1, plan.transport_slow_seconds))
+            self._report.transport_slowdowns += 1
+            self._report.transport_slow_seconds += extra
+            self._inner.clock.advance(extra)
+
+
+class DnsFaultInjector(_Injector):
+    """Transient resolution failure in front of a :class:`DnsResolver`.
+
+    Lookups (A/MX) fail with ``NxDomain`` at the configured rate; zone
+    management and PTR writes delegate untouched.
+    """
+
+    _inner: DnsResolver
+
+    def resolve_a(self, name: str):
+        self._maybe_fail(name)
+        return self._inner.resolve_a(name)
+
+    def resolve_mx(self, name: str):
+        self._maybe_fail(name)
+        return self._inner.resolve_mx(name)
+
+    def _maybe_fail(self, name: str) -> None:
+        if self._rng.random() < self._plan.dns_failure_rate:
+            self._report.dns_failures += 1
+            raise NxDomain(f"{name} (transient resolver failure)")
+
+
+class SolverFaultInjector(_Injector):
+    """Degrades the captcha solving service.
+
+    ``unsolved`` models the service giving up (queue overflow, illegible
+    image): the crawler gets ``None`` back.  ``missolved`` models a
+    confidently wrong human answer on top of the service's own base
+    error rate.
+    """
+
+    _inner: "CaptchaSolverService"
+
+    def solve(self, challenge_token: str, is_knowledge_question: bool = False) -> str | None:
+        if not challenge_token:
+            return self._inner.solve(challenge_token, is_knowledge_question)
+        if self._rng.random() < self._plan.captcha_unsolved_rate:
+            self._report.captcha_unsolved += 1
+            return None
+        if self._rng.random() < self._plan.captcha_missolve_rate:
+            self._report.captcha_missolved += 1
+            return "".join(self._rng.choice("abcdef0123456789") for _ in range(6))
+        return self._inner.solve(challenge_token, is_knowledge_question)
+
+
+class MailFaultInjector(_Injector):
+    """Lossy final delivery leg between the forwarding hop and the
+    Tripwire mail server.
+
+    Models the paper's verification-mail pathologies: transient relay
+    failures (raised as :class:`TransientDeliveryError` so the hop's
+    retry policy can recover them), silent drops, duplicates, and
+    delays (re-scheduled onto the event queue hours later).
+    """
+
+    def __init__(self, inner, plan: FaultPlan, rng: random.Random,
+                 report: FaultReport, queue: "EventQueueLike | None" = None):
+        super().__init__(inner, plan, rng, report)
+        self._queue = queue
+
+    def __call__(self, message: "EmailMessage") -> None:
+        plan, rng = self._plan, self._rng
+        if rng.random() < plan.mail_transient_failure_rate:
+            self._report.mail_transient_failures += 1
+            raise TransientDeliveryError(f"relay refused mail for {message.recipient}")
+        if rng.random() < plan.mail_drop_rate:
+            self._report.mail_dropped += 1
+            return
+        if rng.random() < plan.mail_duplicate_rate:
+            self._report.mail_duplicated += 1
+            self._inner(message)  # type: ignore[operator]
+        if self._queue is not None and rng.random() < plan.mail_delay_rate:
+            delay = 1 + rng.randrange(max(1, plan.mail_delay_seconds))
+            self._report.mail_delayed += 1
+            # The queue is bound to the shard clock; scheduling relative
+            # to "now" keeps delayed mail inside the shard's causal order.
+            now = self._queue.clock.now()  # type: ignore[attr-defined]
+            self._queue.schedule(
+                now + delay,
+                f"delayed-mail:{message.recipient}",
+                lambda m=message: self._inner(m),  # type: ignore[operator]
+            )
+            return
+        self._inner(message)  # type: ignore[operator]
+
+
+class TelemetryFaultInjector(_Injector):
+    """Sporadic, imperfect provider dumps (Section 4.2's reality).
+
+    ``collect_dump`` either postpones the dump (returning the delay so
+    the scenario can re-schedule it — late dumps can push events past
+    the provider's retention window, which is exactly how the paper
+    lost Spring 2015) or collects it, possibly truncated: a lossy
+    export drops the tail of the event list.
+    """
+
+    _inner: "EmailProvider"
+
+    def collect_dump(self) -> tuple["list[LoginEvent]", int | None]:
+        """Returns ``(events, postpone_seconds)``; postponed dumps
+        collect nothing now and should be re-scheduled."""
+        plan, rng = self._plan, self._rng
+        if rng.random() < plan.telemetry_late_rate:
+            self._report.telemetry_dumps_delayed += 1
+            return [], 1 + rng.randrange(max(1, plan.telemetry_delay_seconds))
+        events = self._inner.collect_login_dump()
+        if events and rng.random() < plan.telemetry_truncate_rate:
+            lost = max(1, int(len(events) * plan.telemetry_truncate_fraction))
+            self._report.telemetry_events_dropped += lost
+            events = events[: len(events) - lost]
+        return events, None

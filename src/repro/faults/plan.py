@@ -1,0 +1,156 @@
+"""Fault plans: per-component failure rates, as named profiles.
+
+The paper's apparatus lived with constant partial failure — roughly
+two-thirds of registration attempts failed, verification mail was
+delayed or lost, and provider telemetry arrived in sporadic (sometimes
+truncated) dumps.  A :class:`FaultPlan` captures those failure modes as
+deterministic per-component rates; injectors draw against them from
+seeded RNG streams (``tree.child("faults", plan.seed, <component>)``),
+so a plan plus a root seed fully determines every injected fault.
+
+Profiles are compared by *value*: two systems built from equal plans
+and equal seeds inject identical fault streams, which is what keeps
+sharded runs bit-identical to serial even with chaos enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.faults.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """All fault-injection knobs for one run (frozen, picklable)."""
+
+    profile: str = "off"
+    #: Extra namespace mixed into every injector's RNG path, so the
+    #: same world seed can be chaos-tested under many fault streams.
+    seed: int = 0
+
+    # -- transport (crawler page loads, verification fetches) ----------
+    transport_unreachable_rate: float = 0.0
+    transport_tls_rate: float = 0.0
+    transport_slow_rate: float = 0.0
+    transport_slow_seconds: int = 30  # max extra latency per slow response
+
+    # -- DNS (disclosure MX lookups, reverse checks) --------------------
+    dns_failure_rate: float = 0.0
+
+    # -- captcha solving service ----------------------------------------
+    captcha_unsolved_rate: float = 0.0
+    captcha_missolve_rate: float = 0.0
+
+    # -- mail forwarding chain ------------------------------------------
+    mail_transient_failure_rate: float = 0.0  # retryable relay hiccups
+    mail_drop_rate: float = 0.0  # silent loss
+    mail_duplicate_rate: float = 0.0
+    mail_delay_rate: float = 0.0
+    mail_delay_seconds: int = 6 * 3600  # max forwarding delay
+
+    # -- provider telemetry dumps ---------------------------------------
+    telemetry_late_rate: float = 0.0  # dump postponed past its slot
+    telemetry_delay_seconds: int = 3 * 86400
+    telemetry_truncate_rate: float = 0.0  # dump loses its tail
+    telemetry_truncate_fraction: float = 0.2
+
+    #: Backoff applied by the crawler and the forwarding hop.
+    retry: RetryPolicy = RetryPolicy()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transport_unreachable_rate", "transport_tls_rate",
+            "transport_slow_rate", "dns_failure_rate",
+            "captcha_unsolved_rate", "captcha_missolve_rate",
+            "mail_transient_failure_rate", "mail_drop_rate",
+            "mail_duplicate_rate", "mail_delay_rate",
+            "telemetry_late_rate", "telemetry_truncate_rate",
+            "telemetry_truncate_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can ever fire under this plan."""
+        return any((
+            self.transport_unreachable_rate, self.transport_tls_rate,
+            self.transport_slow_rate, self.dns_failure_rate,
+            self.captcha_unsolved_rate, self.captcha_missolve_rate,
+            self.mail_transient_failure_rate, self.mail_drop_rate,
+            self.mail_duplicate_rate, self.mail_delay_rate,
+            self.telemetry_late_rate, self.telemetry_truncate_rate,
+        ))
+
+    @classmethod
+    def from_profile(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """Build the named preset (``off``/``mild``/``moderate``/``heavy``)."""
+        try:
+            plan = PROFILES[name]
+        except KeyError:
+            known = ", ".join(sorted(PROFILES))
+            raise ValueError(f"unknown fault profile {name!r} (known: {known})") from None
+        return replace(plan, seed=seed)
+
+
+#: Named presets, roughly geometric in severity.  ``moderate`` aims at
+#: the paper's lived experience: a crawl that mostly fails but never
+#: stops, mail that usually arrives, telemetry with visible gaps.
+PROFILES: dict[str, FaultPlan] = {
+    "off": FaultPlan(profile="off"),
+    "mild": FaultPlan(
+        profile="mild",
+        transport_unreachable_rate=0.02,
+        transport_tls_rate=0.01,
+        transport_slow_rate=0.05,
+        dns_failure_rate=0.01,
+        captcha_unsolved_rate=0.05,
+        captcha_missolve_rate=0.05,
+        mail_transient_failure_rate=0.05,
+        mail_drop_rate=0.01,
+        mail_duplicate_rate=0.01,
+        mail_delay_rate=0.05,
+        telemetry_late_rate=0.05,
+        telemetry_truncate_rate=0.05,
+        telemetry_truncate_fraction=0.1,
+    ),
+    "moderate": FaultPlan(
+        profile="moderate",
+        transport_unreachable_rate=0.08,
+        transport_tls_rate=0.03,
+        transport_slow_rate=0.15,
+        transport_slow_seconds=45,
+        dns_failure_rate=0.05,
+        captcha_unsolved_rate=0.15,
+        captcha_missolve_rate=0.10,
+        mail_transient_failure_rate=0.10,
+        mail_drop_rate=0.05,
+        mail_duplicate_rate=0.03,
+        mail_delay_rate=0.15,
+        telemetry_late_rate=0.20,
+        telemetry_truncate_rate=0.15,
+        telemetry_truncate_fraction=0.2,
+    ),
+    "heavy": FaultPlan(
+        profile="heavy",
+        transport_unreachable_rate=0.25,
+        transport_tls_rate=0.08,
+        transport_slow_rate=0.30,
+        transport_slow_seconds=90,
+        dns_failure_rate=0.15,
+        captcha_unsolved_rate=0.35,
+        captcha_missolve_rate=0.20,
+        mail_transient_failure_rate=0.25,
+        mail_drop_rate=0.15,
+        mail_duplicate_rate=0.08,
+        mail_delay_rate=0.30,
+        mail_delay_seconds=24 * 3600,
+        telemetry_late_rate=0.40,
+        telemetry_delay_seconds=7 * 86400,
+        telemetry_truncate_rate=0.30,
+        telemetry_truncate_fraction=0.35,
+        retry=RetryPolicy(max_attempts=4),
+    ),
+}

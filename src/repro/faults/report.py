@@ -1,0 +1,76 @@
+"""Per-campaign fault accounting.
+
+Every injector (see :mod:`repro.faults.injectors`) and every retry site
+increments counters on one shared :class:`FaultReport`.  Reports are
+plain summable records: a sharded campaign produces one per shard and
+:func:`repro.core.runner.merge_shard_results` folds them together in
+shard order, so the merged report — like the attempts and telemetry it
+rides with — is bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultReport:
+    """Counters over every fault injected (and every recovery) in a run."""
+
+    # -- transport plane -------------------------------------------------
+    transport_unreachable: int = 0
+    transport_tls_errors: int = 0
+    transport_slowdowns: int = 0
+    transport_slow_seconds: int = 0
+    # -- DNS -------------------------------------------------------------
+    dns_failures: int = 0
+    # -- captcha solving -------------------------------------------------
+    captcha_unsolved: int = 0
+    captcha_missolved: int = 0
+    # -- mail forwarding -------------------------------------------------
+    mail_transient_failures: int = 0
+    mail_retries: int = 0
+    mail_dropped: int = 0
+    mail_duplicated: int = 0
+    mail_delayed: int = 0
+    mail_undelivered: int = 0  # retry budget exhausted
+    # -- provider telemetry ----------------------------------------------
+    telemetry_dumps_delayed: int = 0
+    telemetry_events_dropped: int = 0
+    # -- crawler retry loop ----------------------------------------------
+    crawler_retries: int = 0
+    crawler_gave_up: int = 0
+
+    def merged_with(self, other: "FaultReport") -> "FaultReport":
+        """A new report with every counter summed field-wise."""
+        merged = FaultReport()
+        for field in dataclasses.fields(FaultReport):
+            setattr(
+                merged,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain mapping (JSON-friendly)."""
+        return dataclasses.asdict(self)
+
+    @property
+    def total_injected(self) -> int:
+        """Faults actually injected (recoveries and losses excluded)."""
+        return (
+            self.transport_unreachable
+            + self.transport_tls_errors
+            + self.transport_slowdowns
+            + self.dns_failures
+            + self.captcha_unsolved
+            + self.captcha_missolved
+            + self.mail_transient_failures
+            + self.mail_dropped
+            + self.mail_duplicated
+            + self.mail_delayed
+            + self.telemetry_dumps_delayed
+            + self.telemetry_events_dropped
+        )

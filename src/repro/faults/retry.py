@@ -1,0 +1,85 @@
+"""Capped exponential backoff with seeded jitter.
+
+A :class:`RetryPolicy` is a frozen value object shared by the crawler
+engine (transient :class:`~repro.crawler.outcomes.TerminationCode`
+retries) and the mail forwarding hop (transient relay failures).  All
+jitter comes from the caller's seeded RNG, so two runs with the same
+seed draw identical backoff schedules.
+
+Two invariants hold for *any* valid policy (property-tested in
+``tests/faults/test_retry_properties.py``):
+
+- a schedule is monotone non-decreasing (a later retry never waits
+  less than an earlier one), and
+- every delay is bounded by ``max_delay``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, to retry a transient failure.
+
+    ``max_attempts`` counts the initial try: 3 means one try plus at
+    most two retries.  Delays grow as ``base_delay * multiplier**i``,
+    are capped at ``max_delay``, and carry additive jitter of up to
+    ``jitter_fraction`` of the pre-jitter delay.
+    """
+
+    max_attempts: int = 3
+    base_delay: int = 5  # seconds before the first retry
+    multiplier: float = 2.0
+    max_delay: int = 120  # hard cap on any single wait
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1.0")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be at least base_delay")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    @property
+    def retries(self) -> int:
+        """Retries after the initial attempt."""
+        return self.max_attempts - 1
+
+    def delay_for(self, retry_index: int, rng: random.Random) -> int:
+        """The jittered wait before retry ``retry_index`` (0-based).
+
+        Bounded by ``max_delay``; monotonicity across successive
+        indices is enforced by :meth:`schedule` (jitter alone could
+        momentarily shrink a step).
+        """
+        if retry_index < 0:
+            raise ValueError("retry_index must be non-negative")
+        base = min(float(self.max_delay), self.base_delay * self.multiplier ** retry_index)
+        jitter = rng.random() * self.jitter_fraction * base
+        return int(min(float(self.max_delay), base + jitter))
+
+    def schedule(self, rng: random.Random) -> list[int]:
+        """All backoff delays for one attempt, in order.
+
+        Monotone non-decreasing and bounded by ``max_delay`` for any
+        valid policy and any RNG stream.
+        """
+        delays: list[int] = []
+        floor = 0
+        for index in range(self.retries):
+            floor = max(floor, self.delay_for(index, rng))
+            delays.append(floor)
+        return delays
+
+
+#: A policy that never retries — useful as an explicit "off" value.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0, multiplier=1.0, max_delay=0,
+                       jitter_fraction=0.0)

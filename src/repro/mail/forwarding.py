@@ -5,25 +5,56 @@ number of unremarkable domains under the researchers' control, hosted
 by a third-party mail provider; that provider forwards on to the actual
 Tripwire mail server.  The hop hides the final destination from anyone
 inspecting a compromised account's settings.
+
+The downstream relay is allowed to hiccup: a delivery callable may
+raise :class:`TransientDeliveryError`, and a hop configured with a
+:class:`~repro.faults.retry.RetryPolicy` re-delivers with capped
+exponential backoff (advancing the simulation clock between tries)
+before counting the message as lost.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import random
+from typing import TYPE_CHECKING, Callable
 
 from repro.mail.messages import EmailMessage
+
+if TYPE_CHECKING:  # imported only for signatures; no runtime cycle
+    from repro.faults.report import FaultReport
+    from repro.faults.retry import RetryPolicy
+    from repro.sim.protocols import ClockLike
+
+
+class TransientDeliveryError(Exception):
+    """The relay failed this delivery but may succeed on a retry."""
 
 
 class ForwardingHop:
     """Relays messages addressed to the cover domains."""
 
-    def __init__(self, cover_domains: list[str], deliver: Callable[[EmailMessage], None]):
+    def __init__(
+        self,
+        cover_domains: list[str],
+        deliver: Callable[[EmailMessage], None],
+        retry: "RetryPolicy | None" = None,
+        clock: "ClockLike | None" = None,
+        rng: random.Random | None = None,
+        fault_report: "FaultReport | None" = None,
+    ):
         if not cover_domains:
             raise ValueError("at least one cover domain is required")
+        if retry is not None and rng is None:
+            raise ValueError("a retry policy needs an rng for backoff jitter")
         self._domains = {d.lower() for d in cover_domains}
         self._deliver = deliver
+        self._retry = retry
+        self._clock = clock
+        self._rng = rng
+        self._fault_report = fault_report
         self._relayed = 0
         self._rejected = 0
+        self._lost = 0
 
     @property
     def cover_domains(self) -> set[str]:
@@ -49,8 +80,31 @@ class ForwardingHop:
         if not self.accepts(message.recipient):
             self._rejected += 1
             return
-        self._relayed += 1
-        self._deliver(message)
+        if self._relay_with_retry(message):
+            self._relayed += 1
+        else:
+            self._lost += 1
+            if self._fault_report is not None:
+                self._fault_report.mail_undelivered += 1
+
+    def _relay_with_retry(self, message: EmailMessage) -> bool:
+        """Deliver, retrying transient relay failures per the policy."""
+        floor = 0
+        retries_allowed = self._retry.retries if self._retry is not None else 0
+        for attempt in range(retries_allowed + 1):
+            try:
+                self._deliver(message)
+                return True
+            except TransientDeliveryError:
+                if attempt >= retries_allowed:
+                    return False
+                assert self._retry is not None and self._rng is not None
+                floor = max(floor, self._retry.delay_for(attempt, self._rng))
+                if self._clock is not None:
+                    self._clock.advance(floor)
+                if self._fault_report is not None:
+                    self._fault_report.mail_retries += 1
+        return False  # pragma: no cover - loop always returns
 
     @property
     def relayed_count(self) -> int:
@@ -61,3 +115,8 @@ class ForwardingHop:
     def rejected_count(self) -> int:
         """Messages dropped for not matching a cover domain."""
         return self._rejected
+
+    @property
+    def lost_count(self) -> int:
+        """Messages lost after the relay retry budget ran out."""
+        return self._lost

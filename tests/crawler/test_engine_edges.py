@@ -39,7 +39,7 @@ def make_crawler(transport, pool=None, **config_kwargs):
 
 
 class TestEngineEdges:
-    def test_proxy_exhaustion_is_system_error(self, simple_world, whois):
+    def test_proxy_exhaustion_is_budget_exhausted(self, simple_world, whois):
         _clock, transport, _population = simple_world
         pool = ResearchProxyPool(whois, RngTree(304).rng(), pool_size=1)
         crawler = make_crawler(transport, pool=pool)
@@ -49,7 +49,7 @@ class TestEngineEdges:
         assert first.code is not None  # consumed the only proxy IP
         second = crawler.register_at("http://edge.test/",
                                      factory.create(PasswordClass.HARD))
-        assert second.code is TerminationCode.SYSTEM_ERROR
+        assert second.code is TerminationCode.BUDGET_EXHAUSTED
         assert "proxy" in second.detail
 
     def test_page_budget_exhaustion(self, simple_world):
@@ -61,7 +61,7 @@ class TestEngineEdges:
         # the form; this spec uses a separate registration page.
         assert outcome.pages_loaded <= 1
         assert outcome.code in (TerminationCode.NO_REGISTRATION_FOUND,
-                                TerminationCode.SYSTEM_ERROR)
+                                TerminationCode.BUDGET_EXHAUSTED)
 
     def test_404_homepage_is_system_error(self, transport):
         transport.register_host("broken.test", lambda r: HttpResponse(500, "boom"))

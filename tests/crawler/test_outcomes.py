@@ -2,6 +2,7 @@
 
 from repro.crawler.outcomes import (
     EXPOSING_CODES,
+    RETRYABLE_CODES,
     CrawlOutcome,
     TerminationCode,
 )
@@ -27,7 +28,35 @@ class TestTerminationCodes:
 
     def test_all_codes_have_distinct_values(self):
         values = [code.value for code in TerminationCode]
-        assert len(values) == len(set(values)) == 6
+        assert len(values) == len(set(values)) == 7
+
+
+class TestRetryability:
+    """The transient/permanent split: exactly one code is retryable."""
+
+    EXPECTED = {
+        TerminationCode.OK_SUBMISSION: False,          # success is final
+        TerminationCode.SUBMISSION_HEURISTICS_FAILED: False,  # site's answer
+        TerminationCode.REQUIRED_FIELDS_MISSING: False,  # property of the form
+        TerminationCode.NO_REGISTRATION_FOUND: False,  # property of the site
+        TerminationCode.SYSTEM_ERROR: True,            # transient infrastructure
+        TerminationCode.BUDGET_EXHAUSTED: False,       # budget never comes back
+        TerminationCode.NOT_ENGLISH: False,            # language gate
+    }
+
+    def test_every_code_has_a_pinned_retryability(self):
+        assert set(self.EXPECTED) == set(TerminationCode)
+
+    def test_retryable_per_code(self):
+        for code, expected in self.EXPECTED.items():
+            assert code.retryable is expected, code
+
+    def test_retryable_codes_set_matches_property(self):
+        assert RETRYABLE_CODES == {c for c in TerminationCode if c.retryable}
+
+    def test_budget_exhaustion_still_counts_as_exposing(self):
+        # The page budget can run out after the form was filled.
+        assert TerminationCode.BUDGET_EXHAUSTED in EXPOSING_CODES
 
 
 class TestCrawlOutcome:

@@ -1,0 +1,131 @@
+"""Chaos integration: the measurement survives injected faults.
+
+The fast tests drive a sharded campaign and the crawler retry loop
+under the ``moderate`` profile.  The full pilot under chaos — breaches,
+attacker campaigns, lossy telemetry and all — is opt-in via
+``-m slow`` (the chaos CI job).
+"""
+
+import pytest
+
+from repro.core.runner import CampaignRunner
+from repro.core.scenario import PilotScenario, ScenarioConfig
+from repro.core.substrate import WorldShard
+from repro.core.system import TripwireSystem
+from repro.faults.plan import FaultPlan
+from repro.util.rngtree import RngTree
+
+SEED = 17
+POPULATION = 200
+
+
+@pytest.fixture(scope="module")
+def ranked_sites():
+    listing = WorldShard(RngTree(SEED)).build_population(POPULATION)
+    return listing.alexa_top(40)
+
+
+class TestCampaignUnderFaults:
+    def test_moderate_campaign_completes(self, ranked_sites):
+        plan = FaultPlan.from_profile("moderate", seed=2)
+        result = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=3,
+            fault_plan=plan,
+        ).run(ranked_sites)
+        # Degraded, not dead: attempts were made and faults were injected.
+        assert result.stats.attempts > 0
+        assert result.fault_report.total_injected > 0
+        # Every attempt still carries a terminal outcome.
+        assert all(a.outcome.code is not None for a in result.attempts)
+
+    def test_off_profile_matches_no_plan(self, ranked_sites):
+        with_off = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=3,
+            fault_plan=FaultPlan.from_profile("off"),
+        ).run(ranked_sites)
+        without = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=3,
+        ).run(ranked_sites)
+        assert [(a.site_host, a.outcome.code, a.identity.email_local)
+                for a in with_off.attempts] == \
+               [(a.site_host, a.outcome.code, a.identity.email_local)
+                for a in without.attempts]
+        assert with_off.fault_report.total_injected == 0
+
+    def test_fault_seed_changes_the_stream_not_the_world(self, ranked_sites):
+        runs = [
+            CampaignRunner(
+                seed=SEED, population_size=POPULATION, shards=3,
+                fault_plan=FaultPlan.from_profile("moderate", seed=fs),
+            ).run(ranked_sites)
+            for fs in (1, 2)
+        ]
+        # Different fault seeds draw different fault streams...
+        assert runs[0].fault_report != runs[1].fault_report
+        # ...but the site universe underneath is the same.
+        assert {a.site_host for a in runs[0].attempts} <= \
+            {entry.host for entry in ranked_sites}
+
+
+class TestSystemUnderFaults:
+    def test_system_wires_injectors_only_when_enabled(self):
+        plain = TripwireSystem(seed=9, population_size=60)
+        assert plain.fault_plan is None
+        assert type(plain.transport).__name__ == "Transport"
+        assert plain.apparatus.telemetry_faults is None
+
+        chaotic = TripwireSystem(
+            seed=9, population_size=60,
+            fault_plan=FaultPlan.from_profile("moderate"),
+        )
+        assert type(chaotic.transport).__name__ == "TransportFaultInjector"
+        assert type(chaotic.solver).__name__ == "SolverFaultInjector"
+        assert chaotic.apparatus.telemetry_faults is not None
+        assert chaotic.fault_report is chaotic.world.fault_report
+
+    def test_site_specs_identical_with_and_without_faults(self):
+        plain = TripwireSystem(seed=9, population_size=60)
+        chaotic = TripwireSystem(
+            seed=9, population_size=60,
+            fault_plan=FaultPlan.from_profile("heavy", seed=5),
+        )
+        for rank in (1, 13, 37, 60):
+            assert plain.population.spec_at_rank(rank) == \
+                chaotic.population.spec_at_rank(rank)
+
+
+@pytest.mark.slow
+class TestPilotUnderFaults:
+    PILOT_CONFIG = dict(
+        seed=5, population_size=400, seed_list_size=40, main_crawl_top=150,
+        second_crawl_top=200, manual_top=10, breach_count=6,
+        breach_hard_exposing=3, unused_account_count=60,
+        control_account_count=4,
+    )
+
+    @pytest.mark.parametrize("profile", ["moderate", "heavy"])
+    def test_pilot_completes_under_faults(self, profile):
+        config = ScenarioConfig(
+            **self.PILOT_CONFIG,
+            fault_plan=FaultPlan.from_profile(profile, seed=1),
+        )
+        result = PilotScenario(config).run()
+        report = result.system.fault_report
+        assert report.total_injected > 0
+        # The measurement still functions end to end: registrations
+        # happened, breaches executed, the monitor saw dumps.
+        assert len(result.campaign.attempts) > 0
+        assert len(result.breaches) > 0
+        assert result.monitor.ingested_events > 0
+
+    def test_pilot_fault_runs_are_deterministic(self):
+        config = ScenarioConfig(
+            **self.PILOT_CONFIG,
+            fault_plan=FaultPlan.from_profile("moderate", seed=3),
+        )
+        first = PilotScenario(config).run()
+        second = PilotScenario(config).run()
+        assert first.system.fault_report == second.system.fault_report
+        assert [(a.site_host, a.outcome.code) for a in first.campaign.attempts] == \
+            [(a.site_host, a.outcome.code) for a in second.campaign.attempts]
+        assert first.detected_hosts == second.detected_hosts

@@ -1,0 +1,147 @@
+"""The crawler's retry loop: transient-only, budget-aware, rate-limited."""
+
+from repro.crawler.captcha import CaptchaSolverService
+from repro.crawler.engine import CrawlerConfig, RegistrationCrawler
+from repro.crawler.outcomes import TerminationCode
+from repro.faults.report import FaultReport
+from repro.faults.retry import RetryPolicy
+from repro.identity.generator import IdentityFactory
+from repro.identity.passwords import PasswordClass
+from repro.net.dns import DnsResolver
+from repro.net.transport import HostUnreachable, Transport
+from repro.net.whois import WhoisRegistry
+from repro.sim.clock import SimClock
+from repro.util.rngtree import RngTree
+from repro.web.population import InternetPopulation
+
+
+class FlakyTransport:
+    """Delegating transport whose first N fetches raise HostUnreachable."""
+
+    def __init__(self, inner, failures):
+        self._inner = inner
+        self.failures = failures
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def get(self, url, **kwargs):
+        if self.failures > 0:
+            self.failures -= 1
+            raise HostUnreachable(url)
+        return self._inner.get(url, **kwargs)
+
+
+def build_world():
+    clock = SimClock()
+    transport = Transport(clock)
+    population = InternetPopulation(
+        RngTree(701), clock, transport, WhoisRegistry(), DnsResolver(), size=3,
+        overrides={1: {"bucket": "rest", "host": "retry.test", "language": "en",
+                       "load_fails": False}},
+    )
+    population.site_at_rank(1)
+    return clock, transport
+
+
+def build_crawler(transport, policy, report=None, **config_kwargs):
+    config_kwargs.setdefault("system_error_rate", 0.0)
+    return RegistrationCrawler(
+        transport, CaptchaSolverService(RngTree(702).rng()),
+        RngTree(703).rng(), config=CrawlerConfig(**config_kwargs),
+        retry_policy=policy, fault_report=report or FaultReport(),
+    )
+
+
+def identity():
+    return IdentityFactory(RngTree(704)).create(PasswordClass.HARD)
+
+
+class TestRetryRecovery:
+    def test_transient_failure_is_retried_and_recovers(self):
+        _clock, transport = build_world()
+        flaky = FlakyTransport(transport, failures=1)
+        report = FaultReport()
+        crawler = build_crawler(flaky, RetryPolicy(max_attempts=3), report)
+        outcome = crawler.register_at("http://retry.test/", identity())
+        # First attempt died on the homepage; the retry got through.
+        assert outcome.code is not TerminationCode.SYSTEM_ERROR
+        assert report.crawler_retries == 1
+        assert report.crawler_gave_up == 0
+
+    def test_without_policy_failure_is_final(self):
+        _clock, transport = build_world()
+        flaky = FlakyTransport(transport, failures=1)
+        crawler = RegistrationCrawler(
+            flaky, CaptchaSolverService(RngTree(702).rng()), RngTree(703).rng(),
+            config=CrawlerConfig(system_error_rate=0.0),
+        )
+        outcome = crawler.register_at("http://retry.test/", identity())
+        assert outcome.code is TerminationCode.SYSTEM_ERROR
+
+    def test_exhausted_attempts_give_up(self):
+        _clock, transport = build_world()
+        flaky = FlakyTransport(transport, failures=99)
+        report = FaultReport()
+        crawler = build_crawler(flaky, RetryPolicy(max_attempts=3), report)
+        outcome = crawler.register_at("http://retry.test/", identity())
+        assert outcome.code is TerminationCode.SYSTEM_ERROR
+        assert report.crawler_retries == 2  # max_attempts - 1
+        assert report.crawler_gave_up == 1
+
+
+class TestRetryDiscipline:
+    def test_permanent_codes_are_never_retried(self):
+        _clock, transport = build_world()
+        report = FaultReport()
+        crawler = build_crawler(transport, RetryPolicy(max_attempts=4), report)
+        attempts = []
+        original = crawler._attempt_once
+
+        def counting(url, ident, state):
+            attempts.append(1)
+            return original(url, ident, state)
+
+        crawler._attempt_once = counting
+        outcome = crawler.register_at("http://retry.test/", identity())
+        assert not outcome.code.retryable
+        assert len(attempts) == 1
+        assert report.crawler_retries == 0
+
+    def test_budget_exhaustion_stops_the_retry_loop(self):
+        _clock, transport = build_world()
+        report = FaultReport()
+        crawler = build_crawler(transport, RetryPolicy(max_attempts=5), report,
+                                max_pages=4)
+        attempts = []
+
+        def burned_out(url, ident, state):
+            attempts.append(1)
+            state.pages_loaded = crawler.config.max_pages  # budget gone
+            return state.finish(transport, TerminationCode.SYSTEM_ERROR,
+                                detail="crash after budget spent")
+
+        crawler._attempt_once = burned_out
+        outcome = crawler.register_at("http://retry.test/", identity())
+        # Retryable code, but no page budget left: exactly one attempt.
+        assert outcome.code is TerminationCode.SYSTEM_ERROR
+        assert len(attempts) == 1
+        assert report.crawler_retries == 0
+
+    def test_backoff_respects_the_ethics_rate_limit(self):
+        clock, transport = build_world()
+        report = FaultReport()
+        # Backoff below the §3 floor: waits must still be >= min_page_delay.
+        policy = RetryPolicy(max_attempts=3, base_delay=1, multiplier=1.0,
+                             max_delay=1, jitter_fraction=0.0)
+        crawler = build_crawler(transport, policy, report, min_page_delay=3)
+
+        def always_crash(url, ident, state):
+            return state.finish(transport, TerminationCode.SYSTEM_ERROR,
+                                detail="crash")
+
+        crawler._attempt_once = always_crash
+        before = clock.now()
+        crawler.register_at("http://retry.test/", identity())
+        waited = clock.now() - before
+        assert waited >= policy.retries * 3  # min_page_delay floor per retry

@@ -1,0 +1,316 @@
+"""Unit tests for the fault injectors over each Protocol seam."""
+
+from random import Random
+
+import pytest
+
+from repro.faults.injectors import (
+    DnsFaultInjector,
+    MailFaultInjector,
+    SolverFaultInjector,
+    TelemetryFaultInjector,
+    TransportFaultInjector,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultReport
+from repro.faults.retry import RetryPolicy
+from repro.mail.forwarding import ForwardingHop, TransientDeliveryError
+from repro.mail.messages import EmailMessage
+from repro.net.dns import DnsResolver, NxDomain
+from repro.net.ipaddr import IPv4Address
+from repro.net.transport import HostUnreachable, HttpResponse, TlsError, Transport
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+
+def message(recipient="probe@plainmailbox.example"):
+    return EmailMessage(sender="site@ranked1.test", recipient=recipient,
+                        subject="verify", body="click", time=0)
+
+
+@pytest.fixture
+def report():
+    return FaultReport()
+
+
+class TestTransportFaultInjector:
+    def wrapped(self, plan, report, seed=1):
+        clock = SimClock()
+        transport = Transport(clock)
+        transport.register_host("site.test", lambda r: HttpResponse(200, "ok"))
+        transport.register_host("tls.test", lambda r: HttpResponse(200, "ok"),
+                                https=True)
+        return clock, TransportFaultInjector(transport, plan, Random(seed), report)
+
+    def test_zero_rates_delegate_untouched(self, report):
+        _clock, injector = self.wrapped(FaultPlan(), report)
+        assert injector.get("http://site.test/").ok
+        assert injector.post("http://site.test/submit", {"a": "1"}).ok
+        assert injector.request("GET", "http://site.test/").ok
+        assert report.total_injected == 0
+
+    def test_certain_unreachable(self, report):
+        _clock, injector = self.wrapped(
+            FaultPlan(transport_unreachable_rate=1.0), report)
+        with pytest.raises(HostUnreachable):
+            injector.get("http://site.test/")
+        assert report.transport_unreachable == 1
+
+    def test_tls_faults_only_strike_https(self, report):
+        plan = FaultPlan(transport_tls_rate=1.0)
+        _clock, injector = self.wrapped(plan, report)
+        assert injector.get("http://site.test/").ok  # plain HTTP untouched
+        with pytest.raises(TlsError):
+            injector.get("https://tls.test/")
+        assert report.transport_tls_errors == 1
+
+    def test_slowdown_advances_the_clock(self, report):
+        plan = FaultPlan(transport_slow_rate=1.0, transport_slow_seconds=30)
+        clock, injector = self.wrapped(plan, report)
+        before = clock.now()
+        assert injector.get("http://site.test/").ok
+        # At least the injected extra second on top of network latency.
+        assert clock.now() > before
+        assert report.transport_slowdowns == 1
+        assert 1 <= report.transport_slow_seconds <= 30
+
+    def test_delegation_exposes_inner_surface(self, report):
+        _clock, injector = self.wrapped(FaultPlan(), report)
+        assert injector.is_registered("site.test")
+        assert injector.supports_https("tls.test")
+        injector.get("http://site.test/")
+        assert injector.request_count == 1
+
+    def test_same_seed_same_fault_sequence(self):
+        plan = FaultPlan(transport_unreachable_rate=0.3)
+
+        def failures(seed):
+            report = FaultReport()
+            _clock, injector = self.wrapped(plan, report, seed=seed)
+            pattern = []
+            for _ in range(40):
+                try:
+                    injector.get("http://site.test/")
+                    pattern.append(False)
+                except HostUnreachable:
+                    pattern.append(True)
+            return pattern, report.transport_unreachable
+
+        assert failures(7) == failures(7)
+        assert failures(7) != failures(8)
+
+
+class TestDnsFaultInjector:
+    def test_lookups_fail_at_rate_one(self, report):
+        dns = DnsResolver()
+        dns.register_host("mail.test", IPv4Address.parse("10.0.0.1"))
+        injector = DnsFaultInjector(dns, FaultPlan(dns_failure_rate=1.0),
+                                    Random(3), report)
+        with pytest.raises(NxDomain):
+            injector.resolve_a("mail.test")
+        with pytest.raises(NxDomain):
+            injector.resolve_mx("mail.test")
+        assert report.dns_failures == 2
+
+    def test_zone_management_delegates(self, report):
+        dns = DnsResolver()
+        injector = DnsFaultInjector(dns, FaultPlan(dns_failure_rate=1.0),
+                                    Random(3), report)
+        injector.register_host("new.test", IPv4Address.parse("10.0.0.2"))
+        assert dns.has_zone("new.test")  # write went through untouched
+
+
+class _EchoSolver:
+    def solve(self, challenge_token, is_knowledge_question=False):
+        return f"answer:{challenge_token}"
+
+
+class TestSolverFaultInjector:
+    def test_unsolved_returns_none(self, report):
+        injector = SolverFaultInjector(
+            _EchoSolver(), FaultPlan(captcha_unsolved_rate=1.0), Random(4), report)
+        assert injector.solve("tok") is None
+        assert report.captcha_unsolved == 1
+
+    def test_missolved_returns_a_wrong_answer(self, report):
+        injector = SolverFaultInjector(
+            _EchoSolver(), FaultPlan(captcha_missolve_rate=1.0), Random(4), report)
+        answer = injector.solve("tok")
+        assert answer is not None and answer != "answer:tok"
+        assert report.captcha_missolved == 1
+
+    def test_zero_rates_delegate(self, report):
+        injector = SolverFaultInjector(_EchoSolver(), FaultPlan(), Random(4), report)
+        assert injector.solve("tok") == "answer:tok"
+        assert report.total_injected == 0
+
+
+class TestMailFaultInjector:
+    def collect(self, plan, seed=5, queue=None):
+        delivered = []
+        report = FaultReport()
+        injector = MailFaultInjector(delivered.append, plan, Random(seed),
+                                     report, queue=queue)
+        return delivered, report, injector
+
+    def test_clean_delivery(self):
+        delivered, report, injector = self.collect(FaultPlan())
+        injector(message())
+        assert len(delivered) == 1
+        assert report.total_injected == 0
+
+    def test_transient_failure_raises(self):
+        delivered, report, injector = self.collect(
+            FaultPlan(mail_transient_failure_rate=1.0))
+        with pytest.raises(TransientDeliveryError):
+            injector(message())
+        assert delivered == []
+        assert report.mail_transient_failures == 1
+
+    def test_drop_is_silent(self):
+        delivered, report, injector = self.collect(FaultPlan(mail_drop_rate=1.0))
+        injector(message())
+        assert delivered == []
+        assert report.mail_dropped == 1
+
+    def test_duplicate_delivers_twice(self):
+        delivered, report, injector = self.collect(
+            FaultPlan(mail_duplicate_rate=1.0))
+        injector(message())
+        assert len(delivered) == 2
+        assert report.mail_duplicated == 1
+
+    def test_delay_reschedules_on_the_queue(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        plan = FaultPlan(mail_delay_rate=1.0, mail_delay_seconds=3600)
+        delivered, report, injector = self.collect(plan, queue=queue)
+        injector(message())
+        assert delivered == []  # not delivered yet
+        assert report.mail_delayed == 1
+        queue.run_until(clock.now() + 3600)
+        assert len(delivered) == 1  # arrives once the delay elapses
+
+    def test_delay_without_queue_delivers_inline(self):
+        delivered, report, injector = self.collect(
+            FaultPlan(mail_delay_rate=1.0), queue=None)
+        injector(message())
+        assert len(delivered) == 1
+        assert report.mail_delayed == 0
+
+
+class TestForwardingHopRetry:
+    class FlakyDeliver:
+        def __init__(self, failures):
+            self.failures = failures
+            self.delivered = []
+
+        def __call__(self, msg):
+            if self.failures > 0:
+                self.failures -= 1
+                raise TransientDeliveryError("relay hiccup")
+            self.delivered.append(msg)
+
+    def hop(self, deliver, retry, report=None, clock=None):
+        return ForwardingHop(
+            ["plainmailbox.example"], deliver, retry=retry,
+            clock=clock, rng=Random(6), fault_report=report,
+        )
+
+    def test_retry_recovers_transient_failures(self, report):
+        deliver = self.FlakyDeliver(failures=2)
+        clock = SimClock()
+        hop = self.hop(deliver, RetryPolicy(max_attempts=3), report, clock)
+        before = clock.now()
+        hop(message())
+        assert len(deliver.delivered) == 1
+        assert hop.relayed_count == 1
+        assert hop.lost_count == 0
+        assert report.mail_retries == 2
+        assert clock.now() > before  # backoff advanced the clock
+
+    def test_exhausted_budget_loses_the_message(self, report):
+        deliver = self.FlakyDeliver(failures=5)
+        hop = self.hop(deliver, RetryPolicy(max_attempts=2), report, SimClock())
+        hop(message())
+        assert deliver.delivered == []
+        assert hop.lost_count == 1
+        assert report.mail_undelivered == 1
+        assert report.mail_retries == 1  # one retry, then gave up
+
+    def test_no_policy_fails_immediately(self, report):
+        deliver = self.FlakyDeliver(failures=1)
+        hop = ForwardingHop(["plainmailbox.example"], deliver,
+                            fault_report=report)
+        hop(message())
+        assert hop.lost_count == 1
+        assert report.mail_retries == 0
+
+    def test_policy_without_rng_rejected(self):
+        with pytest.raises(ValueError, match="rng"):
+            ForwardingHop(["plainmailbox.example"], lambda m: None,
+                          retry=RetryPolicy())
+
+
+class _FakeProvider:
+    def __init__(self, events):
+        self.events = events
+
+    def collect_login_dump(self):
+        return list(self.events)
+
+
+class TestTelemetryFaultInjector:
+    def test_clean_dump_passes_through(self, report):
+        provider = _FakeProvider(["e1", "e2", "e3"])
+        injector = TelemetryFaultInjector(provider, FaultPlan(), Random(8), report)
+        events, postpone = injector.collect_dump()
+        assert events == ["e1", "e2", "e3"]
+        assert postpone is None
+
+    def test_late_dump_returns_a_postponement(self, report):
+        provider = _FakeProvider(["e1"])
+        plan = FaultPlan(telemetry_late_rate=1.0, telemetry_delay_seconds=86400)
+        injector = TelemetryFaultInjector(provider, plan, Random(8), report)
+        events, postpone = injector.collect_dump()
+        assert events == []
+        assert postpone is not None and 1 <= postpone <= 86400
+        assert report.telemetry_dumps_delayed == 1
+
+    def test_truncated_dump_loses_the_tail(self, report):
+        provider = _FakeProvider([f"e{i}" for i in range(10)])
+        plan = FaultPlan(telemetry_truncate_rate=1.0,
+                         telemetry_truncate_fraction=0.2)
+        injector = TelemetryFaultInjector(provider, plan, Random(8), report)
+        events, postpone = injector.collect_dump()
+        assert postpone is None
+        assert events == [f"e{i}" for i in range(8)]  # head preserved
+        assert report.telemetry_events_dropped == 2
+
+    def test_empty_dump_never_truncates(self, report):
+        plan = FaultPlan(telemetry_truncate_rate=1.0)
+        injector = TelemetryFaultInjector(_FakeProvider([]), plan, Random(8), report)
+        events, postpone = injector.collect_dump()
+        assert events == [] and postpone is None
+        assert report.telemetry_events_dropped == 0
+
+
+class TestFaultReport:
+    def test_merge_sums_every_counter(self):
+        left = FaultReport(transport_unreachable=2, crawler_retries=5)
+        right = FaultReport(transport_unreachable=1, mail_dropped=4)
+        merged = left.merged_with(right)
+        assert merged.transport_unreachable == 3
+        assert merged.crawler_retries == 5
+        assert merged.mail_dropped == 4
+
+    def test_as_dict_round_trips_every_field(self):
+        report = FaultReport(dns_failures=7)
+        mapping = report.as_dict()
+        assert mapping["dns_failures"] == 7
+        assert FaultReport(**mapping) == report
+
+    def test_total_injected_excludes_recovery_counters(self):
+        report = FaultReport(crawler_retries=10, mail_retries=3,
+                             mail_undelivered=1, crawler_gave_up=2)
+        assert report.total_injected == 0

@@ -1,0 +1,66 @@
+"""Regression pin: the faults-disabled pilot is byte-stable.
+
+These literals are the crawler outcome distribution and Table 1 counts
+of the shared small pilot (``tests/conftest.py::SMALL_PILOT_CONFIG``,
+seed 5) with no fault plan.  Fault injection must be a strict no-op
+when disabled: if any of these numbers move, a change leaked into the
+fault-free path and the determinism contract is broken.
+"""
+
+from collections import Counter
+
+from repro.analysis.table1 import build_table1
+from repro.crawler.outcomes import TerminationCode
+
+#: Pinned distribution over automated (non-manual) attempts.
+EXPECTED_CODE_COUNTS = {
+    TerminationCode.OK_SUBMISSION: 60,
+    TerminationCode.SUBMISSION_HEURISTICS_FAILED: 13,
+    TerminationCode.REQUIRED_FIELDS_MISSING: 24,
+    TerminationCode.NO_REGISTRATION_FOUND: 92,
+    TerminationCode.NOT_ENGLISH: 107,
+    TerminationCode.SYSTEM_ERROR: 36,
+}
+
+#: Pinned Table 1 counts: (attempted_total, attempted_sites, estimated_total).
+EXPECTED_TABLE1 = {
+    "Email verified": (31, 18, 30),
+    "Email received": (2, 1, 2),
+    "OK submission": (30, 16, 21),
+    "Bad heuristics/Fields missing": (42, 42, 1),
+    "Manual": (3, 3, 3),
+    "Total": (108, 80, 57),
+}
+
+
+class TestFaultFreePilotIsPinned:
+    def test_outcome_distribution(self, pilot_result):
+        counts = Counter(
+            a.outcome.code for a in pilot_result.campaign.attempts if not a.manual
+        )
+        assert dict(counts) == EXPECTED_CODE_COUNTS
+
+    def test_no_budget_exhaustion_in_the_pilot(self, pilot_result):
+        # The enum split must not relabel any fault-free pilot outcome:
+        # the small pilot never exhausts a page or proxy budget.
+        codes = {a.outcome.code for a in pilot_result.campaign.attempts}
+        assert TerminationCode.BUDGET_EXHAUSTED not in codes
+
+    def test_attempt_and_exposure_totals(self, pilot_result):
+        assert len(pilot_result.campaign.attempts) == 335
+        assert sum(1 for a in pilot_result.campaign.attempts if a.manual) == 3
+        assert len(pilot_result.campaign.exposed_attempts()) == 108
+
+    def test_table1_counts(self, pilot_result):
+        rows = {
+            row.label: (row.attempted_total, row.attempted_sites,
+                        row.estimated_total)
+            for row in build_table1(pilot_result.estimates)
+        }
+        assert rows == EXPECTED_TABLE1
+
+    def test_no_faults_were_injected(self, pilot_result):
+        report = pilot_result.system.fault_report
+        assert report.total_injected == 0
+        assert report.crawler_retries == 0
+        assert pilot_result.system.fault_plan is None

@@ -1,0 +1,70 @@
+"""FaultPlan profiles, validation and value semantics."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.faults.plan import PROFILES, FaultPlan
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"off", "mild", "moderate", "heavy"}
+
+    def test_off_profile_is_disabled(self):
+        assert not FaultPlan.from_profile("off").enabled
+
+    @pytest.mark.parametrize("name", ["mild", "moderate", "heavy"])
+    def test_named_profiles_are_enabled(self, name):
+        plan = FaultPlan.from_profile(name)
+        assert plan.enabled
+        assert plan.profile == name
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            FaultPlan.from_profile("catastrophic")
+
+    def test_from_profile_stamps_seed(self):
+        plan = FaultPlan.from_profile("moderate", seed=42)
+        assert plan.seed == 42
+        # Everything else matches the preset.
+        assert dataclasses.replace(plan, seed=0) == PROFILES["moderate"]
+
+    def test_severity_ordering(self):
+        mild = PROFILES["mild"]
+        moderate = PROFILES["moderate"]
+        heavy = PROFILES["heavy"]
+        for name in ("transport_unreachable_rate", "captcha_unsolved_rate",
+                     "mail_drop_rate", "telemetry_late_rate"):
+            assert (getattr(mild, name) < getattr(moderate, name)
+                    < getattr(heavy, name)), name
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "transport_unreachable_rate", "dns_failure_rate",
+        "captcha_missolve_rate", "mail_drop_rate", "telemetry_late_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(**{field: -0.1})
+
+    def test_plan_is_frozen(self):
+        plan = FaultPlan.from_profile("mild")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.mail_drop_rate = 0.5  # type: ignore[misc]
+
+
+class TestValueSemantics:
+    def test_equal_plans_compare_equal(self):
+        assert FaultPlan.from_profile("moderate", seed=9) == \
+            FaultPlan.from_profile("moderate", seed=9)
+        assert FaultPlan.from_profile("moderate", seed=9) != \
+            FaultPlan.from_profile("moderate", seed=10)
+
+    def test_plan_pickles_for_the_process_executor(self):
+        plan = FaultPlan.from_profile("heavy", seed=3)
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,0 +1,77 @@
+"""RetryPolicy unit tests (backoff shape, validation, determinism)."""
+
+from random import Random
+
+import pytest
+
+from repro.faults.retry import NO_RETRY, RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.retries == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1},
+        {"multiplier": 0.5},
+        {"max_delay": 2, "base_delay": 5},
+        {"jitter_fraction": 1.5},
+        {"jitter_fraction": -0.1},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoffShape:
+    def test_delays_grow_exponentially_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=4, multiplier=2.0,
+                             max_delay=1000, jitter_fraction=0.0)
+        rng = Random(1)
+        assert [policy.delay_for(i, rng) for i in range(4)] == [4, 8, 16, 32]
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=10, multiplier=3.0,
+                             max_delay=60, jitter_fraction=0.25)
+        rng = Random(2)
+        for index in range(9):
+            assert policy.delay_for(index, rng) <= 60
+
+    def test_jitter_adds_at_most_the_fraction(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=100, multiplier=1.0,
+                             max_delay=1000, jitter_fraction=0.25)
+        delays = {policy.delay_for(0, Random(seed)) for seed in range(50)}
+        assert all(100 <= d <= 125 for d in delays)
+        assert len(delays) > 1  # jitter actually varies
+
+    def test_schedule_is_monotone_nondecreasing(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=3, multiplier=1.5,
+                             max_delay=40, jitter_fraction=0.5)
+        schedule = policy.schedule(Random(7))
+        assert len(schedule) == policy.retries
+        assert schedule == sorted(schedule)
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(-1, Random(0))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert policy.schedule(Random(99)) == policy.schedule(Random(99))
+
+    def test_different_seeds_can_differ(self):
+        policy = RetryPolicy(max_attempts=6, jitter_fraction=1.0,
+                             max_delay=10_000)
+        schedules = {tuple(policy.schedule(Random(s))) for s in range(20)}
+        assert len(schedules) > 1
+
+
+class TestNoRetry:
+    def test_no_retry_never_retries(self):
+        assert NO_RETRY.retries == 0
+        assert NO_RETRY.schedule(Random(0)) == []

@@ -1,0 +1,56 @@
+"""Hypothesis properties for RetryPolicy backoff schedules.
+
+For *arbitrary* valid policies and RNG seeds:
+
+- schedules are monotone non-decreasing, and
+- every delay is bounded by ``max_delay``.
+
+These two invariants are what the crawler's retry loop and the
+forwarding hop rely on for the §3 ethics argument (waits only grow)
+and for bounded simulated time under chaos.
+"""
+
+from random import Random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.retry import RetryPolicy
+
+
+def policies() -> st.SearchStrategy[RetryPolicy]:
+    """Arbitrary *valid* policies, built to satisfy the invariants."""
+    return st.builds(
+        lambda attempts, base, extra, mult, jitter: RetryPolicy(
+            max_attempts=attempts,
+            base_delay=base,
+            multiplier=mult,
+            max_delay=base + extra,
+            jitter_fraction=jitter,
+        ),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=600),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=1.0, max_value=16.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_schedule_monotone_nondecreasing(policy: RetryPolicy, seed: int):
+    schedule = policy.schedule(Random(seed))
+    assert all(a <= b for a, b in zip(schedule, schedule[1:]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_schedule_bounded_by_max_delay(policy: RetryPolicy, seed: int):
+    schedule = policy.schedule(Random(seed))
+    assert len(schedule) == policy.retries
+    assert all(0 <= delay <= policy.max_delay for delay in schedule)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_schedule_is_a_pure_function_of_seed(policy: RetryPolicy, seed: int):
+    assert policy.schedule(Random(seed)) == policy.schedule(Random(seed))

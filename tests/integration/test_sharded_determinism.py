@@ -1,11 +1,16 @@
 """Cross-layer determinism: facade, shards and Table 1 reproduction."""
 
+import pytest
+
 from repro.analysis.table1 import build_table1
 from repro.core.campaign import RegistrationCampaign
 from repro.core.estimation import SuccessEstimator
 from repro.core.runner import CampaignRunner
 from repro.core.system import TripwireSystem
+from repro.core.substrate import WorldShard
+from repro.faults.plan import FaultPlan
 from repro.identity.passwords import PasswordClass
+from repro.util.rngtree import RngTree
 
 
 def build_system(seed: int) -> TripwireSystem:
@@ -69,6 +74,57 @@ class TestFacadeDeterminism:
         plain_locals = [i.email_local for i in plain.pool.all_identities()]
         shard_locals = [i.email_local for i in shard.pool.all_identities()]
         assert plain_locals != shard_locals
+
+
+class TestShardedDeterminismUnderFaults:
+    """Chaos must not break the worker-count invariance contract."""
+
+    SEED = 47
+    POPULATION = 150
+
+    @pytest.fixture(scope="class")
+    def sites(self):
+        listing = WorldShard(RngTree(self.SEED)).build_population(self.POPULATION)
+        return listing.alexa_top(40)
+
+    @staticmethod
+    def attempt_fingerprint(result):
+        return [
+            (a.site_host, a.rank, a.password_class.value, a.outcome.code.value,
+             a.outcome.pages_loaded, a.outcome.exposed_credentials,
+             a.outcome.started_at, a.outcome.finished_at,
+             a.identity.email_local)
+            for a in result.attempts
+        ]
+
+    @staticmethod
+    def table1_counts(result):
+        system = TripwireSystem(seed=47, population_size=150)
+        estimates = SuccessEstimator(system).estimate(result.exposed_attempts())
+        return [
+            (row.label, row.attempted_total, row.attempted_sites,
+             row.estimated_total)
+            for row in build_table1(estimates)
+        ]
+
+    def run_with(self, sites, workers, executor):
+        return CampaignRunner(
+            seed=self.SEED, population_size=self.POPULATION,
+            shards=4, workers=workers, executor=executor,
+            fault_plan=FaultPlan.from_profile("moderate", seed=6),
+        ).run(sites)
+
+    def test_workers_do_not_change_faulted_results(self, sites):
+        baseline = self.run_with(sites, workers=1, executor="serial")
+        assert baseline.fault_report.total_injected > 0  # chaos actually on
+        for workers, executor in ((2, "thread"), (4, "thread"), (2, "process")):
+            parallel = self.run_with(sites, workers=workers, executor=executor)
+            assert self.attempt_fingerprint(parallel) == \
+                self.attempt_fingerprint(baseline), (workers, executor)
+            assert parallel.fault_report == baseline.fault_report, \
+                (workers, executor)
+            assert parallel.stats == baseline.stats
+            assert self.table1_counts(parallel) == self.table1_counts(baseline)
 
 
 class TestShardedAgainstSubstrate:
