@@ -8,14 +8,12 @@ The end-to-end and ablation benches run their own scenarios.
 
 from __future__ import annotations
 
-import json
-import pathlib
-
 import pytest
 
+from _output import OUTPUT_DIR, write_json, write_text
 from repro.core.scenario import PilotResult, PilotScenario, ScenarioConfig
 
-OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+__all__ = ["OUTPUT_DIR"]
 
 BENCH_PILOT_CONFIG = ScenarioConfig(
     seed=2017,
@@ -40,10 +38,9 @@ def pilot() -> PilotResult:
 @pytest.fixture(scope="session")
 def record():
     """Write a rendered table/figure to benchmarks/output/<name>.txt."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, text: str) -> None:
-        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        write_text(name, text)
         print(f"\n{text}\n")
 
     return _record
@@ -52,12 +49,8 @@ def record():
 @pytest.fixture(scope="session")
 def record_json():
     """Write a machine-readable summary to benchmarks/output/<name>.json."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, payload: dict) -> None:
-        path = OUTPUT_DIR / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
-        print(f"\nwrote {path}\n")
+        print(f"\nwrote {write_json(name, payload)}\n")
 
     return _record

@@ -1,0 +1,20 @@
+"""Thin launcher for the perf-regression suite.
+
+The suite itself lives in :mod:`repro.perf.suite` so the ``repro perf``
+CLI subcommand and this script share one implementation.  Run it from
+the repo root::
+
+    PYTHONPATH=src python benchmarks/perfsuite.py --quick \
+        --check benchmarks/perf_baseline.json
+
+See ``--help`` for the bench list, snapshot path and gating budget.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.perf.suite import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,11 +16,15 @@ not an oracle.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.attacker.breach import StolenRecord
 from repro.identity.passwords import dictionary_for_cracking
+from repro.perf import caching as _perf
 from repro.util.timeutil import DAY, SimInstant
+from repro.web.passwords import PasswordStorage
 
 
 @dataclass(frozen=True)
@@ -36,11 +40,61 @@ class CrackedCredential:
 
 def dictionary_guesses() -> list[str]:
     """The mangled guess list: Capitalized word + single digit."""
+    return list(_mangled_guesses())
+
+
+@lru_cache(maxsize=1)
+def _mangled_guesses() -> tuple[str, ...]:
     guesses = []
     for word in dictionary_for_cracking():
         base = word.capitalize()
         guesses.extend(f"{base}{digit}" for digit in "0123456789")
-    return guesses
+    return tuple(guesses)
+
+
+class _PreparedGuesses:
+    """One guess list pre-encoded for the tight hashing loop.
+
+    For unsalted schemes the full digest table is built once and every
+    record becomes a dict lookup; for salted schemes the per-guess UTF-8
+    encodings are reused so the inner loop is a single concatenation
+    plus one C-level sha256 per guess.
+    """
+
+    __slots__ = ("guesses", "encoded", "_md5_table", "_guess_set")
+
+    def __init__(self, guesses: tuple[str, ...]):
+        self.guesses = guesses
+        self.encoded = tuple(guess.encode("utf-8") for guess in guesses)
+        self._md5_table: dict[str, str] | None = None
+        self._guess_set: frozenset[str] | None = None
+
+    def md5_table(self) -> dict[str, str]:
+        """digest -> first guess producing it (matches scan order)."""
+        if self._md5_table is None:
+            table: dict[str, str] = {}
+            sha256 = hashlib.sha256
+            for guess, encoded in zip(self.guesses, self.encoded):
+                table.setdefault(sha256(b"md5||" + encoded).hexdigest(), guess)
+            self._md5_table = table
+        return self._md5_table
+
+    def guess_set(self) -> frozenset[str]:
+        if self._guess_set is None:
+            self._guess_set = frozenset(self.guesses)
+        return self._guess_set
+
+
+_PREPARED_CACHE = _perf.LruCache(maxsize=4, name="cracking-guesses")
+
+
+def _prepared_for(guesses: list[str]) -> _PreparedGuesses:
+    key = tuple(guesses)
+    prepared = _PREPARED_CACHE.get(key)
+    if not isinstance(prepared, _PreparedGuesses):
+        prepared = _PreparedGuesses(key)
+        _PREPARED_CACHE.put(key, prepared)
+    return prepared
 
 
 def crack_records(
@@ -51,6 +105,7 @@ def crack_records(
     """Run recovery over a haul; returns credentials with availability times."""
     if guesses is None:
         guesses = dictionary_guesses()
+    prepared = _prepared_for(guesses) if _perf.enabled() else None
     cracked: list[CrackedCredential] = []
     for record in records:
         if record.plaintext is not None:
@@ -65,7 +120,7 @@ def crack_records(
             )
             continue
         delay = record.credential.storage.crack_delay_days * DAY
-        recovered = _dictionary_attack(record, guesses)
+        recovered = _dictionary_attack(record, guesses, prepared)
         if recovered is not None:
             cracked.append(
                 CrackedCredential(
@@ -79,8 +134,42 @@ def crack_records(
     return cracked
 
 
-def _dictionary_attack(record: StolenRecord, guesses: list[str]) -> str | None:
-    for guess in guesses:
-        if record.credential.matches_guess(guess):
-            return guess
+def _dictionary_attack(
+    record: StolenRecord,
+    guesses: list[str],
+    prepared: _PreparedGuesses | None = None,
+) -> str | None:
+    if prepared is None:
+        for guess in guesses:
+            if record.credential.matches_guess(guess):
+                return guess
+        return None
+    return _fast_dictionary_attack(record, prepared)
+
+
+def _fast_dictionary_attack(
+    record: StolenRecord, prepared: _PreparedGuesses
+) -> str | None:
+    """The prepared-guesses fast path, bit-identical to the naive scan.
+
+    Same digest construction as :meth:`StoredCredential.verify`
+    (``sha256(f"{scheme}|{salt}|{password}")``), just without the
+    per-guess string formatting, method dispatch and hex encoding; the
+    first-matching-guess semantics are preserved exactly.
+    """
+    credential = record.credential
+    storage = credential.storage
+    if storage.exposes_all_passwords:
+        # The naive scan returns the first guess string-equal to the
+        # stored plaintext — which is the plaintext itself.
+        return credential.secret if credential.secret in prepared.guess_set() else None
+    if storage is PasswordStorage.UNSALTED_MD5:
+        return prepared.md5_table().get(credential.secret)
+    scheme = b"bcrypt" if storage is PasswordStorage.STRONG_HASH else b"sha-salted"
+    prefix = scheme + b"|" + credential.salt.encode("utf-8") + b"|"
+    target = bytes.fromhex(credential.secret)
+    sha256 = hashlib.sha256
+    for index, encoded in enumerate(prepared.encoded):
+        if sha256(prefix + encoded).digest() == target:
+            return prepared.guesses[index]
     return None

@@ -4,11 +4,13 @@
     python -m repro survey --population 1500
     python -m repro demo
     python -m repro evasion --trials 20
+    python -m repro perf --quick
 
 ``pilot`` runs the full study and prints every table and figure;
 ``survey`` runs the Table 4 eligibility measurement; ``demo`` is the
 quickstart detection walk-through; ``evasion`` sweeps the §7.3
-attacker-sampling strategies.
+attacker-sampling strategies; ``perf`` runs the A/B performance suite
+and writes the repo-root BENCH snapshot.
 """
 
 from __future__ import annotations
@@ -65,6 +67,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     evasion = commands.add_parser("evasion", help="attacker evasion sweep (§7.3)")
     evasion.add_argument("--trials", type=int, default=20)
+
+    from repro.perf.suite import add_suite_arguments
+
+    perf = commands.add_parser(
+        "perf",
+        help="A/B performance suite (caches off vs on, bit-identical)",
+    )
+    add_suite_arguments(perf)
     return parser
 
 
@@ -279,12 +289,19 @@ def _run_evasion(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    from repro.perf.suite import run_from_args
+
+    return run_from_args(args)
+
+
 _HANDLERS = {
     "pilot": _run_pilot,
     "campaign": _run_campaign,
     "survey": _run_survey,
     "demo": _run_demo,
     "evasion": _run_evasion,
+    "perf": _run_perf,
 }
 
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.html.forms import FormField
+from repro.perf import caching as _perf
 
 
 class FieldMeaning(enum.Enum):
@@ -143,6 +145,125 @@ HEURISTICS: tuple[tuple[FieldMeaning, tuple[WeightedPattern, ...]], ...] = (
 #: Minimum accumulated score before a classification is trusted.
 SCORE_THRESHOLD = 2.0
 
+#: One heuristic table: (meaning, weighted patterns) rows.
+HeuristicTable = tuple[tuple[FieldMeaning, tuple[WeightedPattern, ...]], ...]
+
+
+@dataclass(frozen=True)
+class _FusedMeaning:
+    """One meaning's patterns fused into a single prefilter alternation.
+
+    ``prefilter`` matches a text iff at least one of ``patterns`` does,
+    so a failed prefilter search rejects every pattern in one C-level
+    call.  On a prefilter hit the individual patterns are re-run so the
+    per-pattern weights accumulate exactly as the naive loop's do.
+    """
+
+    meaning: FieldMeaning
+    prefilter: re.Pattern[str]
+    patterns: tuple[WeightedPattern, ...]
+
+
+@dataclass(frozen=True)
+class _FusedTable:
+    """A whole heuristic table with a table-wide rejection prefilter."""
+
+    any_prefilter: re.Pattern[str]
+    meanings: tuple[_FusedMeaning, ...]
+
+
+def _alternation(patterns: tuple[WeightedPattern, ...]) -> re.Pattern[str]:
+    return re.compile(
+        "|".join(f"(?:{wp.pattern.pattern})" for wp in patterns), re.IGNORECASE
+    )
+
+
+@lru_cache(maxsize=None)
+def _fuse_table(table: HeuristicTable) -> _FusedTable:
+    """Compile one table's fused form (tables are module constants)."""
+    meanings = tuple(
+        _FusedMeaning(meaning, _alternation(patterns), patterns)
+        for meaning, patterns in table
+    )
+    every_pattern = tuple(wp for _, patterns in table for wp in patterns)
+    return _FusedTable(_alternation(every_pattern), meanings)
+
+
+def _type_priors(input_type: str, scores: dict[FieldMeaning, float]) -> None:
+    if input_type == "email":
+        scores[FieldMeaning.EMAIL] = scores.get(FieldMeaning.EMAIL, 0.0) + 3.0
+    elif input_type == "password":
+        scores[FieldMeaning.PASSWORD] = scores.get(FieldMeaning.PASSWORD, 0.0) + 3.0
+    elif input_type == "tel":
+        scores[FieldMeaning.PHONE] = scores.get(FieldMeaning.PHONE, 0.0) + 3.0
+    elif input_type == "checkbox":
+        scores[FieldMeaning.TERMS] = scores.get(FieldMeaning.TERMS, 0.0) + 1.0
+
+
+def _pick_best(scores: dict[FieldMeaning, float]) -> tuple[FieldMeaning, float]:
+    # Tie-breaking is first-wins: ``max`` keeps the earliest-inserted
+    # meaning among equals, and both implementations insert meanings in
+    # the same (table, row, first-matching-pattern) order.
+    if not scores:
+        return FieldMeaning.UNKNOWN, 0.0
+    best_meaning = max(scores, key=lambda m: scores[m])
+    best_score = scores[best_meaning]
+    if best_score < SCORE_THRESHOLD:
+        return FieldMeaning.UNKNOWN, best_score
+    return best_meaning, best_score
+
+
+def _classify_fused(
+    texts: tuple[str, ...],
+    input_type: str,
+    has_challenge_token: bool,
+    packs: tuple,
+) -> tuple[FieldMeaning, float]:
+    """The fused scoring pipeline; bit-identical to the naive reference.
+
+    Weights are added in exactly the reference order (table, meaning
+    row, pattern, descriptor text), so float sums and the dict insertion
+    order that drives tie-breaking cannot diverge.
+    """
+    scores: dict[FieldMeaning, float] = {}
+    _type_priors(input_type, scores)
+
+    for table in (HEURISTICS, *(pack.field_heuristics for pack in packs)):
+        fused = _fuse_table(table)
+        candidates = [t for t in texts if fused.any_prefilter.search(t)]
+        if not candidates:
+            continue
+        for row in fused.meanings:
+            if len(row.patterns) == 1:
+                # Prefilter == the only pattern: a hit is confirmation.
+                weighted = row.patterns[0]
+                for text in candidates:
+                    if weighted.pattern.search(text):
+                        scores[row.meaning] = (
+                            scores.get(row.meaning, 0.0) + weighted.weight
+                        )
+                continue
+            matched = [t for t in candidates if row.prefilter.search(t)]
+            if not matched:
+                continue
+            for weighted in row.patterns:
+                for text in matched:
+                    if weighted.pattern.search(text):
+                        scores[row.meaning] = (
+                            scores.get(row.meaning, 0.0) + weighted.weight
+                        )
+
+    if has_challenge_token:
+        scores[FieldMeaning.CAPTCHA] = scores.get(FieldMeaning.CAPTCHA, 0.0) + 2.0
+    return _pick_best(scores)
+
+
+#: Generated sites repeat field shapes heavily, so the same descriptor
+#: tuple recurs across thousands of classify calls; memoize the whole
+#: classification.  Keyed on every input that determines the result.
+_classify_cached = lru_cache(maxsize=16384)(_classify_fused)
+_perf.register_clearer(_classify_cached.cache_clear)
+
 
 def classify_field(field: FormField, packs: tuple = ()) -> tuple[FieldMeaning, float]:
     """Classify one form field; returns (meaning, score).
@@ -152,17 +273,30 @@ def classify_field(field: FormField, packs: tuple = ()) -> tuple[FieldMeaning, f
     of enabled :class:`repro.crawler.langpacks.LanguagePack` objects.
     Returns ``UNKNOWN`` with the best score when nothing clears the
     threshold.
+
+    This is the fused fast path; :func:`classify_field_reference` keeps
+    the original four-deep loop as the semantics oracle, and the golden
+    and hypothesis tests in ``tests/crawler/test_fused_classifier.py``
+    pin the two to bit-identical outputs.
+    """
+    texts = tuple(field.descriptor_texts())
+    if not _perf.enabled():
+        return _classify_fused(texts, field.input_type, field.has_challenge_token,
+                               tuple(packs))
+    return _classify_cached(texts, field.input_type, field.has_challenge_token,
+                            tuple(packs))
+
+
+def classify_field_reference(
+    field: FormField, packs: tuple = ()
+) -> tuple[FieldMeaning, float]:
+    """The naive reference classifier (pre-fusion semantics, verbatim).
+
+    Retained as the oracle the fused implementation is tested against;
+    also what the perf suite times as the classification baseline.
     """
     scores: dict[FieldMeaning, float] = {}
-
-    if field.input_type == "email":
-        scores[FieldMeaning.EMAIL] = scores.get(FieldMeaning.EMAIL, 0.0) + 3.0
-    elif field.input_type == "password":
-        scores[FieldMeaning.PASSWORD] = scores.get(FieldMeaning.PASSWORD, 0.0) + 3.0
-    elif field.input_type == "tel":
-        scores[FieldMeaning.PHONE] = scores.get(FieldMeaning.PHONE, 0.0) + 3.0
-    elif field.input_type == "checkbox":
-        scores[FieldMeaning.TERMS] = scores.get(FieldMeaning.TERMS, 0.0) + 1.0
+    _type_priors(field.input_type, scores)
 
     texts = field.descriptor_texts()
     tables = [HEURISTICS] + [pack.field_heuristics for pack in packs]
@@ -178,10 +312,4 @@ def classify_field(field: FormField, packs: tuple = ()) -> tuple[FieldMeaning, f
 
     # Password-type confirm fields: both PASSWORD and PASSWORD_CONFIRM
     # score; the confirm patterns are weighted to win when present.
-    if not scores:
-        return FieldMeaning.UNKNOWN, 0.0
-    best_meaning = max(scores, key=lambda m: scores[m])
-    best_score = scores[best_meaning]
-    if best_score < SCORE_THRESHOLD:
-        return FieldMeaning.UNKNOWN, best_score
-    return best_meaning, best_score
+    return _pick_best(scores)

@@ -16,6 +16,25 @@ from repro.html.forms import FormModel, extract_form_model
 from repro.html.parser import parse_html
 from repro.net.ipaddr import IPv4Address
 from repro.net.transport import HttpResponse, Transport, TransportError
+from repro.perf import caching as _perf
+
+#: Parsed-DOM cache keyed on the exact response body.  Sites serve the
+#: same bytes again and again (every /about hit, every crawl batch
+#: revisiting a homepage), so the tokenizer runs once per distinct
+#: body.  The cached tree is the pristine master: every consumer —
+#: including the first — receives a fresh :meth:`Element.clone`, so
+#: mutating one page can never leak into another.
+_DOM_CACHE = _perf.LruCache(maxsize=512, name="parsed-dom")
+
+
+def _parse_body(body: str) -> Element:
+    if not _perf.enabled():
+        return parse_html(body)
+    master = _DOM_CACHE.get(body)
+    if master is None:
+        master = parse_html(body)
+        _DOM_CACHE.put(body, master)
+    return master.clone()
 
 
 class BrowserError(Exception):
@@ -104,7 +123,7 @@ class Browser:
 
     def _absorb(self, response: HttpResponse, requested_url: str) -> Page:
         final_url = response.final_url or requested_url
-        dom = parse_html(response.body or "")
+        dom = _parse_body(response.body or "")
         page = Page(url=final_url, status=response.status, dom=dom)
         self.current_page = page
         return page

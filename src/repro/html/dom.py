@@ -15,7 +15,14 @@ VOID_ELEMENTS = frozenset(
 
 
 class Node:
-    """Base class for DOM nodes."""
+    """Base class for DOM nodes.
+
+    ``__slots__`` must be declared here too: a slotted subclass of a
+    dict-bearing base still gets a per-instance ``__dict__``, which is
+    exactly the memory overhead slots exist to avoid.
+    """
+
+    __slots__ = ("parent",)
 
     parent: "Element | None"
 
@@ -25,11 +32,14 @@ class Node:
     def to_html(self) -> str:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def clone(self) -> "Node":  # pragma: no cover - overridden
+        raise NotImplementedError
+
 
 class TextNode(Node):
     """A run of character data."""
 
-    __slots__ = ("parent", "text")
+    __slots__ = ("text",)
 
     def __init__(self, text: str):
         super().__init__()
@@ -39,6 +49,10 @@ class TextNode(Node):
         """Serialize with entity escaping."""
         return _htmllib.escape(self.text, quote=False)
 
+    def clone(self) -> "TextNode":
+        """A parentless copy of this text node."""
+        return TextNode(self.text)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TextNode({self.text!r})"
 
@@ -46,7 +60,7 @@ class TextNode(Node):
 class Element(Node):
     """An HTML element with attributes and children."""
 
-    __slots__ = ("parent", "tag", "attrs", "children")
+    __slots__ = ("tag", "attrs", "children")
 
     def __init__(self, tag: str, attrs: dict[str, str] | None = None):
         super().__init__()
@@ -155,6 +169,27 @@ class Element(Node):
             if ancestor.tag == wanted:
                 return ancestor
         return None
+
+    # -- copying -----------------------------------------------------------
+
+    def clone(self) -> "Element":
+        """A structural deep copy of this subtree (parentless root).
+
+        Much cheaper than re-parsing serialized HTML — no tokenizing,
+        attribute regexes or entity decoding — which is what makes the
+        parsed-DOM cache in :mod:`repro.html.browser` pay off while
+        still handing every caller a tree it may freely mutate.
+        """
+        copy = Element.__new__(Element)
+        copy.parent = None
+        copy.tag = self.tag
+        copy.attrs = dict(self.attrs)
+        copy.children = children = []
+        for child in self.children:
+            child_copy = child.clone()
+            child_copy.parent = copy
+            children.append(child_copy)
+        return copy
 
     # -- serialization -----------------------------------------------------
 

@@ -37,11 +37,17 @@ def parse_html(text: str) -> Element:
 
 
 class _Parser:
+    __slots__ = ("text", "pos", "root", "stack", "_lower")
+
     def __init__(self, text: str):
         self.text = text
         self.pos = 0
         self.root = Element("html")
         self.stack: list[Element] = [self.root]
+        # Lowercased source, computed at most once.  Lowering inside
+        # _consume_raw_text made every <script>/<style> cost O(n),
+        # turning script-heavy pages quadratic.
+        self._lower: str | None = None
 
     @property
     def current(self) -> Element:
@@ -148,8 +154,9 @@ class _Parser:
 
     def _consume_raw_text(self, element: Element, tag: str) -> None:
         close = f"</{tag}"
-        lowered = self.text.lower()
-        end = lowered.find(close, self.pos)
+        if self._lower is None:
+            self._lower = self.text.lower()
+        end = self._lower.find(close, self.pos)
         if end == -1:
             raw = self.text[self.pos :]
             self.pos = len(self.text)

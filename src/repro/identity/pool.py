@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 
 from repro.identity.records import Identity
+from repro.perf import caching as _perf
 
 
 class IdentityState(enum.Enum):
@@ -43,6 +44,11 @@ class IdentityPool:
         self._states: dict[int, IdentityState] = {}
         self._checked_out_to: dict[int, str] = {}
         self._burned_to: dict[int, str] = {}
+        # Email index for identity_for_email; identities are append-only
+        # and their email addresses immutable, so the index never goes
+        # stale.  setdefault preserves the linear scan's first-match
+        # semantics should two identities ever share an address.
+        self._by_email: dict[str, Identity] = {}
 
     # -- intake -------------------------------------------------------------
 
@@ -52,6 +58,7 @@ class IdentityPool:
             raise ValueError(f"identity {identity.identity_id} already pooled")
         self._identities[identity.identity_id] = identity
         self._states[identity.identity_id] = IdentityState.AVAILABLE
+        self._by_email.setdefault(identity.email_address.lower(), identity)
 
     def add_control(self, identity: Identity) -> None:
         """Add a control identity: monitored, never used on any site."""
@@ -59,6 +66,7 @@ class IdentityPool:
             raise ValueError(f"identity {identity.identity_id} already pooled")
         self._identities[identity.identity_id] = identity
         self._states[identity.identity_id] = IdentityState.CONTROL
+        self._by_email.setdefault(identity.email_address.lower(), identity)
 
     # -- checkout / burn ----------------------------------------------------
 
@@ -138,6 +146,8 @@ class IdentityPool:
     def identity_for_email(self, email_address: str) -> Identity | None:
         """Look up an identity by its provider email address."""
         wanted = email_address.lower()
+        if _perf.enabled():
+            return self._by_email.get(wanted)
         for identity in self._identities.values():
             if identity.email_address.lower() == wanted:
                 return identity

@@ -1,0 +1,26 @@
+"""The hot-path performance layer: caches, fused matchers, perf suite.
+
+The layer is pure memoization and algorithmic fusion over functions
+that are already deterministic — it may never change an output bit.
+``repro.perf.caching`` holds the shared switch and cache registry;
+``repro.perf.suite`` is the named benchmark suite behind both
+``repro perf`` and ``benchmarks/perfsuite.py``.
+"""
+
+from repro.perf.caching import (
+    LruCache,
+    cache_stats,
+    clear_all_caches,
+    enabled,
+    register_clearer,
+    set_enabled,
+)
+
+__all__ = [
+    "LruCache",
+    "cache_stats",
+    "clear_all_caches",
+    "enabled",
+    "register_clearer",
+    "set_enabled",
+]

@@ -9,8 +9,12 @@ exercised.
 
 from __future__ import annotations
 
+import html as _htmllib
+from dataclasses import fields as _dataclass_fields
+
 from repro.html.builder import el, page_skeleton, render_document
 from repro.html.dom import Element
+from repro.perf import caching as _perf
 from repro.web.i18n import Lexicon
 from repro.web.spec import BotCheck, LinkPlacement, RegistrationStyle, SiteSpec
 
@@ -32,6 +36,51 @@ UNUSUAL_ANCHOR_VARIANTS = (
 #: Registration paths paired with unusual anchors (no signup/register
 #: substring for the href heuristics to latch onto).
 NEUTRAL_REGISTRATION_PATHS = ("/members", "/start", "/portal", "/welcome")
+
+
+# -- render caches -----------------------------------------------------------
+#
+# Page rendering is pure: the HTML is fully determined by the SiteSpec,
+# the Lexicon (itself determined by its language code) and the explicit
+# arguments.  The only per-request values — captcha and stage tokens —
+# are rendered as sentinel strings and substituted into the cached text,
+# so a cache hit is byte-identical to a fresh render.
+
+_HOMEPAGE_CACHE = _perf.LruCache(maxsize=1024, name="render-homepage")
+_REGPAGE_CACHE = _perf.LruCache(maxsize=1024, name="render-registration")
+_RESPONSE_CACHE = _perf.LruCache(maxsize=1024, name="render-response")
+
+#: Sentinels never collide with real tokens (``ch-<host>-<n>`` /
+#: ``st-<n>``) and contain no HTML-escapable characters, so they
+#: survive serialization verbatim and can be textually replaced.
+_CAPTCHA_SENTINEL = "repro-captcha-token-sentinel-2e97"
+_STAGE_SENTINEL = "repro-stage-token-sentinel-2e97"
+
+_SPEC_FIELD_NAMES = tuple(f.name for f in _dataclass_fields(SiteSpec))
+
+
+def _spec_cache_key(spec: SiteSpec) -> tuple:
+    """Every SiteSpec field, as a hashable tuple.
+
+    SiteSpec is a plain mutable dataclass, so identity is not a safe
+    key; embedding the full field vector means a mutated spec simply
+    misses and the stale entry ages out of the LRU.
+    """
+    values = []
+    for name in _SPEC_FIELD_NAMES:
+        value = getattr(spec, name)
+        if isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        values.append(value)
+    return tuple(values)
+
+
+def _substitute_token(rendered: str, sentinel: str, token: str | None) -> str:
+    if token is None:
+        return rendered
+    # Attribute serialization escapes values; escaping the replacement
+    # the same way keeps cached output identical to a direct render.
+    return rendered.replace(sentinel, _htmllib.escape(token, quote=True))
 
 
 def _nav(spec: SiteSpec, lex: Lexicon) -> Element:
@@ -74,6 +123,17 @@ def _body_copy(spec: SiteSpec, lex: Lexicon) -> Element:
 
 def render_homepage(spec: SiteSpec, lex: Lexicon) -> str:
     """The site's landing page."""
+    if not _perf.enabled():
+        return _render_homepage(spec, lex)
+    key = (_spec_cache_key(spec), lex.lang)
+    rendered = _HOMEPAGE_CACHE.get(key)
+    if rendered is None:
+        rendered = _render_homepage(spec, lex)
+        _HOMEPAGE_CACHE.put(key, rendered)
+    return rendered
+
+
+def _render_homepage(spec: SiteSpec, lex: Lexicon) -> str:
     root, body = page_skeleton(f"{spec.host} — {spec.category}", lang=lex.lang)
     body.append(_nav(spec, lex))
     body.append(_body_copy(spec, lex))
@@ -194,7 +254,39 @@ def render_registration_page(
     stage_token: str | None = None,
     error: str | None = None,
 ) -> str:
-    """The registration form page (or a stage of it)."""
+    """The registration form page (or a stage of it).
+
+    Cached on the deterministic inputs; the per-request captcha/stage
+    tokens are rendered as sentinels and substituted after a hit, so
+    token freshness is preserved while the DOM build and serialization
+    run once per (spec, language, step, token-presence, error) shape.
+    """
+    if not _perf.enabled():
+        return _render_registration_page(spec, lex, step, captcha_token,
+                                         stage_token, error)
+    key = (_spec_cache_key(spec), lex.lang, step,
+           captcha_token is not None, stage_token is not None, error)
+    rendered = _REGPAGE_CACHE.get(key)
+    if rendered is None:
+        rendered = _render_registration_page(
+            spec, lex, step,
+            _CAPTCHA_SENTINEL if captcha_token is not None else None,
+            _STAGE_SENTINEL if stage_token is not None else None,
+            error,
+        )
+        _REGPAGE_CACHE.put(key, rendered)
+    rendered = _substitute_token(rendered, _CAPTCHA_SENTINEL, captcha_token)
+    return _substitute_token(rendered, _STAGE_SENTINEL, stage_token)
+
+
+def _render_registration_page(
+    spec: SiteSpec,
+    lex: Lexicon,
+    step: int = 1,
+    captcha_token: str | None = None,
+    stage_token: str | None = None,
+    error: str | None = None,
+) -> str:
     root, body = page_skeleton(f"{spec.anchor_text} — {spec.host}", lang=lex.lang)
     body.append(_nav(spec, lex))
     container = el("div", {"class": "register"})
@@ -328,6 +420,17 @@ def _bot_check_row(spec: SiteSpec, lex: Lexicon, captcha_token: str | None) -> E
 
 def render_response_page(spec: SiteSpec, lex: Lexicon, ok: bool, error: str | None = None) -> str:
     """The page shown after a submission, honoring the response style."""
+    if not _perf.enabled():
+        return _render_response_page(spec, lex, ok, error)
+    key = (_spec_cache_key(spec), lex.lang, ok, error)
+    rendered = _RESPONSE_CACHE.get(key)
+    if rendered is None:
+        rendered = _render_response_page(spec, lex, ok, error)
+        _RESPONSE_CACHE.put(key, rendered)
+    return rendered
+
+
+def _render_response_page(spec: SiteSpec, lex: Lexicon, ok: bool, error: str | None = None) -> str:
     from repro.web.spec import ResponseStyle
 
     root, body = page_skeleton(spec.host, lang=lex.lang)

@@ -107,3 +107,48 @@ class TestCracking:
         guesses = dictionary_guesses()
         assert "Website1" in guesses
         assert all(len(g) == 8 for g in guesses)
+
+
+class TestFastDictionaryAttack:
+    """The prepared-guesses fast path must match the naive scan exactly."""
+
+    @staticmethod
+    def record_for(storage: str, password: str):
+        from repro.attacker.breach import StolenRecord
+        from repro.web.passwords import PasswordStorage, StoredCredential
+
+        credential = StoredCredential.store(
+            PasswordStorage(storage), password, salt_source="someuser"
+        )
+        return StolenRecord(site_host="victim.test", username="someuser",
+                            email="s@m.test", credential=credential,
+                            plaintext=None)
+
+    def test_fast_path_matches_naive_scan_per_scheme(self):
+        from repro.attacker.cracking import _dictionary_attack, _prepared_for
+
+        guesses = dictionary_guesses()
+        prepared = _prepared_for(guesses)
+        for storage in ("plaintext", "reversible", "unsalted_md5",
+                        "salted_hash", "strong_hash"):
+            for password in ("Website1", "i5Nss87yf3"):
+                record = self.record_for(storage, password)
+                naive = _dictionary_attack(record, guesses, None)
+                fast = _dictionary_attack(record, guesses, prepared)
+                assert fast == naive, (storage, password)
+
+    def test_crack_records_identical_with_layer_off(self):
+        from repro.attacker.cracking import crack_records
+        from repro.perf import caching as _perf
+
+        records = [self.record_for("unsalted_md5", "Website1"),
+                   self.record_for("salted_hash", "Website1"),
+                   self.record_for("strong_hash", "i5Nss87yf3")]
+        fast = crack_records(records, breach_time=100)
+        _perf.set_enabled(False)
+        try:
+            naive = crack_records(records, breach_time=100)
+        finally:
+            _perf.set_enabled(True)
+        assert fast == naive
+        assert [c.password for c in fast] == ["Website1", "Website1"]

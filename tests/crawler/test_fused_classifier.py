@@ -1,0 +1,149 @@
+"""The fused field classifier must be bit-identical to the reference.
+
+:func:`repro.crawler.fields.classify_field` replaces the original
+four-deep (table x meaning x pattern x text) loop with per-meaning
+alternation prefilters plus an LRU cache; these tests pin it to
+:func:`repro.crawler.fields.classify_field_reference` — the retained
+naive implementation — over a golden corpus of rendered registration
+pages and over hypothesis-generated descriptor soup, including exact
+float scores and first-wins tie-breaking.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.fields import (
+    FieldMeaning,
+    classify_field,
+    classify_field_reference,
+)
+from repro.crawler.langpacks import packs_for
+from repro.html.dom import Element
+from repro.html.forms import FormField, extract_form_model
+from repro.html.parser import parse_html
+from repro.perf import caching as _perf
+from repro.web.i18n import LEXICONS
+from repro.web.pages import render_registration_page
+from repro.web.spec import BotCheck, SiteSpec
+
+ALL_PACKS = packs_for({"de", "es", "fr"})
+
+
+def make_field(
+    texts: list[str], input_type: str = "text", challenge: bool = False
+) -> FormField:
+    """A FormField whose descriptor texts are exactly ``texts``."""
+    slots = (list(texts) + ["", "", "", "", ""])[:5]
+    element = Element("input", {"data-challenge": "tok-1"} if challenge else None)
+    return FormField(
+        element=element,
+        control="input",
+        input_type=input_type,
+        name=slots[0],
+        field_id=slots[1],
+        placeholder=slots[2],
+        label_text=slots[3],
+        nearby_text=slots[4],
+        required=False,
+        maxlength=None,
+    )
+
+
+def golden_corpus() -> list[FormField]:
+    """Fields from fully-loaded registration pages in every language."""
+    fields = []
+    for lang in ("en", "de", "es", "fr"):
+        for style in ("for", "wrap", "placeholder", "adjacent"):
+            spec = SiteSpec(
+                host=f"{lang}-{style}.golden.test",
+                rank=3,
+                category="News",
+                language=lang,
+                label_style=style,
+                wants_name=True,
+                wants_phone=True,
+                wants_confirm_password=True,
+                wants_terms_checkbox=True,
+                bot_check=BotCheck.CAPTCHA_IMAGE,
+            )
+            dom = parse_html(
+                render_registration_page(spec, LEXICONS[lang], captcha_token="ch-g-1")
+            )
+            model = extract_form_model(dom, dom.find_first("form"))
+            fields.extend(model.fields)
+    return fields
+
+
+class TestGoldenCorpus:
+    @pytest.mark.parametrize("packs", [(), ALL_PACKS, packs_for({"de"})],
+                             ids=["no-packs", "all-packs", "de-only"])
+    def test_fused_equals_reference_on_rendered_pages(self, packs):
+        corpus = golden_corpus()
+        assert len(corpus) > 100  # the corpus must actually exercise things
+        for item in corpus:
+            assert classify_field(item, packs=packs) == \
+                classify_field_reference(item, packs=packs)
+
+    def test_equivalence_holds_with_perf_disabled(self):
+        corpus = golden_corpus()
+        _perf.set_enabled(False)
+        try:
+            for item in corpus:
+                assert classify_field(item, packs=ALL_PACKS) == \
+                    classify_field_reference(item, packs=ALL_PACKS)
+        finally:
+            _perf.set_enabled(True)
+
+
+class TestTieBreaking:
+    def test_first_listed_meaning_wins_exact_tie(self):
+        # "city" and "state" rows both score 4.0/3.5 on their own; build
+        # one field where two meanings reach the same total and check the
+        # fused path keeps the reference's first-wins choice.
+        item = make_field(["city", "gender"])  # both rows weigh 4.0
+        expected = classify_field_reference(item)
+        assert expected[0] is FieldMeaning.CITY  # CITY precedes GENDER
+        assert classify_field(item) == expected
+
+    def test_scores_are_float_identical(self):
+        item = make_field(["email address", "e-mail", "your e mail"],
+                          input_type="email")
+        _meaning, fused_score = classify_field(item)
+        _meaning, naive_score = classify_field_reference(item)
+        assert fused_score == naive_score  # exact, not approx
+
+
+#: Vocabulary skewed toward the heuristic tables (all languages) plus
+#: noise, so generated texts regularly hit patterns, overlap meanings
+#: and produce ties.
+_WORDS = st.sampled_from([
+    "email", "e-mail", "e mail", "confirm", "verify", "repeat", "again",
+    "password", "pass word", "passwd", "pwd", "choose", "user name",
+    "login", "nickname", "handle", "first name", "last name", "surname",
+    "full name", "name", "phone", "mobile", "tel", "zip", "postal code",
+    "city", "town", "state", "address", "street", "birth", "dob", "age",
+    "employer", "gender", "sex", "captcha", "security code", "human",
+    "terms", "agree", "privacy policy", "credit card", "cvv",
+    "benutzername", "passwort", "kennwort", "wiederholen", "vorname",
+    "nachname", "telefon", "correo", "contrasena", "usuario", "nombre",
+    "apellido", "courriel", "mot de passe", "utilisateur", "prenom",
+    "nom", "telephone", "xyzzy", "q", "2",
+])
+_TEXT = st.lists(_WORDS, min_size=0, max_size=4).map(" ".join)
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        texts=st.lists(_TEXT, min_size=0, max_size=5),
+        input_type=st.sampled_from(["text", "email", "password", "tel",
+                                    "checkbox", "hidden"]),
+        challenge=st.booleans(),
+        languages=st.sets(st.sampled_from(["de", "es", "fr"])),
+    )
+    def test_fused_equals_reference(self, texts, input_type, challenge, languages):
+        item = make_field(texts, input_type=input_type, challenge=challenge)
+        packs = packs_for(languages)
+        assert classify_field(item, packs=packs) == \
+            classify_field_reference(item, packs=packs)

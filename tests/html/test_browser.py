@@ -88,3 +88,54 @@ class TestSubmit:
         page = browser.load("http://g.test/")
         browser.submit_form(page.forms()[0], {"q": "term"})
         assert seen == {"q": "term"}
+
+
+class TestParsedDomCache:
+    """The DOM cache hands out clones; mutations must never leak."""
+
+    def test_repeat_loads_get_independent_trees(self, transport, site):
+        browser = Browser(transport)
+        first = browser.load("http://b.test/")
+        first.dom.find_first("title").children.clear()
+        first.dom.find_first("form").set("action", "/hijacked")
+
+        second = browser.load("http://b.test/")
+        assert second.dom is not first.dom
+        assert second.title == "My Site"
+        assert second.dom.find_first("form").get("action") == "/register"
+
+    def test_cached_tree_matches_uncached_parse(self, transport, site):
+        from repro.html.browser import _parse_body
+        from repro.html.parser import parse_html
+        from repro.perf import caching as _perf
+
+        _perf.clear_all_caches()
+        cached_cold = _parse_body(HOMEPAGE)
+        cached_warm = _parse_body(HOMEPAGE)
+        plain = parse_html(HOMEPAGE)
+        assert cached_cold.to_html() == plain.to_html()
+        assert cached_warm.to_html() == plain.to_html()
+
+    def test_clone_reparents_children_to_the_clone(self):
+        from repro.html.parser import parse_html
+
+        tree = parse_html("<div><p>x<span>y</span></p></div>")
+        copy = tree.clone()
+        p = copy.find_first("p")
+        assert p.parent.tag == "div"
+        assert p.parent is not tree.find_first("div")
+        assert copy.to_html() == tree.to_html()
+
+    def test_disabled_layer_bypasses_the_cache(self, transport, site):
+        from repro.html.browser import _DOM_CACHE
+        from repro.perf import caching as _perf
+
+        _perf.set_enabled(False)
+        hits, misses = _DOM_CACHE.hits, _DOM_CACHE.misses
+        try:
+            browser = Browser(transport)
+            browser.load("http://b.test/")
+            browser.load("http://b.test/")
+            assert (_DOM_CACHE.hits, _DOM_CACHE.misses) == (hits, misses)
+        finally:
+            _perf.set_enabled(True)

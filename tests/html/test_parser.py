@@ -132,3 +132,41 @@ class TestRoundtrip:
         div = reparsed.find_first("div")
         for name, value in attrs.items():
             assert div.get(name) == value
+
+
+class TestManyRawTextTags:
+    """Regression: lowercasing the whole source per raw-text tag made
+    script-heavy pages quadratic; the lowered copy is now built once."""
+
+    def test_hundreds_of_scripts_parse_correctly(self):
+        blocks = "".join(
+            f"<script>var v{i} = '<p>not markup</p>';</script><p>t{i}</p>"
+            for i in range(400)
+        )
+        dom = parse_html(f"<body>{blocks}</body>")
+        scripts = dom.find_all("script")
+        paragraphs = dom.find_all("p")
+        assert len(scripts) == 400
+        assert len(paragraphs) == 400  # none swallowed by script bodies
+        assert scripts[0].children[0].text == "var v0 = '<p>not markup</p>';"
+        assert scripts[399].children[0].text == "var v399 = '<p>not markup</p>';"
+
+    def test_mixed_case_closing_tags_still_close(self):
+        dom = parse_html("<script>a</SCRIPT><STYLE>b</style><p>after</p>")
+        assert dom.find_first("p").text_content() == "after"
+        assert dom.find_first("script").children[0].text == "a"
+
+    def test_script_heavy_page_scales_linearly(self):
+        import time
+
+        def wall(tags: int) -> float:
+            text = "<body>" + "<script>var x = 1;</script>" * tags + "</body>"
+            began = time.perf_counter()
+            parse_html(text)
+            return time.perf_counter() - began
+
+        wall(100)  # warm-up
+        small, large = wall(200), wall(800)
+        # 4x the tags must not cost anything near the quadratic 16x;
+        # the bound is loose enough for noisy CI machines.
+        assert large < small * 10

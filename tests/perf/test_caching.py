@@ -1,0 +1,59 @@
+"""Tests for the cache infrastructure behind the perf layer."""
+
+import pytest
+
+from repro.perf import caching as _perf
+from repro.perf.caching import LruCache
+
+
+@pytest.fixture(autouse=True)
+def leave_enabled():
+    yield
+    _perf.set_enabled(True)
+
+
+class TestLruCache:
+    def test_get_put_roundtrip(self):
+        cache = LruCache(maxsize=4, name="t-roundtrip")
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LruCache(maxsize=2, name="t-evict")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_stats_count_hits_and_misses(self):
+        cache = LruCache(maxsize=2, name="t-stats")
+        cache.get("missing")
+        cache.put("k", "v")
+        cache.get("k")
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert len(cache) == 1
+
+    def test_registered_by_name(self):
+        cache = LruCache(maxsize=2, name="t-registry")
+        cache.put("k", "v")
+        assert "t-registry" in _perf.cache_stats()
+        _perf.clear_all_caches()
+        assert len(cache) == 0
+
+
+class TestSwitch:
+    def test_disable_clears_every_cache(self):
+        cache = LruCache(maxsize=2, name="t-switch")
+        cache.put("k", "v")
+        cleared = []
+        _perf.register_clearer(lambda: cleared.append(True))
+        _perf.set_enabled(False)
+        assert not _perf.enabled()
+        assert len(cache) == 0
+        assert cleared
+        _perf.set_enabled(True)
+        assert _perf.enabled()

@@ -1,0 +1,142 @@
+"""The render caches must be invisible: byte-identical output always.
+
+``render_homepage`` / ``render_registration_page`` /
+``render_response_page`` memoize on their deterministic inputs and
+substitute the per-request captcha/stage tokens into the cached text;
+every test here compares cached output against a direct call to the
+underlying ``_render_*`` builder.
+"""
+
+import pytest
+
+from repro.perf import caching as _perf
+from repro.web.i18n import LEXICONS
+from repro.web.pages import (
+    _render_homepage,
+    _render_registration_page,
+    _render_response_page,
+    render_homepage,
+    render_registration_page,
+    render_response_page,
+)
+from repro.web.spec import BotCheck, SiteSpec
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    _perf.clear_all_caches()
+    yield
+    _perf.set_enabled(True)
+    _perf.clear_all_caches()
+
+
+def spec_for(host: str = "cache.test", **overrides) -> SiteSpec:
+    defaults = dict(
+        host=host,
+        rank=9,
+        category="Forums",
+        language="en",
+        wants_confirm_password=True,
+        wants_terms_checkbox=True,
+        bot_check=BotCheck.CAPTCHA_IMAGE,
+    )
+    defaults.update(overrides)
+    return SiteSpec(**defaults)
+
+
+LEX = LEXICONS["en"]
+
+
+class TestBitIdentity:
+    def test_homepage_hit_equals_direct_render(self):
+        spec = spec_for()
+        direct = _render_homepage(spec, LEX)
+        assert render_homepage(spec, LEX) == direct  # miss
+        assert render_homepage(spec, LEX) == direct  # hit
+
+    def test_registration_hit_equals_direct_render(self):
+        spec = spec_for()
+        direct = _render_registration_page(spec, LEX, 1, "ch-cache.test-1", None, None)
+        first = render_registration_page(spec, LEX, captcha_token="ch-cache.test-1")
+        again = render_registration_page(spec, LEX, captcha_token="ch-cache.test-1")
+        assert first == direct
+        assert again == direct
+
+    def test_response_hit_equals_direct_render(self):
+        spec = spec_for()
+        direct = _render_response_page(spec, LEX, False, "taken")
+        assert render_response_page(spec, LEX, False, "taken") == direct
+        assert render_response_page(spec, LEX, False, "taken") == direct
+
+    def test_disable_switch_matches_cached_output(self):
+        spec = spec_for()
+        cached = render_registration_page(spec, LEX, captcha_token="ch-x-5")
+        _perf.set_enabled(False)
+        assert render_registration_page(spec, LEX, captcha_token="ch-x-5") == cached
+
+
+class TestTokenSubstitution:
+    def test_cache_hit_carries_the_fresh_captcha_token(self):
+        spec = spec_for()
+        render_registration_page(spec, LEX, captcha_token="ch-cache.test-1")
+        second = render_registration_page(spec, LEX, captcha_token="ch-cache.test-2")
+        assert "ch-cache.test-2" in second
+        assert "ch-cache.test-1" not in second
+        assert "sentinel" not in second
+        assert second == _render_registration_page(
+            spec, LEX, 1, "ch-cache.test-2", None, None
+        )
+
+    def test_stage_token_substituted_per_request(self):
+        from repro.web.spec import RegistrationStyle
+
+        spec = spec_for(
+            host="staged.test",
+            bot_check=BotCheck.NONE,
+            registration_style=RegistrationStyle.MULTISTAGE,
+        )
+        render_registration_page(spec, LEX, step=2, stage_token="st-1")
+        second = render_registration_page(spec, LEX, step=2, stage_token="st-2")
+        assert second == _render_registration_page(spec, LEX, 2, None, "st-2", None)
+
+    def test_token_with_html_metacharacters_is_escaped_like_direct(self):
+        spec = spec_for()
+        hostile = 'ch-"<&>'
+        cached = render_registration_page(spec, LEX, captcha_token="ch-warm-1")
+        assert cached  # warm the entry the hostile token will hit
+        via_cache = render_registration_page(spec, LEX, captcha_token=hostile)
+        assert via_cache == _render_registration_page(
+            spec, LEX, 1, hostile, None, None
+        )
+
+
+class TestKeying:
+    def test_mutated_spec_misses_instead_of_serving_stale(self):
+        spec = spec_for()
+        before = render_homepage(spec, LEX)
+        spec.category = "Gaming"
+        after = render_homepage(spec, LEX)
+        assert after != before
+        assert after == _render_homepage(spec, LEX)
+
+    def test_distinct_languages_do_not_collide(self):
+        spec_en = spec_for(host="multi.test", language="en")
+        spec_de = spec_for(host="multi.test", language="de")
+        assert render_homepage(spec_en, LEXICONS["en"]) != \
+            render_homepage(spec_de, LEXICONS["de"])
+
+    def test_error_text_is_part_of_the_key(self):
+        spec = spec_for()
+        taken = render_response_page(spec, LEX, False, "taken")
+        weak = render_response_page(spec, LEX, False, "weak_password")
+        assert taken != weak
+
+
+class TestStats:
+    def test_hits_are_recorded(self):
+        spec = spec_for()
+        render_homepage(spec, LEX)
+        render_homepage(spec, LEX)
+        stats = _perf.cache_stats()["render-homepage"]
+        assert stats["hits"] >= 1
+        assert stats["misses"] >= 1
