@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs import NO_OP
 from repro.util.timeutil import SimInstant
 from repro.web.passwords import StoredCredential
 from repro.web.site import Website
@@ -45,12 +46,12 @@ class BreachEvent:
     exposed_shards: frozenset[int] | None = None  # None → all shards
 
     def describe(self) -> str:
-        """One-line summary for logs."""
+        """One-line summary for event logs."""
         shards = "all shards" if self.exposed_shards is None else f"shards {sorted(self.exposed_shards)}"
         return f"{self.site_host} via {self.method.value} ({shards})"
 
 
-def execute_breach(site: Website, event: BreachEvent) -> list[StolenRecord]:
+def execute_breach(site: Website, event: BreachEvent, obs=NO_OP) -> list[StolenRecord]:
     """Produce the attacker's haul from one breach.
 
     For a database dump, the haul is the stored credentials of the
@@ -58,21 +59,25 @@ def execute_breach(site: Website, event: BreachEvent) -> list[StolenRecord]:
     recovered in plaintext (the capture point sees what users type) —
     the site's storage policy is bypassed entirely.
     """
-    shards = set(event.exposed_shards) if event.exposed_shards is not None else None
-    accounts = site.accounts.dump_shards(shards)
-    records = []
-    for account in accounts:
-        if event.method is BreachMethod.ONLINE_CAPTURE:
-            plaintext = site.observed_plaintext(account.username)
-        else:
-            plaintext = account.credential.recover_directly()
-        records.append(
-            StolenRecord(
-                site_host=site.spec.host,
-                username=account.username,
-                email=account.email,
-                credential=account.credential,
-                plaintext=plaintext,
+    with obs.span("attacker.breach", host=site.spec.host, method=event.method.value):
+        shards = set(event.exposed_shards) if event.exposed_shards is not None else None
+        accounts = site.accounts.dump_shards(shards)
+        records = []
+        for account in accounts:
+            if event.method is BreachMethod.ONLINE_CAPTURE:
+                plaintext = site.observed_plaintext(account.username)
+            else:
+                plaintext = account.credential.recover_directly()
+            records.append(
+                StolenRecord(
+                    site_host=site.spec.host,
+                    username=account.username,
+                    email=account.email,
+                    credential=account.credential,
+                    plaintext=plaintext,
+                )
             )
-        )
+        obs.count("attacker.breaches")
+        obs.count("attacker.records_stolen", len(records))
+        obs.get_logger("attacker.breach").info(event.describe(), stolen=len(records))
     return records

@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.email_provider.provider import EmailProvider
+from repro.obs import NO_OP
 
 
 @dataclass
@@ -35,9 +36,11 @@ class Monetizer:
     #: Sessions before any monetization is considered (stockpiling).
     WARMUP_SESSIONS = 3
 
-    def __init__(self, provider: EmailProvider, rng: random.Random):
+    def __init__(self, provider: EmailProvider, rng: random.Random, obs=NO_OP):
         self._provider = provider
         self._rng = rng
+        self._obs = obs
+        self._log_events = obs.get_logger("attacker.monetize")
         self._logs: dict[str, MonetizationLog] = {}
 
     def log_for(self, email_local: str) -> MonetizationLog:
@@ -59,6 +62,8 @@ class Monetizer:
             if self._provider.change_password(email_local, password, new_password):
                 log.password_changed = True
                 log.actions.append("password_changed")
+                self._obs.count("attacker.hijacks")
+                self._log_events.info("account hijacked", account=email_local)
                 if self._provider.remove_forwarding(email_local, new_password):
                     log.forwarding_removed = True
                     log.actions.append("forwarding_removed")
@@ -69,6 +74,7 @@ class Monetizer:
             if sent:
                 log.spam_sent += sent
                 log.actions.append(f"spam x{sent}")
+                self._obs.count("attacker.spam_sent", sent)
         return None
 
     def all_logs(self) -> dict[str, MonetizationLog]:

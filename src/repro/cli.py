@@ -5,12 +5,19 @@
     python -m repro demo
     python -m repro evasion --trials 20
     python -m repro perf --quick
+    python -m repro campaign --obs-out journal.jsonl
+    python -m repro obs report journal.jsonl
 
 ``pilot`` runs the full study and prints every table and figure;
 ``survey`` runs the Table 4 eligibility measurement; ``demo`` is the
 quickstart detection walk-through; ``evasion`` sweeps the §7.3
 attacker-sampling strategies; ``perf`` runs the A/B performance suite
 and writes the repo-root BENCH snapshot.
+
+``--obs-out PATH`` on ``pilot``/``campaign`` turns the observability
+layer on for the run, writes the deterministic JSONL journal to PATH
+and prints the ops report (with live cache stats); ``obs report``
+re-renders the report later from a journal file alone.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pilot.add_argument("--breaches", type=int, default=21,
                        help="breaches to schedule (paper detected 19)")
     _add_fault_arguments(pilot)
+    _add_obs_arguments(pilot)
 
     survey = commands.add_parser("survey", help="eligibility survey (Table 4)")
     survey.add_argument("--population", type=int, default=1500)
@@ -62,6 +70,18 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--json", type=pathlib.Path, default=None,
                           help="write a machine-readable summary here")
     _add_fault_arguments(campaign)
+    _add_obs_arguments(campaign)
+
+    obs = commands.add_parser(
+        "obs",
+        help="render the ops report from a saved run journal",
+    )
+    obs_actions = obs.add_subparsers(dest="obs_action", required=True)
+    obs_report = obs_actions.add_parser(
+        "report", help="pretty-print a journal written by --obs-out",
+    )
+    obs_report.add_argument("journal", type=pathlib.Path,
+                            help="path to a journal JSONL file")
 
     commands.add_parser("demo", help="quickstart: one breach, one detection")
 
@@ -93,11 +113,30 @@ def _add_fault_arguments(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--obs-out", type=pathlib.Path, default=None, metavar="PATH",
+        help="enable the observability layer, write the deterministic "
+             "run journal (JSONL) here and print the ops report",
+    )
+
+
 def _fault_plan_from(args: argparse.Namespace):
     from repro.faults.plan import FaultPlan
 
     plan = FaultPlan.from_profile(args.fault_profile, seed=args.fault_seed)
     return plan if plan.enabled else None
+
+
+def _emit_journal(journal, path: pathlib.Path) -> None:
+    """Write the journal and print the live ops report below it."""
+    from repro.obs.report import render_ops_report
+    from repro.perf.caching import cache_stats
+
+    journal.write(path)
+    print(f"wrote journal {path}", file=sys.stderr)
+    print()
+    print(render_ops_report(journal.payload(), cache_stats=cache_stats()))
 
 
 def _run_pilot(args: argparse.Namespace) -> int:
@@ -118,6 +157,7 @@ def _run_pilot(args: argparse.Namespace) -> int:
         breach_hard_exposing=max(3, args.breaches // 2 + 1),
         unused_account_count=scaled(2000, 200),
         fault_plan=_fault_plan_from(args),
+        obs_enabled=args.obs_out is not None,
     )
     print(f"pilot: population={config.population_size} seed={config.seed}"
           + (f" faults={args.fault_profile}/{args.fault_seed}"
@@ -130,6 +170,19 @@ def _run_pilot(args: argparse.Namespace) -> int:
     if config.fault_plan is not None:
         print()
         print(_fault_report_table(result.system.fault_report, args))
+    if args.obs_out is not None:
+        from repro.obs.journal import RunJournal
+
+        meta = {
+            "command": "pilot",
+            "seed": config.seed,
+            "population": config.population_size,
+            "breaches": config.breach_count,
+            "fault_profile": args.fault_profile,
+            "fault_seed": args.fault_seed,
+        }
+        _emit_journal(RunJournal.from_observation(result.system.obs, meta),
+                      args.obs_out)
     return 0
 
 
@@ -170,6 +223,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=executor,
         fault_plan=fault_plan,
+        obs_enabled=args.obs_out is not None,
+        obs_meta={"command": "campaign"},
     )
     print(
         f"campaign: top={len(sites)} shards={args.shards} "
@@ -196,6 +251,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
     if fault_plan is not None:
         print()
         print(_fault_report_table(result.fault_report, args))
+    if args.obs_out is not None and result.journal is not None:
+        _emit_journal(result.journal, args.obs_out)
 
     if args.json is not None:
         summary = {
@@ -295,6 +352,19 @@ def _run_perf(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs.journal import read_journal
+    from repro.obs.report import render_ops_report
+
+    if not args.journal.is_file():
+        print(f"no such journal: {args.journal}", file=sys.stderr)
+        return 1
+    # Saved journals never carry cache stats — those are process-local
+    # and only the live run that produced the journal can report them.
+    print(render_ops_report(read_journal(args.journal)))
+    return 0
+
+
 _HANDLERS = {
     "pilot": _run_pilot,
     "campaign": _run_campaign,
@@ -302,6 +372,7 @@ _HANDLERS = {
     "demo": _run_demo,
     "evasion": _run_evasion,
     "perf": _run_perf,
+    "obs": _run_obs,
 }
 
 

@@ -63,6 +63,7 @@ class MeasurementApparatus:
     ):
         self.world = world
         self.tree = tree
+        obs = world.obs
         plan = world.fault_plan
         faults_on = plan is not None and plan.enabled
         self.fault_report = world.fault_report
@@ -73,7 +74,8 @@ class MeasurementApparatus:
 
         # -- email provider and mail chain ---------------------------------
         self.provider = EmailProvider(
-            provider_domain, world.clock, tree, retention_days=retention_days
+            provider_domain, world.clock, tree, retention_days=retention_days,
+            obs=obs,
         )
         self.mail_server = TripwireMailServer(
             world.transport, tree.child("mail-server").rng()
@@ -85,7 +87,7 @@ class MeasurementApparatus:
             assert plan is not None and fault_tree is not None
             deliver = MailFaultInjector(
                 deliver, plan, fault_tree.child("mail").rng(),
-                self.fault_report, queue=world.queue,
+                self.fault_report, queue=world.queue, metrics=obs.metrics,
             )
             retry = plan.retry
             retry_rng = fault_tree.child("mail-retry").rng()
@@ -93,6 +95,7 @@ class MeasurementApparatus:
             list(cover_domains), deliver,
             retry=retry, clock=world.clock, rng=retry_rng,
             fault_report=self.fault_report if faults_on else None,
+            obs=obs,
         )
         self.provider.set_forwarding_hop(self.forwarding_hop)
 
@@ -103,7 +106,7 @@ class MeasurementApparatus:
             assert plan is not None and fault_tree is not None
             self.telemetry_faults = TelemetryFaultInjector(
                 self.provider, plan, fault_tree.child("telemetry").rng(),
-                self.fault_report,
+                self.fault_report, metrics=obs.metrics,
             )
 
         # -- identities ------------------------------------------------------
@@ -120,7 +123,8 @@ class MeasurementApparatus:
         if faults_on:
             assert plan is not None and fault_tree is not None
             solver = SolverFaultInjector(
-                solver, plan, fault_tree.child("solver").rng(), self.fault_report
+                solver, plan, fault_tree.child("solver").rng(), self.fault_report,
+                metrics=obs.metrics,
             )
         self.solver = solver
         self.crawler = RegistrationCrawler(
@@ -131,6 +135,7 @@ class MeasurementApparatus:
             proxy_pool=self.proxy_pool,
             retry_policy=plan.retry if faults_on else None,
             fault_report=self.fault_report if faults_on else None,
+            obs=obs,
         )
 
     # -- identity provisioning ----------------------------------------------

@@ -44,6 +44,8 @@ from repro.faults.plan import FaultPlan
 from repro.faults.report import FaultReport
 from repro.identity.passwords import PasswordClass
 from repro.identity.pool import IdentityState
+from repro.obs.journal import RunJournal, ShardObservation
+from repro.obs.merge import fold_shard_ordered, sum_counter_dataclasses
 from repro.util.timeutil import STUDY_START, SimInstant
 from repro.web.generator import GeneratorConfig
 from repro.web.population import RankedSite
@@ -74,6 +76,7 @@ class ShardPlan:
     site_overrides: tuple[tuple[int, tuple[tuple[str, object], ...]], ...] = ()
     identity_headroom: int = 8
     fault_plan: FaultPlan | None = None
+    obs_enabled: bool = False
 
 
 @dataclass(frozen=True)
@@ -89,19 +92,7 @@ class ShardTelemetry:
     sim_seconds_elapsed: int = 0
 
     def merged_with(self, other: "ShardTelemetry") -> "ShardTelemetry":
-        return ShardTelemetry(
-            transport_requests=self.transport_requests + other.transport_requests,
-            mail_stored=self.mail_stored + other.mail_stored,
-            verification_pages_fetched=(
-                self.verification_pages_fetched + other.verification_pages_fetched
-            ),
-            identities_provisioned=(
-                self.identities_provisioned + other.identities_provisioned
-            ),
-            identities_burned=self.identities_burned + other.identities_burned,
-            pages_loaded=self.pages_loaded + other.pages_loaded,
-            sim_seconds_elapsed=self.sim_seconds_elapsed + other.sim_seconds_elapsed,
-        )
+        return sum_counter_dataclasses(ShardTelemetry, (self, other))
 
 
 @dataclass
@@ -113,6 +104,7 @@ class ShardResult:
     stats: CampaignStats
     telemetry: ShardTelemetry
     fault_report: FaultReport = field(default_factory=FaultReport)
+    observation: ShardObservation | None = None
 
 
 @dataclass
@@ -128,6 +120,10 @@ class CampaignRunResult:
     shards: int
     executor: str
     fault_report: FaultReport = field(default_factory=FaultReport)
+    #: Present when the run was observed (``obs_enabled``).  The
+    #: journal's meta deliberately excludes workers/executor/wall time
+    #: so its serialized bytes are identical for any worker count.
+    journal: RunJournal | None = None
 
     def exposed_attempts(self) -> list[AttemptRecord]:
         """Attempts where an identity was burned."""
@@ -191,6 +187,7 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         site_overrides=_overrides_to_dict(plan.site_overrides),
         apparatus_namespace=("shard", plan.shard_index),
         fault_plan=plan.fault_plan,
+        obs_enabled=plan.obs_enabled,
     )
     hard_needed = 2 * len(plan.sites) + plan.identity_headroom
     easy_needed = len(plan.sites) + plan.identity_headroom
@@ -199,10 +196,11 @@ def run_shard(plan: ShardPlan) -> ShardResult:
 
     campaign = RegistrationCampaign(system, policy=plan.policy)
     site_attempts: list[tuple[int, list[AttemptRecord]]] = []
-    for position, entry in zip(plan.positions, plan.sites):
-        before = len(campaign.attempts)
-        campaign.run_batch([entry])
-        site_attempts.append((position, campaign.attempts[before:]))
+    with system.obs.span("shard.execute", shard=plan.shard_index, sites=len(plan.sites)):
+        for position, entry in zip(plan.positions, plan.sites):
+            before = len(campaign.attempts)
+            campaign.run_batch([entry])
+            site_attempts.append((position, campaign.attempts[before:]))
 
     burned = system.pool.count_by_state()[IdentityState.BURNED]
     telemetry = ShardTelemetry(
@@ -214,12 +212,18 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         pages_loaded=sum(a.outcome.pages_loaded for a in campaign.attempts),
         sim_seconds_elapsed=system.clock.now() - plan.start,
     )
+    observation = (
+        ShardObservation.capture(system.obs, plan.shard_index)
+        if plan.obs_enabled
+        else None
+    )
     return ShardResult(
         shard_index=plan.shard_index,
         site_attempts=site_attempts,
         stats=campaign.stats,
         telemetry=telemetry,
         fault_report=system.fault_report,
+        observation=observation,
     )
 
 
@@ -240,18 +244,19 @@ def merge_shard_results(results: list[ShardResult]) -> tuple[
     indexed.sort(key=lambda pair: pair[0])
     attempts = [record for _position, group in indexed for record in group]
 
-    stats = CampaignStats()
-    telemetry = ShardTelemetry()
-    fault_report = FaultReport()
-    for result in sorted(results, key=lambda r: r.shard_index):
-        stats.sites_considered += result.stats.sites_considered
-        stats.sites_filtered += result.stats.sites_filtered
-        stats.attempts += result.stats.attempts
-        stats.exposed_attempts += result.stats.exposed_attempts
-        stats.identities_consumed += result.stats.identities_consumed
-        stats.skipped_no_identity += result.stats.skipped_no_identity
-        telemetry = telemetry.merged_with(result.telemetry)
-        fault_report = fault_report.merged_with(result.fault_report)
+    ordered = fold_shard_ordered(
+        results,
+        index_of=lambda r: r.shard_index,
+        fold=lambda acc, r: acc + [r],
+        initial=[],
+    )
+    stats = sum_counter_dataclasses(CampaignStats, (r.stats for r in ordered))
+    telemetry = sum_counter_dataclasses(
+        ShardTelemetry, (r.telemetry for r in ordered)
+    )
+    fault_report = sum_counter_dataclasses(
+        FaultReport, (r.fault_report for r in ordered)
+    )
     return attempts, stats, telemetry, fault_report
 
 
@@ -279,6 +284,8 @@ class CampaignRunner:
         site_overrides: dict[int, dict[str, object]] | None = None,
         identity_headroom: int = 8,
         fault_plan: FaultPlan | None = None,
+        obs_enabled: bool = False,
+        obs_meta: dict | None = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -298,6 +305,11 @@ class CampaignRunner:
         self.site_overrides = site_overrides
         self.identity_headroom = identity_headroom
         self.fault_plan = fault_plan
+        self.obs_enabled = obs_enabled
+        #: Extra journal-header fields (e.g. the CLI command).  Must
+        #: never include worker counts, executor names or wall-clock
+        #: values — they would break journal byte-identity.
+        self.obs_meta = dict(obs_meta) if obs_meta else {}
 
     # -- planning -----------------------------------------------------------
 
@@ -323,6 +335,7 @@ class CampaignRunner:
                     site_overrides=packed,
                     identity_headroom=self.identity_headroom,
                     fault_plan=self.fault_plan,
+                    obs_enabled=self.obs_enabled,
                 )
             )
         return plans
@@ -339,6 +352,7 @@ class CampaignRunner:
             shard_results = self._run_pooled(plans)
         wall = time.perf_counter() - began
         attempts, stats, telemetry, fault_report = merge_shard_results(shard_results)
+        journal = self._build_journal(sites, shard_results) if self.obs_enabled else None
         return CampaignRunResult(
             attempts=attempts,
             stats=stats,
@@ -349,7 +363,31 @@ class CampaignRunner:
             shards=self.shards,
             executor=self.executor,
             fault_report=fault_report,
+            journal=journal,
         )
+
+    def _build_journal(
+        self, sites: list[RankedSite], shard_results: list[ShardResult]
+    ) -> RunJournal:
+        """The run journal for an observed run.
+
+        Meta holds only worker-count-invariant facts — a journal from a
+        4-worker process-pool run must byte-match the serial one.
+        """
+        meta = {
+            "seed": self.seed,
+            "population": self.population_size,
+            "shards": self.shards,
+            "sites": len(sites),
+            "policy": self.policy.value,
+            "fault_profile": self.fault_plan.profile if self.fault_plan else "off",
+            "fault_seed": self.fault_plan.seed if self.fault_plan else 0,
+            **self.obs_meta,
+        }
+        captures = [
+            r.observation for r in shard_results if r.observation is not None
+        ]
+        return RunJournal(meta, captures)
 
     def _run_pooled(self, plans: list[ShardPlan]) -> list[ShardResult]:
         pool_cls = (

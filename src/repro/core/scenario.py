@@ -86,6 +86,9 @@ class ScenarioConfig:
     #: Deterministic chaos: None (or an all-zero plan) reproduces the
     #: fault-free run bit for bit.
     fault_plan: FaultPlan | None = None
+    #: Observability: spans, metrics and events recorded against the
+    #: sim clock.  Off by default — the no-op path costs nothing.
+    obs_enabled: bool = False
 
     def default_dump_dates(self) -> tuple[SimInstant, ...]:
         """Sporadic dumps reproducing the Spring-2015 retention gap."""
@@ -151,6 +154,7 @@ class PilotScenario:
             crawler_config=cfg.crawler_config,
             site_overrides=cfg.site_overrides or None,
             fault_plan=cfg.fault_plan,
+            obs_enabled=cfg.obs_enabled,
         )
         self._rng = self.system.tree.child("scenario").rng()
         self.campaign = RegistrationCampaign(self.system, policy=cfg.registration_policy)
@@ -161,7 +165,8 @@ class PilotScenario:
             self.system.whois, self.system.tree.child("botnet").rng()
         )
         self.monetizer = Monetizer(
-            self.system.provider, self.system.tree.child("monetizer").rng()
+            self.system.provider, self.system.tree.child("monetizer").rng(),
+            obs=self.system.obs,
         )
         self.checker = CredentialChecker(
             self.system.provider,
@@ -510,7 +515,7 @@ class PilotScenario:
         cfg = self.config
         self._executed_breach_hosts.add(site.spec.host)
         site.seed_organic_accounts(self._rng.randint(*cfg.organic_accounts_range))
-        stolen = execute_breach(site, event)
+        stolen = execute_breach(site, event, obs=self.system.obs)
         cracked = crack_records(stolen, event.time)
         started = self.checker.launch(cracked, profile)
         self.breaches.append(

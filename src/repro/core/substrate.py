@@ -29,6 +29,7 @@ from repro.faults.report import FaultReport
 from repro.net.dns import DnsResolver
 from repro.net.transport import Transport
 from repro.net.whois import WhoisRegistry
+from repro.obs import NO_OP, Observation
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
 from repro.util.rngtree import RngTree
@@ -52,9 +53,14 @@ class WorldShard:
         tree: RngTree,
         start: SimInstant = STUDY_START,
         fault_plan: FaultPlan | None = None,
+        obs_enabled: bool = False,
     ):
         self.tree = tree
         self.clock = SimClock(start)
+        #: One observation per world: spans, metrics and events are as
+        #: shard-private as the clock, so a shard's capture is a pure
+        #: function of its plan.  Disabled worlds share the no-op.
+        self.obs = Observation(self.clock) if obs_enabled else NO_OP
         self.queue = EventQueue(self.clock)
         self.whois = WhoisRegistry()
         #: One report per world; apparatus-side injectors share it so a
@@ -62,16 +68,17 @@ class WorldShard:
         self.fault_plan = fault_plan
         self.fault_report = FaultReport()
 
-        transport = Transport(self.clock)
+        transport = Transport(self.clock, obs=self.obs)
         dns = DnsResolver()
         if fault_plan is not None and fault_plan.enabled:
             fault_tree = tree.child("faults", fault_plan.seed)
             transport = TransportFaultInjector(
                 transport, fault_plan, fault_tree.child("transport").rng(),
-                self.fault_report,
+                self.fault_report, metrics=self.obs.metrics,
             )
             dns = DnsFaultInjector(
-                dns, fault_plan, fault_tree.child("dns").rng(), self.fault_report
+                dns, fault_plan, fault_tree.child("dns").rng(), self.fault_report,
+                metrics=self.obs.metrics,
             )
         self.transport = transport
         self.dns = dns

@@ -47,6 +47,7 @@ class TripwireSystem:
         proxy_pool_size: int = 64,
         apparatus_namespace: tuple[object, ...] = (),
         fault_plan: FaultPlan | None = None,
+        obs_enabled: bool = False,
     ):
         self.tree = RngTree(seed)
         #: The apparatus draws from a (possibly shard-namespaced) tree
@@ -56,7 +57,9 @@ class TripwireSystem:
             self.tree.child(*apparatus_namespace) if apparatus_namespace else self.tree
         )
 
-        self.world = WorldShard(self.tree, start=start, fault_plan=fault_plan)
+        self.world = WorldShard(
+            self.tree, start=start, fault_plan=fault_plan, obs_enabled=obs_enabled
+        )
         self.apparatus = MeasurementApparatus(
             self.world,
             self.apparatus_tree,
@@ -89,6 +92,7 @@ class TripwireSystem:
         self.crawler = self.apparatus.crawler
         self.fault_plan = self.world.fault_plan
         self.fault_report = self.world.fault_report
+        self.obs = self.world.obs
 
     # -- mail routing ------------------------------------------------------------
 

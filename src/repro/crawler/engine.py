@@ -26,6 +26,7 @@ from repro.html.browser import Browser, BrowserError, Page
 from repro.html.forms import FormModel
 from repro.identity.records import Identity
 from repro.net.proxies import ProxyPoolExhausted, ResearchProxyPool
+from repro.obs import NO_OP
 from repro.sim.protocols import TransportLike
 from repro.util.timeutil import SimInstant
 from urllib.parse import urlsplit, urlunsplit
@@ -82,12 +83,14 @@ class RegistrationCrawler:
         search_engine=None,
         retry_policy: "RetryPolicy | None" = None,
         fault_report: "FaultReport | None" = None,
+        obs=NO_OP,
     ):
         self._transport = transport
         self._solver = solver
         self._rng = rng
         self.config = config or CrawlerConfig()
         self._proxy_pool = proxy_pool
+        self._obs = obs
         #: §6.2.2 extension: a :class:`repro.search.SearchEngine` used
         #: as a fallback for locating registration pages.  None keeps
         #: the paper's behavior.
@@ -112,6 +115,14 @@ class RegistrationCrawler:
         started = self._transport.clock.now()
         state = _CrawlState(host=host, url=url, started=started)
 
+        with self._obs.span("crawl.attempt", host=host):
+            outcome = self._register_with_retries(url, identity, state)
+        self._obs.count("outcome." + outcome.code.value)
+        return outcome
+
+    def _register_with_retries(
+        self, url: str, identity: Identity, state: "_CrawlState"
+    ) -> CrawlOutcome:
         outcome = self._attempt_once(url, identity, state)
         if self._retry_policy is None:
             return outcome
@@ -121,13 +132,21 @@ class RegistrationCrawler:
                 return outcome
             if state.pages_loaded >= self.config.max_pages:
                 break  # no budget left to retry with
-            backoff = max(backoff, self._retry_policy.delay_for(retry_index, self._rng))
+            backoff = max(
+                backoff,
+                self._retry_policy.delay_for(
+                    retry_index, self._rng, metrics=self._obs.metrics
+                ),
+            )
             self._transport.clock.advance(max(backoff, self.config.min_page_delay))
             if self._fault_report is not None:
                 self._fault_report.crawler_retries += 1
+            self._obs.count("retry.crawler_retries")
             outcome = self._attempt_once(url, identity, state)
-        if outcome.code.retryable and self._fault_report is not None:
-            self._fault_report.crawler_gave_up += 1
+        if outcome.code.retryable:
+            if self._fault_report is not None:
+                self._fault_report.crawler_gave_up += 1
+            self._obs.count("retry.crawler_gave_up")
         return outcome
 
     def _attempt_once(self, url: str, identity: Identity, state: "_CrawlState") -> CrawlOutcome:
@@ -152,57 +171,64 @@ class RegistrationCrawler:
             client_ip = self._proxy_pool.acquire_for_site(state.host)
         browser = Browser(self._transport, client_ip=client_ip)
 
-        page = self._load(browser, self._preferred_scheme(url, state.host), state)
-        if page is None or not page.ok:
-            return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
-                                detail="homepage load failed")
+        # Figure 1, stage by stage; each stage is one span (a return
+        # inside the ``with`` still closes the span at the sim instant
+        # the stage actually ended).
+        with self._obs.span("crawl.find_page"):
+            page = self._load(browser, self._preferred_scheme(url, state.host), state)
+            if page is None or not page.ok:
+                return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
+                                    detail="homepage load failed")
 
-        packs: tuple = ()
-        if not looks_english(page.dom):
-            language = detect_language(page.dom)
-            if language in self.config.enabled_languages:
-                packs = packs_for({language})
-            if not packs:
-                return state.finish(self._transport, TerminationCode.NOT_ENGLISH,
-                                    detail=f"unsupported language ({language})")
+            packs: tuple = ()
+            if not looks_english(page.dom):
+                language = detect_language(page.dom)
+                if language in self.config.enabled_languages:
+                    packs = packs_for({language})
+                if not packs:
+                    return state.finish(self._transport, TerminationCode.NOT_ENGLISH,
+                                        detail=f"unsupported language ({language})")
 
-        form = self._find_registration_form(page, packs)
-        tried_links = 0
-        while form is None and tried_links < self.config.max_link_tries:
-            candidates = rank_registration_links(page.links(), packs=packs)
-            if tried_links >= len(candidates):
-                break
-            candidate = candidates[tried_links]
-            tried_links += 1
-            next_page = self._load(browser, candidate.url, state)
-            if next_page is None or not next_page.ok:
-                continue
-            page = next_page
+        with self._obs.span("crawl.locate_form"):
             form = self._find_registration_form(page, packs)
+            tried_links = 0
+            while form is None and tried_links < self.config.max_link_tries:
+                candidates = rank_registration_links(page.links(), packs=packs)
+                if tried_links >= len(candidates):
+                    break
+                candidate = candidates[tried_links]
+                tried_links += 1
+                next_page = self._load(browser, candidate.url, state)
+                if next_page is None or not next_page.ok:
+                    continue
+                page = next_page
+                form = self._find_registration_form(page, packs)
 
-        if form is None and self._search is not None:
-            # §6.2.2 extension: ask a search engine where the
-            # registration page lives.
-            hint = self._search.find_registration_page(state.host)
-            if hint is not None:
-                hint_page = self._load(browser, hint, state)
-                if hint_page is not None and hint_page.ok:
-                    page = hint_page
-                    form = self._find_registration_form(page, packs)
+            if form is None and self._search is not None:
+                # §6.2.2 extension: ask a search engine where the
+                # registration page lives.
+                hint = self._search.find_registration_page(state.host)
+                if hint is not None:
+                    hint_page = self._load(browser, hint, state)
+                    if hint_page is not None and hint_page.ok:
+                        page = hint_page
+                        form = self._find_registration_form(page, packs)
 
-        if form is None:
-            return state.finish(self._transport, TerminationCode.NO_REGISTRATION_FOUND,
-                                detail=f"no form after {tried_links} link clicks")
+            if form is None:
+                return state.finish(self._transport, TerminationCode.NO_REGISTRATION_FOUND,
+                                    detail=f"no form after {tried_links} link clicks")
 
-        if not self._asks_for_email_and_password(form, packs):
-            return state.finish(self._transport, TerminationCode.REQUIRED_FIELDS_MISSING,
-                                detail="form lacks email and password together")
+        with self._obs.span("crawl.classify_fields"):
+            if not self._asks_for_email_and_password(form, packs):
+                return state.finish(self._transport, TerminationCode.REQUIRED_FIELDS_MISSING,
+                                    detail="form lacks email and password together")
 
-        plan = plan_form_fill(form, identity, solver=self._solver, packs=packs)
-        state.absorb_plan(plan)
-        if plan.aborted:
-            return state.finish(self._transport, TerminationCode.REQUIRED_FIELDS_MISSING,
-                                detail=plan.abort_reason)
+        with self._obs.span("crawl.fill_form"):
+            plan = plan_form_fill(form, identity, solver=self._solver, packs=packs)
+            state.absorb_plan(plan)
+            if plan.aborted:
+                return state.finish(self._transport, TerminationCode.REQUIRED_FIELDS_MISSING,
+                                    detail=plan.abort_reason)
 
         # Crashes strike mid-crawl too — after the form was filled but
         # before (or while) submitting, leaving the identity exposed.
@@ -210,20 +236,22 @@ class RegistrationCrawler:
             return state.finish(self._transport, TerminationCode.SYSTEM_ERROR,
                                 detail="headless browser crashed during submission")
 
-        self._think_delay()
-        if state.pages_loaded >= self.config.max_pages:
-            return state.finish(self._transport, TerminationCode.BUDGET_EXHAUSTED,
-                                detail="page budget exhausted")
-        landing = browser.submit_form(form, plan.values)
-        state.pages_loaded += 1
+        with self._obs.span("crawl.submit"):
+            self._think_delay()
+            if state.pages_loaded >= self.config.max_pages:
+                return state.finish(self._transport, TerminationCode.BUDGET_EXHAUSTED,
+                                    detail="page budget exhausted")
+            landing = browser.submit_form(form, plan.values)
+            state.pages_loaded += 1
 
-        verdict = judge_submission_response(landing, packs=packs)
-        if verdict is SubmissionVerdict.FAILURE:
-            return state.finish(self._transport, TerminationCode.SUBMISSION_HEURISTICS_FAILED,
-                                detail="landing page signals failure")
-        detail = ("landing page signals success"
-                  if verdict is SubmissionVerdict.SUCCESS else "landing page ambiguous")
-        return state.finish(self._transport, TerminationCode.OK_SUBMISSION, detail=detail)
+        with self._obs.span("crawl.classify_outcome"):
+            verdict = judge_submission_response(landing, packs=packs)
+            if verdict is SubmissionVerdict.FAILURE:
+                return state.finish(self._transport, TerminationCode.SUBMISSION_HEURISTICS_FAILED,
+                                    detail="landing page signals failure")
+            detail = ("landing page signals success"
+                      if verdict is SubmissionVerdict.SUCCESS else "landing page ambiguous")
+            return state.finish(self._transport, TerminationCode.OK_SUBMISSION, detail=detail)
 
     # -- helpers ------------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.email_provider.accounts import (
 from repro.email_provider.telemetry import LoginEvent, LoginMethod, LoginTelemetry
 from repro.mail.messages import EmailMessage
 from repro.net.ipaddr import IPv4Address
+from repro.obs import NO_OP
 from repro.sim.clock import SimClock
 from repro.util.rngtree import RngTree
 from repro.util.timeutil import DAY, HOUR
@@ -80,6 +81,7 @@ class EmailProvider:
         naming_policy: NamingPolicy | None = None,
         retention_days: int = 60,
         preexisting_locals: frozenset[str] = frozenset(),
+        obs=NO_OP,
     ):
         self.domain = domain.lower()
         self._clock = clock
@@ -87,7 +89,7 @@ class EmailProvider:
         self._policy = naming_policy or NamingPolicy()
         self._accounts: dict[str, ProviderAccount] = {}
         self._preexisting = {name.lower() for name in preexisting_locals}
-        self.telemetry = LoginTelemetry(retention_days=retention_days)
+        self.telemetry = LoginTelemetry(retention_days=retention_days, obs=obs)
         self._throttle: dict[str, _ThrottleState] = {}
         self._recent_ips: dict[str, list[tuple[int, IPv4Address]]] = {}
         self._forwarding_hop = None  # type: ignore[assignment]

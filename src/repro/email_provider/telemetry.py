@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.net.ipaddr import IPv4Address
+from repro.obs import NO_OP
 from repro.util.timeutil import DAY, SimInstant
 
 
@@ -44,10 +45,12 @@ class LoginEvent:
 class LoginTelemetry:
     """Append-only login log with bounded retention."""
 
-    def __init__(self, retention_days: int = 60):
+    def __init__(self, retention_days: int = 60, obs=NO_OP):
         if retention_days < 1:
             raise ValueError("retention must be at least one day")
         self.retention_days = retention_days
+        self._obs = obs
+        self._log = obs.get_logger("provider.telemetry")
         self._events: list[LoginEvent] = []
         self._last_collected: SimInstant | None = None
         self._lost_windows: list[tuple[SimInstant, SimInstant]] = []
@@ -57,6 +60,7 @@ class LoginTelemetry:
         if self._events and event.time < self._events[-1].time:
             raise ValueError("login events must be recorded in time order")
         self._events.append(event)
+        self._obs.count("telemetry.logins_recorded")
 
     def _retained_since(self, now: SimInstant) -> SimInstant:
         return now - self.retention_days * DAY
@@ -68,14 +72,21 @@ class LoginTelemetry:
         the uncovered interval is *lost* — recorded in
         :meth:`lost_windows` and absent from every future dump.
         """
-        horizon = self._retained_since(now)
-        since = self._last_collected if self._last_collected is not None else 0
-        if since < horizon:
-            if any(since < e.time <= horizon for e in self._events):
-                self._lost_windows.append((since, horizon))
-            since = horizon
-        dump = [e for e in self._events if since < e.time <= now]
-        self._last_collected = now
+        with self._obs.span("telemetry.collect_dump"):
+            horizon = self._retained_since(now)
+            since = self._last_collected if self._last_collected is not None else 0
+            if since < horizon:
+                if any(since < e.time <= horizon for e in self._events):
+                    self._lost_windows.append((since, horizon))
+                    self._obs.count("telemetry.windows_lost")
+                    self._log.info(
+                        "retention window lost", since=since, horizon=horizon
+                    )
+                since = horizon
+            dump = [e for e in self._events if since < e.time <= now]
+            self._last_collected = now
+            self._obs.count("telemetry.dumps_collected")
+            self._obs.count("telemetry.events_exported", len(dump))
         return dump
 
     def lost_windows(self) -> list[tuple[SimInstant, SimInstant]]:

@@ -26,6 +26,7 @@ from repro.faults.report import FaultReport
 from repro.mail.forwarding import TransientDeliveryError
 from repro.net.dns import DnsResolver, NxDomain
 from repro.net.transport import HostUnreachable, HttpResponse, TlsError
+from repro.obs.metrics import NULL_METRICS
 
 if TYPE_CHECKING:
     from repro.crawler.captcha import CaptchaSolverService
@@ -36,14 +37,25 @@ if TYPE_CHECKING:
 
 
 class _Injector:
-    """Shared plumbing: plan, seeded rng, report, delegation."""
+    """Shared plumbing: plan, seeded rng, report, metrics, delegation."""
 
     def __init__(self, inner: object, plan: FaultPlan, rng: random.Random,
-                 report: FaultReport):
+                 report: FaultReport, metrics=NULL_METRICS):
         self._inner = inner
         self._plan = plan
         self._rng = rng
         self._report = report
+        self._metrics = metrics
+
+    def _record(self, field: str, amount: int = 1) -> None:
+        """Count one injected fault on the report *and* the metrics.
+
+        The :class:`FaultReport` counter is the merge-stable artifact;
+        the ``fault.<field>`` metrics counter puts the same number in
+        the journal's fault-attribution section.
+        """
+        setattr(self._report, field, getattr(self._report, field) + amount)
+        self._metrics.inc("fault." + field, amount)
 
     def __getattr__(self, name: str):
         return getattr(self._inner, name)
@@ -78,15 +90,15 @@ class TransportFaultInjector(_Injector):
         host = (parts.hostname or "").lower()
         plan, rng = self._plan, self._rng
         if rng.random() < plan.transport_unreachable_rate:
-            self._report.transport_unreachable += 1
+            self._record("transport_unreachable")
             raise HostUnreachable(host)
         if parts.scheme == "https" and rng.random() < plan.transport_tls_rate:
-            self._report.transport_tls_errors += 1
+            self._record("transport_tls_errors")
             raise TlsError(f"transient TLS failure for {host}")
         if rng.random() < plan.transport_slow_rate:
             extra = 1 + rng.randrange(max(1, plan.transport_slow_seconds))
-            self._report.transport_slowdowns += 1
-            self._report.transport_slow_seconds += extra
+            self._record("transport_slowdowns")
+            self._record("transport_slow_seconds", extra)
             self._inner.clock.advance(extra)
 
 
@@ -109,7 +121,7 @@ class DnsFaultInjector(_Injector):
 
     def _maybe_fail(self, name: str) -> None:
         if self._rng.random() < self._plan.dns_failure_rate:
-            self._report.dns_failures += 1
+            self._record("dns_failures")
             raise NxDomain(f"{name} (transient resolver failure)")
 
 
@@ -128,10 +140,10 @@ class SolverFaultInjector(_Injector):
         if not challenge_token:
             return self._inner.solve(challenge_token, is_knowledge_question)
         if self._rng.random() < self._plan.captcha_unsolved_rate:
-            self._report.captcha_unsolved += 1
+            self._record("captcha_unsolved")
             return None
         if self._rng.random() < self._plan.captcha_missolve_rate:
-            self._report.captcha_missolved += 1
+            self._record("captcha_missolved")
             return "".join(self._rng.choice("abcdef0123456789") for _ in range(6))
         return self._inner.solve(challenge_token, is_knowledge_question)
 
@@ -147,24 +159,25 @@ class MailFaultInjector(_Injector):
     """
 
     def __init__(self, inner, plan: FaultPlan, rng: random.Random,
-                 report: FaultReport, queue: "EventQueueLike | None" = None):
-        super().__init__(inner, plan, rng, report)
+                 report: FaultReport, queue: "EventQueueLike | None" = None,
+                 metrics=NULL_METRICS):
+        super().__init__(inner, plan, rng, report, metrics)
         self._queue = queue
 
     def __call__(self, message: "EmailMessage") -> None:
         plan, rng = self._plan, self._rng
         if rng.random() < plan.mail_transient_failure_rate:
-            self._report.mail_transient_failures += 1
+            self._record("mail_transient_failures")
             raise TransientDeliveryError(f"relay refused mail for {message.recipient}")
         if rng.random() < plan.mail_drop_rate:
-            self._report.mail_dropped += 1
+            self._record("mail_dropped")
             return
         if rng.random() < plan.mail_duplicate_rate:
-            self._report.mail_duplicated += 1
+            self._record("mail_duplicated")
             self._inner(message)  # type: ignore[operator]
         if self._queue is not None and rng.random() < plan.mail_delay_rate:
             delay = 1 + rng.randrange(max(1, plan.mail_delay_seconds))
-            self._report.mail_delayed += 1
+            self._record("mail_delayed")
             # The queue is bound to the shard clock; scheduling relative
             # to "now" keeps delayed mail inside the shard's causal order.
             now = self._queue.clock.now()  # type: ignore[attr-defined]
@@ -194,11 +207,11 @@ class TelemetryFaultInjector(_Injector):
         collect nothing now and should be re-scheduled."""
         plan, rng = self._plan, self._rng
         if rng.random() < plan.telemetry_late_rate:
-            self._report.telemetry_dumps_delayed += 1
+            self._record("telemetry_dumps_delayed")
             return [], 1 + rng.randrange(max(1, plan.telemetry_delay_seconds))
         events = self._inner.collect_login_dump()
         if events and rng.random() < plan.telemetry_truncate_rate:
             lost = max(1, int(len(events) * plan.telemetry_truncate_fraction))
-            self._report.telemetry_events_dropped += lost
+            self._record("telemetry_events_dropped", lost)
             events = events[: len(events) - lost]
         return events, None

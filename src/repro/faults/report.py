@@ -13,6 +13,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.obs.merge import sum_counter_dataclasses
+
 
 @dataclass
 class FaultReport:
@@ -44,14 +46,7 @@ class FaultReport:
 
     def merged_with(self, other: "FaultReport") -> "FaultReport":
         """A new report with every counter summed field-wise."""
-        merged = FaultReport()
-        for field in dataclasses.fields(FaultReport):
-            setattr(
-                merged,
-                field.name,
-                getattr(self, field.name) + getattr(other, field.name),
-            )
-        return merged
+        return sum_counter_dataclasses(FaultReport, (self, other))
 
     def as_dict(self) -> dict[str, int]:
         """All counters as a plain mapping (JSON-friendly)."""

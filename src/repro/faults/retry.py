@@ -53,18 +53,25 @@ class RetryPolicy:
         """Retries after the initial attempt."""
         return self.max_attempts - 1
 
-    def delay_for(self, retry_index: int, rng: random.Random) -> int:
+    def delay_for(self, retry_index: int, rng: random.Random, metrics=None) -> int:
         """The jittered wait before retry ``retry_index`` (0-based).
 
         Bounded by ``max_delay``; monotonicity across successive
         indices is enforced by :meth:`schedule` (jitter alone could
-        momentarily shrink a step).
+        momentarily shrink a step).  ``metrics`` (a
+        ``repro.obs.metrics`` registry, optional) records the draw:
+        the ``retry.delays_drawn`` counter and the
+        ``retry.backoff_seconds`` histogram.
         """
         if retry_index < 0:
             raise ValueError("retry_index must be non-negative")
         base = min(float(self.max_delay), self.base_delay * self.multiplier ** retry_index)
         jitter = rng.random() * self.jitter_fraction * base
-        return int(min(float(self.max_delay), base + jitter))
+        delay = int(min(float(self.max_delay), base + jitter))
+        if metrics is not None:
+            metrics.inc("retry.delays_drawn")
+            metrics.observe("retry.backoff_seconds", delay)
+        return delay
 
     def schedule(self, rng: random.Random) -> list[int]:
         """All backoff delays for one attempt, in order.

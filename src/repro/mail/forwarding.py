@@ -19,6 +19,7 @@ import random
 from typing import TYPE_CHECKING, Callable
 
 from repro.mail.messages import EmailMessage
+from repro.obs import NO_OP
 
 if TYPE_CHECKING:  # imported only for signatures; no runtime cycle
     from repro.faults.report import FaultReport
@@ -41,6 +42,7 @@ class ForwardingHop:
         clock: "ClockLike | None" = None,
         rng: random.Random | None = None,
         fault_report: "FaultReport | None" = None,
+        obs=NO_OP,
     ):
         if not cover_domains:
             raise ValueError("at least one cover domain is required")
@@ -52,6 +54,7 @@ class ForwardingHop:
         self._clock = clock
         self._rng = rng
         self._fault_report = fault_report
+        self._obs = obs
         self._relayed = 0
         self._rejected = 0
         self._lost = 0
@@ -79,13 +82,19 @@ class ForwardingHop:
         """Relay a message; silently drops mail for foreign domains."""
         if not self.accepts(message.recipient):
             self._rejected += 1
+            self._obs.count("mail.rejected")
             return
-        if self._relay_with_retry(message):
+        with self._obs.span("mail.relay"):
+            delivered = self._relay_with_retry(message)
+        if delivered:
             self._relayed += 1
+            self._obs.count("mail.relayed")
         else:
             self._lost += 1
+            self._obs.count("mail.lost")
             if self._fault_report is not None:
                 self._fault_report.mail_undelivered += 1
+                self._obs.count("fault.mail_undelivered")
 
     def _relay_with_retry(self, message: EmailMessage) -> bool:
         """Deliver, retrying transient relay failures per the policy."""
@@ -99,11 +108,15 @@ class ForwardingHop:
                 if attempt >= retries_allowed:
                     return False
                 assert self._retry is not None and self._rng is not None
-                floor = max(floor, self._retry.delay_for(attempt, self._rng))
+                floor = max(
+                    floor,
+                    self._retry.delay_for(attempt, self._rng, metrics=self._obs.metrics),
+                )
                 if self._clock is not None:
                     self._clock.advance(floor)
                 if self._fault_report is not None:
                     self._fault_report.mail_retries += 1
+                self._obs.count("retry.mail_retries")
         return False  # pragma: no cover - loop always returns
 
     @property

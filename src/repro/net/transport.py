@@ -14,6 +14,7 @@ from typing import Callable
 from urllib.parse import parse_qsl, urlencode, urlsplit, urlunsplit
 
 from repro.net.ipaddr import IPv4Address
+from repro.obs import NO_OP
 from repro.sim.protocols import ClockLike
 from repro.util.timeutil import SimInstant
 
@@ -100,15 +101,21 @@ class RequestLogEntry:
     status: int
 
 
+#: Counter names per status family, interned once (per-request f-strings
+#: would show up in the obs-overhead bench).
+_STATUS_COUNTERS = {family: f"transport.status_{family}xx" for family in range(1, 6)}
+
+
 class Transport:
     """Routes requests to registered hosts and records a request log."""
 
     #: Safety valve on redirect chains, matching browser behavior.
     MAX_REDIRECTS = 10
 
-    def __init__(self, clock: Clock, network_latency: int = 1):
+    def __init__(self, clock: Clock, network_latency: int = 1, obs=NO_OP):
         self._clock = clock
         self._latency = network_latency
+        self._obs = obs
         self._handlers: dict[str, Handler] = {}
         self._https_hosts: set[str] = set()
         self._down_hosts: set[str] = set()
@@ -196,14 +203,18 @@ class Transport:
         headers: dict[str, str],
     ) -> HttpResponse:
         self._clock.advance(self._latency)
+        obs = self._obs
+        obs.count("transport.requests")
         parts = urlsplit(url)
         host = (parts.hostname or "").lower()
         if not host:
             raise TransportError(f"URL without host: {url!r}")
         handler = self._handlers.get(host)
         if handler is None or host in self._down_hosts:
+            obs.count("transport.unreachable")
             raise HostUnreachable(host)
         if parts.scheme == "https" and host not in self._https_hosts:
+            obs.count("transport.tls_errors")
             raise TlsError(f"no valid certificate for {host}")
         request = HttpRequest(
             method=method.upper(),
@@ -215,6 +226,8 @@ class Transport:
         )
         response = handler(request)
         response.final_url = url
+        family = response.status // 100
+        obs.count(_STATUS_COUNTERS.get(family) or f"transport.status_{family}xx")
         self._log.append(
             RequestLogEntry(
                 time=request.time,

@@ -1,0 +1,164 @@
+"""Deterministic observability: spans, metrics, events, run journal.
+
+One :class:`Observation` per world (per shard) bundles the three
+instrumentation surfaces behind a single idiom used repo-wide:
+
+- ``obs.span(name, **attrs)`` — sim-clock span tracing
+  (:mod:`repro.obs.tracing`);
+- ``obs.count(name)`` / ``obs.metrics`` — counters, gauges and
+  fixed-bucket histograms (:mod:`repro.obs.metrics`);
+- ``obs.get_logger(component)`` — structured, sim-time-stamped events
+  (no stdlib ``logging``, no prints inside the measurement system).
+
+Everything recorded is a pure function of the shard plan — sim-clock
+timestamps only, no wall clock, no randomness — so per-shard captures
+serialize into a run journal (:mod:`repro.obs.journal`) whose merged
+bytes are identical for any worker count.
+
+The default is :data:`NO_OP`: a stateless null observation whose span,
+count and logger calls short-circuit, keeping the instrumented hot
+paths at production speed unless a run opts in (``--obs-out``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, NullTracer, Tracer
+from repro.sim.protocols import ClockLike
+
+__all__ = [
+    "EventRecord",
+    "Observation",
+    "NullObservation",
+    "NO_OP",
+    "ObsLogger",
+]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured log event, stamped with sim time."""
+
+    time: int
+    component: str
+    message: str
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    def attrs_dict(self) -> dict[str, object]:
+        """Attributes as a mapping (JSON-friendly)."""
+        return dict(self.attrs)
+
+
+class ObsLogger:
+    """Structured logger bound to one component name.
+
+    The repo-wide replacement for ad-hoc ``logging``/print calls:
+    events land in the journal, deterministically ordered and
+    sim-time-stamped, instead of interleaving on stderr.
+    """
+
+    __slots__ = ("_obs", "_component")
+
+    def __init__(self, obs: "Observation", component: str):
+        self._obs = obs
+        self._component = component
+
+    def info(self, message: str, **attrs: object) -> None:
+        """Record one event."""
+        self._obs.events.append(
+            EventRecord(
+                time=self._obs.clock.now(),
+                component=self._component,
+                message=message,
+                attrs=tuple(sorted(attrs.items())),
+            )
+        )
+
+
+class _NullLogger:
+    """Logger stand-in when observability is disabled."""
+
+    __slots__ = ()
+
+    def info(self, message: str, **attrs: object) -> None:
+        pass
+
+
+_NULL_LOGGER = _NullLogger()
+
+
+class Observation:
+    """Live tracer + metrics + event stream for one world/shard.
+
+    Installing the observation hooks the clock's monotonicity guard:
+    a ``ClockMovedBackward`` violation emits a journal event before the
+    exception propagates, so post-mortems see *where* sim time broke.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: ClockLike):
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock, self.metrics)
+        self.events: list[EventRecord] = []
+        setattr(clock, "on_violation", self._clock_violation)
+
+    # -- the instrumentation idiom ---------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Open a sim-clock span (context manager)."""
+        return self.tracer.span(name, **attrs)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a counter."""
+        self.metrics.inc(name, amount)
+
+    def get_logger(self, component: str) -> ObsLogger:
+        """A structured logger for one component."""
+        return ObsLogger(self, component)
+
+    # -- hooks ------------------------------------------------------------
+
+    def _clock_violation(self, seconds: int, now: int) -> None:
+        self.events.append(
+            EventRecord(
+                time=now,
+                component="sim.clock",
+                message="clock moved backward",
+                attrs=(("seconds", seconds),),
+            )
+        )
+        self.metrics.inc("clock.moved_backward")
+
+
+class NullObservation:
+    """The disabled observation: every call short-circuits.
+
+    One shared instance (:data:`NO_OP`) serves every un-observed world;
+    it holds no state, so it is safe to share across shards, threads
+    and processes.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    metrics = NULL_METRICS
+    tracer = NullTracer()
+    #: Immutable, so accidental appends fail loudly.
+    events: tuple[EventRecord, ...] = ()
+
+    def span(self, name: str, **attrs: object):
+        return NULL_SPAN
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def get_logger(self, component: str) -> _NullLogger:
+        return _NULL_LOGGER
+
+
+#: The shared disabled observation (zero-overhead default).
+NO_OP = NullObservation()

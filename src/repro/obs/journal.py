@@ -1,0 +1,225 @@
+"""The run journal: per-shard observability, merged to stable bytes.
+
+A journal is the serialized record of what one run *did*: every span,
+event, counter and histogram, grouped per shard, plus a merged totals
+footer.  It follows the same merge discipline as
+:class:`~repro.faults.report.FaultReport` (see :mod:`repro.obs.merge`):
+each shard's capture is a pure function of its plan, shards are laid
+out in shard-index order, and totals fold by summation — so the JSONL
+output is **bit-identical for any worker count and executor**.
+
+What is deliberately *not* in the journal: wall-clock timings, worker
+counts, executor names, process-local cache statistics.  Those vary
+run to run on one machine and would break the byte-identity contract;
+they belong in the live ops report (:mod:`repro.obs.report`) instead.
+
+Format: one JSON object per line, ``sort_keys`` and fixed separators,
+with a schema-versioned header first and a totals footer last::
+
+    {"record":"header","schema_version":1,"meta":{...}}
+    {"record":"shard","shard":0,...}
+    {"record":"metrics","shard":0,...}
+    {"record":"histogram","shard":0,"name":...}
+    {"record":"span","shard":0,"index":0,...}
+    {"record":"event","shard":0,...}
+    ...
+    {"record":"totals","counters":{...},"histograms":{...},...}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.obs.merge import fold_shard_ordered, merge_count_dicts
+from repro.obs import EventRecord, Observation
+from repro.obs.metrics import merge_histogram_dicts
+from repro.obs.tracing import SpanRecord
+
+#: Bump when the JSONL record shapes change; readers check it.
+SCHEMA_VERSION = 1
+
+
+def _dumps(payload: dict) -> str:
+    """Canonical one-line JSON (stable bytes across runs/platforms)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ShardObservation:
+    """One shard's frozen observability capture (picklable).
+
+    Built in the worker that ran the shard and shipped back through
+    the executor; everything inside is plain data.
+    """
+
+    shard_index: int
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, int | float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
+
+    @classmethod
+    def capture(cls, obs: Observation, shard_index: int) -> "ShardObservation":
+        """Snapshot a live observation for one shard."""
+        return cls(
+            shard_index=shard_index,
+            counters=obs.metrics.counters_dict(),
+            gauges=obs.metrics.gauges_dict(),
+            histograms=obs.metrics.histograms_dict(),
+            spans=list(obs.tracer.spans),
+            events=list(obs.events),
+        )
+
+    def lines(self) -> list[str]:
+        """This shard's JSONL records, in deterministic order."""
+        k = self.shard_index
+        out = [
+            _dumps({
+                "record": "shard",
+                "shard": k,
+                "spans": len(self.spans),
+                "events": len(self.events),
+            }),
+            _dumps({
+                "record": "metrics",
+                "shard": k,
+                "counters": self.counters,
+                "gauges": self.gauges,
+            }),
+        ]
+        for name, data in self.histograms.items():
+            out.append(_dumps({"record": "histogram", "shard": k, "name": name, **data}))
+        for span in self.spans:
+            out.append(_dumps({
+                "record": "span",
+                "shard": k,
+                "index": span.index,
+                "parent": span.parent,
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "attrs": span.attrs_dict(),
+            }))
+        for event in self.events:
+            out.append(_dumps({
+                "record": "event",
+                "shard": k,
+                "time": event.time,
+                "component": event.component,
+                "message": event.message,
+                "attrs": event.attrs_dict(),
+            }))
+        return out
+
+
+class RunJournal:
+    """All shards of one run, merged in shard-index order."""
+
+    def __init__(self, meta: dict, shards: list[ShardObservation]):
+        self.meta = dict(meta)
+        #: fold_shard_ordered with list-append: the canonical shard
+        #: layout, invariant to arrival order.
+        self.shards: list[ShardObservation] = fold_shard_ordered(
+            shards,
+            index_of=lambda s: s.shard_index,
+            fold=lambda acc, s: acc + [s],
+            initial=[],
+        )
+
+    @classmethod
+    def from_observation(cls, obs: Observation, meta: dict) -> "RunJournal":
+        """A single-shard journal from one live observation (pilot runs)."""
+        return cls(meta, [ShardObservation.capture(obs, 0)])
+
+    # -- merged views -----------------------------------------------------
+
+    def total_counters(self) -> dict[str, int]:
+        """Counters summed across shards (shard-order invariant)."""
+        return merge_count_dicts(s.counters for s in self.shards)
+
+    def total_histograms(self) -> dict[str, dict]:
+        """Histograms summed bucket-wise across shards."""
+        return merge_histogram_dicts([s.histograms for s in self.shards])
+
+    def payload(self) -> dict:
+        """The report-facing summary (same shape ``parse_journal`` yields)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "shard_count": len(self.shards),
+            "span_count": sum(len(s.spans) for s in self.shards),
+            "event_count": sum(len(s.events) for s in self.shards),
+            "counters": self.total_counters(),
+            "histograms": self.total_histograms(),
+        }
+
+    # -- serialization ----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The full journal as canonical JSONL (byte-stable)."""
+        lines = [_dumps({
+            "record": "header",
+            "schema_version": SCHEMA_VERSION,
+            "meta": self.meta,
+        })]
+        for shard in self.shards:
+            lines.extend(shard.lines())
+        totals = self.payload()
+        del totals["meta"], totals["schema_version"]
+        lines.append(_dumps({"record": "totals", **totals}))
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: pathlib.Path | str) -> pathlib.Path:
+        """Write the JSONL journal to ``path``."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+
+def parse_journal(text: str) -> dict:
+    """Parse a JSONL journal back into the report-facing summary.
+
+    Returns the same shape as :meth:`RunJournal.payload`; raises
+    ``ValueError`` for missing/unsupported headers so stale files fail
+    loudly rather than rendering nonsense.
+    """
+    header: dict | None = None
+    totals: dict | None = None
+    shard_count = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("record")
+        if kind == "header":
+            header = record
+        elif kind == "shard":
+            shard_count += 1
+        elif kind == "totals":
+            totals = record
+    if header is None:
+        raise ValueError("journal has no header record")
+    if header.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported journal schema {header.get('schema_version')!r} "
+            f"(reader supports {SCHEMA_VERSION})"
+        )
+    if totals is None:
+        raise ValueError("journal has no totals record (truncated?)")
+    return {
+        "schema_version": header["schema_version"],
+        "meta": header.get("meta", {}),
+        "shard_count": totals.get("shard_count", shard_count),
+        "span_count": totals.get("span_count", 0),
+        "event_count": totals.get("event_count", 0),
+        "counters": totals.get("counters", {}),
+        "histograms": totals.get("histograms", {}),
+    }
+
+
+def read_journal(path: pathlib.Path | str) -> dict:
+    """Read and parse a journal file."""
+    return parse_journal(pathlib.Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,196 @@
+"""Deterministic metrics: counters, gauges, fixed-bucket histograms.
+
+Everything here is a pure function of the events fed in — no wall
+clock, no randomness, no process-global state — so per-shard metrics
+are a pure function of the shard plan and merge bit-identically for
+any worker count (see :mod:`repro.obs.journal`).
+
+Histograms use *fixed* bucket bounds declared at first observation:
+bounds are inclusive upper edges (a value exactly on a bound lands in
+that bucket) with a single overflow bucket past the last bound.  Fixed
+bounds are what make shard-wise merging a plain vector addition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default sim-seconds latency buckets for span-duration histograms.
+#: Upper edges chosen around the crawler's rate limits: the §3 ethics
+#: floor is 3 s/page, attempts span minutes, retries reach hours.
+DEFAULT_LATENCY_BOUNDS: tuple[int, ...] = (1, 3, 10, 30, 60, 180, 600, 3600)
+
+
+class Histogram:
+    """A fixed-bucket histogram over integer/float observations."""
+
+    __slots__ = ("name", "bounds", "buckets", "overflow", "count", "total")
+
+    def __init__(self, name: str, bounds: tuple[int | float, ...] = DEFAULT_LATENCY_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and ascending")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation (boundary values land in their bucket)."""
+        index = bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (bounds + counts, exact totals)."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one shard/world."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, int | float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- write side ------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to a counter (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: int | float) -> None:
+        """Set a gauge to its latest value."""
+        self._gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: int | float,
+        bounds: tuple[int | float, ...] = DEFAULT_LATENCY_BOUNDS,
+    ) -> None:
+        """Record one histogram observation (bounds fixed on first use)."""
+        self.histogram(name, bounds).observe(value)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[int | float, ...] = DEFAULT_LATENCY_BOUNDS,
+    ) -> Histogram:
+        """The named histogram, created on first use (hot-path handle:
+        callers may keep it and ``observe`` directly)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    # -- read side -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (zero if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters_dict(self) -> dict[str, int]:
+        """All counters, key-sorted (deterministic serialization order)."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges_dict(self) -> dict[str, int | float]:
+        """All gauges, key-sorted."""
+        return dict(sorted(self._gauges.items()))
+
+    def histograms_dict(self) -> dict[str, dict]:
+        """All histograms as plain dicts, key-sorted."""
+        return {name: h.as_dict() for name, h in sorted(self._histograms.items())}
+
+
+class _NullHistogram:
+    """Histogram stand-in handed out by :class:`NullMetrics`."""
+
+    __slots__ = ()
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics:
+    """No-op metrics sink used when observability is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: int | float) -> None:
+        pass
+
+    def observe(self, name: str, value: int | float, bounds: tuple = ()) -> None:
+        pass
+
+    def histogram(self, name: str, bounds: tuple = ()) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def counters_dict(self) -> dict[str, int]:
+        return {}
+
+    def gauges_dict(self) -> dict[str, int | float]:
+        return {}
+
+    def histograms_dict(self) -> dict[str, dict]:
+        return {}
+
+
+#: The shared no-op sink; identity-comparable for short-circuit tests.
+NULL_METRICS = NullMetrics()
+
+
+def merge_histogram_dicts(snapshots: list[dict[str, dict]]) -> dict[str, dict]:
+    """Sum per-shard histogram snapshots bucket-wise, by name.
+
+    All shards observe with the same fixed bounds per name (the bounds
+    are part of the instrumentation, not the data), so the merge is a
+    vector addition; mismatched bounds are a programming error.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, data in snapshot.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {
+                    "bounds": list(data["bounds"]),
+                    "buckets": list(data["buckets"]),
+                    "overflow": data["overflow"],
+                    "count": data["count"],
+                    "sum": data["sum"],
+                }
+                continue
+            if into["bounds"] != list(data["bounds"]):
+                raise ValueError(f"histogram {name!r} merged with mismatched bounds")
+            into["buckets"] = [a + b for a, b in zip(into["buckets"], data["buckets"])]
+            into["overflow"] += data["overflow"]
+            into["count"] += data["count"]
+            into["sum"] += data["sum"]
+    return dict(sorted(merged.items()))

@@ -1,0 +1,136 @@
+"""Span tracing on the simulation clock.
+
+A span brackets one logical stage (a Figure-1 crawler stage, a mail
+relay, a shard execution) with **sim-clock** timestamps — never wall
+clock — so traces are bit-identical across runs, machines and worker
+counts.  Spans nest: each record carries the index of its parent, and
+sibling order is the deterministic call order within the shard.
+
+The disabled path must cost nothing measurable: :class:`NullTracer`
+returns one shared, stateless :data:`NULL_SPAN` object and records
+nothing, so instrumented hot paths pay only the call itself.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.obs.metrics import NULL_METRICS
+from repro.sim.protocols import ClockLike
+
+#: Parent index of a root (top-level) span.
+NO_PARENT = -1
+
+
+class SpanRecord(NamedTuple):
+    """One finished span: name, sim-time interval, nesting, attributes.
+
+    A NamedTuple rather than a dataclass: spans are minted on the hot
+    path (every crawler stage), and tuple construction keeps the
+    observed run inside the suite's overhead budget.
+    """
+
+    index: int
+    parent: int
+    name: str
+    start: int
+    end: int
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> int:
+        """Sim seconds spent inside the span."""
+        return self.end - self.start
+
+    def attrs_dict(self) -> dict[str, object]:
+        """Attributes as a mapping (JSON-friendly)."""
+        return dict(self.attrs)
+
+
+class _OpenSpan:
+    """Context manager for one live span (internal to :class:`Tracer`)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "index", "parent", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: tuple[tuple[str, object], ...]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_OpenSpan":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self._tracer._exit(self)
+
+
+class Tracer:
+    """Records spans against one simulation clock."""
+
+    enabled = True
+
+    def __init__(self, clock: ClockLike, metrics=NULL_METRICS):
+        self._clock = clock
+        self._metrics = metrics
+        self.spans: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._next_index = 0
+        #: span name -> its duration histogram, resolved once per name
+        #: so _exit skips the f-string and registry lookup per span.
+        self._duration_hists: dict = {}
+
+    def span(self, name: str, **attrs: object) -> _OpenSpan:
+        """Open a span; use as ``with tracer.span("crawl.fill"): ...``."""
+        return _OpenSpan(self, name, tuple(sorted(attrs.items())) if attrs else ())
+
+    # -- span lifecycle (driven by _OpenSpan) ----------------------------
+
+    def _enter(self, span: _OpenSpan) -> None:
+        span.index = self._next_index
+        self._next_index += 1
+        span.parent = self._stack[-1] if self._stack else NO_PARENT
+        span.start = self._clock.now()
+        self._stack.append(span.index)
+
+    def _exit(self, span: _OpenSpan) -> None:
+        self._stack.pop()
+        end = self._clock.now()
+        self.spans.append(
+            SpanRecord(span.index, span.parent, span.name, span.start, end, span.attrs)
+        )
+        hist = self._duration_hists.get(span.name)
+        if hist is None:
+            hist = self._duration_hists[span.name] = self._metrics.histogram(
+                f"span.{span.name}.sim_seconds"
+            )
+        hist.observe(end - span.start)
+
+
+class _NullSpan:
+    """The do-nothing span; one shared instance, no per-call state."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        pass
+
+
+#: Shared no-op span returned by every disabled ``span()`` call.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in when observability is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+    #: Immutable, so accidental appends fail loudly.
+    spans: tuple[SpanRecord, ...] = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return NULL_SPAN

@@ -67,7 +67,7 @@ def clear_all_caches() -> None:
 
 
 def cache_stats() -> dict[str, dict[str, int]]:
-    """Hit/miss/size counters for every named cache."""
+    """Hit/miss/eviction/size counters for every named cache."""
     return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
 
 
@@ -78,13 +78,14 @@ class LruCache:
     must clone on hit (see the DOM cache in ``repro.html.browser``).
     """
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+    __slots__ = ("name", "maxsize", "hits", "misses", "evictions", "_data")
 
     def __init__(self, maxsize: int, name: str):
         self.name = name
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: OrderedDict[Hashable, object] = OrderedDict()
         _REGISTRY[name] = self
 
@@ -105,12 +106,27 @@ class LruCache:
         data.move_to_end(key)
         if len(data) > self.maxsize:
             data.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
+        """Empty the cache AND reset its counters.
+
+        A/B runs toggle the layer via :func:`set_enabled` (which clears
+        every cache); counters must restart from zero so the optimized
+        leg's hit rates aren't polluted by the baseline leg.
+        """
         self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+        }

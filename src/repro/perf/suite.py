@@ -34,9 +34,10 @@ from dataclasses import dataclass, field
 from repro.perf import caching as _perf
 
 SCHEMA_VERSION = 1
-#: Index of this snapshot in the repo-root BENCH trajectory (this is
-#: the repo's third PR; earlier PRs predate the perf suite).
-BENCH_INDEX = 3
+#: Index of this snapshot in the repo-root BENCH trajectory (one file
+#: per PR that touches the perf surface; BENCH_3 introduced the suite,
+#: BENCH_4 added the obs-overhead bench).
+BENCH_INDEX = 4
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 TRAJECTORY_PATH = REPO_ROOT / f"BENCH_{BENCH_INDEX}.json"
@@ -386,12 +387,99 @@ def bench_sharded_campaign(quick: bool) -> BenchResult:
     )
 
 
+#: Maximum tolerated slowdown of an *observed* pilot vs the no-op
+#: default: obs must stay effectively free when disabled and cheap
+#: when enabled, or nobody will leave it on.
+OBS_OVERHEAD_BUDGET = 0.05
+
+
+def bench_obs_overhead(quick: bool) -> BenchResult:
+    """Pilot e2e, obs off vs on: same results, bounded overhead.
+
+    Unlike the cache benches this is not an optimization A/B — it
+    gates a *cost ceiling*.  ``baseline`` is the default no-op path,
+    ``optimized`` the fully-observed run; the bench fails the suite
+    when the observed run costs more than ``OBS_OVERHEAD_BUDGET``
+    extra, or when observation perturbs the simulation at all.
+    """
+    import dataclasses
+
+    from repro.core.scenario import PilotScenario
+
+    config = _pilot_config(quick)
+    observed = dataclasses.replace(config, obs_enabled=True)
+
+    results: dict[str, object] = {}
+
+    def run(cfg, key):
+        results[key] = PilotScenario(cfg).run()
+
+    run(config, "off")  # warm imports and caches for both legs
+    run(observed, "on")
+    # The budget is a few percent — well inside one CI load spike — so
+    # no single wall-clock estimator can gate it.  The legs are
+    # interleaved, automatic GC is off while a leg is timed (the
+    # observed leg allocates far more, so cyclic collections it
+    # triggers would scan whatever heap *earlier benches* left behind
+    # and bill that to obs), collection runs between legs instead, and
+    # the gate takes the *smaller* of two upward-noise-prone
+    # estimators: the median per-pair ratio and the best-leg ratio.
+    # Machine noise (load spikes, frequency states) rarely inflates
+    # both at once; a real obs regression inflates both.
+    import gc
+
+    def timed_leg(cfg, key):
+        gc.collect()
+        gc.disable()
+        try:
+            began = time.perf_counter()
+            for _ in range(batch):
+                run(cfg, key)
+            return (time.perf_counter() - began) / batch
+        finally:
+            gc.enable()
+
+    batch = 2
+    off_seconds = on_seconds = float("inf")
+    ratios = []
+    for _ in range(7):
+        off_leg = timed_leg(config, "off")
+        on_leg = timed_leg(observed, "on")
+        off_seconds = min(off_seconds, off_leg)
+        on_seconds = min(on_seconds, on_leg)
+        ratios.append(on_leg / off_leg if off_leg > 0 else 1.0)
+    identical = (
+        _pilot_fingerprint(results["off"]) == _pilot_fingerprint(results["on"])
+        and results["off"].detected_hosts == results["on"].detected_hosts
+    )
+    median_ratio = sorted(ratios)[len(ratios) // 2]
+    floor_ratio = on_seconds / off_seconds if off_seconds > 0 else 1.0
+    overhead = min(median_ratio, floor_ratio) - 1.0
+    return BenchResult(
+        name="obs_overhead",
+        kind="macro",
+        baseline_seconds=off_seconds,
+        optimized_seconds=on_seconds,
+        gated=False,  # the gate is within_budget, not a speedup floor
+        extras={
+            "population": config.population_size,
+            "identical": identical,
+            "median_ratio": round(median_ratio, 4),
+            "floor_ratio": round(floor_ratio, 4),
+            "overhead_fraction": round(overhead, 4),
+            "budget": OBS_OVERHEAD_BUDGET,
+            "within_budget": overhead < OBS_OVERHEAD_BUDGET,
+        },
+    )
+
+
 BENCHES = {
     "classify": bench_classify,
     "parse": bench_parse,
     "render": bench_render,
     "pilot": bench_pilot,
     "campaign": bench_sharded_campaign,
+    "obs": bench_obs_overhead,
 }
 
 
@@ -525,6 +613,14 @@ def run_from_args(args: argparse.Namespace) -> int:
                   if bench.get("identical") is False]
     if mismatched:
         print(f"FAIL: results not bit-identical: {', '.join(mismatched)}")
+        return 1
+    over_budget = [
+        f"{name} ({bench['overhead_fraction']:+.1%} > {bench['budget']:.0%})"
+        for name, bench in payload["benches"].items()
+        if bench.get("within_budget") is False
+    ]
+    if over_budget:
+        print(f"FAIL: overhead above budget: {', '.join(over_budget)}")
         return 1
     if args.check is not None:
         baseline = json.loads(args.check.read_text(encoding="utf-8"))

@@ -20,6 +20,10 @@ class SimClock:
 
     def __init__(self, start: SimInstant = STUDY_START):
         self._now: SimInstant = start
+        #: Observability hook: called as ``on_violation(seconds, now)``
+        #: before :class:`ClockMovedBackward` is raised, so the journal
+        #: records *where* sim time broke even though the run dies.
+        self.on_violation = None
 
     def now(self) -> SimInstant:
         """Current simulated instant."""
@@ -28,6 +32,8 @@ class SimClock:
     def advance(self, seconds: int) -> SimInstant:
         """Move forward by a non-negative number of seconds."""
         if seconds < 0:
+            if self.on_violation is not None:
+                self.on_violation(seconds, self._now)
             raise ClockMovedBackward(f"advance({seconds})")
         self._now += seconds
         return self._now

@@ -1,0 +1,49 @@
+"""FaultReport merges through the shared obs merge helper.
+
+The journal and the fault report deliberately share one merge
+discipline (:mod:`repro.obs.merge`); this pins the report's merged
+bytes so a change to the shared helper that would silently reshape
+FaultReport output fails here first.
+"""
+
+import json
+
+from repro.faults.report import FaultReport
+from repro.obs.merge import sum_counter_dataclasses
+
+#: Byte-exact merged output of the two reports below.  Regenerate only
+#: for a deliberate schema change, never to "fix" a failing merge.
+PINNED = (
+    '{"captcha_missolved": 7, "captcha_unsolved": 0, "crawler_gave_up": 1, '
+    '"crawler_retries": 0, "dns_failures": 4, "mail_delayed": 0, '
+    '"mail_dropped": 0, "mail_duplicated": 0, "mail_retries": 5, '
+    '"mail_transient_failures": 0, "mail_undelivered": 0, '
+    '"telemetry_dumps_delayed": 0, "telemetry_events_dropped": 5, '
+    '"transport_slow_seconds": 0, "transport_slowdowns": 0, '
+    '"transport_tls_errors": 0, "transport_unreachable": 3}'
+)
+
+
+def sample_reports() -> tuple[FaultReport, FaultReport]:
+    a = FaultReport(transport_unreachable=2, mail_retries=3,
+                    crawler_gave_up=1, telemetry_events_dropped=5)
+    b = FaultReport(transport_unreachable=1, dns_failures=4,
+                    mail_retries=2, captcha_missolved=7)
+    return a, b
+
+
+class TestMergedReportRegression:
+    def test_merged_bytes_are_pinned(self):
+        a, b = sample_reports()
+        assert json.dumps(a.merged_with(b).as_dict(), sort_keys=True) == PINNED
+
+    def test_merge_is_commutative(self):
+        a, b = sample_reports()
+        assert a.merged_with(b) == b.merged_with(a)
+
+    def test_merged_with_equals_the_shared_helper(self):
+        a, b = sample_reports()
+        assert a.merged_with(b) == sum_counter_dataclasses(FaultReport, (a, b))
+
+    def test_empty_fold_yields_default_report(self):
+        assert sum_counter_dataclasses(FaultReport, ()) == FaultReport()

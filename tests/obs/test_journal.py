@@ -1,0 +1,111 @@
+"""Journal serialization, parsing and shard-order invariance."""
+
+import json
+
+import pytest
+
+from repro.obs import Observation
+from repro.obs.journal import (
+    SCHEMA_VERSION,
+    RunJournal,
+    ShardObservation,
+    parse_journal,
+    read_journal,
+)
+from repro.sim.clock import ClockMovedBackward, SimClock
+
+
+def observed_shard(shard_index: int, spans: int = 2) -> ShardObservation:
+    clock = SimClock(start=0)
+    obs = Observation(clock)
+    for _ in range(spans):
+        with obs.span("stage", shard=shard_index):
+            clock.advance(10)
+    obs.count("things", shard_index + 1)
+    obs.get_logger("test").info("done", shard=shard_index)
+    return ShardObservation.capture(obs, shard_index)
+
+
+class TestRunJournal:
+    def test_jsonl_roundtrips_to_the_payload(self):
+        journal = RunJournal({"seed": 7}, [observed_shard(0), observed_shard(1)])
+        parsed = parse_journal(journal.to_jsonl())
+        assert parsed == journal.payload()
+        assert parsed["schema_version"] == SCHEMA_VERSION
+        assert parsed["meta"] == {"seed": 7}
+        assert parsed["shard_count"] == 2
+        assert parsed["span_count"] == 4
+        assert parsed["event_count"] == 2
+        assert parsed["counters"]["things"] == 3
+
+    def test_shard_arrival_order_does_not_change_bytes(self):
+        shards = [observed_shard(k) for k in range(4)]
+        forward = RunJournal({"seed": 1}, shards)
+        backward = RunJournal({"seed": 1}, list(reversed(shards)))
+        assert forward.to_jsonl() == backward.to_jsonl()
+
+    def test_every_line_is_canonical_json(self):
+        journal = RunJournal({"seed": 1}, [observed_shard(0)])
+        for line in journal.to_jsonl().splitlines():
+            payload = json.loads(line)
+            assert json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")) == line
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        journal = RunJournal({"seed": 9}, [observed_shard(0)])
+        path = journal.write(tmp_path / "journal.jsonl")
+        assert read_journal(path) == journal.payload()
+
+    def test_from_observation_is_a_single_shard_journal(self):
+        clock = SimClock()
+        obs = Observation(clock)
+        with obs.span("stage"):
+            clock.advance(1)
+        journal = RunJournal.from_observation(obs, {"command": "pilot"})
+        assert [s.shard_index for s in journal.shards] == [0]
+        assert journal.payload()["span_count"] == 1
+
+
+class TestParseErrors:
+    def test_missing_header_raises(self):
+        with pytest.raises(ValueError, match="no header"):
+            parse_journal('{"record":"totals","counters":{}}\n')
+
+    def test_unsupported_schema_raises(self):
+        bad = json.dumps({"record": "header", "schema_version": 99, "meta": {}})
+        with pytest.raises(ValueError, match="unsupported journal schema"):
+            parse_journal(bad + "\n")
+
+    def test_truncated_journal_raises(self):
+        header = json.dumps(
+            {"record": "header", "schema_version": SCHEMA_VERSION, "meta": {}}
+        )
+        with pytest.raises(ValueError, match="no totals"):
+            parse_journal(header + "\n")
+
+
+class TestClockViolationEvents:
+    def test_backward_advance_is_journaled_before_raising(self):
+        clock = SimClock(start=400)
+        obs = Observation(clock)
+        with pytest.raises(ClockMovedBackward):
+            clock.advance(-5)
+        (event,) = obs.events
+        assert event.component == "sim.clock"
+        assert event.message == "clock moved backward"
+        assert event.time == 400
+        assert event.attrs_dict() == {"seconds": -5}
+        assert obs.metrics.counter("clock.moved_backward") == 1
+
+    def test_system_level_observation_hooks_the_clock(self):
+        from repro.core.system import TripwireSystem
+
+        system = TripwireSystem(seed=3, population_size=50, obs_enabled=True)
+        with pytest.raises(ClockMovedBackward):
+            system.clock.advance(-1)
+        assert system.obs.metrics.counter("clock.moved_backward") == 1
+
+    def test_unobserved_clock_still_raises(self):
+        clock = SimClock()
+        with pytest.raises(ClockMovedBackward):
+            clock.advance(-1)

@@ -1,0 +1,73 @@
+"""The shared shard-merge helpers behind journals and fault reports."""
+
+from dataclasses import dataclass
+
+from repro.obs.merge import (
+    fold_shard_ordered,
+    merge_count_dicts,
+    sum_counter_dataclasses,
+)
+
+
+@dataclass(frozen=True)
+class Counters:
+    hits: int = 0
+    misses: int = 0
+
+
+class TestSumCounterDataclasses:
+    def test_sums_field_wise(self):
+        merged = sum_counter_dataclasses(
+            Counters, [Counters(1, 2), Counters(10, 20), Counters(100, 200)]
+        )
+        assert merged == Counters(111, 222)
+
+    def test_empty_iterable_yields_defaults(self):
+        assert sum_counter_dataclasses(Counters, []) == Counters()
+
+    def test_single_item_copies(self):
+        original = Counters(3, 4)
+        merged = sum_counter_dataclasses(Counters, [original])
+        assert merged == original
+        assert merged is not original
+
+
+class TestFoldShardOrdered:
+    def test_folds_by_shard_index_not_arrival_order(self):
+        arrivals = [(2, "c"), (0, "a"), (1, "b")]
+        folded = fold_shard_ordered(
+            arrivals,
+            index_of=lambda pair: pair[0],
+            fold=lambda acc, pair: acc + pair[1],
+            initial="",
+        )
+        assert folded == "abc"
+
+    def test_any_permutation_gives_the_same_result(self):
+        import itertools
+
+        items = [(k, str(k)) for k in range(4)]
+        outputs = {
+            fold_shard_ordered(
+                list(perm),
+                index_of=lambda pair: pair[0],
+                fold=lambda acc, pair: acc + [pair[1]],
+                initial=[],
+            )
+            == ["0", "1", "2", "3"]
+            for perm in itertools.permutations(items)
+        }
+        assert outputs == {True}
+
+
+class TestMergeCountDicts:
+    def test_sums_key_wise(self):
+        merged = merge_count_dicts([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+    def test_output_is_key_sorted(self):
+        merged = merge_count_dicts([{"z": 1}, {"a": 1}])
+        assert list(merged) == ["a", "z"]
+
+    def test_empty_input(self):
+        assert merge_count_dicts([]) == {}

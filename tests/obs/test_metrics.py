@@ -1,0 +1,127 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    merge_histogram_dicts,
+)
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Bounds are inclusive upper edges: observe(3) belongs to the
+        # "<= 3" bucket, not the next one.
+        h = Histogram("t", bounds=(1, 3, 10))
+        h.observe(3)
+        assert h.buckets == [0, 1, 0]
+        assert h.overflow == 0
+
+    def test_value_past_last_bound_overflows(self):
+        h = Histogram("t", bounds=(1, 3, 10))
+        h.observe(11)
+        assert h.buckets == [0, 0, 0]
+        assert h.overflow == 1
+
+    def test_zero_and_negative_land_in_first_bucket(self):
+        h = Histogram("t", bounds=(1, 3))
+        h.observe(0)
+        h.observe(-2)
+        assert h.buckets == [2, 0]
+
+    def test_count_and_sum_track_observations(self):
+        h = Histogram("t", bounds=(10,))
+        for value in (2, 5, 40):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 47
+        assert h.as_dict() == {
+            "bounds": [10], "buckets": [2], "overflow": 1,
+            "count": 3, "sum": 47,
+        }
+
+    def test_bounds_must_be_ascending_and_non_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=(3, 1))
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("never") == 0
+
+    def test_gauges_keep_latest_value(self):
+        m = MetricsRegistry()
+        m.gauge("depth", 3)
+        m.gauge("depth", 7)
+        assert m.gauges_dict() == {"depth": 7}
+
+    def test_dicts_are_key_sorted(self):
+        m = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            m.inc(name)
+        assert list(m.counters_dict()) == ["alpha", "mid", "zeta"]
+
+    def test_observe_uses_default_latency_bounds(self):
+        m = MetricsRegistry()
+        m.observe("lat", 2)
+        assert m.histograms_dict()["lat"]["bounds"] == list(DEFAULT_LATENCY_BOUNDS)
+
+    def test_histogram_handle_feeds_the_registry(self):
+        # The tracer caches this handle per span name; observations on
+        # it must land in the registry's snapshot.
+        m = MetricsRegistry()
+        handle = m.histogram("lat")
+        assert m.histogram("lat") is handle
+        handle.observe(5)
+        assert m.histograms_dict()["lat"]["count"] == 1
+
+
+class TestNullMetrics:
+    def test_every_write_short_circuits(self):
+        NULL_METRICS.inc("a")
+        NULL_METRICS.gauge("g", 1)
+        NULL_METRICS.observe("h", 2)
+        NULL_METRICS.histogram("h").observe(2)
+        assert NULL_METRICS.counters_dict() == {}
+        assert NULL_METRICS.gauges_dict() == {}
+        assert NULL_METRICS.histograms_dict() == {}
+
+    def test_null_histogram_is_shared(self):
+        assert NULL_METRICS.histogram("a") is NULL_METRICS.histogram("b")
+
+
+class TestMergeHistogramDicts:
+    def test_merges_bucket_wise(self):
+        a = Histogram("lat", bounds=(1, 3))
+        a.observe(1)
+        b = Histogram("lat", bounds=(1, 3))
+        b.observe(2)
+        b.observe(99)
+        merged = merge_histogram_dicts([
+            {"lat": a.as_dict()}, {"lat": b.as_dict()},
+        ])
+        assert merged["lat"] == {
+            "bounds": [1, 3], "buckets": [1, 1], "overflow": 1,
+            "count": 3, "sum": 102,
+        }
+
+    def test_disjoint_names_union(self):
+        a = Histogram("x", bounds=(1,))
+        b = Histogram("y", bounds=(1,))
+        merged = merge_histogram_dicts([{"x": a.as_dict()}, {"y": b.as_dict()}])
+        assert list(merged) == ["x", "y"]
+
+    def test_mismatched_bounds_raise(self):
+        a = Histogram("lat", bounds=(1, 3))
+        b = Histogram("lat", bounds=(1, 5))
+        with pytest.raises(ValueError, match="mismatched bounds"):
+            merge_histogram_dicts([{"lat": a.as_dict()}, {"lat": b.as_dict()}])

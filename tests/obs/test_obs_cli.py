@@ -1,0 +1,85 @@
+"""The CLI surface: --obs-out journals and the obs report subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.journal import SCHEMA_VERSION, read_journal
+
+
+@pytest.fixture()
+def campaign_journal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    code = main([
+        "campaign", "--top", "12", "--population", "60",
+        "--shards", "2", "--workers", "1", "--seed", "13",
+        "--obs-out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestCampaignObsOut:
+    def test_writes_a_parseable_journal(self, campaign_journal):
+        payload = read_journal(campaign_journal)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["meta"]["command"] == "campaign"
+        assert payload["shard_count"] == 2
+        assert payload["span_count"] > 0
+
+    def test_prints_the_live_ops_report(self, tmp_path, capsys):
+        assert main([
+            "campaign", "--top", "12", "--population", "60",
+            "--shards", "2", "--workers", "1", "--seed", "13",
+            "--obs-out", str(tmp_path / "journal.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Run journal (schema v1)" in out
+        assert "Stage latency: shard.execute" in out
+        # Live runs also get the process-local cache section.
+        assert "Cache stats (live process, not journaled)" in out
+
+    def test_rerun_overwrites_with_identical_bytes(self, campaign_journal, tmp_path):
+        again = tmp_path / "again.jsonl"
+        assert main([
+            "campaign", "--top", "12", "--population", "60",
+            "--shards", "2", "--workers", "1", "--seed", "13",
+            "--obs-out", str(again),
+        ]) == 0
+        assert again.read_bytes() == campaign_journal.read_bytes()
+
+
+class TestObsReportSubcommand:
+    def test_renders_a_saved_journal(self, campaign_journal, capsys):
+        capsys.readouterr()  # drop the campaign's own output
+        assert main(["obs", "report", str(campaign_journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Run journal (schema v1)" in out
+        # Saved journals never carry process-local cache stats.
+        assert "Cache stats" not in out
+
+    def test_missing_journal_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such journal" in capsys.readouterr().err
+
+
+class TestCampaignWithoutObs:
+    def test_default_run_writes_no_journal(self, tmp_path, capsys):
+        assert main([
+            "campaign", "--top", "8", "--population", "60",
+            "--shards", "2", "--workers", "1", "--seed", "13",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Run journal" not in out
+
+    def test_json_summary_still_works_alongside_obs(self, tmp_path):
+        summary = tmp_path / "summary.json"
+        journal = tmp_path / "journal.jsonl"
+        assert main([
+            "campaign", "--top", "8", "--population", "60",
+            "--shards", "2", "--workers", "1", "--seed", "13",
+            "--json", str(summary), "--obs-out", str(journal),
+        ]) == 0
+        assert json.loads(summary.read_text())["stats"]["attempts"] >= 0
+        assert journal.is_file()

@@ -1,0 +1,109 @@
+"""Span tracing on the sim clock, and the zero-overhead null path."""
+
+import pytest
+
+from repro.obs import NO_OP, Observation
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracing import NO_PARENT, NULL_SPAN, NullTracer, Tracer
+from repro.sim.clock import SimClock
+
+
+class TestTracer:
+    def test_span_records_sim_clock_interval(self):
+        clock = SimClock(start=1000)
+        tracer = Tracer(clock)
+        with tracer.span("stage"):
+            clock.advance(30)
+        (span,) = tracer.spans
+        assert (span.name, span.start, span.end) == ("stage", 1000, 1030)
+        assert span.duration == 30
+
+    def test_nested_spans_carry_parent_indices(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].parent == NO_PARENT
+        assert by_name["inner"].parent == by_name["outer"].index
+        assert by_name["sibling"].parent == by_name["outer"].index
+        # Records append at close time: inner finishes before outer.
+        assert [s.name for s in tracer.spans] == ["inner", "sibling", "outer"]
+
+    def test_attrs_are_sorted_tuples(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("s", zulu=1, alpha=2):
+            pass
+        assert tracer.spans[0].attrs == (("alpha", 2), ("zulu", 1))
+        assert tracer.spans[0].attrs_dict() == {"alpha": 2, "zulu": 1}
+
+    def test_early_exit_still_closes_span_at_the_right_instant(self):
+        # Instrumented stages return from inside ``with`` blocks; the
+        # span must close at the sim instant the stage actually ended.
+        clock = SimClock(start=0)
+        tracer = Tracer(clock)
+
+        def stage():
+            with tracer.span("stage"):
+                clock.advance(5)
+                return "early"
+
+        assert stage() == "early"
+        assert tracer.spans[0].end == 5
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(SimClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["doomed"]
+
+    def test_durations_feed_a_histogram_per_span_name(self):
+        clock = SimClock()
+        metrics = MetricsRegistry()
+        tracer = Tracer(clock, metrics)
+        for seconds in (2, 40):
+            with tracer.span("crawl.attempt"):
+                clock.advance(seconds)
+        data = metrics.histograms_dict()["span.crawl.attempt.sim_seconds"]
+        assert data["count"] == 2
+        assert data["sum"] == 42
+
+
+class TestNullPath:
+    def test_null_tracer_returns_the_shared_null_span(self):
+        tracer = NullTracer()
+        assert tracer.span("anything", attr=1) is NULL_SPAN
+        assert tracer.spans == ()
+
+    def test_no_op_observation_short_circuits_everything(self):
+        assert NO_OP.span("s") is NULL_SPAN
+        assert NO_OP.metrics is NULL_METRICS
+        NO_OP.count("c", 5)
+        assert NO_OP.events == ()
+
+    def test_no_op_logger_is_shared_and_silent(self):
+        logger = NO_OP.get_logger("component")
+        assert logger is NO_OP.get_logger("other")
+        logger.info("dropped", attr=1)
+        assert NO_OP.events == ()
+
+    def test_null_span_usable_as_context_manager(self):
+        with NO_OP.span("s", host="x") as span:
+            assert span is NULL_SPAN
+
+
+class TestObservationLogger:
+    def test_events_are_sim_time_stamped_and_attr_sorted(self):
+        clock = SimClock(start=500)
+        obs = Observation(clock)
+        log = obs.get_logger("mail.hop")
+        clock.advance(25)
+        log.info("relayed", zulu=1, alpha=2)
+        (event,) = obs.events
+        assert event.time == 525
+        assert event.component == "mail.hop"
+        assert event.message == "relayed"
+        assert event.attrs == (("alpha", 2), ("zulu", 1))

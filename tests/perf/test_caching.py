@@ -34,8 +34,35 @@ class TestLruCache:
         cache.get("missing")
         cache.put("k", "v")
         cache.get("k")
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
         assert len(cache) == 1
+
+    def test_stats_count_evictions(self):
+        cache = LruCache(maxsize=2, name="t-evict-stats")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear_resets_counters(self):
+        # A/B perf runs toggle the layer between legs; counters must
+        # restart from zero or the optimized leg inherits baseline noise.
+        cache = LruCache(maxsize=1, name="t-clear-reset")
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts a
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+
+    def test_disable_resets_counters_via_clear(self):
+        cache = LruCache(maxsize=2, name="t-disable-reset")
+        cache.get("missing")
+        cache.put("k", "v")
+        cache.get("k")
+        _perf.set_enabled(False)
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        _perf.set_enabled(True)
 
     def test_registered_by_name(self):
         cache = LruCache(maxsize=2, name="t-registry")
