@@ -64,6 +64,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="independent world shards (default 8)")
     campaign.add_argument("--workers", type=int, default=1,
                           help="parallel shard workers (default 1)")
+    campaign.add_argument("--warm-workers", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="per-worker warm world cache (site specs, identity "
+                               "corpora); --no-warm-workers forces the cold "
+                               "reference path (output is identical either way)")
     campaign.add_argument("--executor", choices=["serial", "thread", "process"],
                           default="process",
                           help="shard executor backend (default process)")
@@ -225,6 +230,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         obs_enabled=args.obs_out is not None,
         obs_meta={"command": "campaign"},
+        warm_workers=args.warm_workers,
     )
     print(
         f"campaign: top={len(sites)} shards={args.shards} "

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.email_provider.telemetry import LoginEvent
 from repro.identity.passwords import PasswordClass
 from repro.identity.pool import IdentityPool
+from repro.perf import caching as _perf
 from repro.util.timeutil import SimInstant
 
 
@@ -100,6 +101,10 @@ class CompromiseMonitor:
         self.control_logins: list[LoginEvent] = []
         self.alarms: list[IntegrityAlarm] = []
         self.ingested_events = 0
+        # Per-account login index for logins_for_account; append-only
+        # alongside each detection's login list, so it never goes
+        # stale.  Keys are lowercased email locals.
+        self._logins_by_account: dict[str, list[AttributedLogin]] = {}
 
     def ingest_dump(self, events: list[LoginEvent]) -> list[AttributedLogin]:
         """Process one provider dump; returns newly attributed logins."""
@@ -128,6 +133,7 @@ class CompromiseMonitor:
             )
             self.detections.setdefault(site, DetectedCompromise(site_host=site))
             self.detections[site].logins.append(login)
+            self._logins_by_account.setdefault(local, []).append(login)
             attributed.append(login)
         return attributed
 
@@ -142,8 +148,15 @@ class CompromiseMonitor:
         return len(self.detections)
 
     def logins_for_account(self, email_local: str) -> list[AttributedLogin]:
-        """All attributed logins for one account."""
+        """All attributed logins for one account.
+
+        Served from the per-account index — the reference scan walks
+        every detection's logins per lookup, quadratic when callers
+        iterate accounts (the analysis reports do).
+        """
         wanted = email_local.lower()
+        if _perf.enabled():
+            return list(self._logins_by_account.get(wanted, ()))
         return [
             login
             for detection in self.detections.values()

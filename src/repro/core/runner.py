@@ -29,6 +29,27 @@ streams from its own (seed, shard_index, plan.seed) and fills a private
 in shard-index order.  With any plan and a fixed seed, the merged
 output — attempts, telemetry *and* fault report — is bit-identical for
 any worker count and executor.
+
+Scale-out layer (PR 5)
+----------------------
+
+Three orthogonal optimizations ride on top, none of which may move a
+bit of merged output:
+
+- **Warm workers** (:mod:`repro.perf.warm`): shard-invariant substrate
+  products (site specs, identity corpora) are cached for the worker
+  process's lifetime, so a persistent pool builds each world once per
+  worker instead of once per shard.  ``warm_enabled`` rides in the
+  plan; the cold path survives as the reference.
+- **Wire codec** (:mod:`repro.perf.wire`): the process backend ships
+  each shard result as one compact interned-tuple blob instead of a
+  default-pickled object graph; per-shard bytes-on-wire are recorded
+  on the run result (never in the journal — they are executor-shaped).
+- **Streaming merge**: shard results fold into a
+  :class:`ShardResultMerger` as they complete instead of waiting on a
+  ``pool.map`` barrier, so the merge is overlapped with the slowest
+  shard and a worker failure surfaces immediately.  The fold is
+  position-keyed, so arrival order still cannot affect output.
 """
 
 from __future__ import annotations
@@ -45,7 +66,9 @@ from repro.faults.report import FaultReport
 from repro.identity.passwords import PasswordClass
 from repro.identity.pool import IdentityState
 from repro.obs.journal import RunJournal, ShardObservation
-from repro.obs.merge import fold_shard_ordered, sum_counter_dataclasses
+from repro.obs.merge import collect_shard_ordered, sum_counter_dataclasses
+from repro.perf import warm as _warm
+from repro.perf import wire as _wire
 from repro.util.timeutil import STUDY_START, SimInstant
 from repro.web.generator import GeneratorConfig
 from repro.web.population import RankedSite
@@ -77,6 +100,9 @@ class ShardPlan:
     identity_headroom: int = 8
     fault_plan: FaultPlan | None = None
     obs_enabled: bool = False
+    #: Opt-in to the per-worker warm world cache.  Off by default so a
+    #: bare ``run_shard(plan)`` is always the cold reference path.
+    warm_enabled: bool = False
 
 
 @dataclass(frozen=True)
@@ -124,6 +150,10 @@ class CampaignRunResult:
     #: journal's meta deliberately excludes workers/executor/wall time
     #: so its serialized bytes are identical for any worker count.
     journal: RunJournal | None = None
+    #: Bytes-on-wire per shard index when the process backend shipped
+    #: results through the compact codec; empty otherwise.  Lives here,
+    #: not in the journal — it is executor-shaped operational data.
+    wire_bytes: dict[int, int] = field(default_factory=dict)
 
     def exposed_attempts(self) -> list[AttemptRecord]:
         """Attempts where an identity was burned."""
@@ -177,7 +207,15 @@ def run_shard(plan: ShardPlan) -> ShardResult:
     it.  Identity provisioning is sized from the shard's site count:
     every site may take a hard attempt, a follow-up easy attempt and
     an occasional second hard attempt.
+
+    With ``plan.warm_enabled`` (and the perf layer on), shard-invariant
+    substrate products come from the worker-process-lifetime cache in
+    :mod:`repro.perf.warm`; otherwise this is the cold reference path.
+    Either way the result is bit-identical — the warm cache holds only
+    pure functions of the plan's world key.
     """
+    namespace = ("shard", plan.shard_index)
+    warm = _warm.world_for_plan(plan)
     system = TripwireSystem(
         seed=plan.seed,
         population_size=plan.population_size,
@@ -185,14 +223,18 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         generator_config=plan.generator_config,
         crawler_config=plan.crawler_config,
         site_overrides=_overrides_to_dict(plan.site_overrides),
-        apparatus_namespace=("shard", plan.shard_index),
+        apparatus_namespace=namespace,
         fault_plan=plan.fault_plan,
         obs_enabled=plan.obs_enabled,
+        warm=warm,
     )
     hard_needed = 2 * len(plan.sites) + plan.identity_headroom
     easy_needed = len(plan.sites) + plan.identity_headroom
-    provisioned = system.provision_identities(hard_needed, PasswordClass.HARD)
-    provisioned += system.provision_identities(easy_needed, PasswordClass.EASY)
+    if warm is not None:
+        provisioned = warm.provision(system, hard_needed, easy_needed, namespace)
+    else:
+        provisioned = system.provision_identities(hard_needed, PasswordClass.HARD)
+        provisioned += system.provision_identities(easy_needed, PasswordClass.EASY)
 
     campaign = RegistrationCampaign(system, policy=plan.policy)
     site_attempts: list[tuple[int, list[AttemptRecord]]] = []
@@ -227,6 +269,63 @@ def run_shard(plan: ShardPlan) -> ShardResult:
     )
 
 
+def run_shard_wire(plan: ShardPlan) -> bytes:
+    """Run a shard and ship its result as one compact wire blob.
+
+    Top-level so the process backend can pickle it.  Encoding in the
+    worker means the pool transfers a single ``bytes`` object; the
+    parent decodes as results stream in, and ``len()`` of the blob is
+    the shard's exact bytes-on-wire.
+    """
+    return _wire.encode_shard_bytes(run_shard(plan))
+
+
+class ShardResultMerger:
+    """Incremental position-keyed fold of shard results.
+
+    Results are added in *completion* order as the executor yields
+    them; :meth:`finish` produces output invariant to that order —
+    attempts sort on each site's position in the original ranked list
+    and counters fold in shard-index order.  Appending per-site groups
+    as they arrive (rather than re-concatenating an accumulator per
+    shard) keeps the merge linear in total attempt count.
+    """
+
+    def __init__(self):
+        self._results: list[ShardResult] = []
+        self._indexed: list[tuple[int, list[AttemptRecord]]] = []
+        self._finished = False
+
+    def add(self, result: ShardResult) -> None:
+        """Fold in one shard's output (any order, exactly once each)."""
+        if self._finished:
+            raise RuntimeError("merger already finished")
+        self._results.append(result)
+        self._indexed.extend(result.site_attempts)
+
+    @property
+    def results(self) -> list[ShardResult]:
+        """Shard results added so far, in shard-index order."""
+        return collect_shard_ordered(self._results, index_of=lambda r: r.shard_index)
+
+    def finish(self) -> tuple[
+        list[AttemptRecord], CampaignStats, ShardTelemetry, FaultReport
+    ]:
+        """The merged (attempts, stats, telemetry, fault report)."""
+        self._finished = True
+        self._indexed.sort(key=lambda pair: pair[0])
+        attempts = [record for _position, group in self._indexed for record in group]
+        ordered = self.results
+        stats = sum_counter_dataclasses(CampaignStats, (r.stats for r in ordered))
+        telemetry = sum_counter_dataclasses(
+            ShardTelemetry, (r.telemetry for r in ordered)
+        )
+        fault_report = sum_counter_dataclasses(
+            FaultReport, (r.fault_report for r in ordered)
+        )
+        return attempts, stats, telemetry, fault_report
+
+
 def merge_shard_results(results: list[ShardResult]) -> tuple[
     list[AttemptRecord], CampaignStats, ShardTelemetry, FaultReport
 ]:
@@ -236,28 +335,13 @@ def merge_shard_results(results: list[ShardResult]) -> tuple[
     ranked list, with per-site attempt order preserved; stats,
     telemetry and fault reports merge by summation in shard-index
     order.  The result is invariant to the order ``results`` arrives
-    in.
+    in.  (The batch wrapper over :class:`ShardResultMerger`, which the
+    runner itself feeds incrementally.)
     """
-    indexed: list[tuple[int, list[AttemptRecord]]] = []
+    merger = ShardResultMerger()
     for result in results:
-        indexed.extend(result.site_attempts)
-    indexed.sort(key=lambda pair: pair[0])
-    attempts = [record for _position, group in indexed for record in group]
-
-    ordered = fold_shard_ordered(
-        results,
-        index_of=lambda r: r.shard_index,
-        fold=lambda acc, r: acc + [r],
-        initial=[],
-    )
-    stats = sum_counter_dataclasses(CampaignStats, (r.stats for r in ordered))
-    telemetry = sum_counter_dataclasses(
-        ShardTelemetry, (r.telemetry for r in ordered)
-    )
-    fault_report = sum_counter_dataclasses(
-        FaultReport, (r.fault_report for r in ordered)
-    )
-    return attempts, stats, telemetry, fault_report
+        merger.add(result)
+    return merger.finish()
 
 
 class CampaignRunner:
@@ -268,6 +352,14 @@ class CampaignRunner:
     (I/O-bound friendly; bounded by the GIL for this pure-Python
     workload) or ``"process"`` (true parallelism; shards rebuild their
     worlds in the worker process from the picklable plan).
+
+    ``warm_workers`` opts shards into the per-worker world cache;
+    ``wire_codec`` ships process-backend results through the compact
+    codec; ``persistent_pool`` keeps the executor's pool alive across
+    :meth:`run` calls so worker processes retain their warm caches
+    (pair with :meth:`close`, or use the runner as a context manager).
+    All three default to the fast path being available but change no
+    output bit.
     """
 
     def __init__(
@@ -286,6 +378,9 @@ class CampaignRunner:
         fault_plan: FaultPlan | None = None,
         obs_enabled: bool = False,
         obs_meta: dict | None = None,
+        warm_workers: bool = True,
+        wire_codec: bool = True,
+        persistent_pool: bool = False,
     ):
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -310,6 +405,10 @@ class CampaignRunner:
         #: never include worker counts, executor names or wall-clock
         #: values — they would break journal byte-identity.
         self.obs_meta = dict(obs_meta) if obs_meta else {}
+        self.warm_workers = warm_workers
+        self.wire_codec = wire_codec
+        self.persistent_pool = persistent_pool
+        self._pool: concurrent.futures.Executor | None = None
 
     # -- planning -----------------------------------------------------------
 
@@ -336,6 +435,7 @@ class CampaignRunner:
                     identity_headroom=self.identity_headroom,
                     fault_plan=self.fault_plan,
                     obs_enabled=self.obs_enabled,
+                    warm_enabled=self.warm_workers,
                 )
             )
         return plans
@@ -345,25 +445,30 @@ class CampaignRunner:
     def run(self, sites: list[RankedSite]) -> CampaignRunResult:
         """Execute the sharded campaign over a ranked list."""
         plans = self.plan(sites)
+        merger = ShardResultMerger()
+        wire_bytes: dict[int, int] = {}
         began = time.perf_counter()
         if self.executor == "serial" or self.workers == 1 or len(plans) <= 1:
-            shard_results = [run_shard(plan) for plan in plans]
+            for plan in plans:
+                merger.add(run_shard(plan))
         else:
-            shard_results = self._run_pooled(plans)
+            self._run_pooled(plans, merger, wire_bytes)
         wall = time.perf_counter() - began
-        attempts, stats, telemetry, fault_report = merge_shard_results(shard_results)
+        shard_results = merger.results
+        attempts, stats, telemetry, fault_report = merger.finish()
         journal = self._build_journal(sites, shard_results) if self.obs_enabled else None
         return CampaignRunResult(
             attempts=attempts,
             stats=stats,
             telemetry=telemetry,
-            shard_results=sorted(shard_results, key=lambda r: r.shard_index),
+            shard_results=shard_results,
             wall_seconds=wall,
             workers=self.workers,
             shards=self.shards,
             executor=self.executor,
             fault_report=fault_report,
             journal=journal,
+            wire_bytes=wire_bytes,
         )
 
     def _build_journal(
@@ -389,11 +494,70 @@ class CampaignRunner:
         ]
         return RunJournal(meta, captures)
 
-    def _run_pooled(self, plans: list[ShardPlan]) -> list[ShardResult]:
+    def _acquire_pool(self) -> concurrent.futures.Executor:
+        """The executor pool — cached across runs when persistent.
+
+        A persistent process pool is what makes warm workers pay off:
+        worker processes survive between :meth:`run` calls, so their
+        :mod:`repro.perf.warm` caches stay populated.
+        """
+        if self._pool is not None:
+            return self._pool
         pool_cls = (
             concurrent.futures.ThreadPoolExecutor
             if self.executor == "thread"
             else concurrent.futures.ProcessPoolExecutor
         )
-        with pool_cls(max_workers=self.workers) as pool:
-            return list(pool.map(run_shard, plans))
+        pool = pool_cls(max_workers=self.workers)
+        if self.persistent_pool:
+            self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_pooled(
+        self,
+        plans: list[ShardPlan],
+        merger: ShardResultMerger,
+        wire_bytes: dict[int, int],
+    ) -> None:
+        """Fan shards out and fold results in as they complete.
+
+        No barrier: each result merges the moment its future resolves
+        (the position-keyed merger makes completion order irrelevant),
+        and the first shard failure propagates immediately — remaining
+        futures are cancelled rather than drained.  The process
+        backend ships results through the wire codec when enabled;
+        threads share memory, so the codec would be pure overhead
+        there.
+        """
+        use_codec = self.executor == "process" and self.wire_codec
+        work = run_shard_wire if use_codec else run_shard
+        pool = self._acquire_pool()
+        try:
+            futures = {pool.submit(work, plan): plan for plan in plans}
+            try:
+                for future in concurrent.futures.as_completed(futures):
+                    payload = future.result()
+                    if use_codec:
+                        plan = futures[future]
+                        wire_bytes[plan.shard_index] = len(payload)
+                        payload = _wire.decode_shard_bytes(payload)
+                    merger.add(payload)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        finally:
+            if pool is not self._pool:
+                pool.shutdown(wait=True, cancel_futures=True)

@@ -90,6 +90,7 @@ class WorldShard:
         mail_router: MailRouter | None = None,
         config: GeneratorConfig | None = None,
         overrides: dict[int, dict[str, object]] | None = None,
+        spec_cache: object | None = None,
     ) -> InternetPopulation:
         """Attach the ranked population (once) and return it.
 
@@ -111,5 +112,6 @@ class WorldShard:
             mail_router=mail_router,
             config=config,
             overrides=overrides,
+            spec_cache=spec_cache,
         )
         return self.population

@@ -48,6 +48,7 @@ class TripwireSystem:
         apparatus_namespace: tuple[object, ...] = (),
         fault_plan: FaultPlan | None = None,
         obs_enabled: bool = False,
+        warm: object | None = None,
     ):
         self.tree = RngTree(seed)
         #: The apparatus draws from a (possibly shard-namespaced) tree
@@ -68,11 +69,18 @@ class TripwireSystem:
             crawler_config=crawler_config,
             proxy_pool_size=proxy_pool_size,
         )
+        #: Warm-worker world cache (:mod:`repro.perf.warm`), if any.
+        #: Only shard-invariant substrate products flow through it — the
+        #: site-spec cache here, the identity corpus via
+        #: :meth:`provision_identities` — so warm and cold runs stay
+        #: bit-identical.
+        self.warm = warm
         self.population = self.world.build_population(
             population_size,
             mail_router=self.route_site_mail,
             config=generator_config,
             overrides=site_overrides,
+            spec_cache=getattr(warm, "spec_cache", None),
         )
 
         # -- flat aliases into the layers (the pre-decomposition API) ------
@@ -110,9 +118,18 @@ class TripwireSystem:
 
     # -- identity provisioning -------------------------------------------------------
 
-    def provision_identities(self, count: int, password_class: PasswordClass) -> int:
+    def provision_identities(
+        self,
+        count: int,
+        password_class: PasswordClass,
+        *,
+        prebuilt=None,
+        record=None,
+    ) -> int:
         """Create identities and the matching provider accounts."""
-        return self.apparatus.provision_identities(count, password_class)
+        return self.apparatus.provision_identities(
+            count, password_class, prebuilt=prebuilt, record=record
+        )
 
     def provision_control_accounts(self, count: int) -> list[str]:
         """Create control accounts we log into ourselves (Section 4.2)."""

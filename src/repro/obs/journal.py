@@ -32,7 +32,7 @@ import json
 import pathlib
 from dataclasses import dataclass, field
 
-from repro.obs.merge import fold_shard_ordered, merge_count_dicts
+from repro.obs.merge import collect_shard_ordered, merge_count_dicts
 from repro.obs import EventRecord, Observation
 from repro.obs.metrics import merge_histogram_dicts
 from repro.obs.tracing import SpanRecord
@@ -120,13 +120,9 @@ class RunJournal:
 
     def __init__(self, meta: dict, shards: list[ShardObservation]):
         self.meta = dict(meta)
-        #: fold_shard_ordered with list-append: the canonical shard
-        #: layout, invariant to arrival order.
-        self.shards: list[ShardObservation] = fold_shard_ordered(
-            shards,
-            index_of=lambda s: s.shard_index,
-            fold=lambda acc, s: acc + [s],
-            initial=[],
+        #: The canonical shard layout, invariant to arrival order.
+        self.shards: list[ShardObservation] = collect_shard_ordered(
+            shards, index_of=lambda s: s.shard_index
         )
 
     @classmethod

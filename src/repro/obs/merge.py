@@ -66,6 +66,24 @@ def fold_shard_ordered(
     return result
 
 
+def _append_fold(acc: list[T], item: T) -> list[T]:
+    """Append-based fold step: O(1) per item, unlike ``acc + [item]``."""
+    acc.append(item)
+    return acc
+
+
+def collect_shard_ordered(
+    items: Sequence[T], index_of: Callable[[T], int]
+) -> list[T]:
+    """Shard artifacts as a new list in ascending shard-index order.
+
+    The common ``fold_shard_ordered`` specialization; the append-based
+    fold keeps it linear where ``fold=lambda acc, x: acc + [x]`` copies
+    the accumulator once per shard (quadratic over large shard counts).
+    """
+    return fold_shard_ordered(items, index_of=index_of, fold=_append_fold, initial=[])
+
+
 def merge_count_dicts(mappings: Iterable[dict[str, int]]) -> dict[str, int]:
     """Key-wise sum of counter mappings, sorted by key."""
     totals: dict[str, int] = {}

@@ -31,13 +31,21 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of events sharing one :class:`SimClock`."""
+    """Min-heap of events sharing one :class:`SimClock`.
 
-    def __init__(self, clock: SimClock):
+    ``keep_history`` opts in to retaining every executed event for
+    later inspection.  Retention is off by default: a campaign run
+    executes O(sites) events per shard and the history is pure ballast
+    there — only :attr:`executed_count` is tracked unconditionally.
+    """
+
+    def __init__(self, clock: SimClock, keep_history: bool = False):
         self._clock = clock
         self._heap: list[tuple[tuple[SimInstant, int], Event]] = []
         self._counter = itertools.count()
+        self._keep_history = keep_history
         self._executed: list[Event] = []
+        self._executed_count = 0
 
     @property
     def clock(self) -> SimClock:
@@ -71,7 +79,7 @@ class EventQueue:
             _key, event = heapq.heappop(self._heap)
             self._clock.advance_to(event.time)
             event.action()
-            self._executed.append(event)
+            self._record(event)
             executed += 1
         self._clock.advance_to(deadline)
         return executed
@@ -83,10 +91,30 @@ class EventQueue:
             _key, event = heapq.heappop(self._heap)
             self._clock.advance_to(event.time)
             event.action()
-            self._executed.append(event)
+            self._record(event)
             executed += 1
         return executed
 
+    def _record(self, event: Event) -> None:
+        self._executed_count += 1
+        if self._keep_history:
+            self._executed.append(event)
+
+    @property
+    def executed_count(self) -> int:
+        """How many events have run (tracked even without history)."""
+        return self._executed_count
+
     def executed_events(self) -> list[Event]:
-        """Events already run, in execution order."""
+        """Events already run, in execution order.
+
+        Requires ``keep_history=True`` at construction; without it the
+        queue deliberately retains nothing, and asking for the history
+        is a caller bug rather than an empty answer.
+        """
+        if not self._keep_history:
+            raise RuntimeError(
+                "event history disabled; construct EventQueue(clock, "
+                "keep_history=True) to retain executed events"
+            )
         return list(self._executed)

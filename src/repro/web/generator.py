@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.data.sites import SHARED_BACKENDS, SITE_CATEGORIES, SITE_NAME_STEMS, SITE_NAME_SUFFIXES, TLDS
 from repro.util.rngtree import RngTree, weighted_choice
@@ -130,6 +131,17 @@ class GeneratorConfig:
     )
 
 
+class SpecCacheLike(Protocol):
+    """A shared site-spec table (see :class:`repro.perf.warm.SpecCache`).
+
+    Declared here as a Protocol so the web layer never imports the perf
+    layer; any object with these two attributes qualifies.
+    """
+
+    specs: dict[int, SiteSpec]
+    hosts_taken: set[str]
+
+
 def _storage_weights(rank: int) -> tuple[tuple[str, float], ...]:
     """Password-storage mix; small sites store passwords worse."""
     import math
@@ -145,18 +157,34 @@ def _storage_weights(rank: int) -> tuple[tuple[str, float], ...]:
 
 
 class SiteGenerator:
-    """Draws :class:`SiteSpec` objects deterministically by rank."""
+    """Draws :class:`SiteSpec` objects deterministically by rank.
+
+    ``spec_cache`` (see :mod:`repro.perf.warm`) shares the generated
+    spec table across generators built from the same seed and config:
+    each rank's spec is a pure function of ``(seed, config, overrides,
+    rank)`` — the per-rank RNG stream is derived from the tree alone —
+    so a warm worker re-running a world regenerates nothing.  Specs are
+    never mutated after generation (the generator itself writes
+    ``notes`` before publishing), which is what makes sharing instances
+    across worlds in one process safe.
+    """
 
     def __init__(
         self,
         rng_tree: RngTree,
         config: GeneratorConfig | None = None,
         overrides: dict[int, dict[str, object]] | None = None,
+        spec_cache: "SpecCacheLike | None" = None,
     ):
         self._tree = rng_tree.child("site-generator")
         self.config = config or GeneratorConfig()
         self._overrides = dict(overrides or {})
-        self._hosts_taken: set[str] = set()
+        self._spec_cache = spec_cache
+        #: With a shared cache, collision avoidance consults the shared
+        #: host set so cached and freshly generated specs never clash.
+        self._hosts_taken: set[str] = (
+            spec_cache.hosts_taken if spec_cache is not None else set()
+        )
 
     def _host_for(self, rank: int, rng: random.Random, backend: str | None) -> str:
         tld = weighted_choice(rng, TLDS)
@@ -178,6 +206,18 @@ class SiteGenerator:
         return host
 
     def spec_for_rank(self, rank: int) -> SiteSpec:
+        """The spec for one rank (from the shared cache when warm)."""
+        cache = self._spec_cache
+        if cache is not None:
+            spec = cache.specs.get(rank)
+            if spec is not None:
+                return spec
+        spec = self._generate(rank)
+        if cache is not None:
+            cache.specs[rank] = spec
+        return spec
+
+    def _generate(self, rank: int) -> SiteSpec:
         """Generate (deterministically) the spec for one rank."""
         rng = self._tree.child("rank", rank).rng()
         cfg = self.config

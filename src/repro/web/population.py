@@ -49,6 +49,7 @@ class InternetPopulation:
         mail_router: MailRouter | None = None,
         config: GeneratorConfig | None = None,
         overrides: dict[int, dict[str, object]] | None = None,
+        spec_cache: object | None = None,
     ):
         if size < 1:
             raise ValueError("population size must be positive")
@@ -59,7 +60,9 @@ class InternetPopulation:
         self._whois = whois
         self._dns = dns
         self._mail_router = mail_router
-        self._generator = SiteGenerator(rng_tree, config=config, overrides=overrides)
+        self._generator = SiteGenerator(
+            rng_tree, config=config, overrides=overrides, spec_cache=spec_cache
+        )
         self._specs: dict[int, SiteSpec] = {}
         self._sites: dict[str, Website] = {}
         self._host_to_rank: dict[str, int] = {}

@@ -73,6 +73,22 @@ class TestAttribution:
         monitor.ingest_dump([login(hard), login(easy)])
         assert len(monitor.logins_for_account(hard.email_local)) == 1
 
+    def test_account_index_matches_reference_scan(self, world):
+        from repro.perf import caching as _perf
+
+        monitor, hard, easy, _unused, _control = world
+        monitor.ingest_dump([login(hard, day=10), login(easy, day=12),
+                             login(hard, day=20, ip=123)])
+        try:
+            _perf.set_enabled(True)
+            indexed = monitor.logins_for_account(hard.email_local)
+            _perf.set_enabled(False)
+            scanned = monitor.logins_for_account(hard.email_local)
+        finally:
+            _perf.set_enabled(True)
+        assert indexed == scanned
+        assert len(indexed) == 2
+
 
 class TestIntegrity:
     def test_control_logins_not_detections(self, world):

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.runner import (
     CampaignRunner,
+    ShardResultMerger,
     merge_shard_results,
     pack_overrides,
     partition_sites,
@@ -167,3 +168,89 @@ class TestRunnerValidation:
         ).run(sites)
         assert all(a.exposed for a in result.exposed_attempts())
         assert len(result.exposed_attempts()) == result.stats.exposed_attempts
+
+
+class TestIncrementalMerger:
+    def test_merger_matches_batch_merge(self, sites):
+        runner = CampaignRunner(seed=SEED, population_size=POPULATION, shards=4)
+        results = [run_shard(plan) for plan in runner.plan(sites)]
+        merger = ShardResultMerger()
+        for result in reversed(results):  # worst-case arrival order
+            merger.add(result)
+        assert merger.finish() == merge_shard_results(results)
+
+    def test_results_property_is_shard_ordered(self, sites):
+        runner = CampaignRunner(seed=SEED, population_size=POPULATION, shards=3)
+        results = [run_shard(plan) for plan in runner.plan(sites)]
+        merger = ShardResultMerger()
+        for result in reversed(results):
+            merger.add(result)
+        assert [r.shard_index for r in merger.results] == [0, 1, 2]
+
+    def test_add_after_finish_rejected(self, sites):
+        runner = CampaignRunner(seed=SEED, population_size=POPULATION, shards=2)
+        results = [run_shard(plan) for plan in runner.plan(sites)]
+        merger = ShardResultMerger()
+        merger.add(results[0])
+        merger.finish()
+        with pytest.raises(RuntimeError):
+            merger.add(results[1])
+
+
+class TestScaleOutExecutor:
+    def test_wire_bytes_recorded_on_codec_path(self, sites):
+        result = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4,
+            workers=2, executor="process",
+        ).run(sites)
+        assert sorted(result.wire_bytes) == [0, 1, 2, 3]
+        assert all(size > 0 for size in result.wire_bytes.values())
+
+    def test_no_wire_bytes_without_codec(self, sites):
+        serial = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4
+        ).run(sites)
+        assert serial.wire_bytes == {}
+        no_codec = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4,
+            workers=2, executor="process", wire_codec=False,
+        ).run(sites)
+        assert no_codec.wire_bytes == {}
+
+    def test_codec_and_warm_do_not_change_results(self, sites):
+        reference = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4,
+            warm_workers=False, wire_codec=False,
+        ).run(sites)
+        fast = CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4,
+            workers=2, executor="process",
+        ).run(sites)
+        assert fingerprint(fast) == fingerprint(reference)
+        assert fast.stats == reference.stats
+        assert fast.telemetry == reference.telemetry
+
+    def test_persistent_pool_reuse_and_close(self, sites):
+        with CampaignRunner(
+            seed=SEED, population_size=POPULATION, shards=4,
+            workers=2, executor="process", persistent_pool=True,
+        ) as runner:
+            first = runner.run(sites)
+            pool = runner._pool
+            assert pool is not None
+            second = runner.run(sites)
+            assert runner._pool is pool  # same pool, workers kept warm
+            assert fingerprint(first) == fingerprint(second)
+        assert runner._pool is None  # context exit shut it down
+        runner.close()  # idempotent
+
+    def test_worker_error_propagates(self, sites):
+        # A population far smaller than the crawled ranks makes every
+        # shard raise; the streaming path must surface that instead of
+        # hanging on a barrier or returning partial results.
+        runner = CampaignRunner(
+            seed=SEED, population_size=10, shards=4,
+            workers=2, executor="process",
+        )
+        with pytest.raises(Exception, match="outside population"):
+            runner.run(sites)

@@ -127,6 +127,60 @@ class TestShardedDeterminismUnderFaults:
             assert self.table1_counts(parallel) == self.table1_counts(baseline)
 
 
+class TestWarmExecutorDeterminism:
+    """The PR-5 scale-out layer must not move a bit of merged output.
+
+    The serial cold run (no warm cache, no codec) is the reference;
+    warm process pools must match its attempts, counters *and* journal
+    bytes for every worker count and fault profile.
+    """
+
+    SEED = 47
+    POPULATION = 150
+
+    @pytest.fixture(scope="class")
+    def sites(self):
+        listing = WorldShard(RngTree(self.SEED)).build_population(self.POPULATION)
+        return listing.alexa_top(40)
+
+    def run_with(self, sites, workers, executor, warm, profile):
+        fault_plan = (
+            FaultPlan.from_profile(profile, seed=6) if profile != "off" else None
+        )
+        runner = CampaignRunner(
+            seed=self.SEED, population_size=self.POPULATION,
+            shards=4, workers=workers, executor=executor,
+            fault_plan=fault_plan, obs_enabled=True,
+            warm_workers=warm,
+        )
+        return runner.run(sites)
+
+    def test_warm_process_pool_matches_serial_cold(self, sites):
+        baseline = self.run_with(sites, 1, "serial", warm=False, profile="moderate")
+        warmed = self.run_with(sites, 2, "process", warm=True, profile="moderate")
+        assert TestShardedDeterminismUnderFaults.attempt_fingerprint(warmed) == \
+            TestShardedDeterminismUnderFaults.attempt_fingerprint(baseline)
+        assert warmed.fault_report == baseline.fault_report
+        assert warmed.stats == baseline.stats
+        assert warmed.journal.to_jsonl() == baseline.journal.to_jsonl()
+        assert warmed.wire_bytes  # codec actually engaged on the pool path
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("profile", ["off", "mild", "moderate"])
+    def test_warm_matrix_journal_bytes(self, sites, profile):
+        baseline = self.run_with(sites, 1, "serial", warm=False, profile=profile)
+        reference = baseline.journal.to_jsonl()
+        for workers in (1, 2, 4):
+            warmed = self.run_with(sites, workers, "process", warm=True,
+                                   profile=profile)
+            assert warmed.journal.to_jsonl() == reference, (profile, workers)
+            assert TestShardedDeterminismUnderFaults.attempt_fingerprint(warmed) \
+                == TestShardedDeterminismUnderFaults.attempt_fingerprint(baseline), \
+                (profile, workers)
+            assert warmed.fault_report == baseline.fault_report
+            assert warmed.telemetry == baseline.telemetry
+
+
 class TestShardedAgainstSubstrate:
     def test_shard_attempts_use_canonical_hosts(self):
         probe = TripwireSystem(seed=29, population_size=120)

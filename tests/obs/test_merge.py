@@ -60,6 +60,22 @@ class TestFoldShardOrdered:
         assert outputs == {True}
 
 
+class TestCollectShardOrdered:
+    def test_collects_in_index_order(self):
+        from repro.obs.merge import collect_shard_ordered
+
+        arrivals = [(2, "c"), (0, "a"), (1, "b")]
+        assert collect_shard_ordered(arrivals, index_of=lambda p: p[0]) == \
+            [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_returns_a_new_list(self):
+        from repro.obs.merge import collect_shard_ordered
+
+        items = [(0, "a")]
+        collected = collect_shard_ordered(items, index_of=lambda p: p[0])
+        assert collected == items and collected is not items
+
+
 class TestMergeCountDicts:
     def test_sums_key_wise(self):
         merged = merge_count_dicts([{"a": 1, "b": 2}, {"b": 3, "c": 4}])

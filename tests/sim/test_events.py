@@ -1,12 +1,14 @@
 """Tests for the event queue."""
 
+import pytest
+
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
 
 
-def make_queue(start=0):
+def make_queue(start=0, **kwargs):
     clock = SimClock(start)
-    return clock, EventQueue(clock)
+    return clock, EventQueue(clock, **kwargs)
 
 
 class TestEventQueue:
@@ -75,10 +77,20 @@ class TestEventQueue:
         assert fired == [100]
 
     def test_executed_events_recorded(self):
-        clock, queue = make_queue()
+        clock, queue = make_queue(keep_history=True)
         queue.schedule(1, "a", lambda: None)
         queue.run_until(5)
         assert [e.label for e in queue.executed_events()] == ["a"]
+        assert queue.executed_count == 1
+
+    def test_history_disabled_by_default_but_counted(self):
+        clock, queue = make_queue()
+        queue.schedule(1, "a", lambda: None)
+        queue.schedule(2, "b", lambda: None)
+        queue.run_until(5)
+        assert queue.executed_count == 2
+        with pytest.raises(RuntimeError, match="keep_history"):
+            queue.executed_events()
 
     def test_peek_time_empty(self):
         _clock, queue = make_queue()
