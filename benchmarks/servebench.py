@@ -1,0 +1,164 @@
+"""Service-mode sustained-throughput bench — writes ``BENCH_6.json``.
+
+Runs the campaign daemon at 1/2/4 workers over the same sim world and
+records, per worker count:
+
+- sustained events/sec: crawl attempts + service-stream firings
+  divided by total wall-clock;
+- per-epoch wall-clock for the crawl dispatch (the persistent warm
+  pool is reused across epochs, so later epochs show the steady state
+  the daemon actually runs at);
+- total wall-clock and the journal digest.
+
+Everything here is **recorded, never gated**: wall-clock ratios are
+properties of the machine's core count (recorded as ``cpu_count``).
+The one hard assertion is correctness — every worker count must
+produce the same journal bytes as the serial reference.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/servebench.py
+    PYTHONPATH=src python benchmarks/servebench.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.service.daemon import CampaignDaemon
+from repro.service.scheduler import ServiceConfig
+from repro.util.tables import render_table
+from repro.util.timeutil import DAY
+
+from _output import write_json, write_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_INDEX = 6
+TRAJECTORY_PATH = REPO_ROOT / f"BENCH_{BENCH_INDEX}.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_config(quick: bool, workers: int) -> ServiceConfig:
+    scale = dict(top=120, population_size=600) if quick else dict(
+        top=400, population_size=1500
+    )
+    return ServiceConfig(
+        epochs=4, epoch_length=30 * DAY, shards=4,
+        workers=workers,
+        executor="serial" if workers == 1 else "process",
+        **scale,
+    )
+
+
+def run_once(config: ServiceConfig) -> dict:
+    """One daemon run with per-epoch dispatch timings captured."""
+    daemon = CampaignDaemon(config)
+    epoch_seconds: list[float] = []
+    original = daemon._build_runner
+
+    def timed_builder():
+        runner = original()
+        real_execute = runner.execute
+
+        def execute(plans, **kwargs):
+            started = time.perf_counter()
+            out = real_execute(plans, **kwargs)
+            epoch_seconds.append(time.perf_counter() - started)
+            return out
+
+        runner.execute = execute
+        return runner
+
+    daemon._build_runner = timed_builder
+    started = time.perf_counter()
+    result = daemon.run()
+    wall = time.perf_counter() - started
+
+    service_events = sum(r.service_events for r in result.reports)
+    total_events = len(result.attempts) + service_events
+    return {
+        "wall_seconds": round(wall, 4),
+        "epoch_seconds": [round(s, 4) for s in epoch_seconds],
+        "attempts": len(result.attempts),
+        "service_events": service_events,
+        "events_per_second": round(total_events / wall, 1),
+        "journal_sha256": hashlib.sha256(
+            result.journal.to_jsonl().encode("utf-8")
+        ).hexdigest(),
+        "detection_digest": result.detection_digest,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller world, same shape")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_6.json")
+    args = parser.parse_args(argv)
+
+    runs: dict[str, dict] = {}
+    for workers in WORKER_COUNTS:
+        config = make_config(args.quick, workers)
+        runs[str(workers)] = run_once(config)
+        print(f"workers={workers}: {runs[str(workers)]['wall_seconds']}s "
+              f"({runs[str(workers)]['events_per_second']} events/s)",
+              file=sys.stderr)
+
+    reference = runs["1"]
+    for workers, run in runs.items():
+        assert run["journal_sha256"] == reference["journal_sha256"], (
+            f"workers={workers} journal diverged from serial reference"
+        )
+        assert run["detection_digest"] == reference["detection_digest"]
+
+    rows = [
+        [
+            workers,
+            f"{run['wall_seconds']:.2f}",
+            f"{run['events_per_second']:.0f}",
+            " ".join(f"{s:.2f}" for s in run["epoch_seconds"]),
+        ]
+        for workers, run in runs.items()
+    ]
+    table = render_table(
+        ["Workers", "Wall s", "Events/s", "Per-epoch dispatch s"],
+        rows,
+        title="Service-mode sustained throughput (recorded, never gated)",
+    )
+    print(table)
+
+    cpu_count = os.cpu_count() or 1
+    payload = {
+        "bench_index": BENCH_INDEX,
+        "schema_version": 1,
+        "quick": args.quick,
+        "cpu_count": cpu_count,
+        "journals_identical": True,
+        "runs": runs,
+    }
+    if cpu_count == 1:
+        payload["single_core_warning"] = (
+            "recorded on a single-core machine; "
+            "parallel speedups are meaningless here"
+        )
+    write_text("servebench", table)
+    write_json("servebench", payload)
+    if not args.no_write:
+        TRAJECTORY_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {TRAJECTORY_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

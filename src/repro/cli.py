@@ -6,6 +6,8 @@
     python -m repro evasion --trials 20
     python -m repro perf --quick
     python -m repro campaign --obs-out journal.jsonl
+    python -m repro serve --epochs 4 --checkpoint state.ckpt
+    python -m repro serve --resume state.ckpt --obs-out journal.jsonl
     python -m repro obs report journal.jsonl
 
 ``pilot`` runs the full study and prints every table and figure;
@@ -13,6 +15,14 @@
 quickstart detection walk-through; ``evasion`` sweeps the §7.3
 attacker-sampling strategies; ``perf`` runs the A/B performance suite
 and writes the repo-root BENCH snapshot.
+
+``serve`` runs the campaign as a long-lived daemon on the sim clock:
+registration waves staggered across epochs, recurring re-login probes,
+incremental telemetry ingestion and account-lifecycle churn, with an
+epoch checkpoint written to ``--checkpoint``.  SIGTERM/SIGINT stop it
+gracefully after the in-flight epoch (exit code 3); ``--resume PATH``
+replays the checkpointed epochs and finishes the run with output
+byte-identical to an uninterrupted one.
 
 ``--obs-out PATH`` on ``pilot``/``campaign`` turns the observability
 layer on for the run, writes the deterministic JSONL journal to PATH
@@ -76,6 +86,46 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write a machine-readable summary here")
     _add_fault_arguments(campaign)
     _add_obs_arguments(campaign)
+
+    serve = commands.add_parser(
+        "serve",
+        help="continuous-operation daemon: staggered waves, recurring "
+             "probes, checkpoint/resume",
+    )
+    serve.add_argument("--epochs", type=int, default=4,
+                       help="scheduler epochs to run (default 4)")
+    serve.add_argument("--epoch-days", type=int, default=30,
+                       help="sim days per epoch (default 30)")
+    serve.add_argument("--top", type=int, default=200,
+                       help="ranked sites staggered across all epochs "
+                            "(default 200)")
+    serve.add_argument("--population", type=int, default=3000)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--shards", type=int, default=4,
+                       help="crawl shards per epoch (default 4)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="parallel shard workers; the pool persists "
+                            "across epochs (default 1)")
+    serve.add_argument("--executor", choices=["serial", "thread", "process"],
+                       default="process",
+                       help="shard executor backend (default process)")
+    serve.add_argument("--warm-workers", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="per-worker warm world cache, reused across "
+                            "epochs (output is identical either way)")
+    serve.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="write the epoch checkpoint here (atomic)")
+    serve.add_argument("--checkpoint-every", type=int, default=1, metavar="K",
+                       help="checkpoint every K completed epochs (default 1)")
+    serve.add_argument("--resume", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="resume from a checkpoint written by --checkpoint; "
+                            "implies checkpointing back to the same path")
+    serve.add_argument("--json", type=pathlib.Path, default=None,
+                       help="write a machine-readable summary here")
+    _add_fault_arguments(serve)
+    _add_obs_arguments(serve)
 
     obs = commands.add_parser(
         "obs",
@@ -221,7 +271,15 @@ def _run_campaign(args: argparse.Namespace) -> int:
     sites = listing.alexa_top(args.top)
 
     fault_plan = _fault_plan_from(args)
-    runner = CampaignRunner(
+    print(
+        f"campaign: top={len(sites)} shards={args.shards} "
+        f"workers={args.workers} executor={executor}"
+        + (f" faults={args.fault_profile}/{args.fault_seed}" if fault_plan else ""),
+        file=sys.stderr,
+    )
+    # Context-managed so a persistent pool is torn down even when the
+    # run raises (worker processes must not outlive the command).
+    with CampaignRunner(
         seed=args.seed,
         population_size=args.population,
         shards=args.shards,
@@ -231,14 +289,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
         obs_enabled=args.obs_out is not None,
         obs_meta={"command": "campaign"},
         warm_workers=args.warm_workers,
-    )
-    print(
-        f"campaign: top={len(sites)} shards={args.shards} "
-        f"workers={args.workers} executor={executor}"
-        + (f" faults={args.fault_profile}/{args.fault_seed}" if fault_plan else ""),
-        file=sys.stderr,
-    )
-    result = runner.run(sites)
+    ) as runner:
+        result = runner.run(sites)
 
     stats, telemetry = result.stats, result.telemetry
     rows = [
@@ -295,6 +347,151 @@ def _run_campaign(args: argparse.Namespace) -> int:
         args.json.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {args.json}", file=sys.stderr)
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal
+
+    from repro.service import (
+        CampaignDaemon,
+        CheckpointError,
+        ServiceConfig,
+        load_checkpoint,
+    )
+    from repro.util.tables import render_table
+    from repro.util.timeutil import DAY
+
+    executor = args.executor
+    if args.workers == 1 and executor != "serial":
+        executor = "serial"
+
+    config = ServiceConfig(
+        seed=args.seed,
+        population_size=args.population,
+        top=args.top,
+        shards=args.shards,
+        epochs=args.epochs,
+        epoch_length=args.epoch_days * DAY,
+        fault_plan=_fault_plan_from(args),
+        workers=args.workers,
+        executor=executor,
+        warm_workers=args.warm_workers,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    checkpoint_path = args.checkpoint or args.resume
+    resume = None
+    if args.resume is not None:
+        if not args.resume.is_file():
+            print(f"no such checkpoint: {args.resume}", file=sys.stderr)
+            return 1
+        try:
+            resume = load_checkpoint(args.resume, config)
+        except CheckpointError as exc:
+            print(f"cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"resuming from {args.resume} "
+            f"({resume.epochs_completed}/{config.epochs} epochs checkpointed)",
+            file=sys.stderr,
+        )
+
+    daemon = CampaignDaemon(config, checkpoint_path=checkpoint_path)
+
+    def _graceful(signum, _frame):
+        print(
+            f"received signal {signum}; stopping after the in-flight epoch",
+            file=sys.stderr,
+        )
+        daemon.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _graceful)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(
+        f"serve: top={config.top} epochs={config.epochs} "
+        f"shards={config.shards} workers={config.workers} executor={executor}"
+        + (f" checkpoint={checkpoint_path}" if checkpoint_path else "")
+        + (f" faults={args.fault_profile}/{args.fault_seed}"
+           if config.fault_plan else ""),
+        file=sys.stderr,
+    )
+    try:
+        result = daemon.run(resume=resume)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    epoch_rows = [
+        [str(r.epoch), str(r.sites), str(r.attempts), str(r.exposed),
+         str(r.service_events),
+         ("replayed" if r.replayed else "crawled")
+         + ("+ckpt" if r.checkpointed else "")]
+        for r in result.reports
+    ]
+    print(render_table(
+        ["Epoch", "Sites", "Attempts", "Exposed", "Svc events", "Mode"],
+        epoch_rows,
+        title=f"Service epochs ({result.epochs_completed}/{config.epochs}"
+              + (", interrupted" if result.interrupted else "") + ")",
+    ))
+    lifecycle = result.lifecycle
+    rows = [
+        ["Registration attempts", str(result.stats.attempts)],
+        ["Identities exposed (burned)", str(result.stats.exposed_attempts)],
+        ["Control-account probes", str(lifecycle.probes)],
+        ["Accounts bound (service)", str(lifecycle.binds)],
+        ["Provider freezes / recoveries",
+         f"{lifecycle.freezes} / {lifecycle.recoveries}"],
+        ["Password rotations", str(lifecycle.resets)],
+        ["Attacker accesses (successful)",
+         f"{lifecycle.attacks} ({lifecycle.attack_successes})"],
+        ["Telemetry dumps ingested", str(lifecycle.dumps)],
+        ["Sites detected", str(result.detected_sites)],
+        ["Detection digest", result.detection_digest[:16]],
+    ]
+    print(render_table(["Metric", "Value"], rows, title="Service totals"))
+    if config.fault_plan is not None:
+        print()
+        print(_fault_report_table(result.fault_report, args))
+    if args.obs_out is not None and result.journal is not None:
+        _emit_journal(result.journal, args.obs_out)
+
+    if args.json is not None:
+        summary = {
+            "seed": config.seed,
+            "population": config.population_size,
+            "top": config.top,
+            "shards": config.shards,
+            "workers": config.workers,
+            "executor": executor,
+            "epochs": config.epochs,
+            "epochs_completed": result.epochs_completed,
+            "interrupted": result.interrupted,
+            "detected_sites": result.detected_sites,
+            "detection_digest": result.detection_digest,
+            "stats": {
+                "attempts": result.stats.attempts,
+                "exposed_attempts": result.stats.exposed_attempts,
+            },
+            "lifecycle": {
+                "probes": lifecycle.probes,
+                "probe_logins": lifecycle.probe_logins,
+                "binds": lifecycle.binds,
+                "freezes": lifecycle.freezes,
+                "recoveries": lifecycle.recoveries,
+                "resets": lifecycle.resets,
+                "attacks": lifecycle.attacks,
+                "attack_successes": lifecycle.attack_successes,
+                "dumps": lifecycle.dumps,
+            },
+        }
+        args.json.write_text(json.dumps(summary, indent=2) + "\n",
+                             encoding="utf-8")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 3 if result.interrupted else 0
 
 
 def _run_survey(args: argparse.Namespace) -> int:
@@ -374,6 +571,7 @@ def _run_obs(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "pilot": _run_pilot,
     "campaign": _run_campaign,
+    "serve": _run_serve,
     "survey": _run_survey,
     "demo": _run_demo,
     "evasion": _run_evasion,

@@ -163,3 +163,80 @@ class CompromiseMonitor:
             for login in detection.logins
             if login.event.local_part.lower() == wanted
         ]
+
+    def detection_digest(self) -> str:
+        """A stable hexdigest of the full detection state.
+
+        Everything the analysis tables derive from — per-site login
+        attributions, control liveness, integrity alarms — folded into
+        one canonical string and hashed.  Two monitors with the same
+        digest produce identical analysis tables; the service-mode
+        resume tests pin resumed == uninterrupted with it.
+        """
+        import hashlib
+
+        parts: list[str] = []
+        for host in sorted(self.detections):
+            for login in self.detections[host].logins:
+                e = login.event
+                parts.append(
+                    f"d|{host}|{login.identity_id}|{login.password_class.value}"
+                    f"|{e.local_part}|{e.time}|{e.ip.value}|{e.method.value}"
+                )
+        for e in self.control_logins:
+            parts.append(f"c|{e.local_part}|{e.time}|{e.ip.value}|{e.method.value}")
+        for alarm in self.alarms:
+            e = alarm.event
+            parts.append(f"a|{alarm.reason}|{e.local_part}|{e.time}|{e.ip.value}")
+        parts.append(f"n|{self.ingested_events}")
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+class DumpIngestion:
+    """Incremental telemetry ingestion: provider dumps → monitor.
+
+    The pull-at-end pattern (collect one dump after the run and feed
+    the monitor) becomes a reusable, schedulable step: each call pulls
+    whatever the provider currently exports — through the telemetry
+    fault injector when one is installed, rescheduling the collection
+    when the injector postpones the hand-off — and folds it into the
+    monitor immediately.  Both the batch scenario's sporadic dump
+    dates and the service daemon's recurring ingestion events call the
+    same object, so detection state evolves identically however the
+    dumps are scheduled.
+
+    ``prune`` opts in to the continuous-operation memory bound: after
+    each ingested dump the provider's telemetry drops events no future
+    dump can return (see :meth:`LoginTelemetry.prune_exported`).
+    """
+
+    #: Queue label for a postponed collection (kept stable: journal
+    #: events and the batch scenario's history both show it).
+    LATE_LABEL = "provider-dump-late"
+
+    def __init__(self, system, monitor: CompromiseMonitor, *, prune: bool = False):
+        self.system = system
+        self.monitor = monitor
+        self.prune = prune
+        self.dumps_ingested = 0
+
+    def __call__(self) -> list[AttributedLogin]:
+        """Collect one dump now and ingest it (schedulable action)."""
+        system = self.system
+        faults = system.apparatus.telemetry_faults
+        if faults is None:
+            events = system.provider.collect_login_dump()
+        else:
+            events, postpone = faults.collect_dump()
+            if postpone is not None:
+                # The provider missed the hand-off; the dump arrives
+                # late but the events stay in their retention window.
+                system.queue.schedule(
+                    system.clock.now() + postpone, self.LATE_LABEL, self
+                )
+                return []
+        attributed = self.monitor.ingest_dump(events)
+        self.dumps_ingested += 1
+        if self.prune:
+            system.provider.telemetry.prune_exported(system.clock.now())
+        return attributed

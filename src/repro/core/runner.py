@@ -103,6 +103,12 @@ class ShardPlan:
     #: Opt-in to the per-worker warm world cache.  Off by default so a
     #: bare ``run_shard(plan)`` is always the cold reference path.
     warm_enabled: bool = False
+    #: Scheduler epoch this shard belongs to (service mode).  Epoch 0
+    #: keeps the pre-service apparatus namespace ``("shard", k)`` so
+    #: one-shot campaigns are byte-identical to earlier releases; later
+    #: epochs namespace ``("epoch", e, "shard", k)`` so each epoch's
+    #: shards mint distinct identities and error streams.
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -214,7 +220,10 @@ def run_shard(plan: ShardPlan) -> ShardResult:
     Either way the result is bit-identical — the warm cache holds only
     pure functions of the plan's world key.
     """
-    namespace = ("shard", plan.shard_index)
+    if plan.epoch == 0:
+        namespace: tuple[object, ...] = ("shard", plan.shard_index)
+    else:
+        namespace = ("epoch", plan.epoch, "shard", plan.shard_index)
     warm = _warm.world_for_plan(plan)
     system = TripwireSystem(
         seed=plan.seed,
@@ -412,23 +421,39 @@ class CampaignRunner:
 
     # -- planning -----------------------------------------------------------
 
-    def plan(self, sites: list[RankedSite]) -> list[ShardPlan]:
-        """The shard plans for a ranked list (empty shards dropped)."""
+    def plan(
+        self,
+        sites: list[RankedSite],
+        *,
+        epoch: int = 0,
+        start: SimInstant | None = None,
+    ) -> list[ShardPlan]:
+        """The shard plans for a ranked list (empty shards dropped).
+
+        Planning is pure — no worlds are built, no pools touched — so a
+        scheduler can plan every epoch up front and re-dispatch each
+        epoch's plans through :meth:`execute` when its sim window
+        opens.  ``epoch`` namespaces the shards (and offsets their
+        indices by ``epoch * shards`` so a multi-epoch journal keeps
+        globally unique shard slots); ``start`` overrides the sim
+        instant the shard worlds open at (the epoch's window start).
+        """
         packed = pack_overrides(self.site_overrides)
         plans = []
+        base = epoch * self.shards
         for index, (bucket, positions) in enumerate(partition_sites(sites, self.shards)):
             if not bucket:
                 continue
             plans.append(
                 ShardPlan(
-                    shard_index=index,
+                    shard_index=base + index,
                     shard_count=self.shards,
                     seed=self.seed,
                     population_size=self.population_size,
                     sites=bucket,
                     positions=positions,
                     policy=self.policy,
-                    start=self.start,
+                    start=self.start if start is None else start,
                     generator_config=self.generator_config,
                     crawler_config=self.crawler_config,
                     site_overrides=packed,
@@ -436,6 +461,7 @@ class CampaignRunner:
                     fault_plan=self.fault_plan,
                     obs_enabled=self.obs_enabled,
                     warm_enabled=self.warm_workers,
+                    epoch=epoch,
                 )
             )
         return plans
@@ -443,8 +469,31 @@ class CampaignRunner:
     # -- execution ----------------------------------------------------------
 
     def run(self, sites: list[RankedSite]) -> CampaignRunResult:
-        """Execute the sharded campaign over a ranked list."""
-        plans = self.plan(sites)
+        """Execute the sharded campaign over a ranked list.
+
+        The one-shot surface: plan a single epoch, execute it, build
+        the journal.  Service mode (:mod:`repro.service`) calls
+        :meth:`plan` / :meth:`execute` itself, once per scheduler
+        epoch, over the same persistent pool.
+        """
+        return self.execute(self.plan(sites), sites_count=len(sites))
+
+    def execute(
+        self,
+        plans: list[ShardPlan],
+        *,
+        sites_count: int | None = None,
+        build_journal: bool = True,
+    ) -> CampaignRunResult:
+        """Dispatch prepared shard plans and merge their results.
+
+        Re-entrant across epochs: with ``persistent_pool`` the same
+        worker processes (and their warm world caches) serve every
+        call.  ``build_journal=False`` skips per-call journal assembly
+        for callers that merge observations across epochs themselves.
+        """
+        if sites_count is None:
+            sites_count = sum(len(plan.sites) for plan in plans)
         merger = ShardResultMerger()
         wire_bytes: dict[int, int] = {}
         began = time.perf_counter()
@@ -456,7 +505,11 @@ class CampaignRunner:
         wall = time.perf_counter() - began
         shard_results = merger.results
         attempts, stats, telemetry, fault_report = merger.finish()
-        journal = self._build_journal(sites, shard_results) if self.obs_enabled else None
+        journal = (
+            self._build_journal(sites_count, shard_results)
+            if self.obs_enabled and build_journal
+            else None
+        )
         return CampaignRunResult(
             attempts=attempts,
             stats=stats,
@@ -472,7 +525,7 @@ class CampaignRunner:
         )
 
     def _build_journal(
-        self, sites: list[RankedSite], shard_results: list[ShardResult]
+        self, sites_count: int, shard_results: list[ShardResult]
     ) -> RunJournal:
         """The run journal for an observed run.
 
@@ -483,7 +536,7 @@ class CampaignRunner:
             "seed": self.seed,
             "population": self.population_size,
             "shards": self.shards,
-            "sites": len(sites),
+            "sites": sites_count,
             "policy": self.policy.value,
             "fault_profile": self.fault_plan.profile if self.fault_plan else "off",
             "fault_seed": self.fault_plan.seed if self.fault_plan else 0,

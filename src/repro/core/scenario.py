@@ -31,7 +31,7 @@ from repro.attacker.profiles import draw_profile
 from repro.core.campaign import RegistrationCampaign, RegistrationPolicy
 from repro.core.disclosure import DisclosureCoordinator
 from repro.core.estimation import CategoryEstimate, SuccessEstimator
-from repro.core.monitor import CompromiseMonitor
+from repro.core.monitor import CompromiseMonitor, DumpIngestion
 from repro.core.system import TripwireSystem
 from repro.crawler.engine import CrawlerConfig
 from repro.faults.plan import FaultPlan
@@ -161,6 +161,7 @@ class PilotScenario:
         self.monitor = CompromiseMonitor(
             self.system.pool, self.system.control_locals, self.system.provider.domain
         )
+        self._dump_ingestion = DumpIngestion(self.system, self.monitor)
         self.botnet = BotnetProxyNetwork(
             self.system.whois, self.system.tree.child("botnet").rng()
         )
@@ -318,25 +319,11 @@ class PilotScenario:
         self.system.provision_control_accounts(cfg.control_account_count)
 
     def _schedule_dumps(self) -> None:
+        # Sporadic one-shot dump dates; the shared DumpIngestion step
+        # (also driven recurrently by service mode) does the collection
+        # and handles fault-postponed hand-offs.
         for when in self.config.default_dump_dates():
-            self.system.queue.schedule(when, "provider-dump", self._collect_dump)
-
-    def _collect_dump(self) -> None:
-        faults = self.system.apparatus.telemetry_faults
-        if faults is None:
-            events = self.system.provider.collect_login_dump()
-        else:
-            events, postpone = faults.collect_dump()
-            if postpone is not None:
-                # The provider missed the hand-off; the dump arrives
-                # late but the events stay in their retention window.
-                self.system.queue.schedule(
-                    self.system.clock.now() + postpone,
-                    "provider-dump-late",
-                    self._collect_dump,
-                )
-                return
-        self.monitor.ingest_dump(events)
+            self.system.queue.schedule(when, "provider-dump", self._dump_ingestion)
 
     def _schedule_control_logins(self) -> None:
         cursor = SEED_CRAWL_START

@@ -268,6 +268,42 @@ class EmailProvider:
                 break
         return sent
 
+    # -- support-desk account actions (used by the service operator) ----------
+
+    def support_freeze(self, local_part: str) -> bool:
+        """Freeze an active account pending review (support-desk path).
+
+        The service daemon's account-lifecycle churn uses this: a
+        long-running deployment sees its accounts frozen over time
+        (Table 3: 8 of 27 actively-abused accounts) and the operator
+        must notice the probe failures.  Returns False for unknown,
+        deactivated or already-frozen accounts.
+        """
+        account = self._accounts.get(local_part.lower())
+        if account is None or account.state is not AccountState.ACTIVE:
+            return False
+        account.state = AccountState.FROZEN
+        account.state_changed_at = self._clock.now()
+        return True
+
+    def support_reset(self, local_part: str, new_password: str) -> bool:
+        """Recover a frozen/reset account through the support desk.
+
+        The operator proves ownership out of band, sets a fresh
+        password and the account returns to service — the paper's
+        recovery path for accounts the provider locked.  Active
+        accounts can also be rotated through it.  Deactivated accounts
+        are gone for good.
+        """
+        account = self._accounts.get(local_part.lower())
+        if account is None or account.state is AccountState.DEACTIVATED:
+            return False
+        account.password = new_password
+        account.password_changes.append(self._clock.now())
+        account.state = AccountState.ACTIVE
+        account.state_changed_at = self._clock.now()
+        return True
+
     # -- telemetry export ------------------------------------------------------
 
     def collect_login_dump(self) -> list[LoginEvent]:

@@ -43,7 +43,15 @@ class LoginEvent:
 
 
 class LoginTelemetry:
-    """Append-only login log with bounded retention."""
+    """Append-only login log with bounded retention.
+
+    Batch runs keep every event for ground-truth comparison.  A
+    continuously-operating daemon cannot — two sim-years of logins is
+    unbounded ballast — so :meth:`prune_exported` drops events that
+    both fell out of the retention window *and* were covered by a past
+    dump, exactly the records a real provider would have expired.
+    Pruning never changes what any future dump returns.
+    """
 
     def __init__(self, retention_days: int = 60, obs=NO_OP):
         if retention_days < 1:
@@ -54,12 +62,15 @@ class LoginTelemetry:
         self._events: list[LoginEvent] = []
         self._last_collected: SimInstant | None = None
         self._lost_windows: list[tuple[SimInstant, SimInstant]] = []
+        self.pruned_count = 0
+        self._last_recorded: SimInstant | None = None
 
     def record(self, event: LoginEvent) -> None:
         """Record one successful login (events arrive in time order)."""
-        if self._events and event.time < self._events[-1].time:
+        if self._last_recorded is not None and event.time < self._last_recorded:
             raise ValueError("login events must be recorded in time order")
         self._events.append(event)
+        self._last_recorded = event.time
         self._obs.count("telemetry.logins_recorded")
 
     def _retained_since(self, now: SimInstant) -> SimInstant:
@@ -93,11 +104,40 @@ class LoginTelemetry:
         """Intervals whose events expired before any dump covered them."""
         return list(self._lost_windows)
 
+    def prune_exported(self, now: SimInstant) -> int:
+        """Drop events past retention that a previous dump already covered.
+
+        The continuous-operation memory bound: events are removable
+        once no future :meth:`collect_dump` can return them — they are
+        older than the retention horizon *and* at or before the last
+        collection watermark (uncollected expired events stay until the
+        next dump notices the lost window).  Returns how many events
+        were dropped; :attr:`pruned_count` accumulates across calls.
+        """
+        if self._last_collected is None:
+            return 0
+        cutoff = min(self._retained_since(now), self._last_collected)
+        kept = [e for e in self._events if e.time > cutoff]
+        dropped = len(self._events) - len(kept)
+        if dropped:
+            self._events = kept
+            self.pruned_count += dropped
+            self._obs.count("telemetry.events_pruned", dropped)
+        return dropped
+
+    @property
+    def retained_count(self) -> int:
+        """Events currently held in memory."""
+        return len(self._events)
+
     def all_events_ground_truth(self) -> list[LoginEvent]:
         """Every event ever recorded — simulation ground truth only.
 
         The measurement side must never read this; it exists so tests
         and analyses can compare what Tripwire saw against what
         actually happened (e.g. logins inside the retention gap).
+        Under :meth:`prune_exported` (service mode) the ground truth is
+        truncated to what is still retained — :attr:`pruned_count`
+        says how much history was dropped.
         """
         return list(self._events)

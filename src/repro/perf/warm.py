@@ -15,11 +15,13 @@ What is cached, and why each entry is safe:
 - **Site specs** (:class:`SpecCache`).  A rank's spec is a pure
   function of the substrate tree (root seed) and the generator config;
   the generator draws from ``tree.child("site-generator").child("rank",
-  rank)`` so specs are independent per rank.  The only cross-rank
-  state is the host-collision set, which the cache carries alongside
-  the specs; the existing cross-shard contract already tolerates its
-  order-dependence (shards generate ranks in different orders today).
-  Specs are frozen dataclasses and never mutated after generation.
+  rank)`` so specs are independent per rank.  The one cross-rank input
+  is the host-collision set, which the generator keeps order-free by
+  filling shared caches *prefix-closed* (see
+  :meth:`~repro.web.generator.SiteGenerator.spec_for_rank`): rank ``r``
+  always collides against exactly ranks ``1..r-1``, whichever shard,
+  epoch or worker asks first.  Specs are frozen dataclasses and never
+  mutated after generation.
 - **Identity corpora** (:attr:`WarmWorld.identity_corpus`).  A shard's
   provisioning draws ``hard + easy`` identities from the apparatus
   tree at namespace ``("shard", k)`` — a pure function of

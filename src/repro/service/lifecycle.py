@@ -1,0 +1,222 @@
+"""Recurring service events: probes, lifecycle churn, dump ingestion.
+
+Everything the managed deployment did *between* crawls, expressed as
+recurring :class:`~repro.sim.events.EventQueue` entries on the service
+world's clock instead of imperative loops:
+
+- **re-login probes** — the operator logs into every control account
+  on an interval; each probe must surface in a later telemetry dump
+  (the pipeline-liveness check of Section 4.2);
+- **telemetry ingestion** — provider dumps are pulled and folded into
+  the :class:`~repro.core.monitor.CompromiseMonitor` incrementally via
+  the shared :class:`~repro.core.monitor.DumpIngestion` step, honoring
+  the retention gap (dumps spaced beyond retention lose a window,
+  exactly as Figure 2's shaded gap) and pruning exported telemetry so
+  a multi-year daemon holds bounded state;
+- **account lifecycle churn** — honey accounts are bound to sites
+  (registered-and-burned), frozen by the provider's abuse desk,
+  recovered and rotated through support resets; a deterministic
+  attacker stream accesses bound accounts so detections flow end to
+  end through dumps into the monitor.
+
+Every action draws from its own :class:`~repro.util.rngtree.RngTree`
+stream under the service apparatus namespace and touches only the
+service world — never crawl-shard state — so the whole stream is a
+pure function of the :class:`~repro.service.scheduler.ServiceConfig`.
+That independence is what makes checkpoint/resume cheap: a resumed
+daemon replays these events from scratch and lands in the identical
+state without consulting the checkpoint at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.monitor import CompromiseMonitor, DumpIngestion
+from repro.core.system import TripwireSystem
+from repro.email_provider.telemetry import LoginMethod
+from repro.identity.passwords import PasswordClass
+from repro.net.ipaddr import IPv4Address
+from repro.service.scheduler import ServiceConfig
+from repro.sim.events import RecurringEvent
+from repro.util.timeutil import SimInstant
+
+#: Access methods the attacker stream rotates through (checkers in the
+#: wild used mail protocols, not webmail — Section 6.2).
+_ATTACK_METHODS = (LoginMethod.IMAP, LoginMethod.POP3, LoginMethod.SMTP)
+
+
+@dataclass
+class LifecycleStats:
+    """Counters over the recurring service streams (merge-friendly)."""
+
+    probes: int = 0
+    probe_logins: int = 0
+    binds: int = 0
+    bind_exhausted: int = 0
+    freezes: int = 0
+    recoveries: int = 0
+    resets: int = 0
+    attacks: int = 0
+    attack_successes: int = 0
+    dumps: int = 0
+
+
+class AccountLifecycle:
+    """Installs and drives the recurring service-event streams."""
+
+    def __init__(
+        self,
+        system: TripwireSystem,
+        monitor: CompromiseMonitor,
+        config: ServiceConfig,
+        horizon: SimInstant,
+    ):
+        self.system = system
+        self.monitor = monitor
+        self.config = config
+        self.horizon = horizon
+        self.stats = LifecycleStats()
+        self.ingestion = DumpIngestion(system, monitor, prune=config.prune_telemetry)
+        tree = system.apparatus_tree.child("service", "lifecycle")
+        self._bind_rng = tree.child("bind").rng()
+        self._freeze_rng = tree.child("freeze").rng()
+        self._reset_rng = tree.child("reset").rng()
+        self._attack_rng = tree.child("attack").rng()
+        self._log = system.obs.get_logger("service.lifecycle")
+        self._bind_cursor = 0
+        self.handles: list[RecurringEvent] = []
+
+    # -- installation ------------------------------------------------------
+
+    def install(self) -> list[RecurringEvent]:
+        """Schedule every recurring stream up to the horizon."""
+        cfg = self.config
+        queue = self.system.queue
+        start = cfg.start
+        streams = (
+            (cfg.probe_interval, "service.probe", self._probe),
+            (cfg.dump_interval, "service.ingest", self._ingest),
+            (cfg.bind_interval, "service.bind", self._bind),
+            (cfg.freeze_interval, "service.freeze", self._freeze),
+            (cfg.reset_interval, "service.reset", self._reset),
+            (cfg.attack_interval, "service.attack", self._attack),
+        )
+        for interval, label, action in streams:
+            self.handles.append(
+                queue.schedule_recurring(
+                    start + interval, interval, label, action, until=self.horizon
+                )
+            )
+        return self.handles
+
+    def cancel_all(self) -> int:
+        """Revoke every still-pending recurring stream (daemon stop)."""
+        return sum(1 for handle in self.handles if handle.cancel())
+
+    # -- the streams -------------------------------------------------------
+
+    def _probe(self) -> None:
+        """Operator re-login over every control account."""
+        succeeded = self.system.login_control_accounts()
+        self.stats.probes += 1
+        self.stats.probe_logins += succeeded
+        self.system.obs.count("service.probe_logins", succeeded)
+
+    def _ingest(self) -> None:
+        """Pull the provider dump into the monitor, incrementally."""
+        attributed = self.ingestion()
+        self.stats.dumps = self.ingestion.dumps_ingested
+        self.system.obs.count("service.dump_logins_attributed", len(attributed))
+
+    def _bind(self) -> None:
+        """Bind one honey account to the next service-probed site.
+
+        The continuous analogue of a registration that exposed
+        credentials: an identity is checked out for a deterministic
+        site and burned, making any later provider login to it
+        attributable to exactly that site.
+        """
+        rank = 1 + (self._bind_cursor % self.config.population_size)
+        self._bind_cursor += 1
+        host = self.system.population.spec_at_rank(rank).host
+        password_class = (
+            PasswordClass.HARD if self._bind_rng.random() < 0.5 else PasswordClass.EASY
+        )
+        identity = self.system.pool.checkout_any(host, password_class)
+        if identity is None:
+            self.stats.bind_exhausted += 1
+            self._log.info("bind skipped: pool exhausted", host=host)
+            return
+        self.system.pool.burn(identity.identity_id)
+        self.stats.binds += 1
+        self.system.obs.count("service.binds")
+        self._log.info("account bound", host=host, local=identity.email_local)
+
+    def _bound_locals(self) -> list[str]:
+        """Email locals of bound (burned) identities, in burn order."""
+        return [
+            identity.email_local
+            for identity, _site in self.system.pool.burned_identities()
+        ]
+
+    def _freeze(self) -> None:
+        """The provider's abuse desk freezes one bound account."""
+        locals_ = self._bound_locals()
+        if not locals_:
+            return
+        local = locals_[self._freeze_rng.randrange(len(locals_))]
+        if not self.system.provider.support_freeze(local):
+            return
+        self.stats.freezes += 1
+        self.system.obs.count("service.freezes")
+        self._log.info("account frozen", local=local)
+        # The operator notices (the next probe/dump cycle) and recovers
+        # the account through the support desk after a delay.
+        recovered_password = f"Svc!{self._freeze_rng.randrange(10**8):08d}"
+        self.system.queue.schedule(
+            self.system.clock.now() + self.config.recover_delay,
+            "service.recover",
+            lambda: self._recover(local, recovered_password),
+        )
+
+    def _recover(self, local: str, new_password: str) -> None:
+        if self.system.provider.support_reset(local, new_password):
+            self.stats.recoveries += 1
+            self.system.obs.count("service.recoveries")
+            self._log.info("account recovered", local=local)
+
+    def _reset(self) -> None:
+        """Operator-driven password rotation on one bound account."""
+        locals_ = self._bound_locals()
+        if not locals_:
+            return
+        local = locals_[self._reset_rng.randrange(len(locals_))]
+        new_password = f"Rot@{self._reset_rng.randrange(10**8):08d}"
+        if self.system.provider.support_reset(local, new_password):
+            self.stats.resets += 1
+            self.system.obs.count("service.resets")
+            self._log.info("password rotated", local=local)
+
+    def _attack(self) -> None:
+        """An attacker tries a bound account's original credentials.
+
+        Successful logins land in telemetry and surface — one dump
+        later — as monitor detections of the bound site.  Frozen,
+        rotated or reset accounts make the attempt fail, which is the
+        signal degradation a long-lived deployment actually fights.
+        """
+        bound = self.system.pool.burned_identities()
+        if not bound:
+            return
+        identity, _site = bound[self._attack_rng.randrange(len(bound))]
+        ip = IPv4Address(self._attack_rng.randrange(1 << 32))
+        method = _ATTACK_METHODS[self._attack_rng.randrange(len(_ATTACK_METHODS))]
+        result = self.system.provider.attempt_login(
+            identity.email_local, identity.password, ip, method
+        )
+        self.stats.attacks += 1
+        self.system.obs.count("service.attacks")
+        if result.value == "success":
+            self.stats.attack_successes += 1
+            self.system.obs.count("service.attack_successes")

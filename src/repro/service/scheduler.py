@@ -1,0 +1,147 @@
+"""Service-mode configuration and the sim-clock epoch scheduler.
+
+An epoch is the daemon's unit of dispatch and checkpointing: a fixed
+window of sim time in which one staggered registration wave is crawled
+while the recurring service events (probes, lifecycle churn, telemetry
+ingestion) fire on their own intervals.  Epoch boundaries are where
+checkpoints land and where a resumed run re-enters, so every quantity
+here is a pure function of the :class:`ServiceConfig` — nothing about
+epochs depends on wall clock, worker count or executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.campaign import RegistrationPolicy
+from repro.faults.plan import FaultPlan
+from repro.util.timeutil import DAY, STUDY_START, SimInstant
+from repro.web.population import RankedSite
+
+
+@dataclass
+class ServiceConfig:
+    """Everything that shapes a service-mode run.
+
+    Fields are split between *sim-shaping* knobs (seed, population,
+    epochs, intervals, account counts — these go into the journal meta
+    and the checkpoint digest) and *execution-shaping* knobs (workers,
+    executor, warm caches — these may differ between the original and
+    the resumed run without moving a byte of output).
+    """
+
+    # -- sim-shaping ------------------------------------------------------
+    seed: int = 7
+    population_size: int = 3000
+    top: int = 200  # ranked sites crawled across the whole run
+    shards: int = 4
+    policy: RegistrationPolicy = RegistrationPolicy.HARD_FIRST
+    start: SimInstant = STUDY_START
+    epochs: int = 4
+    epoch_length: int = 30 * DAY
+    retention_days: int = 60
+    #: Recurring-event intervals (sim seconds).
+    probe_interval: int = 7 * DAY       # control-account re-login probes
+    dump_interval: int = 20 * DAY       # telemetry-dump ingestion
+    bind_interval: int = 3 * DAY        # honey-account ↔ site binding
+    freeze_interval: int = 23 * DAY     # provider freezes an account
+    reset_interval: int = 37 * DAY      # operator rotates a password
+    attack_interval: int = 5 * DAY      # attacker accesses a bound account
+    recover_delay: int = 4 * DAY        # support-desk recovery after a freeze
+    #: Service-world account block (honey + unused + control).
+    hard_accounts: int = 40
+    easy_accounts: int = 40
+    unused_accounts: int = 20
+    control_accounts: int = 4
+    fault_plan: FaultPlan | None = None
+    #: Drop provider telemetry no future dump can return (the
+    #: continuous-operation memory bound).
+    prune_telemetry: bool = True
+
+    # -- execution-shaping (never in journal meta) ------------------------
+    workers: int = 1
+    executor: str = "serial"
+    warm_workers: bool = True
+    wire_codec: bool = True
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be positive")
+        if self.epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+
+    def sim_meta(self) -> dict:
+        """The sim-shaping facts: journal meta and checkpoint digest.
+
+        Deliberately excludes workers, executor, warm caches and
+        checkpoint cadence — a resumed run may change any of those and
+        must still produce byte-identical output.
+        """
+        return {
+            "command": "serve",
+            "seed": self.seed,
+            "population": self.population_size,
+            "sites": self.top,
+            "shards": self.shards,
+            "policy": self.policy.value,
+            "start": self.start,
+            "epochs": self.epochs,
+            "epoch_length": self.epoch_length,
+            "retention_days": self.retention_days,
+            "probe_interval": self.probe_interval,
+            "dump_interval": self.dump_interval,
+            "bind_interval": self.bind_interval,
+            "freeze_interval": self.freeze_interval,
+            "reset_interval": self.reset_interval,
+            "attack_interval": self.attack_interval,
+            "recover_delay": self.recover_delay,
+            "hard_accounts": self.hard_accounts,
+            "easy_accounts": self.easy_accounts,
+            "unused_accounts": self.unused_accounts,
+            "control_accounts": self.control_accounts,
+            "fault_profile": self.fault_plan.profile if self.fault_plan else "off",
+            "fault_seed": self.fault_plan.seed if self.fault_plan else 0,
+            "prune_telemetry": self.prune_telemetry,
+        }
+
+
+@dataclass
+class EpochScheduler:
+    """Epoch windows and staggered wave slices, purely from config."""
+
+    config: ServiceConfig
+    _per_epoch: int = field(init=False, default=0)
+
+    @property
+    def horizon(self) -> SimInstant:
+        """The sim instant the service run ends."""
+        cfg = self.config
+        return cfg.start + cfg.epochs * cfg.epoch_length
+
+    def window(self, epoch: int) -> tuple[SimInstant, SimInstant]:
+        """The half-open sim window ``[start, end)`` of one epoch."""
+        cfg = self.config
+        if not 0 <= epoch < cfg.epochs:
+            raise ValueError(f"epoch {epoch} outside 0..{cfg.epochs - 1}")
+        base = cfg.start + epoch * cfg.epoch_length
+        return (base, base + cfg.epoch_length)
+
+    def wave_sites(self, sites: list[RankedSite], epoch: int) -> list[RankedSite]:
+        """The registration-wave slice for one epoch.
+
+        The ranked list is chunked contiguously across epochs — the
+        staggering the paper's deployment used instead of crawling the
+        whole list at once.  Every site lands in exactly one epoch;
+        later epochs absorb the remainder shortfall.
+        """
+        cfg = self.config
+        per = -(-len(sites) // cfg.epochs)  # ceil division
+        return sites[epoch * per:(epoch + 1) * per]
+
+    def wave_positions(self, sites: list[RankedSite], epoch: int) -> int:
+        """Global position offset of this epoch's wave in the full list."""
+        per = -(-len(sites) // self.config.epochs)
+        return epoch * per

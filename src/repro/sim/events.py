@@ -3,6 +3,16 @@
 Attacker campaigns, provider dump exports and registration batches are
 scheduled as events; :meth:`EventQueue.run_until` pops them in time
 order, jumping the shared clock to each event's instant.
+
+Service mode (:mod:`repro.service`) adds two requirements the batch
+scenarios never had: events must be **cancellable** (a daemon shutting
+down revokes its outstanding work) and **recurring** (re-login probes,
+telemetry ingestion and account-lifecycle churn fire on an interval
+for the life of the run).  Cancellation is lazy — a cancelled event
+stays in the heap but is discarded unexecuted when it surfaces — so
+``cancel`` is O(1) and the heap invariant is untouched.  Recurring
+events are plain events that reschedule themselves on fire, managed
+through a :class:`RecurringEvent` handle.
 """
 
 from __future__ import annotations
@@ -30,6 +40,52 @@ class Event:
         return (self.time, self.sequence)
 
 
+class RecurringEvent:
+    """Handle for an event that reschedules itself on fire.
+
+    Created by :meth:`EventQueue.schedule_recurring`; holds the
+    currently pending occurrence and a cumulative fire count.
+    :meth:`cancel` revokes the pending occurrence and stops the chain —
+    callable any time, including from inside the event's own action.
+    """
+
+    __slots__ = ("queue", "label", "interval", "until", "fired", "_pending", "_stopped")
+
+    def __init__(self, queue: "EventQueue", label: str, interval: int,
+                 until: SimInstant | None):
+        self.queue = queue
+        self.label = label
+        self.interval = interval
+        self.until = until
+        self.fired = 0
+        self._pending: Event | None = None
+        self._stopped = False
+
+    @property
+    def active(self) -> bool:
+        """Whether another occurrence is pending."""
+        return not self._stopped and self._pending is not None
+
+    @property
+    def next_time(self) -> SimInstant | None:
+        """When the next occurrence fires (None once stopped/expired)."""
+        return self._pending.time if self.active else None
+
+    def cancel(self) -> bool:
+        """Revoke the pending occurrence and end the chain.
+
+        Returns True when a pending occurrence was actually cancelled;
+        False when the chain had already stopped (idempotent).
+        """
+        if self._stopped:
+            return False
+        self._stopped = True
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return False
+        return self.queue.cancel(pending)
+
+
 class EventQueue:
     """Min-heap of events sharing one :class:`SimClock`.
 
@@ -46,6 +102,10 @@ class EventQueue:
         self._keep_history = keep_history
         self._executed: list[Event] = []
         self._executed_count = 0
+        #: Sequence numbers of live (pending, uncancelled) events.
+        self._pending: set[int] = set()
+        #: Sequence numbers of cancelled-but-not-yet-popped events.
+        self._cancelled: set[int] = set()
 
     @property
     def clock(self) -> SimClock:
@@ -56,13 +116,73 @@ class EventQueue:
         """Add an event; events in the past fire immediately on run."""
         event = Event(time=time, sequence=next(self._counter), label=label, action=action)
         heapq.heappush(self._heap, (event.sort_key(), event))
+        self._pending.add(event.sequence)
         return event
 
+    def schedule_recurring(
+        self,
+        start: SimInstant,
+        interval: int,
+        label: str,
+        action: Callable[[], None],
+        until: SimInstant | None = None,
+    ) -> RecurringEvent:
+        """Schedule ``action`` at ``start`` and every ``interval`` after.
+
+        The chain ends when the next occurrence would land past
+        ``until`` (inclusive bound), or when the returned handle is
+        cancelled.  ``action`` itself may cancel the handle to stop
+        after the current firing.
+        """
+        if interval <= 0:
+            raise ValueError("recurring interval must be positive")
+        handle = RecurringEvent(self, label, interval, until)
+
+        def fire() -> None:
+            handle._pending = None
+            action()
+            handle.fired += 1
+            if handle._stopped:
+                return
+            next_time = self._clock.now() + interval
+            if until is not None and next_time > until:
+                handle._stopped = True
+                return
+            handle._pending = self.schedule(next_time, label, fire)
+
+        handle._pending = self.schedule(start, label, fire)
+        return handle
+
+    def cancel(self, event: Event) -> bool:
+        """Revoke a pending event; it will be discarded unexecuted.
+
+        Lazy: the heap entry stays put and is dropped when it surfaces.
+        Returns True when the event was pending, False when it already
+        executed, was already cancelled, or never belonged here.
+        Cancelled events do not advance the clock and do not count in
+        :attr:`executed_count`.
+        """
+        if event.sequence not in self._pending:
+            return False
+        self._pending.discard(event.sequence)
+        self._cancelled.add(event.sequence)
+        return True
+
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._pending)
+
+    def _discard_cancelled_head(self) -> bool:
+        """Drop the head if it was cancelled; True when one was dropped."""
+        if self._heap and self._heap[0][1].sequence in self._cancelled:
+            _key, event = heapq.heappop(self._heap)
+            self._cancelled.discard(event.sequence)
+            return True
+        return False
 
     def peek_time(self) -> SimInstant | None:
-        """Time of the next event, or None when empty."""
+        """Time of the next live event, or None when empty."""
+        while self._discard_cancelled_head():
+            pass
         if not self._heap:
             return None
         return self._heap[0][1].time
@@ -76,7 +196,10 @@ class EventQueue:
         """
         executed = 0
         while self._heap and self._heap[0][1].time <= deadline:
+            if self._discard_cancelled_head():
+                continue
             _key, event = heapq.heappop(self._heap)
+            self._pending.discard(event.sequence)
             self._clock.advance_to(event.time)
             event.action()
             self._record(event)
@@ -88,7 +211,10 @@ class EventQueue:
         """Execute every queued event regardless of time."""
         executed = 0
         while self._heap:
+            if self._discard_cancelled_head():
+                continue
             _key, event = heapq.heappop(self._heap)
+            self._pending.discard(event.sequence)
             self._clock.advance_to(event.time)
             event.action()
             self._record(event)

@@ -206,16 +206,28 @@ class SiteGenerator:
         return host
 
     def spec_for_rank(self, rank: int) -> SiteSpec:
-        """The spec for one rank (from the shared cache when warm)."""
+        """The spec for one rank (from the shared cache when warm).
+
+        A shared cache is filled **prefix-closed**: every missing rank
+        below the requested one is generated first, in rank order, so
+        the host-collision set a rank sees is always exactly the hosts
+        of ranks ``1..rank-1``.  That makes each cached spec a pure
+        function of ``(seed, config, rank)`` — independent of which
+        shard, epoch or worker asks first — which is what lets the
+        service daemon resume from a checkpoint into a cache with
+        different history and still reproduce identical worlds.
+        """
         cache = self._spec_cache
-        if cache is not None:
-            spec = cache.specs.get(rank)
-            if spec is not None:
-                return spec
-        spec = self._generate(rank)
-        if cache is not None:
-            cache.specs[rank] = spec
-        return spec
+        if cache is None:
+            return self._generate(rank)
+        spec = cache.specs.get(rank)
+        if spec is not None:
+            return spec
+        # All inserts go through this loop, so cache keys are always
+        # the contiguous range 1..len(specs).
+        for missing in range(len(cache.specs) + 1, rank + 1):
+            cache.specs[missing] = self._generate(missing)
+        return cache.specs[rank]
 
     def _generate(self, rank: int) -> SiteSpec:
         """Generate (deterministically) the spec for one rank."""

@@ -1,0 +1,81 @@
+"""The `repro serve` CLI surface: epochs, checkpoints, resume, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.journal import read_journal
+
+SERVE_ARGS = [
+    "serve", "--top", "12", "--population", "300", "--shards", "2",
+    "--workers", "1", "--seed", "7", "--epochs", "3", "--epoch-days", "10",
+]
+
+
+class TestServe:
+    def test_full_run_exits_zero_and_prints_epoch_table(self, capsys):
+        assert main(SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Epoch" in out
+        assert "crawled" in out
+        assert "Service totals" in out
+
+    def test_obs_out_journal_matches_rerun(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        assert main(SERVE_ARGS + ["--obs-out", str(first)]) == 0
+        assert main(SERVE_ARGS + ["--obs-out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        payload = read_journal(first)
+        assert payload["meta"]["command"] == "serve"
+        # 3 epochs x 2 shards of crawling, plus the service world.
+        assert payload["shard_count"] == 7
+
+    def test_json_summary(self, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        assert main(SERVE_ARGS + ["--json", str(summary_path)]) == 0
+        payload = json.loads(summary_path.read_text(encoding="utf-8"))
+        assert payload["epochs_completed"] == 3
+        assert payload["interrupted"] is False
+        assert payload["lifecycle"]["probes"] > 0
+        assert payload["stats"]["attempts"] > 0
+
+    def test_checkpoint_then_resume_reproduces_the_journal(self, tmp_path):
+        reference = tmp_path / "reference.jsonl"
+        assert main(SERVE_ARGS + ["--obs-out", str(reference)]) == 0
+
+        ckpt = tmp_path / "svc.ckpt"
+        assert main(SERVE_ARGS + ["--checkpoint", str(ckpt)]) == 0
+        assert ckpt.exists()
+
+        resumed = tmp_path / "resumed.jsonl"
+        assert main(
+            SERVE_ARGS + ["--resume", str(ckpt), "--obs-out", str(resumed)]
+        ) == 0
+        assert resumed.read_bytes() == reference.read_bytes()
+
+    def test_resume_prints_replayed_epochs(self, tmp_path, capsys):
+        ckpt = tmp_path / "svc.ckpt"
+        assert main(SERVE_ARGS + ["--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(SERVE_ARGS + ["--resume", str(ckpt)]) == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        assert "replayed" in captured.out
+
+    def test_missing_resume_checkpoint_exits_one(self, tmp_path, capsys):
+        assert main(
+            SERVE_ARGS + ["--resume", str(tmp_path / "missing.ckpt")]
+        ) == 1
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+    def test_corrupt_resume_checkpoint_exits_one(self, tmp_path, capsys):
+        ckpt = tmp_path / "svc.ckpt"
+        ckpt.write_text("not a checkpoint\n", encoding="ascii")
+        assert main(SERVE_ARGS + ["--resume", str(ckpt)]) == 1
+        assert capsys.readouterr().err
+
+    def test_rejects_bad_epoch_count(self):
+        with pytest.raises(ValueError, match="epochs"):
+            main(["serve", "--epochs", "0"])

@@ -95,3 +95,131 @@ class TestEventQueue:
     def test_peek_time_empty(self):
         _clock, queue = make_queue()
         assert queue.peek_time() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        clock, queue = make_queue()
+        fired = []
+        doomed = queue.schedule(10, "doomed", lambda: fired.append("doomed"))
+        queue.schedule(20, "kept", lambda: fired.append("kept"))
+        assert queue.cancel(doomed) is True
+        queue.run_until(100)
+        assert fired == ["kept"]
+
+    def test_cancel_is_idempotent_and_reports_outcome(self):
+        clock, queue = make_queue()
+        event = queue.schedule(10, "x", lambda: None)
+        assert queue.cancel(event) is True
+        assert queue.cancel(event) is False
+
+    def test_cancel_after_execution_returns_false(self):
+        clock, queue = make_queue()
+        event = queue.schedule(10, "x", lambda: None)
+        queue.run_until(10)
+        assert queue.cancel(event) is False
+
+    def test_cancelled_events_do_not_count_or_enter_history(self):
+        clock, queue = make_queue(keep_history=True)
+        doomed = queue.schedule(10, "doomed", lambda: None)
+        queue.schedule(20, "kept", lambda: None)
+        queue.cancel(doomed)
+        queue.run_until(100)
+        assert queue.executed_count == 1
+        assert [e.label for e in queue.executed_events()] == ["kept"]
+
+    def test_len_and_peek_skip_cancelled(self):
+        clock, queue = make_queue()
+        first = queue.schedule(10, "first", lambda: None)
+        queue.schedule(20, "second", lambda: None)
+        assert len(queue) == 2
+        queue.cancel(first)
+        assert len(queue) == 1
+        assert queue.peek_time() == 20
+
+    def test_cancelled_head_does_not_advance_clock(self):
+        clock, queue = make_queue()
+        doomed = queue.schedule(10, "doomed", lambda: None)
+        queue.cancel(doomed)
+        queue.run_all()
+        assert clock.now() == 0
+
+    def test_event_can_cancel_a_later_event(self):
+        clock, queue = make_queue()
+        fired = []
+        later = queue.schedule(20, "later", lambda: fired.append("later"))
+        queue.schedule(10, "canceller", lambda: queue.cancel(later))
+        queue.run_until(100)
+        assert fired == []
+
+
+class TestRecurring:
+    def test_fires_on_interval_until_bound(self):
+        clock, queue = make_queue()
+        times = []
+        handle = queue.schedule_recurring(
+            10, 10, "tick", lambda: times.append(clock.now()), until=45
+        )
+        queue.run_until(100)
+        assert times == [10, 20, 30, 40]
+        assert handle.fired == 4
+        assert not handle.active
+        assert handle.next_time is None
+
+    def test_until_bound_is_inclusive(self):
+        clock, queue = make_queue()
+        times = []
+        queue.schedule_recurring(
+            10, 10, "tick", lambda: times.append(clock.now()), until=30
+        )
+        queue.run_until(100)
+        assert times == [10, 20, 30]
+
+    def test_unbounded_chain_keeps_rescheduling(self):
+        clock, queue = make_queue()
+        times = []
+        handle = queue.schedule_recurring(
+            5, 5, "tick", lambda: times.append(clock.now())
+        )
+        queue.run_until(23)
+        assert times == [5, 10, 15, 20]
+        assert handle.active
+        assert handle.next_time == 25
+
+    def test_cancel_stops_the_chain(self):
+        clock, queue = make_queue()
+        times = []
+        handle = queue.schedule_recurring(
+            10, 10, "tick", lambda: times.append(clock.now())
+        )
+        queue.run_until(25)
+        assert handle.cancel() is True
+        assert handle.cancel() is False  # idempotent
+        queue.run_until(100)
+        assert times == [10, 20]
+        assert len(queue) == 0
+
+    def test_action_may_cancel_its_own_handle(self):
+        clock, queue = make_queue()
+        times = []
+        handles = {}
+
+        def action():
+            times.append(clock.now())
+            if len(times) == 2:
+                handles["tick"].cancel()
+
+        handles["tick"] = queue.schedule_recurring(10, 10, "tick", action)
+        queue.run_until(100)
+        assert times == [10, 20]
+
+    def test_recurring_interval_must_be_positive(self):
+        clock, queue = make_queue()
+        with pytest.raises(ValueError, match="interval"):
+            queue.schedule_recurring(10, 0, "bad", lambda: None)
+
+    def test_recurring_fires_count_in_executed_count(self):
+        clock, queue = make_queue()
+        queue.schedule_recurring(10, 10, "tick", lambda: None, until=30)
+        queue.run_until(100)
+        assert queue.executed_count == 3
