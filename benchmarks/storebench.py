@@ -1,0 +1,175 @@
+"""World-store throughput bench — writes ``BENCH_7.json``.
+
+Builds disk-backed worlds at the 1k/10k/100k strata (the 10^6 stratum
+rides behind ``--slow``) and records, per stratum:
+
+- build sites/sec: streaming spec generation into segment pages;
+- scan sites/sec: a full ``iter_specs`` pass decoding every page
+  through the budgeted LRU cache;
+- sampled-access seconds: one ``StrataSampler`` incidence pass, the
+  access pattern the analysis builders actually use;
+- on-disk bytes and the cache's peak resident bytes.
+
+Everything here is **recorded, never gated**: sites/sec is a property
+of the machine (recorded as ``cpu_count``).  The hard assertions are
+correctness — the cache peak must stay within the configured budget,
+and ranked listings off the store must match the in-memory population.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/storebench.py
+    PYTHONPATH=src python benchmarks/storebench.py --slow   # adds 10^6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core.substrate import WorldShard
+from repro.store import StrataSampler, build_world_store
+from repro.util.rngtree import RngTree
+from repro.util.tables import render_table
+
+from _output import write_json, write_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_INDEX = 7
+TRAJECTORY_PATH = REPO_ROOT / f"BENCH_{BENCH_INDEX}.json"
+
+SEED = 2017
+STRATA = (1_000, 10_000, 100_000)
+SLOW_STRATA = (1_000_000,)
+#: Small enough that the 100k stratum must evict constantly.
+BUDGET_BYTES = 4 * 1024 * 1024
+#: Cross-check listing size: store ranked_top vs the in-memory world.
+CHECK_TOP = 50
+
+
+def run_stratum(population: int, workdir: pathlib.Path) -> dict:
+    path = workdir / f"world_{population}"
+    started = time.perf_counter()
+    store = build_world_store(path, SEED, population,
+                              budget_bytes=BUDGET_BYTES)
+    build_seconds = time.perf_counter() - started
+    try:
+        disk_bytes = sum(
+            f.stat().st_size for f in store.path.iterdir() if f.is_file()
+        )
+
+        started = time.perf_counter()
+        scanned = sum(1 for _ in store.iter_specs())
+        scan_seconds = time.perf_counter() - started
+        assert scanned == population
+
+        started = time.perf_counter()
+        sampler = StrataSampler(SEED, population)
+        sampler.incidence(store)
+        sample_seconds = time.perf_counter() - started
+
+        stats = store.cache_stats()
+        assert stats.peak_bytes <= BUDGET_BYTES, (
+            f"population={population}: cache peak {stats.peak_bytes} "
+            f"exceeded budget {BUDGET_BYTES}"
+        )
+        return {
+            "population": population,
+            "build_seconds": round(build_seconds, 4),
+            "build_sites_per_second": round(population / build_seconds, 1),
+            "scan_seconds": round(scan_seconds, 4),
+            "scan_sites_per_second": round(population / scan_seconds, 1),
+            "sample_seconds": round(sample_seconds, 4),
+            "disk_bytes": disk_bytes,
+            "cache_peak_bytes": stats.peak_bytes,
+            "cache_hit_rate": round(stats.hit_rate, 4),
+        }
+    finally:
+        store.close()
+
+
+def check_listings(workdir: pathlib.Path) -> None:
+    """Smallest stratum doubles as the correctness cross-check."""
+    from repro.store import open_world_store
+    from repro.store.world import close_open_stores
+
+    population = STRATA[0]
+    listing = WorldShard(RngTree(SEED)).build_population(population)
+    store = open_world_store(workdir / f"world_{population}")
+    try:
+        assert store.ranked_top(CHECK_TOP) == listing.alexa_top(CHECK_TOP), (
+            "store ranked listing diverged from in-memory population"
+        )
+    finally:
+        close_open_stores()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--slow", action="store_true",
+                        help="include the 10^6-site stratum")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_7.json")
+    args = parser.parse_args(argv)
+
+    strata = STRATA + (SLOW_STRATA if args.slow else ())
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="storebench_"))
+    runs: dict[str, dict] = {}
+    try:
+        for population in strata:
+            runs[str(population)] = run_stratum(population, workdir)
+            run = runs[str(population)]
+            print(f"population={population}: build "
+                  f"{run['build_sites_per_second']} sites/s, scan "
+                  f"{run['scan_sites_per_second']} sites/s",
+                  file=sys.stderr)
+        check_listings(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    rows = [
+        [
+            f"{run['population']:,}",
+            f"{run['build_sites_per_second']:,.0f}",
+            f"{run['scan_sites_per_second']:,.0f}",
+            f"{run['sample_seconds']:.2f}",
+            f"{run['disk_bytes'] / 1024 / 1024:.1f}",
+            f"{run['cache_peak_bytes'] / 1024 / 1024:.1f}",
+        ]
+        for run in runs.values()
+    ]
+    table = render_table(
+        ["Sites", "Build sites/s", "Scan sites/s", "Sample s",
+         "Disk MiB", "Peak MiB"],
+        rows,
+        title="World-store throughput (recorded, never gated)",
+    )
+    print(table)
+
+    payload = {
+        "bench_index": BENCH_INDEX,
+        "schema_version": 1,
+        "slow": args.slow,
+        "cpu_count": os.cpu_count() or 1,
+        "budget_bytes": BUDGET_BYTES,
+        "listings_identical": True,
+        "runs": runs,
+    }
+    write_text("storebench", table)
+    write_json("storebench", payload)
+    if not args.no_write:
+        TRAJECTORY_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {TRAJECTORY_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,6 +9,7 @@ from repro.analysis.table1 import build_table1, render_table1
 from repro.analysis.table2 import build_table2, render_table2, assign_site_letters
 from repro.analysis.table3 import build_table3, render_table3
 from repro.analysis.table4 import build_table4, render_table4
+from repro.analysis.strata import build_strata_table, render_strata_table
 from repro.analysis.fig1 import build_fig1, render_fig1, crawler_flow_graph
 from repro.analysis.fig2 import build_fig2, render_fig2
 from repro.analysis.fig3 import build_fig3, render_fig3
@@ -30,6 +31,7 @@ __all__ = [
     "build_table2", "render_table2", "assign_site_letters",
     "build_table3", "render_table3",
     "build_table4", "render_table4",
+    "build_strata_table", "render_strata_table",
     "build_fig1", "render_fig1", "crawler_flow_graph",
     "build_fig2", "render_fig2",
     "build_fig3", "render_fig3",

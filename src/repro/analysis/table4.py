@@ -9,9 +9,22 @@ windows — the "manual" inspection is exact by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.util.tables import render_table
-from repro.web.population import InternetPopulation
+
+
+class SpecSource(Protocol):
+    """Any ground-truth spec source: a live population or a world store.
+
+    Satisfied by :class:`repro.web.population.InternetPopulation` and
+    :class:`repro.store.world.WorldStore` — the builder only needs a
+    population size and bucket counts for a rank set.
+    """
+
+    size: int
+
+    def eligibility_ground_truth(self, ranks: list[int]) -> dict[str, int]: ...
 
 
 @dataclass(frozen=True)
@@ -46,7 +59,7 @@ PAPER_TABLE4 = {
 
 
 def build_table4(
-    population: InternetPopulation,
+    population: SpecSource,
     start_ranks: tuple[int, ...] = (1, 1000, 10000),
     sample_size: int = 100,
 ) -> list[Table4Row]:

@@ -84,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="shard executor backend (default process)")
     campaign.add_argument("--json", type=pathlib.Path, default=None,
                           help="write a machine-readable summary here")
+    _add_store_arguments(campaign)
     _add_fault_arguments(campaign)
     _add_obs_arguments(campaign)
 
@@ -124,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "implies checkpointing back to the same path")
     serve.add_argument("--json", type=pathlib.Path, default=None,
                        help="write a machine-readable summary here")
+    _add_store_arguments(serve)
     _add_fault_arguments(serve)
     _add_obs_arguments(serve)
 
@@ -168,12 +170,35 @@ def _add_fault_arguments(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--world-store", type=pathlib.Path, default=None, metavar="PATH",
+        help="disk-backed world store directory (built on first use); "
+             "shards read site specs from its pages instead of "
+             "regenerating them — output is bit-identical either way",
+    )
+
+
 def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--obs-out", type=pathlib.Path, default=None, metavar="PATH",
         help="enable the observability layer, write the deterministic "
              "run journal (JSONL) here and print the ops report",
     )
+
+
+def _open_or_build_store(path: pathlib.Path, seed: int, population: int):
+    """Build the world store on first use, reopen (validated) after."""
+    from repro.store import build_world_store
+
+    existed = (path / "worldstore.json").is_file()
+    store = build_world_store(path, seed, population)
+    print(
+        ("opened" if existed else "built")
+        + f" world store {path} ({store.population} sites)",
+        file=sys.stderr,
+    )
+    return store
 
 
 def _fault_plan_from(args: argparse.Namespace):
@@ -265,15 +290,21 @@ def _run_campaign(args: argparse.Namespace) -> int:
     if args.workers == 1 and executor != "serial":
         executor = "serial"
 
-    # The ranked list comes from the substrate alone (no apparatus);
-    # every shard regenerates identical specs from the same root seed.
-    listing = WorldShard(RngTree(args.seed)).build_population(args.population)
-    sites = listing.alexa_top(args.top)
+    store = None
+    if args.world_store is not None:
+        store = _open_or_build_store(args.world_store, args.seed, args.population)
+        sites = store.ranked_top(args.top)
+    else:
+        # The ranked list comes from the substrate alone (no apparatus);
+        # every shard regenerates identical specs from the same root seed.
+        listing = WorldShard(RngTree(args.seed)).build_population(args.population)
+        sites = listing.alexa_top(args.top)
 
     fault_plan = _fault_plan_from(args)
     print(
         f"campaign: top={len(sites)} shards={args.shards} "
         f"workers={args.workers} executor={executor}"
+        + (f" store={args.world_store}" if store is not None else "")
         + (f" faults={args.fault_profile}/{args.fault_seed}" if fault_plan else ""),
         file=sys.stderr,
     )
@@ -289,8 +320,17 @@ def _run_campaign(args: argparse.Namespace) -> int:
         obs_enabled=args.obs_out is not None,
         obs_meta={"command": "campaign"},
         warm_workers=args.warm_workers,
+        world_store=str(args.world_store) if store is not None else None,
     ) as runner:
         result = runner.run(sites)
+
+    if store is not None:
+        accounts, telemetry_rows = store.append_results(result.attempts)
+        print(
+            f"world store: appended {accounts} accounts, "
+            f"{telemetry_rows} telemetry rows to {args.world_store}",
+            file=sys.stderr,
+        )
 
     stats, telemetry = result.stats, result.telemetry
     rows = [
@@ -366,6 +406,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.workers == 1 and executor != "serial":
         executor = "serial"
 
+    if args.world_store is not None:
+        _open_or_build_store(args.world_store, args.seed, args.population)
+
     config = ServiceConfig(
         seed=args.seed,
         population_size=args.population,
@@ -378,6 +421,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         executor=executor,
         warm_workers=args.warm_workers,
         checkpoint_every=args.checkpoint_every,
+        world_store=str(args.world_store) if args.world_store else None,
     )
 
     checkpoint_path = args.checkpoint or args.resume

@@ -103,6 +103,12 @@ class ShardPlan:
     #: Opt-in to the per-worker warm world cache.  Off by default so a
     #: bare ``run_shard(plan)`` is always the cold reference path.
     warm_enabled: bool = False
+    #: Path of a built :mod:`repro.store` world store, or None for the
+    #: in-memory default.  Execution-shaped like ``warm_enabled``: the
+    #: store holds the same prefix-closed specs the generator would
+    #: produce, so toggling it moves no bit of merged output (the
+    #: store≡memory determinism matrix pins this).
+    world_store: str | None = None
     #: Scheduler epoch this shard belongs to (service mode).  Epoch 0
     #: keeps the pre-service apparatus namespace ``("shard", k)`` so
     #: one-shot campaigns are byte-identical to earlier releases; later
@@ -224,6 +230,18 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         namespace: tuple[object, ...] = ("shard", plan.shard_index)
     else:
         namespace = ("epoch", plan.epoch, "shard", plan.shard_index)
+    spec_cache = None
+    if plan.world_store is not None:
+        from repro.store import open_world_store
+
+        store = open_world_store(plan.world_store)
+        store.require_world(
+            plan.seed,
+            plan.population_size,
+            plan.generator_config,
+            plan.site_overrides,
+        )
+        spec_cache = store.spec_cache()
     warm = _warm.world_for_plan(plan)
     system = TripwireSystem(
         seed=plan.seed,
@@ -236,6 +254,7 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         fault_plan=plan.fault_plan,
         obs_enabled=plan.obs_enabled,
         warm=warm,
+        spec_cache=spec_cache,
     )
     hard_needed = 2 * len(plan.sites) + plan.identity_headroom
     easy_needed = len(plan.sites) + plan.identity_headroom
@@ -390,6 +409,7 @@ class CampaignRunner:
         warm_workers: bool = True,
         wire_codec: bool = True,
         persistent_pool: bool = False,
+        world_store: str | None = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -417,6 +437,9 @@ class CampaignRunner:
         self.warm_workers = warm_workers
         self.wire_codec = wire_codec
         self.persistent_pool = persistent_pool
+        #: Execution-shaped, like ``workers``: never recorded in the
+        #: journal meta, and must not change a bit of merged output.
+        self.world_store = world_store
         self._pool: concurrent.futures.Executor | None = None
 
     # -- planning -----------------------------------------------------------
@@ -461,6 +484,7 @@ class CampaignRunner:
                     fault_plan=self.fault_plan,
                     obs_enabled=self.obs_enabled,
                     warm_enabled=self.warm_workers,
+                    world_store=self.world_store,
                     epoch=epoch,
                 )
             )

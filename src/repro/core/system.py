@@ -49,6 +49,7 @@ class TripwireSystem:
         fault_plan: FaultPlan | None = None,
         obs_enabled: bool = False,
         warm: object | None = None,
+        spec_cache: object | None = None,
     ):
         self.tree = RngTree(seed)
         #: The apparatus draws from a (possibly shard-namespaced) tree
@@ -75,12 +76,17 @@ class TripwireSystem:
         #: :meth:`provision_identities` — so warm and cold runs stay
         #: bit-identical.
         self.warm = warm
+        #: An explicit ``spec_cache`` (e.g. the world store's read-only
+        #: adapter) wins over the warm cache's — disk-backed specs are
+        #: already the fully built table the warm cache approximates.
+        if spec_cache is None:
+            spec_cache = getattr(warm, "spec_cache", None)
         self.population = self.world.build_population(
             population_size,
             mail_router=self.route_site_mail,
             config=generator_config,
             overrides=site_overrides,
-            spec_cache=getattr(warm, "spec_cache", None),
+            spec_cache=spec_cache,
         )
 
         # -- flat aliases into the layers (the pre-decomposition API) ------

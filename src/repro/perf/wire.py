@@ -40,8 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 WIRE_SCHEMA = 1
 
 
-class _Interner:
-    """Assigns dense indices to values, first-seen order."""
+class Interner:
+    """Assigns dense indices to values, first-seen order.
+
+    Shared with :mod:`repro.store.rows` — the persistent world store
+    uses the same interned-row-tuple shape per on-disk page that this
+    codec uses per shard blob.
+    """
 
     __slots__ = ("table", "index")
 
@@ -59,7 +64,11 @@ class _Interner:
         return position
 
 
-def _encode_identity(identity: Identity, strings: _Interner) -> tuple:
+#: Backwards-compatible private alias.
+_Interner = Interner
+
+
+def encode_identity_row(identity: Identity, strings: Interner) -> tuple:
     s = strings.add
     a = identity.address
     return (
@@ -81,7 +90,7 @@ def _encode_identity(identity: Identity, strings: _Interner) -> tuple:
     )
 
 
-def _decode_identity(row: tuple, strings: list) -> Identity:
+def decode_identity_row(row: tuple, strings: list) -> Identity:
     return Identity(
         identity_id=row[0],
         first_name=strings[row[1]],
@@ -103,7 +112,7 @@ def _decode_identity(row: tuple, strings: list) -> Identity:
     )
 
 
-def _encode_outcome(outcome: CrawlOutcome, strings: _Interner) -> tuple:
+def encode_outcome_row(outcome: CrawlOutcome, strings: _Interner) -> tuple:
     s = strings.add
     return (
         s(outcome.site_host),
@@ -119,7 +128,7 @@ def _encode_outcome(outcome: CrawlOutcome, strings: _Interner) -> tuple:
     )
 
 
-def _decode_outcome(row: tuple, strings: list) -> CrawlOutcome:
+def decode_outcome_row(row: tuple, strings: list) -> CrawlOutcome:
     return CrawlOutcome(
         site_host=strings[row[0]],
         url=strings[row[1]],
@@ -144,7 +153,7 @@ def _encode_attempt(
         s(attempt.url),
         identities.add(attempt.identity),
         s(attempt.password_class.value),
-        _encode_outcome(attempt.outcome, strings),
+        encode_outcome_row(attempt.outcome, strings),
         attempt.manual,
         attempt.registered_at,
     )
@@ -157,7 +166,7 @@ def _decode_attempt(row: tuple, strings: list, identities: list) -> AttemptRecor
         url=strings[row[2]],
         identity=identities[row[3]],
         password_class=PasswordClass(strings[row[4]]),
-        outcome=_decode_outcome(row[5], strings),
+        outcome=decode_outcome_row(row[5], strings),
         manual=row[6],
         registered_at=row[7],
     )
@@ -220,7 +229,7 @@ def encode_shard_result(result: "ShardResult") -> tuple:
     ]
     # Identity rows are encoded after the attempts so the intern table
     # is complete; rows land in first-reference order.
-    identity_rows = [_encode_identity(i, strings) for i in identities.table]
+    identity_rows = [encode_identity_row(i, strings) for i in identities.table]
     observation = (
         _encode_observation(result.observation, strings)
         if result.observation is not None
@@ -250,7 +259,7 @@ def decode_shard_result(wire: tuple) -> "ShardResult":
         )
     (_, shard_index, strings, identity_rows, site_attempts,
      stats, telemetry, fault_report, observation) = wire
-    identity_table = [_decode_identity(row, strings) for row in identity_rows]
+    identity_table = [decode_identity_row(row, strings) for row in identity_rows]
     return ShardResult(
         shard_index=shard_index,
         site_attempts=[

@@ -136,8 +136,16 @@ class CampaignDaemon:
 
         Substrate-only (no apparatus), same as the batch CLI: every
         crawl shard regenerates identical specs from the root seed.
+        With a world store configured, the listing comes off disk pages
+        instead — same hosts, same order, no population build.
         """
         cfg = self.config
+        if cfg.world_store is not None:
+            from repro.store import open_world_store
+
+            store = open_world_store(cfg.world_store)
+            store.require_world(cfg.seed, cfg.population_size)
+            return store.ranked_top(cfg.top)
         listing = WorldShard(RngTree(cfg.seed)).build_population(cfg.population_size)
         return listing.alexa_top(cfg.top)
 
@@ -186,6 +194,7 @@ class CampaignDaemon:
             warm_workers=cfg.warm_workers,
             wire_codec=cfg.wire_codec,
             persistent_pool=True,
+            world_store=cfg.world_store,
         )
 
     # -- the service loop --------------------------------------------------

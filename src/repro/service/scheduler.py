@@ -64,6 +64,10 @@ class ServiceConfig:
     warm_workers: bool = True
     wire_codec: bool = True
     checkpoint_every: int = 1
+    #: Path of a built world store (:mod:`repro.store`), or None for
+    #: in-memory worlds.  Execution-shaped: a run may be resumed with
+    #: the store toggled either way and must still byte-match.
+    world_store: str | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

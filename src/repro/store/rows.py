@@ -1,0 +1,197 @@
+"""Lossless row codecs for the world tables.
+
+The store's pages hold the same shape the PR-5 wire codec ships over
+the process-pool boundary — flat typed tuples over a string intern
+table — so the identity and outcome rows reuse the codec's own
+helpers (:func:`repro.perf.wire.encode_identity_row` et al.) and the
+spec row follows the same explicit field-for-field style.  Three
+tables exist:
+
+- ``specs`` — one :class:`~repro.web.spec.SiteSpec` per row, row *i*
+  holding rank *i + 1* (the prefix-closed build order);
+- ``accounts`` — :class:`~repro.identity.records.Identity` rows, the
+  campaign's account database in first-reference order;
+- ``telemetry`` — :class:`~repro.core.campaign.AttemptRecord` rows
+  with the identity nested inline, so every page stays
+  self-contained (per-page interning keeps the duplication cheap).
+
+Every codec is lossless: ``decode(encode(x)) == x`` field for field,
+enums round-tripping through ``.value`` — pinned by the hypothesis
+property tests in ``tests/store/test_rows_property.py``.  Schema
+changes (new fields, reordering) must bump
+:data:`~repro.store.segment.SEGMENT_SCHEMA`.
+
+The 17 spec booleans pack into one varint bitmask (columnar in
+spirit: a fixed bit plan rather than 17 tagged values per row).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.perf.wire import (
+    Interner,
+    decode_identity_row,
+    decode_outcome_row,
+    encode_identity_row,
+    encode_outcome_row,
+)
+from repro.web.spec import (
+    BotCheck,
+    EmailBehavior,
+    LinkPlacement,
+    RegistrationStyle,
+    ResponseStyle,
+    SiteSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.campaign import AttemptRecord
+
+__all__ = [
+    "Interner",
+    "TABLE_NAMES",
+    "decode_attempt_row",
+    "decode_spec_row",
+    "encode_attempt_row",
+    "encode_spec_row",
+    "table_codec",
+]
+
+#: Bit plan for the spec bool mask, least-significant bit first.
+#: Append only — reordering is a schema break.
+_SPEC_FLAGS = (
+    "load_fails",
+    "supports_https",
+    "multistage_credentials_first",
+    "multistage_creates_at_step1",
+    "wants_username",
+    "wants_name",
+    "wants_phone",
+    "wants_birthdate",
+    "wants_gender",
+    "wants_confirm_password",
+    "wants_terms_checkbox",
+    "extra_unlabeled_field",
+    "extra_field_required",
+    "requires_special_char",
+    "requires_admin_approval",
+    "lists_usernames_publicly",
+    "site_brute_force_protection",
+    "is_free_trial",
+)
+
+
+def encode_spec_row(spec: SiteSpec, strings: Interner) -> tuple:
+    """One site spec as a flat tuple over the page's intern table."""
+    s = strings.add
+    flags = 0
+    for bit, name in enumerate(_SPEC_FLAGS):
+        if getattr(spec, name):
+            flags |= 1 << bit
+    return (
+        s(spec.host),
+        spec.rank,
+        s(spec.category),
+        s(spec.language),
+        flags,
+        None if spec.shared_backend is None else s(spec.shared_backend),
+        None if spec.backend_family is None else s(spec.backend_family),
+        s(spec.registration_style.value),
+        s(spec.link_placement.value),
+        s(spec.registration_path),
+        s(spec.anchor_text),
+        s(spec.label_style),
+        s(spec.bot_check.value),
+        s(spec.response_style.value),
+        s(spec.email_behavior.value),
+        spec.shadow_ban_rate,
+        spec.max_email_length,
+        spec.max_username_length,
+        s(spec.password_storage),
+        spec.shard_count,
+        tuple((s(key), s(value)) for key, value in spec.notes.items()),
+    )
+
+
+def decode_spec_row(row: tuple, strings: list) -> SiteSpec:
+    """Inverse of :func:`encode_spec_row`."""
+    flags = row[4]
+    bools = {
+        name: bool(flags & (1 << bit)) for bit, name in enumerate(_SPEC_FLAGS)
+    }
+    return SiteSpec(
+        host=strings[row[0]],
+        rank=row[1],
+        category=strings[row[2]],
+        language=strings[row[3]],
+        shared_backend=None if row[5] is None else strings[row[5]],
+        backend_family=None if row[6] is None else strings[row[6]],
+        registration_style=RegistrationStyle(strings[row[7]]),
+        link_placement=LinkPlacement(strings[row[8]]),
+        registration_path=strings[row[9]],
+        anchor_text=strings[row[10]],
+        label_style=strings[row[11]],
+        bot_check=BotCheck(strings[row[12]]),
+        response_style=ResponseStyle(strings[row[13]]),
+        email_behavior=EmailBehavior(strings[row[14]]),
+        shadow_ban_rate=row[15],
+        max_email_length=row[16],
+        max_username_length=row[17],
+        password_storage=strings[row[18]],
+        shard_count=row[19],
+        notes={strings[key]: strings[value] for key, value in row[20]},
+        **bools,
+    )
+
+
+def encode_attempt_row(attempt: "AttemptRecord", strings: Interner) -> tuple:
+    """One attempt with its identity nested inline (page-local)."""
+    s = strings.add
+    return (
+        s(attempt.site_host),
+        attempt.rank,
+        s(attempt.url),
+        encode_identity_row(attempt.identity, strings),
+        s(attempt.password_class.value),
+        encode_outcome_row(attempt.outcome, strings),
+        attempt.manual,
+        attempt.registered_at,
+    )
+
+
+def decode_attempt_row(row: tuple, strings: list) -> "AttemptRecord":
+    """Inverse of :func:`encode_attempt_row`."""
+    from repro.core.campaign import AttemptRecord
+    from repro.identity.passwords import PasswordClass
+
+    return AttemptRecord(
+        site_host=strings[row[0]],
+        rank=row[1],
+        url=strings[row[2]],
+        identity=decode_identity_row(row[3], strings),
+        password_class=PasswordClass(strings[row[4]]),
+        outcome=decode_outcome_row(row[5], strings),
+        manual=row[6],
+        registered_at=row[7],
+    )
+
+
+#: Table name -> (encode, decode) pairs the segment layer dispatches on.
+_TABLE_CODECS = {
+    "specs": (encode_spec_row, decode_spec_row),
+    "accounts": (encode_identity_row, decode_identity_row),
+    "telemetry": (encode_attempt_row, decode_attempt_row),
+}
+
+TABLE_NAMES = tuple(_TABLE_CODECS)
+
+
+def table_codec(table: str) -> tuple:
+    """The (encode, decode) pair for a world table name."""
+    try:
+        return _TABLE_CODECS[table]
+    except KeyError:
+        raise ValueError(
+            f"unknown world table {table!r} (one of {TABLE_NAMES})"
+        ) from None

@@ -229,6 +229,21 @@ class SiteGenerator:
             cache.specs[missing] = self._generate(missing)
         return cache.specs[rank]
 
+    def iter_specs(self, up_to: int):
+        """Stream specs for ranks ``1..up_to`` in order, O(1) retained.
+
+        The streaming twin of the prefix-closed cache fill: generating
+        strictly in rank order gives every rank the same host-collision
+        history a cache fill would, so the yielded specs are identical
+        to ``spec_for_rank`` over the same range — this is what the
+        world store's segment builder consumes, without holding the
+        spec table in memory.
+        """
+        if up_to < 1:
+            raise ValueError("up_to must be positive")
+        for rank in range(1, up_to + 1):
+            yield self._generate(rank)
+
     def _generate(self, rank: int) -> SiteSpec:
         """Generate (deterministically) the spec for one rank."""
         rng = self._tree.child("rank", rank).rng()

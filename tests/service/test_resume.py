@@ -104,6 +104,37 @@ class TestKillMatrixFast:
         assert_resume_matches(tmp_path, 0, resume_workers=2,
                               resume_executor="thread")
 
+    def test_kill_resume_with_world_store(self, tmp_path):
+        """Killed and resumed with ``--world-store``: the daemon reopens
+        the store on both sides and still byte-matches a no-store,
+        uninterrupted reference run (store and resume are each
+        execution-shaped; together they must still move nothing)."""
+        from repro.store import build_world_store
+        from repro.store.world import close_open_stores
+
+        reference = CampaignDaemon(make_config()).run()
+        assert not reference.interrupted
+
+        store_path = tmp_path / "world"
+        build_world_store(store_path, seed=7, population=300).close()
+        checkpoint_path = tmp_path / "svc.ckpt"
+        try:
+            interrupted = run_killed_at(
+                make_config(world_store=str(store_path)), checkpoint_path, 0
+            )
+            assert interrupted.interrupted
+
+            resume_config = make_config(world_store=str(store_path))
+            checkpoint = load_checkpoint(checkpoint_path, resume_config)
+            resumed = CampaignDaemon(
+                resume_config, checkpoint_path=checkpoint_path
+            ).run(resume=checkpoint)
+            assert not resumed.interrupted
+            assert resumed.journal.to_jsonl() == reference.journal.to_jsonl()
+            assert resumed.detection_digest == reference.detection_digest
+        finally:
+            close_open_stores()
+
     def test_checkpoint_cadence_skips_epochs(self, tmp_path):
         config = make_config(checkpoint_every=2)
         path = tmp_path / "svc.ckpt"

@@ -1,0 +1,86 @@
+"""Bounded-memory regression: big worlds under a small page budget.
+
+The point of the store is that world size and resident memory are
+decoupled: building streams one page of rows at a time, and reading —
+random access or full scans — keeps at most ``budget_bytes`` of
+decoded pages resident (the cache's own ``peak_bytes`` accounting,
+which :mod:`tests.store.test_pagecache` pins as an upper bound on
+residency).  Here a 20k-site world (100k in ``-m slow``) is built and
+then pushed through every analysis-style access pattern under a budget
+a couple of orders below the world's on-disk size, asserting the peak
+never crosses the line while the results stay exact.
+"""
+
+import pytest
+
+from repro.analysis.strata import build_strata_table
+from repro.analysis.table4 import build_table4
+from repro.store import StrataSampler, build_world_store
+
+SEED = 31
+#: Keep the budget well below the segment size so the scan must evict.
+BUDGET = 256 * 1024
+
+
+def build_and_analyze(tmp_path, population):
+    store = build_world_store(
+        tmp_path / "ws", SEED, population, budget_bytes=BUDGET
+    )
+    try:
+        specs_bytes = (store.path / "specs.seg").stat().st_size
+        assert specs_bytes > 4 * BUDGET, "world too small to exercise eviction"
+
+        # Full streaming scan (the heaviest access pattern).
+        count = sum(1 for _ in store.iter_specs())
+        assert count == population
+
+        # Windowed survey (Table 4) and stratified incidence.
+        windows = build_table4(store, start_ranks=(1, 1000, 10000))
+        assert all(row.sample_size == 100 for row in windows)
+        strata = build_strata_table(store, SEED, strata=(1_000, population))
+        assert strata, "no strata built"
+
+        # Random access across the whole rank range.
+        step = population // 997 or 1
+        for rank in range(1, population + 1, max(step, 1)):
+            assert store.spec_at_rank(rank).rank == rank
+
+        stats = store.cache_stats()
+        assert stats.peak_bytes <= BUDGET
+        assert stats.current_bytes <= BUDGET
+        assert stats.evictions > 0, "budget never pressured the cache"
+        assert stats.bypasses == 0, "pages should fit the budget individually"
+        return stats
+    finally:
+        store.close()
+
+
+def test_20k_world_streams_under_budget(tmp_path):
+    stats = build_and_analyze(tmp_path, 20_000)
+    # Sequential scans re-visit pages they just decoded: the cache must
+    # actually be functioning as one, not thrashing to zero.
+    assert stats.hits > 0
+
+
+@pytest.mark.slow
+def test_100k_world_streams_under_budget(tmp_path):
+    build_and_analyze(tmp_path, 100_000)
+
+
+def test_sampled_access_touches_few_pages(tmp_path):
+    """Strata sampling should read O(samples) pages, not the world."""
+    store = build_world_store(
+        tmp_path / "ws", SEED, 20_000, budget_bytes=BUDGET
+    )
+    try:
+        # 100 sampled ranks within the top-1k stratum live on at most
+        # ceil(1000 / 256) = 4 pages of the 79-page segment.
+        sampler = StrataSampler(SEED, store.population, strata=(1_000,))
+        sampler.incidence(store)
+        stats = store.cache_stats()
+        total_pages = len(store._reader("specs").page_entries())
+        assert total_pages > 70
+        assert stats.misses <= 4
+        assert stats.peak_bytes <= BUDGET
+    finally:
+        store.close()

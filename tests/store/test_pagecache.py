@@ -1,0 +1,67 @@
+"""Budget, eviction and admission semantics of the page cache."""
+
+import pytest
+
+from repro.store.pagecache import PageCache
+
+
+class TestPageCache:
+    def test_hit_miss_counters(self):
+        cache = PageCache(100)
+        assert cache.get("a") is None
+        cache.put("a", [1], 10)
+        assert cache.get("a") == [1]
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(30)
+        cache.put("a", "A", 10)
+        cache.put("b", "B", 10)
+        cache.put("c", "C", 10)
+        cache.get("a")  # freshen a; b is now LRU
+        cache.put("d", "D", 10)
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.stats().evictions == 1
+
+    def test_budget_never_exceeded(self):
+        cache = PageCache(25)
+        for index in range(10):
+            cache.put(index, index, 10)
+            assert cache.stats().current_bytes <= 25
+        assert cache.stats().peak_bytes <= 25
+        assert len(cache) == 2
+
+    def test_oversized_page_bypassed(self):
+        cache = PageCache(10)
+        assert cache.put("big", "x", 11) is False
+        assert cache.get("big") is None
+        stats = cache.stats()
+        assert stats.bypasses == 1
+        assert stats.current_bytes == 0
+        assert stats.peak_bytes == 0
+
+    def test_replacing_key_recharges(self):
+        cache = PageCache(20)
+        cache.put("a", "A", 10)
+        cache.put("a", "A2", 15)
+        stats = cache.stats()
+        assert stats.current_bytes == 15
+        assert cache.get("a") == "A2"
+
+    def test_clear_keeps_counters_and_peak(self):
+        cache = PageCache(100)
+        cache.put("a", "A", 40)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats()
+        assert stats.current_bytes == 0
+        assert stats.peak_bytes == 40
+        assert stats.hits == 1
+        assert cache.get("a") is None
+
+    def test_positive_budget_required(self):
+        with pytest.raises(ValueError):
+            PageCache(0)

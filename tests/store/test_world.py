@@ -1,0 +1,177 @@
+"""WorldStore directory semantics: build, validate, reopen, results.
+
+The store's contract with the rest of the system:
+
+- a build is **prefix-closed** — the stored specs are exactly what the
+  warm in-memory path generates for the same ``(seed, config)``;
+- reopening validates the manifest and refuses mismatched worlds
+  (wrong seed, bigger population) with a clean ``StoreError``;
+- the read path is strictly read-only — nothing a shard does can
+  mutate the world on disk;
+- campaign results persist as ``accounts``/``telemetry`` tables that
+  round-trip losslessly.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.warm import SpecCache
+from repro.store import (
+    StoreError,
+    WorldStore,
+    build_world_store,
+    open_world_store,
+    world_digest,
+)
+from repro.store.world import close_open_stores
+from repro.util.rngtree import RngTree
+from repro.web.generator import GeneratorConfig, SiteGenerator
+
+SEED = 99
+POPULATION = 300
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("world") / "ws"
+    built = build_world_store(path, SEED, POPULATION)
+    yield built
+    built.close()
+
+
+class TestBuild:
+    def test_specs_match_warm_memory_path(self, store):
+        generator = SiteGenerator(RngTree(SEED), spec_cache=SpecCache())
+        expected = [generator.spec_for_rank(r) for r in range(1, POPULATION + 1)]
+        assert list(store.iter_specs()) == expected
+
+    def test_ranked_top_matches_population_listing(self, store):
+        from repro.core.substrate import WorldShard
+
+        listing = WorldShard(RngTree(SEED)).build_population(POPULATION)
+        assert store.ranked_top(40) == listing.alexa_top(40)
+
+    def test_eligibility_matches_population(self, store):
+        from repro.core.substrate import WorldShard
+
+        listing = WorldShard(RngTree(SEED)).build_population(POPULATION)
+        ranks = list(range(1, 101))
+        assert (
+            store.eligibility_ground_truth(ranks)
+            == listing.eligibility_ground_truth(ranks)
+        )
+
+    def test_reopen_is_validated_reuse(self, store, tmp_path):
+        # Same path, same world: build_world_store reopens, not rebuilds.
+        again = build_world_store(store.path, SEED, POPULATION)
+        assert again.digest == store.digest
+        again.close()
+        # Same path, different seed: refused.
+        with pytest.raises(StoreError, match="different world"):
+            build_world_store(store.path, SEED + 1, POPULATION)
+
+    def test_iter_specs_streams_subranges(self, store):
+        middle = list(store.iter_specs(100, 110))
+        assert [s.rank for s in middle] == list(range(100, 111))
+
+
+class TestValidation:
+    def test_digest_excludes_population(self):
+        assert world_digest(1) == world_digest(1)
+        assert world_digest(1) != world_digest(2)
+        config = GeneratorConfig(shared_backend_rate=0.5)
+        assert world_digest(1, config) != world_digest(1)
+
+    def test_require_world(self, store):
+        store.require_world(SEED, POPULATION)
+        store.require_world(SEED, 10)  # smaller runs are served
+        with pytest.raises(StoreError, match="different world"):
+            store.require_world(SEED + 1, POPULATION)
+        with pytest.raises(StoreError, match="population"):
+            store.require_world(SEED, POPULATION + 1)
+
+    def test_not_a_store(self, tmp_path):
+        with pytest.raises(StoreError, match="not a world store"):
+            WorldStore(tmp_path)
+
+    def test_unsupported_manifest_schema(self, tmp_path, store):
+        meta = json.loads((store.path / "worldstore.json").read_text())
+        meta["schema"] = 999
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "worldstore.json").write_text(json.dumps(meta))
+        with pytest.raises(StoreError, match="schema"):
+            WorldStore(bad)
+
+    def test_rank_bounds(self, store):
+        with pytest.raises(StoreError, match="outside stored population"):
+            store.spec_at_rank(0)
+        with pytest.raises(StoreError, match="outside stored population"):
+            store.spec_at_rank(POPULATION + 1)
+
+
+class TestReadOnlySpecCache:
+    def test_satisfies_generator_protocol(self, store):
+        cache = store.spec_cache()
+        generator = SiteGenerator(RngTree(SEED), spec_cache=cache)
+        direct = SiteGenerator(RngTree(SEED), spec_cache=SpecCache())
+        assert generator.spec_for_rank(42) == direct.spec_for_rank(42)
+        assert len(cache.specs) == POPULATION
+        assert 42 in cache.specs
+
+    def test_writes_rejected(self, store):
+        cache = store.spec_cache()
+        with pytest.raises(StoreError, match="read-only"):
+            cache.specs[1] = None
+
+    def test_out_of_range_is_loud(self, store):
+        cache = store.spec_cache()
+        with pytest.raises(StoreError):
+            cache.specs.get(POPULATION + 1)
+
+
+class TestRegistry:
+    def test_open_world_store_is_process_cached(self, store):
+        first = open_world_store(store.path)
+        second = open_world_store(str(store.path))
+        assert first is second
+        close_open_stores()
+        third = open_world_store(store.path)
+        assert third is not first
+        close_open_stores()
+
+
+class TestResults:
+    def test_append_and_stream_results(self, tmp_path):
+        from repro.core.runner import CampaignRunner
+        from repro.core.substrate import WorldShard
+
+        path = tmp_path / "ws"
+        store = build_world_store(path, SEED, POPULATION)
+        listing = WorldShard(RngTree(SEED)).build_population(POPULATION)
+        runner = CampaignRunner(seed=SEED, population_size=POPULATION,
+                                shards=2, world_store=str(path))
+        with runner:
+            result = runner.run(listing.alexa_top(16))
+
+        accounts, telemetry = store.append_results(result.attempts)
+        assert telemetry == len(result.attempts)
+        assert list(store.iter_attempts()) == result.attempts
+        stored_accounts = list(store.iter_accounts())
+        assert len(stored_accounts) == accounts
+        # First-reference order, each identity exactly once.
+        seen = []
+        for attempt in result.attempts:
+            if attempt.identity not in seen:
+                seen.append(attempt.identity)
+        assert stored_accounts == seen
+        # Re-append replaces, not duplicates.
+        store.append_results(result.attempts)
+        assert store.row_count("telemetry") == telemetry
+        store.close()
+        close_open_stores()
+
+    def test_missing_results_table_is_loud(self, store):
+        with pytest.raises(StoreError, match="no 'telemetry' table"):
+            next(store.iter_attempts())
