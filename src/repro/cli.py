@@ -123,6 +123,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="resume from a checkpoint written by --checkpoint; "
                             "implies checkpointing back to the same path")
+    serve.add_argument("--traffic-users", type=int, default=0,
+                       metavar="N",
+                       help="benign-population size; enables the traffic "
+                            "stream (default 0 = off)")
+    serve.add_argument("--traffic-logins-per-day", type=float, default=2.0,
+                       metavar="R",
+                       help="benign logins per user per sim-day (default 2)")
+    serve.add_argument("--login-batch", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="authenticate service logins through the "
+                            "vectorized batch engine (journal bytes are "
+                            "identical either way)")
     serve.add_argument("--json", type=pathlib.Path, default=None,
                        help="write a machine-readable summary here")
     _add_store_arguments(serve)
@@ -422,6 +434,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         warm_workers=args.warm_workers,
         checkpoint_every=args.checkpoint_every,
         world_store=str(args.world_store) if args.world_store else None,
+        traffic_users=args.traffic_users,
+        traffic_logins_per_day=args.traffic_logins_per_day,
+        login_batching=args.login_batch,
     )
 
     checkpoint_path = args.checkpoint or args.resume
@@ -496,6 +511,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         ["Sites detected", str(result.detected_sites)],
         ["Detection digest", result.detection_digest[:16]],
     ]
+    if config.traffic_users > 0:
+        rows[8:8] = [
+            ["Benign logins (successful)",
+             f"{lifecycle.traffic_logins} ({lifecycle.traffic_successes})"],
+            ["Benign mails delivered", str(lifecycle.traffic_mails)],
+        ]
     print(render_table(["Metric", "Value"], rows, title="Service totals"))
     if config.fault_plan is not None:
         print()
@@ -530,6 +551,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "attacks": lifecycle.attacks,
                 "attack_successes": lifecycle.attack_successes,
                 "dumps": lifecycle.dumps,
+                "traffic_windows": lifecycle.traffic_windows,
+                "traffic_logins": lifecycle.traffic_logins,
+                "traffic_successes": lifecycle.traffic_successes,
+                "traffic_mails": lifecycle.traffic_mails,
+                "state_evictions": lifecycle.state_evictions,
             },
         }
         args.json.write_text(json.dumps(summary, indent=2) + "\n",

@@ -11,15 +11,18 @@ deactivation, suspicious-login freezes and forced password resets.
 
 from repro.email_provider.accounts import (
     AccountState,
+    AccountTable,
     NamingPolicy,
     ProviderAccount,
     ProvisioningResult,
 )
 from repro.email_provider.telemetry import LoginEvent, LoginMethod, LoginTelemetry
 from repro.email_provider.provider import EmailProvider, LoginResult
+from repro.email_provider.batch import BatchLoginEngine, BatchReceipt, LoginBatch
 
 __all__ = [
     "AccountState",
+    "AccountTable",
     "NamingPolicy",
     "ProviderAccount",
     "ProvisioningResult",
@@ -28,4 +31,7 @@ __all__ = [
     "LoginTelemetry",
     "EmailProvider",
     "LoginResult",
+    "BatchLoginEngine",
+    "BatchReceipt",
+    "LoginBatch",
 ]

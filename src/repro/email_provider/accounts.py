@@ -1,10 +1,27 @@
-"""Provider-side account records and naming policy."""
+"""Provider-side account storage, records and naming policy.
+
+Accounts live in an :class:`AccountTable` — a struct-of-arrays layout
+(the PR-7 ``store/rows.py`` idiom applied to live state instead of
+pages): one Python list/array per column rather than one dataclass
+per account.  At the honey-account scale the difference is invisible;
+at the heavy-traffic scale (10^6 benign accounts behind the batch
+login engine, :mod:`repro.email_provider.batch`) it is the difference
+between ~100 MB of flat columns and gigabytes of per-account objects,
+and it lets the hot login paths touch exactly the columns they need.
+
+:class:`ProviderAccount` survives as the row *view*: a two-word proxy
+whose properties read and write the columns, preserving the original
+dataclass attribute API (``account.state``, ``account.password``,
+``account.received_message_count``, ...) for the analysis layer and
+the tests.
+"""
 
 from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 
 from repro.util.timeutil import SimInstant
 
@@ -18,25 +35,230 @@ class AccountState(enum.Enum):
     RESET_FORCED = "reset_forced"  # provider forced a password reset
 
 
-@dataclass
-class ProviderAccount:
-    """One mailbox at the provider."""
+#: Column encoding of :class:`AccountState`: the byte stored in
+#: ``AccountTable.states``.  ACTIVE must stay 0 — the hot login paths
+#: test ``states[row]`` for truthiness to skip three enum compares.
+STATE_CODES: dict[AccountState, int] = {
+    AccountState.ACTIVE: 0,
+    AccountState.FROZEN: 1,
+    AccountState.DEACTIVATED: 2,
+    AccountState.RESET_FORCED: 3,
+}
+STATE_FROM_CODE: tuple[AccountState, ...] = (
+    AccountState.ACTIVE,
+    AccountState.FROZEN,
+    AccountState.DEACTIVATED,
+    AccountState.RESET_FORCED,
+)
 
-    local_part: str
-    display_name: str
-    password: str
-    created_at: SimInstant
-    state: AccountState = AccountState.ACTIVE
-    state_changed_at: SimInstant | None = None  # freeze/deactivation time
-    forwarding_address: str | None = None
-    received_message_count: int = 0
-    sent_spam_count: int = 0
-    password_changes: list[SimInstant] = field(default_factory=list)
+#: ``state_changed_at`` column sentinel for "never changed" (None).
+NEVER_CHANGED = -1
+
+
+class AccountTable:
+    """Struct-of-arrays storage for every mailbox at the provider.
+
+    Rows are append-only; a row index is a stable account identity for
+    the provider's whole lifetime.  The ``monitored`` column marks the
+    disclosure scope of Section 4.2 — the accounts Tripwire asked the
+    provider to report telemetry for — as opposed to the organic
+    benign population registered through :meth:`extend`.
+    """
+
+    __slots__ = (
+        "_index",
+        "locals",
+        "display_names",
+        "passwords",
+        "created_at",
+        "states",
+        "state_changed_at",
+        "forwarding",
+        "received_counts",
+        "spam_counts",
+        "monitored",
+        "password_changes",
+        "monitored_count",
+    )
+
+    def __init__(self) -> None:
+        #: Lowercased local part -> row index.
+        self._index: dict[str, int] = {}
+        self.locals: list[str] = []
+        self.display_names: list[str] = []
+        self.passwords: list[str] = []
+        self.created_at = array("q")
+        self.states = bytearray()
+        self.state_changed_at = array("q")
+        self.forwarding: list[str | None] = []
+        self.received_counts = array("Q")
+        self.spam_counts = array("Q")
+        self.monitored = bytearray()
+        #: Sparse: password rotations are rare; most rows never rotate.
+        self.password_changes: dict[int, list[SimInstant]] = {}
+        self.monitored_count = 0
+
+    def __len__(self) -> int:
+        return len(self.locals)
+
+    def row_of(self, local_part: str) -> int | None:
+        """Row index for a (case-insensitive) local part, or None."""
+        return self._index.get(local_part.lower())
+
+    def add(
+        self,
+        local_part: str,
+        display_name: str,
+        password: str,
+        created_at: SimInstant,
+        forwarding_address: str | None = None,
+        monitored: bool = True,
+    ) -> int:
+        """Append one account row; returns its row index."""
+        row = len(self.locals)
+        self._index[local_part.lower()] = row
+        self.locals.append(local_part)
+        self.display_names.append(display_name)
+        self.passwords.append(password)
+        self.created_at.append(created_at)
+        self.states.append(0)
+        self.state_changed_at.append(NEVER_CHANGED)
+        self.forwarding.append(forwarding_address)
+        self.received_counts.append(0)
+        self.spam_counts.append(0)
+        self.monitored.append(1 if monitored else 0)
+        if monitored:
+            self.monitored_count += 1
+        return row
+
+    def extend(
+        self,
+        locals_lower: list[str],
+        passwords: list[str],
+        created_at: SimInstant,
+    ) -> int:
+        """Bulk-append unmonitored (benign-population) rows.
+
+        The fast path for registering millions of organic accounts:
+        callers guarantee the locals are lowercase, policy-clean and
+        collision-free (the benign population mints its own namespace),
+        so the per-row checks of :meth:`add` are hoisted out entirely.
+        Returns the row index of the first appended account.
+        """
+        first = len(self.locals)
+        n = len(locals_lower)
+        if n != len(passwords):
+            raise ValueError("locals and passwords must be the same length")
+        self._index.update(zip(locals_lower, range(first, first + n)))
+        self.locals.extend(locals_lower)
+        self.display_names.extend([""] * n)
+        self.passwords.extend(passwords)
+        zeros = bytes(8 * n)
+        self.created_at.extend(array("q", [created_at]) * n)
+        self.states.extend(bytes(n))
+        self.state_changed_at.extend(array("q", [NEVER_CHANGED]) * n)
+        self.forwarding.extend([None] * n)
+        self.received_counts.frombytes(zeros)
+        self.spam_counts.frombytes(zeros)
+        self.monitored.extend(bytes(n))
+        return first
+
+    def view(self, row: int) -> "ProviderAccount":
+        """A live row proxy (reads and writes go to the columns)."""
+        return ProviderAccount(self, row)
+
+
+class ProviderAccount:
+    """One mailbox at the provider — a live view over one table row."""
+
+    __slots__ = ("_table", "_row")
+
+    def __init__(self, table: AccountTable, row: int):
+        self._table = table
+        self._row = row
+
+    @property
+    def local_part(self) -> str:
+        return self._table.locals[self._row]
+
+    @property
+    def display_name(self) -> str:
+        return self._table.display_names[self._row]
+
+    @property
+    def password(self) -> str:
+        return self._table.passwords[self._row]
+
+    @password.setter
+    def password(self, value: str) -> None:
+        self._table.passwords[self._row] = value
+
+    @property
+    def created_at(self) -> SimInstant:
+        return self._table.created_at[self._row]
+
+    @property
+    def state(self) -> AccountState:
+        return STATE_FROM_CODE[self._table.states[self._row]]
+
+    @state.setter
+    def state(self, value: AccountState) -> None:
+        self._table.states[self._row] = STATE_CODES[value]
+
+    @property
+    def state_changed_at(self) -> SimInstant | None:
+        stamp = self._table.state_changed_at[self._row]
+        return None if stamp == NEVER_CHANGED else stamp
+
+    @state_changed_at.setter
+    def state_changed_at(self, value: SimInstant | None) -> None:
+        self._table.state_changed_at[self._row] = (
+            NEVER_CHANGED if value is None else value
+        )
+
+    @property
+    def forwarding_address(self) -> str | None:
+        return self._table.forwarding[self._row]
+
+    @forwarding_address.setter
+    def forwarding_address(self, value: str | None) -> None:
+        self._table.forwarding[self._row] = value
+
+    @property
+    def received_message_count(self) -> int:
+        return self._table.received_counts[self._row]
+
+    @received_message_count.setter
+    def received_message_count(self, value: int) -> None:
+        self._table.received_counts[self._row] = value
+
+    @property
+    def sent_spam_count(self) -> int:
+        return self._table.spam_counts[self._row]
+
+    @sent_spam_count.setter
+    def sent_spam_count(self, value: int) -> None:
+        self._table.spam_counts[self._row] = value
+
+    @property
+    def monitored(self) -> bool:
+        """Whether this account is in the telemetry disclosure scope."""
+        return bool(self._table.monitored[self._row])
+
+    @property
+    def password_changes(self) -> list[SimInstant]:
+        """Rotation timestamps (live list; appends persist)."""
+        return self._table.password_changes.setdefault(self._row, [])
 
     @property
     def can_login(self) -> bool:
         """Whether logins are currently accepted."""
-        return self.state is AccountState.ACTIVE
+        return self._table.states[self._row] == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProviderAccount({self.local_part!r}, state={self.state.value!r})"
+        )
 
 
 class NamingPolicy:

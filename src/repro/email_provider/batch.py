@@ -1,0 +1,383 @@
+"""Vectorized batch authentication over the columnar account table.
+
+The heavy-traffic login front-end: one :class:`LoginBatch` carries a
+whole window of login attempts as parallel columns (lowercased keys,
+passwords, integer IPs, method codes) and
+:meth:`BatchLoginEngine.attempt_logins` authenticates them against the
+provider's :class:`~repro.email_provider.accounts.AccountTable`
+columns, ending in a single bulk telemetry append.
+
+The engine is *decision-for-decision identical* to
+:meth:`EmailProvider.attempt_login <repro.email_provider.provider.
+EmailProvider.attempt_login>` run once per event at the batch's window
+instant: the same results in the same order, the same throttle and
+IP-window state transitions, the same RNG draws in the same order, the
+same telemetry columns, the same aggregated obs counters — so a run's
+journal bytes cannot reveal which engine authenticated its logins.
+
+How it holds that contract at speed: a batch is split into **clean**
+events and **rare** events.  Clean means boring — the account exists
+and is active, the password matches, the row has no throttle entry, is
+not hot in the suspicion machinery, is nowhere near the suspicion
+threshold, and appears exactly once in the batch.  Clean events can
+only succeed, cannot draw from the RNG, and touch disjoint rows from
+every rare event, so they commit as whole-column operations: numpy
+gathers classify them, one bulk append lands their evidence-log
+entries, one whole-column compare against the first-seen-IP column
+and one scatter bump the cached distinct counters.  Everything else — failures, throttled or
+locked rows, non-active accounts, hot or near-threshold rows, rows
+hit more than once in the window — is routed, in event order, through
+:meth:`EmailProvider._attempt_row`: the *same* per-row decision core
+the scalar path runs, so the subtle cases have exactly one
+implementation.
+
+Without numpy (the import is gated) or below
+:data:`VECTOR_MIN_EVENTS`, every event takes the `_attempt_row` path;
+the result is identical either way.
+
+Batch windows carry **one** timestamp (the window close) on purpose:
+telemetry requires time-ordered appends, and a window's events must
+not be stamped earlier than scalar events already recorded by streams
+that fired inside the window.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import compress
+from operator import eq
+
+from repro.email_provider.provider import NO_IP
+from repro.email_provider.telemetry import METHOD_CODES, METHOD_ORDER, LoginMethod
+from repro.net.ipaddr import IPv4Address
+from repro.util.timeutil import SimInstant
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    np = None
+
+#: Batches smaller than this skip the vectorized path: numpy's fixed
+#: per-operation overhead loses to the plain loop on tiny batches (the
+#: service's single-event attacker/probe bridges in particular).
+VECTOR_MIN_EVENTS = 32
+
+
+def _in_sorted(sorted_keys, values):
+    """Boolean membership of ``values`` in a sorted int64 key array.
+
+    ``searchsorted`` beats ``np.isin`` here: the key sets (throttled
+    rows, hot rows) are tiny next to the batch, and ``np.isin``'s
+    sort-based path both concatenate-sorts the full batch and touches
+    ``np.ma`` lazily, dragging a module import into the hot loop's
+    first call.
+    """
+    idx = np.searchsorted(sorted_keys, values)
+    idx[idx == len(sorted_keys)] = 0  # out-of-range probes can't match
+    return sorted_keys[idx] == values
+
+
+class LoginBatch:
+    """One window of login attempts, as parallel columns.
+
+    ``keys`` are *lowercased* local parts (the producer lowercases
+    once; the scalar path lowercases per attempt), ``ips`` packs
+    :attr:`IPv4Address.value` integers and ``methods`` packs
+    :data:`~repro.email_provider.telemetry.METHOD_CODES` bytes.
+
+    ``rows`` is the optional producer-resolved account-row column
+    (``array('q')``): a producer that already knows its accounts'
+    table rows (the traffic generator mints the benign population and
+    gets the rows back at registration) supplies them so the engine
+    skips the per-key index probe — at 10^6 accounts that probe is a
+    cold hash lookup per event, and it is pure redundancy when the
+    producer had the row all along.  When given, ``rows`` must resolve
+    ``keys`` exactly; the engine trusts it.
+    """
+
+    __slots__ = ("keys", "passwords", "ips", "methods", "rows")
+
+    def __init__(
+        self,
+        keys: list[str],
+        passwords: list[str],
+        ips: array,
+        methods: bytearray,
+        rows: array | None = None,
+    ):
+        n = len(keys)
+        if len(passwords) != n or len(ips) != n or len(methods) != n:
+            raise ValueError("batch columns must be parallel")
+        if rows is not None and len(rows) != n:
+            raise ValueError("batch columns must be parallel")
+        self.keys = keys
+        self.passwords = passwords
+        self.ips = ips
+        self.methods = methods
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def from_attempts(
+        cls, attempts: list[tuple[str, str, IPv4Address, LoginMethod]]
+    ) -> "LoginBatch":
+        """Build a batch from (local_part, password, ip, method) tuples."""
+        keys = [a[0].lower() for a in attempts]
+        passwords = [a[1] for a in attempts]
+        ips = array("Q", [a[2].value for a in attempts])
+        methods = bytearray(METHOD_CODES[a[3]] for a in attempts)
+        return cls(keys, passwords, ips, methods)
+
+    @classmethod
+    def single(
+        cls, local_part: str, password: str, ip: IPv4Address, method: LoginMethod
+    ) -> "LoginBatch":
+        """A one-event batch (the service streams' scalar bridge)."""
+        return cls(
+            [local_part.lower()],
+            [password],
+            array("Q", [ip.value]),
+            bytearray((METHOD_CODES[method],)),
+        )
+
+
+class BatchReceipt:
+    """Per-attempt outcomes of one batch window.
+
+    ``results`` holds one :data:`~repro.email_provider.provider.
+    RESULT_ORDER` code per attempt, in batch order; SUCCESS is 0 so
+    ``results.count(0)`` is the success count without decoding.
+    """
+
+    __slots__ = ("results",)
+
+    def __init__(self, results: bytearray):
+        self.results = results
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def result(self, i: int):
+        """The :class:`LoginResult` of attempt ``i``."""
+        from repro.email_provider.provider import RESULT_ORDER
+
+        return RESULT_ORDER[self.results[i]]
+
+    @property
+    def successes(self) -> int:
+        return self.results.count(0)
+
+    def tally(self) -> dict:
+        """Result -> count over the whole batch (skips zero rows)."""
+        from repro.email_provider.provider import RESULT_ORDER
+
+        counts = {}
+        for code, result in enumerate(RESULT_ORDER):
+            n = self.results.count(code)
+            if n:
+                counts[result] = n
+        return counts
+
+
+class BatchLoginEngine:
+    """Authenticates :class:`LoginBatch` windows against one provider.
+
+    Holds no state of its own beyond the provider reference — the
+    throttle map, evidence log, cached counters and RNG stream are the
+    provider's, so scalar and batched logins interleave freely against
+    the same account table.
+    """
+
+    __slots__ = ("_provider",)
+
+    def __init__(self, provider):
+        self._provider = provider
+
+    def attempt_logins(
+        self, batch: LoginBatch, now: SimInstant | None = None
+    ) -> BatchReceipt:
+        """Authenticate one window; all events occur at instant ``now``.
+
+        ``now`` defaults to the provider clock's current instant (the
+        window close).
+        """
+        provider = self._provider
+        if now is None:
+            now = provider._clock.now()
+        table = provider._table
+        rows = batch.rows
+        if rows is None:
+            rows = list(map(table._index.get, batch.keys))
+            unresolved = None in rows
+        else:
+            unresolved = False  # producer rows are always real rows
+
+        if np is None or len(rows) < VECTOR_MIN_EVENTS or unresolved:
+            results = self._attempt_serial(rows, batch, now)
+        else:
+            results = self._attempt_vectorized(rows, batch, now)
+
+        self._record_window(rows, batch, results, now)
+        return BatchReceipt(results)
+
+    def _attempt_serial(self, rows, batch: LoginBatch, now) -> bytearray:
+        """Reference loop: every event through the shared decision core."""
+        attempt_row = self._provider._attempt_row
+        results = bytearray()
+        results_append = results.append
+        for row, password, ip_int in zip(rows, batch.passwords, batch.ips):
+            if row is None:
+                results_append(2)  # NO_SUCH_ACCOUNT
+            else:
+                results_append(attempt_row(row, password, ip_int, now))
+        return results
+
+    def _attempt_vectorized(self, rows, batch: LoginBatch, now) -> bytearray:
+        """Columnar fast path: bulk-commit clean events, loop the rest.
+
+        Correctness hinges on two facts the masks establish up front:
+        clean events each own their row exclusively within the batch
+        (the duplicate mask routes shared rows to the serial path), so
+        no rare event can observe or disturb a clean row's state; and
+        clean rows sit strictly below the suspicion threshold even
+        after their one new IP, so no clean event can draw from the
+        RNG.  Rare events run through ``_attempt_row`` in event order,
+        which preserves the draw sequence and every throttle/lockout
+        interleaving exactly as the scalar path would produce them.
+        """
+        provider = self._provider
+        table = provider._table
+        n = len(rows)
+
+        rows_np = np.asarray(rows, dtype=np.int64)
+        ips_np = np.frombuffer(batch.ips, dtype=np.uint64)
+        # Transient views over the provider's row-indexed columns.
+        # They must all be dropped before anything can resize the
+        # underlying buffers (provisioning between batches).
+        states_np = np.frombuffer(table.states, dtype=np.uint8)
+        distinct_np = np.frombuffer(provider._ip_distinct, dtype=np.uint32)
+        head_np = np.frombuffer(provider._ip_head, dtype=np.int64)
+
+        # Classification, all against batch-start state: gathers over
+        # the columns plus membership probes of the sparse dicts.
+        pw_ok = np.fromiter(
+            map(eq, batch.passwords, map(table.passwords.__getitem__, rows)),
+            np.bool_,
+            count=n,
+        )
+        rare = states_np[rows_np] != 0
+        rare |= ~pw_ok
+        throttles = provider._throttle
+        if throttles:
+            rare |= _in_sorted(
+                np.sort(np.fromiter(throttles.keys(), np.int64, len(throttles))),
+                rows_np,
+            )
+        hot = provider._ip_hot
+        if hot:
+            rare |= _in_sorted(
+                np.sort(np.fromiter(hot.keys(), np.int64, len(hot))), rows_np
+            )
+        # A clean event adds at most one distinct IP, so only rows one
+        # step below the threshold can cross it (and must promote).
+        rare |= distinct_np[rows_np] >= provider.SUSPICION_DISTINCT_IPS - 1
+        _, inverse, counts = np.unique(
+            rows_np, return_inverse=True, return_counts=True
+        )
+        if counts.max(initial=0) > 1:
+            rare |= counts[inverse] > 1
+
+        results_np = np.zeros(n, dtype=np.uint8)
+        rare_idx = np.nonzero(rare)[0]
+        if rare_idx.size:
+            attempt_row = provider._attempt_row
+            passwords = batch.passwords
+            ips_col = batch.ips
+            for i in rare_idx.tolist():
+                results_np[i] = attempt_row(rows[i], passwords[i], ips_col[i], now)
+
+        clean_idx = np.nonzero(~rare)[0]
+        m = clean_idx.size
+        if m:
+            c_rows = rows_np[clean_idx]
+            c_ips = ips_np[clean_idx]
+            # Evidence-log bulk append: one window, one extend per
+            # column, chain threading as a gather + scatter (safe
+            # because clean rows are unique within the batch).
+            base = len(provider._log_times)
+            provider._log_prev.frombytes(head_np[c_rows].tobytes())
+            head_np[c_rows] = np.arange(base, base + m, dtype=np.int64)
+            provider._log_times.frombytes(np.full(m, now, dtype=np.int64).tobytes())
+            provider._log_ips.frombytes(c_ips.tobytes())
+            provider._log_rows.frombytes(c_rows.tobytes())
+            # Distinct bound: compare each event's source against the
+            # row's first-seen IP — whole-column compares and scatters
+            # (safe: clean rows are unique within the batch).
+            first_np = np.frombuffer(provider._ip_first, dtype=np.uint64)
+            firsts = first_np[c_rows]
+            unset = firsts == NO_IP
+            if unset.any():
+                first_np[c_rows[unset]] = c_ips[unset]
+            bump_rows = c_rows[unset | (c_ips != firsts)]
+            if bump_rows.size:
+                distinct_np[bump_rows] += 1
+
+        return bytearray(results_np.tobytes())
+
+    def _record_window(self, rows, batch: LoginBatch, results: bytearray, now) -> None:
+        """One bulk telemetry append for the window's successes.
+
+        Success columns are rebuilt at C speed from the results mask;
+        column order is batch order, which is exactly the order the
+        scalar path would have recorded the same events in.
+        """
+        provider = self._provider
+        table = provider._table
+        successes = results.count(0)
+        if successes:
+            if (
+                np is not None
+                and successes >= VECTOR_MIN_EVENTS
+                and None not in rows
+            ):
+                results_np = np.frombuffer(results, dtype=np.uint8)
+                ok_idx = np.nonzero(results_np == 0)[0]
+                ok_rows = np.asarray(rows, dtype=np.int64)[ok_idx]
+                ok_locals = list(map(table.locals.__getitem__, ok_rows.tolist()))
+                monitored_np = np.frombuffer(table.monitored, dtype=np.uint8)
+                ok_monitored = bytearray(monitored_np[ok_rows].tobytes())
+                ok_ips = array("Q")
+                ok_ips.frombytes(
+                    np.frombuffer(batch.ips, dtype=np.uint64)[ok_idx].tobytes()
+                )
+                methods_np = np.frombuffer(batch.methods, dtype=np.uint8)
+                ok_methods = bytearray(methods_np[ok_idx].tobytes())
+            else:
+                ok_mask = [not code for code in results]
+                ok_rows_list = list(compress(rows, ok_mask))
+                ok_locals = list(map(table.locals.__getitem__, ok_rows_list))
+                ok_monitored = bytearray(
+                    map(table.monitored.__getitem__, ok_rows_list)
+                )
+                ok_ips = array("Q", compress(batch.ips, ok_mask))
+                ok_methods = bytearray(compress(batch.methods, ok_mask))
+        else:
+            ok_locals, ok_monitored = [], bytearray()
+            ok_ips, ok_methods = array("Q"), bytearray()
+        provider.telemetry.record_batch(ok_locals, now, ok_ips, ok_methods, ok_monitored)
+
+
+def _pin_literal_codes() -> None:
+    """The hot paths write literal codes; fail import if they drift."""
+    from repro.email_provider.provider import RESULT_CODES, LoginResult
+
+    assert RESULT_CODES[LoginResult.SUCCESS] == 0
+    assert RESULT_CODES[LoginResult.BAD_PASSWORD] == 1
+    assert RESULT_CODES[LoginResult.NO_SUCH_ACCOUNT] == 2
+    assert RESULT_CODES[LoginResult.THROTTLED] == 3
+    assert len(METHOD_ORDER) == len(LoginMethod)
+
+
+_pin_literal_codes()

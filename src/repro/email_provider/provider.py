@@ -8,26 +8,71 @@ reset) and the sporadic login-telemetry dumps Tripwire consumes.
 
 The provider never learns which of its accounts were registered at
 websites; nothing in this class refers to sites.
+
+Scale notes (the heavy-traffic front-end)
+-----------------------------------------
+
+Accounts live in a columnar :class:`~repro.email_provider.accounts.
+AccountTable` so the provider can hold the benign population Tripwire's
+accounts hide among — millions of mailboxes, not 27.  Per-login state
+is sparse and incremental:
+
+- brute-force throttling keeps one ``[failures, window_start,
+  locked_until]`` triple per row *that has ever failed*, nothing for
+  the quiet majority;
+- the suspicious-IP review splits rows into **cold** and **hot**.
+  Cold rows (virtually everyone) append ``(time, ip, row)`` to one
+  shared columnar evidence log threaded by a per-row chain index, and
+  bump a cached distinct-IP counter whenever the source differs from
+  the row's first-seen IP — O(1) per login with no map probes at all,
+  no per-row containers, no per-login pruning (the old design rebuilt
+  the whole window per login).  The cached counter is an upper bound
+  on the windowed distinct count (a typical account logs in from its
+  one usual address, so the bound stays at 1), so while it sits below
+  ``SUSPICION_DISTINCT_IPS`` no review can fire and the bound is all
+  the review needs;
+- the moment a row's bound reaches the threshold it is **promoted**:
+  its chain is materialized into an exact ``(ring, counts)`` window
+  (pruned of expired entries), removed from the shared log, and
+  maintained incrementally from then on — amortized O(1) per login.
+  Promotion cannot change a decision: the bound only ever
+  overestimates, and the review consults the exact count;
+- :meth:`evict_expired` prunes hot windows, demotes fully-expired
+  hot rows and compacts expired entries out of the shared log, so a
+  multi-year ``repro serve`` run holds state proportional to
+  *recently active* accounts only.
+
+:meth:`attempt_login` is the scalar path; the vectorized batch path
+over the same columns lives in :mod:`repro.email_provider.batch` and
+is decision-for-decision identical to it.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from array import array
+from collections import deque
+from itertools import repeat
 
 from repro.email_provider.accounts import (
     AccountState,
+    AccountTable,
     NamingPolicy,
     ProviderAccount,
     ProvisioningResult,
+    STATE_CODES,
 )
-from repro.email_provider.telemetry import LoginEvent, LoginMethod, LoginTelemetry
+from repro.email_provider.telemetry import (
+    LoginEvent,
+    LoginMethod,
+    LoginTelemetry,
+)
 from repro.mail.messages import EmailMessage
 from repro.net.ipaddr import IPv4Address
 from repro.obs import NO_OP
 from repro.sim.clock import SimClock
 from repro.util.rngtree import RngTree
-from repro.util.timeutil import DAY, HOUR
+from repro.util.timeutil import DAY, HOUR, SimInstant
 
 
 class LoginResult(enum.Enum):
@@ -42,11 +87,23 @@ class LoginResult(enum.Enum):
     RESET_REQUIRED = "reset_required"
 
 
-@dataclass
-class _ThrottleState:
-    failures: int = 0
-    window_start: int = 0
-    locked_until: int = 0
+#: Wire encoding of :class:`LoginResult` (definition order) — the batch
+#: engine's receipts carry these codes; SUCCESS must stay 0.
+RESULT_ORDER: tuple[LoginResult, ...] = tuple(LoginResult)
+RESULT_CODES: dict[LoginResult, int] = {r: i for i, r in enumerate(RESULT_ORDER)}
+
+#: Account-state byte -> login-result code for non-ACTIVE states
+#: (FROZEN -> ACCOUNT_FROZEN, DEACTIVATED -> ..., RESET_FORCED -> ...).
+STATE_RESULT_CODES: tuple[int, ...] = (
+    0,  # ACTIVE: unused (the hot paths branch on state != 0 first)
+    RESULT_CODES[LoginResult.ACCOUNT_FROZEN],
+    RESULT_CODES[LoginResult.ACCOUNT_DEACTIVATED],
+    RESULT_CODES[LoginResult.RESET_REQUIRED],
+)
+
+#: "No first-seen IP yet" sentinel — outside the 32-bit IPv4 space, so
+#: it can never compare equal to a real source address.
+NO_IP = 1 << 40
 
 
 class EmailProvider:
@@ -54,7 +111,8 @@ class EmailProvider:
 
     Tripwire accounts are treated "equivalently to their hundreds of
     millions of other accounts" (Section 4.4); all protective machinery
-    here applies uniformly.
+    here applies uniformly — including to the benign population
+    registered through :meth:`register_benign_accounts`.
     """
 
     #: Failed attempts inside the window before throttling engages.
@@ -87,19 +145,55 @@ class EmailProvider:
         self._clock = clock
         self._rng = rng_tree.child("email-provider").rng()
         self._policy = naming_policy or NamingPolicy()
-        self._accounts: dict[str, ProviderAccount] = {}
+        self._table = AccountTable()
         self._preexisting = {name.lower() for name in preexisting_locals}
         self.telemetry = LoginTelemetry(retention_days=retention_days, obs=obs)
-        self._throttle: dict[str, _ThrottleState] = {}
-        self._recent_ips: dict[str, list[tuple[int, IPv4Address]]] = {}
+        #: Sparse throttle state: row -> [failures, window_start,
+        #: locked_until].  Only rows with failure history appear here.
+        self._throttle: dict[int, list[int]] = {}
+        #: Shared columnar login-evidence log for **cold** rows: one
+        #: append per successful login, parallel columns, chained per
+        #: row through ``_log_prev``/``_ip_head`` so a single row's
+        #: history can be walked without scanning the log.  Entries
+        #: whose row column is -1 are tombstones left by promotion and
+        #: reclaimed by :meth:`evict_expired`.
+        self._log_times = array("q")
+        self._log_ips = array("Q")
+        self._log_rows = array("q")
+        self._log_prev = array("q")
+        #: Per-row head of the log chain (-1 = no cold history).
+        self._ip_head = array("q")
+        #: Per-row cached distinct-IP counter: an upper bound on the
+        #: windowed distinct count for cold rows (never pruned down
+        #: until eviction), the *exact* pruned count for hot rows.
+        self._ip_distinct = array("I")
+        #: Per-row first-seen IP (:data:`NO_IP` until the first
+        #: successful login).  A cold login bumps the row's bound iff
+        #: its source differs from this — the typical single-address
+        #: account never bumps past 1, and diverse-source abuse bumps
+        #: on nearly every event, which is all the bound must capture.
+        self._ip_first = array("Q")
+        #: Hot rows only: row -> [ring, counts] where ``ring`` is a
+        #: deque of packed ``(time << 32) | ip`` ints and ``counts``
+        #: the exact ip -> multiplicity map of the live window.
+        self._ip_hot: dict[int, list] = {}
+        #: Lifetime counters for the incremental window machinery
+        #: (plain attributes, deliberately not obs metrics: the batch
+        #: and scalar engines may split the work differently without
+        #: moving a journal byte).
+        self.ip_window_pruned = 0
+        self.ip_window_promotions = 0
+        self.throttle_evictions = 0
+        self.ip_window_evictions = 0
         self._forwarding_hop = None  # type: ignore[assignment]
+        self._batch_engine = None
 
     # -- provisioning --------------------------------------------------------
 
     def account_exists(self, local_part: str) -> bool:
         """Collision probe: is the name taken (by us or organically)?"""
         key = local_part.lower()
-        return key in self._accounts or key in self._preexisting
+        return key in self._table._index or key in self._preexisting
 
     def provision(
         self,
@@ -114,23 +208,52 @@ class EmailProvider:
             return ProvisioningResult(local_part, created=False, reason=violation)
         if self.account_exists(local_part):
             return ProvisioningResult(local_part, created=False, reason="name already taken")
-        account = ProviderAccount(
-            local_part=local_part,
-            display_name=display_name,
-            password=password,
+        self._table.add(
+            local_part,
+            display_name,
+            password,
             created_at=self._clock.now(),
             forwarding_address=forwarding_address,
+            monitored=True,
         )
-        self._accounts[local_part.lower()] = account
+        self._grow_login_state(1)
         return ProvisioningResult(local_part, created=True)
 
+    def register_benign_accounts(
+        self, locals_lower: list[str], passwords: list[str]
+    ) -> int:
+        """Bulk-register the organic (benign) account population.
+
+        These mailboxes are the haystack: full members of the provider
+        — they collide with provisioning, log in, receive mail, get
+        throttled and reviewed like anyone else — but they are outside
+        the telemetry disclosure scope, so dumps never mention them.
+        Locals must be lowercase and collision-free against the current
+        table; the traffic layer mints its own ``bg...`` namespace.
+        Returns the row index of the first registered account.
+        """
+        first_row = self._table.extend(locals_lower, passwords, self._clock.now())
+        self._grow_login_state(len(locals_lower))
+        return first_row
+
+    def _grow_login_state(self, count: int) -> None:
+        """Extend the row-indexed login-state columns for new rows."""
+        self._ip_head.extend(repeat(-1, count))
+        self._ip_distinct.frombytes(bytes(4 * count))
+        self._ip_first.extend(repeat(NO_IP, count))
+
     def account(self, local_part: str) -> ProviderAccount | None:
-        """Fetch an account record (None if absent)."""
-        return self._accounts.get(local_part.lower())
+        """Fetch a live account view (None if absent)."""
+        row = self._table.row_of(local_part)
+        return None if row is None else self._table.view(row)
 
     def account_count(self) -> int:
         """Number of provisioned (Tripwire-requested) accounts."""
-        return len(self._accounts)
+        return self._table.monitored_count
+
+    def total_account_count(self) -> int:
+        """Every mailbox at the provider, benign population included."""
+        return len(self._table)
 
     # -- mail ----------------------------------------------------------------
 
@@ -152,13 +275,33 @@ class EmailProvider:
         local, _, domain = message.recipient.partition("@")
         if domain.lower() != self.domain:
             return False
-        account = self._accounts.get(local.lower())
-        if account is None or account.state is AccountState.DEACTIVATED:
+        table = self._table
+        row = table._index.get(local.lower())
+        if row is None or table.states[row] == _DEACTIVATED:
             return False
-        account.received_message_count += 1
-        if account.forwarding_address and self._forwarding_hop is not None:
-            self._forwarding_hop(message.with_recipient(account.forwarding_address))
+        table.received_counts[row] += 1
+        forward_to = table.forwarding[row]
+        if forward_to and self._forwarding_hop is not None:
+            self._forwarding_hop(message.with_recipient(forward_to))
         return True
+
+    def deliver_background(self, rows: list[int]) -> int:
+        """Organic mail volume: bulk-deliver to benign rows by index.
+
+        The traffic generator's mail half — counts land on the same
+        ``received_message_count`` column :meth:`deliver` uses, without
+        materializing an :class:`EmailMessage` per benign message.
+        Deactivated rows bounce.  Returns how many were delivered.
+        """
+        table = self._table
+        counts = table.received_counts
+        states = table.states
+        delivered = 0
+        for row in rows:
+            if states[row] != _DEACTIVATED:
+                counts[row] += 1
+                delivered += 1
+        return delivered
 
     # -- login ---------------------------------------------------------------
 
@@ -173,68 +316,329 @@ class EmailProvider:
 
         Failed attempts are *not* recorded in telemetry — the provider
         only disclosed successes (Section 4.2).
+
+        This is the *reference* login path: it resolves the account
+        and runs :meth:`_attempt_row` — the per-row decision core every
+        engine shares — then records telemetry for the success.  The
+        vectorized engine (:meth:`attempt_logins`) makes these exact
+        decisions over whole batches, routing anything non-trivial
+        back through the same :meth:`_attempt_row`, and the
+        equivalence tests hold the paths in lockstep.
         """
         now = self._clock.now()
-        key = local_part.lower()
-        account = self._accounts.get(key)
-        if account is None:
+        row = self._table.row_of(local_part)
+        if row is None:
             return LoginResult.NO_SUCH_ACCOUNT
+        code = self._attempt_row(row, password, ip.value, now)
+        if code == 0:
+            account = self._table.view(row)
+            self.telemetry.record(
+                LoginEvent(account.local_part, now, ip, method),
+                monitored=account.monitored,
+            )
+        return RESULT_ORDER[code]
 
-        throttle = self._throttle.setdefault(key, _ThrottleState())
-        if now < throttle.locked_until:
-            return LoginResult.THROTTLED
+    def attempt_logins(self, batch, now: SimInstant | None = None):
+        """Authenticate one batch window (see :mod:`..batch`).
 
-        if account.state is AccountState.DEACTIVATED:
-            return LoginResult.ACCOUNT_DEACTIVATED
-        if account.state is AccountState.FROZEN:
-            return LoginResult.ACCOUNT_FROZEN
-        if account.state is AccountState.RESET_FORCED:
-            return LoginResult.RESET_REQUIRED
+        Lazily builds the vectorized engine on first use; the receipt's
+        per-event results are identical to calling
+        :meth:`attempt_login` for each event at the same instant.
+        """
+        if self._batch_engine is None:
+            from repro.email_provider.batch import BatchLoginEngine
 
-        if password != account.password:
-            self._note_failure(throttle, now)
-            return LoginResult.BAD_PASSWORD
+            self._batch_engine = BatchLoginEngine(self)
+        return self._batch_engine.attempt_logins(batch, now=now)
 
-        throttle.failures = 0
-        self.telemetry.record(LoginEvent(account.local_part, now, ip, method))
-        self._note_ip(key, now, ip)
-        self._review_after_login(account, key)
-        return LoginResult.SUCCESS
+    def _attempt_row(self, row: int, password: str, ip_int: int, now: int) -> int:
+        """Authenticate one resolved row; returns a ``RESULT_ORDER`` code.
 
-    def _note_failure(self, throttle: _ThrottleState, now: int) -> None:
-        if now - throttle.window_start > self.BRUTE_FORCE_WINDOW:
-            throttle.window_start = now
-            throttle.failures = 0
-        throttle.failures += 1
-        if throttle.failures >= self.BRUTE_FORCE_LIMIT:
-            throttle.locked_until = now + self.BRUTE_FORCE_LOCKOUT
-            throttle.failures = 0
+        The decision core shared verbatim by the scalar path, the
+        batch engine's rare-event path and the pure-Python batch
+        fallback — one implementation, so the engines cannot drift.
+        Telemetry is the caller's job (the batch engine records a
+        whole window at once).
+        """
+        throttle = self._throttle.get(row)
+        if throttle is not None and now < throttle[2]:
+            return 3  # THROTTLED
+        state = self._table.states[row]
+        if state:
+            return STATE_RESULT_CODES[state]
+        if password != self._table.passwords[row]:
+            self._note_failure(row, now)
+            return 1  # BAD_PASSWORD
+        if throttle is not None:
+            throttle[0] = 0
+        self._note_ip(row, now, ip_int)
+        self._review_after_login(row, now)
+        return 0  # SUCCESS
 
-    def _note_ip(self, key: str, now: int, ip: IPv4Address) -> None:
-        window = self._recent_ips.setdefault(key, [])
-        window.append((now, ip))
+    def _note_failure(self, row: int, now: int) -> None:
+        throttle = self._throttle.get(row)
+        if throttle is None:
+            throttle = self._throttle[row] = [0, 0, 0]
+        if now - throttle[1] > self.BRUTE_FORCE_WINDOW:
+            throttle[1] = now
+            throttle[0] = 0
+        throttle[0] += 1
+        if throttle[0] >= self.BRUTE_FORCE_LIMIT:
+            throttle[2] = now + self.BRUTE_FORCE_LOCKOUT
+            throttle[0] = 0
+
+    def _note_ip(self, row: int, now: int, ip_int: int) -> None:
+        """Record one successful login's source IP for the row.
+
+        Hot rows (ever-suspicious) maintain their exact pruned window
+        incrementally — amortized O(1), each entry appended once and
+        popped at most once.  Cold rows are strictly O(1): one append
+        to the shared evidence log plus a first-IP comparison (every
+        event from somewhere other than the row's first-seen address
+        bumps the bound); no pruning happens until the cached bound
+        first reaches the suspicion threshold (promotion) or eviction
+        compacts the log.
+        """
+        hot = self._ip_hot.get(row)
+        if hot is not None:
+            window, counts = hot
+            window.append((now << 32) | ip_int)
+            counts[ip_int] = counts.get(ip_int, 0) + 1
+            packed_cutoff = (now - self.SUSPICION_WINDOW) << 32
+            pruned = 0
+            while window[0] < packed_cutoff:
+                old_ip = window.popleft() & 0xFFFFFFFF
+                remaining = counts[old_ip] - 1
+                if remaining:
+                    counts[old_ip] = remaining
+                else:
+                    del counts[old_ip]
+                pruned += 1
+            if pruned:
+                self.ip_window_pruned += pruned
+            self._ip_distinct[row] = len(counts)
+            return
+        self._log_prev.append(self._ip_head[row])
+        self._ip_head[row] = len(self._log_times)
+        self._log_times.append(now)
+        self._log_ips.append(ip_int)
+        self._log_rows.append(row)
+        first = self._ip_first[row]
+        if first != ip_int:
+            if first == NO_IP:
+                self._ip_first[row] = ip_int
+            bound = self._ip_distinct[row] + 1
+            self._ip_distinct[row] = bound
+            if bound >= self.SUSPICION_DISTINCT_IPS:
+                self._promote_row(row, now)
+
+    def _promote_row(self, row: int, now: int) -> None:
+        """Materialize a cold row's exact window; the row becomes hot.
+
+        Walks the row's chain through the shared log, builds the
+        pruned ``(ring, counts)`` window and tombstones the chain
+        entries (row column set to -1) for the next compaction.  The
+        cached counter becomes exact from here on.
+        """
+        times = self._log_times
+        ips = self._log_ips
+        rows_col = self._log_rows
+        prev = self._log_prev
         cutoff = now - self.SUSPICION_WINDOW
-        self._recent_ips[key] = [(t, a) for t, a in window if t >= cutoff]
+        chain = []
+        i = self._ip_head[row]
+        while i >= 0:
+            chain.append(i)
+            i = prev[i]
+        window: deque = deque()
+        counts: dict[int, int] = {}
+        stale = 0
+        for i in reversed(chain):  # chain is newest-first; replay oldest-first
+            ip_i = ips[i]
+            rows_col[i] = -1
+            t = times[i]
+            if t >= cutoff:
+                window.append((t << 32) | ip_i)
+                counts[ip_i] = counts.get(ip_i, 0) + 1
+            else:
+                stale += 1
+        self._ip_head[row] = -1
+        self._ip_hot[row] = [window, counts]
+        self._ip_distinct[row] = len(counts)
+        self.ip_window_pruned += stale
+        self.ip_window_promotions += 1
 
-    def _review_after_login(self, account: ProviderAccount, key: str) -> None:
-        """Abuse review run after each successful login."""
-        distinct_ips = {a for _t, a in self._recent_ips.get(key, [])}
-        if len(distinct_ips) < self.SUSPICION_DISTINCT_IPS:
+    def _review_after_login(self, row: int, now: int) -> None:
+        """Abuse review run after each successful login.
+
+        Reads only the cached distinct-IP counter: below the threshold
+        no review can fire (the counter never underestimates), and at
+        or above it the row is necessarily hot — promotion happens the
+        instant the bound reaches the threshold — so the counter is
+        the exact pruned distinct count.
+        """
+        if self._ip_distinct[row] < self.SUSPICION_DISTINCT_IPS:
             return
         roll = self._rng.random()
+        table = self._table
         if roll < self.FORCED_RESET_PROBABILITY:
-            account.state = AccountState.RESET_FORCED
-            account.state_changed_at = self._clock.now()
-            account.password_changes.append(self._clock.now())
+            table.states[row] = _RESET_FORCED
+            table.state_changed_at[row] = now
+            table.password_changes.setdefault(row, []).append(now)
         elif roll < self.FORCED_RESET_PROBABILITY + self.FREEZE_PROBABILITY:
-            account.state = AccountState.FROZEN
-            account.state_changed_at = self._clock.now()
+            table.states[row] = _FROZEN
+            table.state_changed_at[row] = now
+
+    def evict_expired(self, now: SimInstant | None = None) -> tuple[int, int]:
+        """Drop per-login state whose windows have fully expired.
+
+        The batch-window review's memory bound: a throttle entry is
+        removable once its lockout has passed *and* its failure window
+        can no longer influence a decision (no failures, or the window
+        expired — the next failure would reset it anyway).  Hot rows
+        are pruned and, once every entry has aged out, demoted back to
+        cold; the shared log is compacted when its oldest entry has
+        expired, dropping tombstones and expired entries and
+        recounting the cached bounds from what remains.  Eviction is
+        decision-invariant — evicted state is indistinguishable from
+        never-created state — so either login engine may run it on any
+        cadence without moving a byte of output.  Returns
+        ``(throttle_evicted, window_evicted)`` where the second counts
+        demoted hot rows plus expired log entries.
+        """
+        if now is None:
+            now = self._clock.now()
+        brute_window = self.BRUTE_FORCE_WINDOW
+        stale = [
+            row
+            for row, (failures, window_start, locked_until) in self._throttle.items()
+            if locked_until <= now
+            and (failures == 0 or now - window_start > brute_window)
+        ]
+        for row in stale:
+            del self._throttle[row]
+        self.throttle_evictions += len(stale)
+
+        cutoff = now - self.SUSPICION_WINDOW
+        packed_cutoff = cutoff << 32
+        hot = self._ip_hot
+        distinct = self._ip_distinct
+        empty = []
+        pruned = 0
+        for row, (window, counts) in hot.items():
+            if not window or window[-1] >= packed_cutoff:
+                continue  # newest entry still live: nothing to drop
+            while window and window[0] < packed_cutoff:
+                old_ip = window.popleft() & 0xFFFFFFFF
+                remaining = counts[old_ip] - 1
+                if remaining:
+                    counts[old_ip] = remaining
+                else:
+                    del counts[old_ip]
+                pruned += 1
+            if not window:
+                empty.append(row)
+        for row in empty:
+            del hot[row]
+            distinct[row] = 0
+        if pruned:
+            self.ip_window_pruned += pruned
+
+        window_evicted = len(empty)
+        times = self._log_times
+        if times and times[0] < cutoff:
+            window_evicted += self._compact_log(cutoff)
+        self.ip_window_evictions += window_evicted
+        return len(stale), window_evicted
+
+    def _compact_log(self, cutoff: int) -> int:
+        """Rebuild the shared log without tombstones or expired entries.
+
+        Returns the number of *live* expired entries dropped.  Every
+        cold row touched by the log gets its cached bound *recounted*
+        from the entries that survive: one credit if any kept entry
+        came from the row's first-seen IP, plus one per kept entry
+        from anywhere else — the same rule the incremental bump
+        applies, so the bound stays an overestimate of the windowed
+        distinct count and the two engines agree byte-for-byte.
+        """
+        times = self._log_times
+        ips = self._log_ips
+        rows_col = self._log_rows
+        head = self._ip_head
+        distinct = self._ip_distinct
+        firsts = self._ip_first
+        for r in rows_col:
+            if r >= 0:
+                head[r] = -1
+                distinct[r] = 0
+        new_times = array("q")
+        new_ips = array("Q")
+        new_rows = array("q")
+        new_prev = array("q")
+        first_credited: set[int] = set()
+        dropped = 0
+        for i in range(len(times)):
+            r = rows_col[i]
+            if r < 0:
+                continue  # promotion tombstone
+            t = times[i]
+            ip_i = ips[i]
+            if t < cutoff:
+                dropped += 1
+                continue
+            new_prev.append(head[r])
+            head[r] = len(new_times)
+            new_times.append(t)
+            new_ips.append(ip_i)
+            new_rows.append(r)
+            if ip_i != firsts[r]:
+                distinct[r] += 1
+            else:
+                first_credited.add(r)
+        for r in first_credited:
+            distinct[r] += 1
+        self._log_times, self._log_ips = new_times, new_ips
+        self._log_rows, self._log_prev = new_rows, new_prev
+        return dropped
+
+    def login_window_snapshot(self) -> dict[int, dict]:
+        """Canonical per-row view of the IP-window state (tests/bench).
+
+        The shared log's physical layout is engine-dependent (the
+        batch engine appends a window's clean events together), so
+        equivalence checks compare this canonical form: per-row entry
+        sequences in login order, plus hotness and the cached counter.
+        """
+        out: dict[int, dict] = {}
+        times = self._log_times
+        ips = self._log_ips
+        prev = self._log_prev
+        for row in {r for r in self._log_rows if r >= 0}:
+            chain = []
+            i = self._ip_head[row]
+            while i >= 0:
+                chain.append(i)
+                i = prev[i]
+            out[row] = {
+                "hot": False,
+                "entries": [(times[i], ips[i]) for i in reversed(chain)],
+                "distinct": self._ip_distinct[row],
+            }
+        for row, (window, counts) in self._ip_hot.items():
+            out[row] = {
+                "hot": True,
+                "entries": [(p >> 32, p & 0xFFFFFFFF) for p in window],
+                "counts": dict(counts),
+                "distinct": self._ip_distinct[row],
+            }
+        return out
 
     # -- authenticated account actions (used by attackers) -------------------
 
     def change_password(self, local_part: str, old: str, new: str) -> bool:
         """Change the password; requires the current one."""
-        account = self._accounts.get(local_part.lower())
+        account = self.account(local_part)
         if account is None or not account.can_login or account.password != old:
             return False
         account.password = new
@@ -243,7 +647,7 @@ class EmailProvider:
 
     def remove_forwarding(self, local_part: str, password: str) -> bool:
         """Drop the forwarding address; requires the password."""
-        account = self._accounts.get(local_part.lower())
+        account = self.account(local_part)
         if account is None or not account.can_login or account.password != password:
             return False
         account.forwarding_address = None
@@ -255,7 +659,7 @@ class EmailProvider:
         Returns how many were sent before the abuse system deactivated
         the account (possibly all of them).
         """
-        account = self._accounts.get(local_part.lower())
+        account = self.account(local_part)
         if account is None or not account.can_login or account.password != password:
             return 0
         sent = 0
@@ -279,7 +683,7 @@ class EmailProvider:
         must notice the probe failures.  Returns False for unknown,
         deactivated or already-frozen accounts.
         """
-        account = self._accounts.get(local_part.lower())
+        account = self.account(local_part)
         if account is None or account.state is not AccountState.ACTIVE:
             return False
         account.state = AccountState.FROZEN
@@ -295,7 +699,7 @@ class EmailProvider:
         accounts can also be rotated through it.  Deactivated accounts
         are gone for good.
         """
-        account = self._accounts.get(local_part.lower())
+        account = self.account(local_part)
         if account is None or account.state is AccountState.DEACTIVATED:
             return False
         account.password = new_password
@@ -309,3 +713,8 @@ class EmailProvider:
     def collect_login_dump(self) -> list[LoginEvent]:
         """Export the sporadic login dump for all accounts (Section 4.2)."""
         return self.telemetry.collect_dump(self._clock.now())
+
+
+_FROZEN = STATE_CODES[AccountState.FROZEN]
+_DEACTIVATED = STATE_CODES[AccountState.DEACTIVATED]
+_RESET_FORCED = STATE_CODES[AccountState.RESET_FORCED]

@@ -5,11 +5,32 @@ IP and access method — in sporadic dumps (Section 4.2).  Records expire
 after a retention window; the paper lost March 20 – June 1, 2015 to
 exactly this (Figure 2's shaded gap), which :class:`LoginTelemetry`
 reproduces when dumps are collected too far apart.
+
+Storage is columnar (struct-of-arrays): parallel ``local``/``time``/
+``ip``/``method`` columns instead of one :class:`LoginEvent` object
+per login.  Under the heavy-traffic login front-end the log holds the
+*whole* provider's successes — millions of benign logins per sim-day
+around a handful of honey-account events — and three operations must
+stay cheap at that scale:
+
+- **append** — :meth:`record_batch` bulk-extends the columns with one
+  bounds check per batch (the per-event :meth:`record` remains for the
+  scalar path);
+- **dump extraction** — timestamps are recorded in order, so
+  :meth:`collect_dump` binary-searches the window instead of scanning
+  the entire log, then materializes :class:`LoginEvent` objects only
+  for the rows inside the *disclosure scope* (Section 4.2: the
+  provider reports on the accounts Tripwire asked about, marked by the
+  ``monitored`` column — the needle sifted from the haystack);
+- **retention pruning** — :meth:`prune_exported` drops a front slice
+  of the columns via the same binary search.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.net.ipaddr import IPv4Address
@@ -25,6 +46,12 @@ class LoginMethod(enum.Enum):
     WEBMAIL = "WEB"
     SMTP = "SMTP"
     ACTIVESYNC = "ACTIVESYNC"
+
+
+#: Column encoding of :class:`LoginMethod` (definition order).  Batch
+#: producers ship method *codes*; the scalar path maps through these.
+METHOD_ORDER: tuple[LoginMethod, ...] = tuple(LoginMethod)
+METHOD_CODES: dict[LoginMethod, int] = {m: i for i, m in enumerate(METHOD_ORDER)}
 
 
 @dataclass(frozen=True)
@@ -43,14 +70,15 @@ class LoginEvent:
 
 
 class LoginTelemetry:
-    """Append-only login log with bounded retention.
+    """Append-only columnar login log with bounded retention.
 
     Batch runs keep every event for ground-truth comparison.  A
     continuously-operating daemon cannot — two sim-years of logins is
-    unbounded ballast — so :meth:`prune_exported` drops events that
-    both fell out of the retention window *and* were covered by a past
-    dump, exactly the records a real provider would have expired.
-    Pruning never changes what any future dump returns.
+    unbounded ballast, and with benign traffic the log grows by
+    millions of rows per sim-day — so :meth:`prune_exported` drops
+    events that both fell out of the retention window *and* were
+    covered by a past dump, exactly the records a real provider would
+    have expired.  Pruning never changes what any future dump returns.
     """
 
     def __init__(self, retention_days: int = 60, obs=NO_OP):
@@ -59,42 +87,99 @@ class LoginTelemetry:
         self.retention_days = retention_days
         self._obs = obs
         self._log = obs.get_logger("provider.telemetry")
-        self._events: list[LoginEvent] = []
+        self._locals: list[str] = []
+        self._times = array("q")
+        self._ips = array("Q")
+        self._methods = bytearray()
+        self._monitored = bytearray()
         self._last_collected: SimInstant | None = None
         self._lost_windows: list[tuple[SimInstant, SimInstant]] = []
         self.pruned_count = 0
         self._last_recorded: SimInstant | None = None
 
-    def record(self, event: LoginEvent) -> None:
+    # -- append side -------------------------------------------------------
+
+    def record(self, event: LoginEvent, monitored: bool = True) -> None:
         """Record one successful login (events arrive in time order)."""
         if self._last_recorded is not None and event.time < self._last_recorded:
             raise ValueError("login events must be recorded in time order")
-        self._events.append(event)
+        self._locals.append(event.local_part)
+        self._times.append(event.time)
+        self._ips.append(event.ip.value)
+        self._methods.append(METHOD_CODES[event.method])
+        self._monitored.append(1 if monitored else 0)
         self._last_recorded = event.time
         self._obs.count("telemetry.logins_recorded")
+
+    def record_batch(
+        self,
+        locals_: list[str],
+        time: SimInstant,
+        ips: array,
+        method_codes: bytearray,
+        monitored: bytearray,
+    ) -> int:
+        """Bulk-record one batch window's successes, all stamped ``time``.
+
+        The batch engine's append path: one ordering check and one
+        counter bump for the whole batch instead of per event.  Columns
+        must be parallel (same length); ``ips`` holds 32-bit integers
+        and ``method_codes`` positions into :data:`METHOD_ORDER`.
+        """
+        n = len(locals_)
+        if not n:
+            return 0
+        if len(ips) != n or len(method_codes) != n or len(monitored) != n:
+            raise ValueError("batch columns must be parallel")
+        if self._last_recorded is not None and time < self._last_recorded:
+            raise ValueError("login events must be recorded in time order")
+        self._locals.extend(locals_)
+        self._times.extend(array("q", [time]) * n)
+        self._ips.extend(ips)
+        self._methods.extend(method_codes)
+        self._monitored.extend(monitored)
+        self._last_recorded = time
+        self._obs.count("telemetry.logins_recorded", n)
+        return n
+
+    # -- dump side ---------------------------------------------------------
 
     def _retained_since(self, now: SimInstant) -> SimInstant:
         return now - self.retention_days * DAY
 
     def collect_dump(self, now: SimInstant) -> list[LoginEvent]:
-        """Export all retained events not included in a previous dump.
+        """Export retained in-scope events not included in a previous dump.
 
         If the previous collection was more than ``retention_days`` ago,
         the uncovered interval is *lost* — recorded in
-        :meth:`lost_windows` and absent from every future dump.
+        :meth:`lost_windows` and absent from every future dump.  Only
+        rows in the disclosure scope (``monitored``) are materialized;
+        the benign population's logins stay the provider's business.
         """
         with self._obs.span("telemetry.collect_dump"):
+            times = self._times
             horizon = self._retained_since(now)
             since = self._last_collected if self._last_collected is not None else 0
             if since < horizon:
-                if any(since < e.time <= horizon for e in self._events):
+                if bisect_right(times, since) < bisect_right(times, horizon):
                     self._lost_windows.append((since, horizon))
                     self._obs.count("telemetry.windows_lost")
                     self._log.info(
                         "retention window lost", since=since, horizon=horizon
                     )
                 since = horizon
-            dump = [e for e in self._events if since < e.time <= now]
+            start = bisect_right(times, since)
+            stop = bisect_right(times, now)
+            locals_, ips, methods = self._locals, self._ips, self._methods
+            flags = self._monitored
+            dump = [
+                LoginEvent(
+                    locals_[i], times[i], IPv4Address(ips[i]),
+                    METHOD_ORDER[methods[i]],
+                )
+                for i in range(start, stop)
+                if flags[i]
+            ]
             self._last_collected = now
             self._obs.count("telemetry.dumps_collected")
             self._obs.count("telemetry.events_exported", len(dump))
@@ -117,18 +202,31 @@ class LoginTelemetry:
         if self._last_collected is None:
             return 0
         cutoff = min(self._retained_since(now), self._last_collected)
-        kept = [e for e in self._events if e.time > cutoff]
-        dropped = len(self._events) - len(kept)
+        dropped = bisect_right(self._times, cutoff)
         if dropped:
-            self._events = kept
+            del self._locals[:dropped]
+            del self._times[:dropped]
+            del self._ips[:dropped]
+            del self._methods[:dropped]
+            del self._monitored[:dropped]
             self.pruned_count += dropped
             self._obs.count("telemetry.events_pruned", dropped)
         return dropped
 
     @property
     def retained_count(self) -> int:
-        """Events currently held in memory."""
-        return len(self._events)
+        """Events currently held in memory (all accounts)."""
+        return len(self._times)
+
+    def columns(self) -> tuple[list[str], array, array, bytearray, bytearray]:
+        """The raw retained columns (locals, times, ips, methods, scope).
+
+        Equality checks at heavy-traffic scale compare these directly —
+        two telemetry logs are identical iff their columns are — without
+        materializing millions of :class:`LoginEvent` objects.
+        """
+        return (self._locals, self._times, self._ips, self._methods,
+                self._monitored)
 
     def all_events_ground_truth(self) -> list[LoginEvent]:
         """Every event ever recorded — simulation ground truth only.
@@ -140,4 +238,10 @@ class LoginTelemetry:
         truncated to what is still retained — :attr:`pruned_count`
         says how much history was dropped.
         """
-        return list(self._events)
+        return [
+            LoginEvent(
+                self._locals[i], self._times[i], IPv4Address(self._ips[i]),
+                METHOD_ORDER[self._methods[i]],
+            )
+            for i in range(len(self._times))
+        ]

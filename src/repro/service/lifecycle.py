@@ -34,11 +34,18 @@ from dataclasses import dataclass
 
 from repro.core.monitor import CompromiseMonitor, DumpIngestion
 from repro.core.system import TripwireSystem
-from repro.email_provider.telemetry import LoginMethod
+from repro.email_provider.batch import LoginBatch
+from repro.email_provider.telemetry import METHOD_ORDER, LoginMethod
 from repro.identity.passwords import PasswordClass
 from repro.net.ipaddr import IPv4Address
 from repro.service.scheduler import ServiceConfig
 from repro.sim.events import RecurringEvent
+from repro.traffic import (
+    BackpressureQueue,
+    BenignPopulation,
+    TrafficGenerator,
+    TrafficProfile,
+)
 from repro.util.timeutil import SimInstant
 
 #: Access methods the attacker stream rotates through (checkers in the
@@ -60,6 +67,11 @@ class LifecycleStats:
     attacks: int = 0
     attack_successes: int = 0
     dumps: int = 0
+    traffic_windows: int = 0
+    traffic_logins: int = 0
+    traffic_successes: int = 0
+    traffic_mails: int = 0
+    state_evictions: int = 0
 
 
 class AccountLifecycle:
@@ -86,6 +98,28 @@ class AccountLifecycle:
         self._log = system.obs.get_logger("service.lifecycle")
         self._bind_cursor = 0
         self.handles: list[RecurringEvent] = []
+        self._traffic_cursor = 0
+        self._traffic_gen: TrafficGenerator | None = None
+        self._traffic_queue: BackpressureQueue | None = None
+        self._population: BenignPopulation | None = None
+        if config.traffic_users > 0:
+            # The benign haystack is part of the service world: its
+            # registration (sim-shaping) happens exactly once, here,
+            # before any stream fires.
+            self._population = BenignPopulation(config.traffic_users)
+            self._population.register_with(system.provider)
+            self._traffic_gen = TrafficGenerator(
+                TrafficProfile(
+                    users=config.traffic_users,
+                    logins_per_user_day=config.traffic_logins_per_day,
+                    mails_per_user_day=config.traffic_mails_per_day,
+                    window_seconds=config.traffic_window,
+                    batch_events=config.traffic_batch_events,
+                ),
+                self._population,
+                tree,
+            )
+            self._traffic_queue = BackpressureQueue(config.traffic_queue_depth)
 
     # -- installation ------------------------------------------------------
 
@@ -94,14 +128,16 @@ class AccountLifecycle:
         cfg = self.config
         queue = self.system.queue
         start = cfg.start
-        streams = (
+        streams = [
             (cfg.probe_interval, "service.probe", self._probe),
             (cfg.dump_interval, "service.ingest", self._ingest),
             (cfg.bind_interval, "service.bind", self._bind),
             (cfg.freeze_interval, "service.freeze", self._freeze),
             (cfg.reset_interval, "service.reset", self._reset),
             (cfg.attack_interval, "service.attack", self._attack),
-        )
+        ]
+        if cfg.traffic_users > 0:
+            streams.append((cfg.traffic_window, "service.traffic", self._traffic))
         for interval, label, action in streams:
             self.handles.append(
                 queue.schedule_recurring(
@@ -118,7 +154,9 @@ class AccountLifecycle:
 
     def _probe(self) -> None:
         """Operator re-login over every control account."""
-        succeeded = self.system.login_control_accounts()
+        succeeded = self.system.login_control_accounts(
+            batched=self.config.login_batching
+        )
         self.stats.probes += 1
         self.stats.probe_logins += succeeded
         self.system.obs.count("service.probe_logins", succeeded)
@@ -128,6 +166,67 @@ class AccountLifecycle:
         attributed = self.ingestion()
         self.stats.dumps = self.ingestion.dumps_ingested
         self.system.obs.count("service.dump_logins_attributed", len(attributed))
+        # Batch-review housekeeping rides the ingestion cadence: drop
+        # throttle/IP-window state whose horizons have fully expired.
+        # Decision-invariant, so it is safe (and identical) in both
+        # login engines — without it a multi-year daemon's per-login
+        # state grows with every account that ever failed a password.
+        evicted_throttle, evicted_windows = self.system.provider.evict_expired()
+        self.stats.state_evictions += evicted_throttle + evicted_windows
+
+    def _traffic(self) -> None:
+        """One benign-traffic window: the haystack logs in and gets mail.
+
+        The generator's batches flow through the bounded backpressure
+        queue into whichever login engine the config selects; the
+        decisions — and therefore every journal byte — are identical
+        either way.  All events in the window occur at its close (now).
+        """
+        window = self._traffic_gen.window(
+            self._traffic_cursor, self.system.clock.now()
+        )
+        self._traffic_cursor += 1
+        provider = self.system.provider
+        successes = 0
+
+        if self.config.login_batching:
+
+            def consume(batch: LoginBatch) -> None:
+                nonlocal successes
+                successes += provider.attempt_logins(batch).successes
+
+        else:
+
+            def consume(batch: LoginBatch) -> None:
+                nonlocal successes
+                attempt_login = provider.attempt_login
+                keys, passwords = batch.keys, batch.passwords
+                ips, methods = batch.ips, batch.methods
+                for i in range(len(keys)):
+                    result = attempt_login(
+                        keys[i],
+                        passwords[i],
+                        IPv4Address(ips[i]),
+                        METHOD_ORDER[methods[i]],
+                    )
+                    if result.value == "success":
+                        successes += 1
+
+        self._traffic_queue.pump(iter(window.batches), consume)
+
+        first_row = self._population.first_row
+        mails = provider.deliver_background(
+            [first_row + u for u in window.mail_users]
+        )
+
+        self.stats.traffic_windows += 1
+        self.stats.traffic_logins += window.login_count
+        self.stats.traffic_successes += successes
+        self.stats.traffic_mails += mails
+        obs = self.system.obs
+        obs.count("service.traffic_logins", window.login_count)
+        obs.count("service.traffic_successes", successes)
+        obs.count("service.traffic_mails", mails)
 
     def _bind(self) -> None:
         """Bind one honey account to the next service-probed site.
@@ -212,11 +311,20 @@ class AccountLifecycle:
         identity, _site = bound[self._attack_rng.randrange(len(bound))]
         ip = IPv4Address(self._attack_rng.randrange(1 << 32))
         method = _ATTACK_METHODS[self._attack_rng.randrange(len(_ATTACK_METHODS))]
-        result = self.system.provider.attempt_login(
-            identity.email_local, identity.password, ip, method
-        )
+        if self.config.login_batching:
+            receipt = self.system.provider.attempt_logins(
+                LoginBatch.single(
+                    identity.email_local, identity.password, ip, method
+                )
+            )
+            succeeded = receipt.results[0] == 0
+        else:
+            result = self.system.provider.attempt_login(
+                identity.email_local, identity.password, ip, method
+            )
+            succeeded = result.value == "success"
         self.stats.attacks += 1
         self.system.obs.count("service.attacks")
-        if result.value == "success":
+        if succeeded:
             self.stats.attack_successes += 1
             self.system.obs.count("service.attack_successes")

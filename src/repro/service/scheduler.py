@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.campaign import RegistrationPolicy
 from repro.faults.plan import FaultPlan
-from repro.util.timeutil import DAY, STUDY_START, SimInstant
+from repro.util.timeutil import DAY, HOUR, STUDY_START, SimInstant
 from repro.web.population import RankedSite
 
 
@@ -57,6 +57,14 @@ class ServiceConfig:
     #: Drop provider telemetry no future dump can return (the
     #: continuous-operation memory bound).
     prune_telemetry: bool = True
+    #: Benign-traffic population (0 disables the traffic stream).  The
+    #: traffic knobs below shape *which login events exist*, so they
+    #: are sim-shaping; how those events are authenticated (batched or
+    #: per-event, batch size, queue depth) is execution-shaping.
+    traffic_users: int = 0
+    traffic_logins_per_day: float = 2.0
+    traffic_mails_per_day: float = 0.5
+    traffic_window: int = 6 * HOUR
 
     # -- execution-shaping (never in journal meta) ------------------------
     workers: int = 1
@@ -64,6 +72,17 @@ class ServiceConfig:
     warm_workers: bool = True
     wire_codec: bool = True
     checkpoint_every: int = 1
+    #: Authenticate service-stream logins through the vectorized batch
+    #: engine (False falls back to per-event authentication).  Both
+    #: paths produce byte-identical journals — that equivalence is the
+    #: engine's contract, exercised by the login-smoke CI job.
+    login_batching: bool = True
+    #: Max events per traffic batch and bound of the backpressure queue
+    #: between generator and login engine.  Execution-shaping: batch
+    #: splitting groups the same events without reordering them, and
+    #: the FIFO queue preserves window order at any depth.
+    traffic_batch_events: int = 8192
+    traffic_queue_depth: int = 8
     #: Path of a built world store (:mod:`repro.store`), or None for
     #: in-memory worlds.  Execution-shaped: a run may be resumed with
     #: the store toggled either way and must still byte-match.
@@ -109,6 +128,10 @@ class ServiceConfig:
             "fault_profile": self.fault_plan.profile if self.fault_plan else "off",
             "fault_seed": self.fault_plan.seed if self.fault_plan else 0,
             "prune_telemetry": self.prune_telemetry,
+            "traffic_users": self.traffic_users,
+            "traffic_logins_per_day": self.traffic_logins_per_day,
+            "traffic_mails_per_day": self.traffic_mails_per_day,
+            "traffic_window": self.traffic_window,
         }
 
 

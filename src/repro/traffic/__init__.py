@@ -1,0 +1,30 @@
+"""Benign-population load: the haystack the honey accounts hide in.
+
+Tripwire's premise is that its telemetry signal must be sifted out of a
+provider serving "hundreds of millions of other accounts" (Section
+4.2/4.4).  This package supplies that noise floor at simulation scale:
+
+- :mod:`population` mints a deterministic benign account population
+  (locals, passwords, home IPs derived arithmetically from the index —
+  no per-account RNG state, no storage beyond the provider's columns);
+- :mod:`generator` streams seeded login/mail windows as
+  :class:`~repro.email_provider.batch.LoginBatch` columns, millions of
+  events per sim-day;
+- :mod:`queue` bounds the hand-off between generator and login engine
+  with a deterministic backpressure queue.
+
+Everything is seeded per *window index*, so a resumed or re-sharded
+run regenerates byte-identical traffic.
+"""
+
+from repro.traffic.population import BenignPopulation
+from repro.traffic.generator import TrafficGenerator, TrafficProfile, TrafficWindow
+from repro.traffic.queue import BackpressureQueue
+
+__all__ = [
+    "BenignPopulation",
+    "TrafficGenerator",
+    "TrafficProfile",
+    "TrafficWindow",
+    "BackpressureQueue",
+]

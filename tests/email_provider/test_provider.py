@@ -99,6 +99,159 @@ class TestLogin:
         )
 
 
+class TestThrottleWindowEdges:
+    def login(self, provider, password):
+        return provider.attempt_login("AlphaUser01", password, IP, LoginMethod.IMAP)
+
+    def test_failure_window_resets_strictly_after_boundary(self, provider):
+        """Failures age out only *past* BRUTE_FORCE_WINDOW, not at it."""
+        limit = EmailProvider.BRUTE_FORCE_LIMIT
+        for _ in range(limit - 1):
+            self.login(provider, "wrong")
+        # Exactly at the window boundary the counter must still stand:
+        # one more failure is the limit-th and locks the account.
+        provider._clock.advance(EmailProvider.BRUTE_FORCE_WINDOW)
+        self.login(provider, "wrong")
+        assert self.login(provider, "Secret1234") is LoginResult.THROTTLED
+
+    def test_failure_window_reset_one_past_boundary(self, provider):
+        limit = EmailProvider.BRUTE_FORCE_LIMIT
+        for _ in range(limit - 1):
+            self.login(provider, "wrong")
+        provider._clock.advance(EmailProvider.BRUTE_FORCE_WINDOW + 1)
+        # The window expired: this failure starts a fresh count of 1.
+        self.login(provider, "wrong")
+        assert self.login(provider, "Secret1234") is LoginResult.SUCCESS
+
+    def test_lockout_readmits_exactly_at_expiry(self, provider):
+        for _ in range(EmailProvider.BRUTE_FORCE_LIMIT):
+            self.login(provider, "wrong")
+        provider._clock.advance(EmailProvider.BRUTE_FORCE_LOCKOUT - 1)
+        assert self.login(provider, "Secret1234") is LoginResult.THROTTLED
+        provider._clock.advance(1)
+        assert self.login(provider, "Secret1234") is LoginResult.SUCCESS
+
+    def test_success_resets_failure_count(self, provider):
+        for _ in range(EmailProvider.BRUTE_FORCE_LIMIT - 1):
+            self.login(provider, "wrong")
+        assert self.login(provider, "Secret1234") is LoginResult.SUCCESS
+        for _ in range(EmailProvider.BRUTE_FORCE_LIMIT - 1):
+            self.login(provider, "wrong")
+        assert self.login(provider, "Secret1234") is LoginResult.SUCCESS
+
+
+class TestLoginWindowMachinery:
+    def test_cold_logins_do_constant_work(self, provider):
+        """Micro-regression for the O(window) rebuild: a cold account's
+        logins never prune, promote or materialize per-row state, no
+        matter how long its history grows — the per-login work is one
+        log append plus one first-IP compare."""
+        clock = provider._clock
+        for i in range(500):
+            provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+            clock.advance(HOUR)
+        assert provider._ip_hot == {}
+        assert provider.ip_window_promotions == 0
+        assert provider.ip_window_pruned == 0
+        row = provider._table._index["alphauser01"]
+        # One log entry per success, chained; bound stays at 1 for a
+        # single-address account.
+        assert len(provider._log_times) == 500
+        assert provider._ip_distinct[row] == 1
+
+    def test_promotion_materializes_exact_window(self, provider):
+        clock = provider._clock
+        threshold = EmailProvider.SUSPICION_DISTINCT_IPS
+        for i in range(threshold):
+            ip = IPv4Address(0x19000000 + i)
+            provider.attempt_login("AlphaUser01", "Secret1234", ip, LoginMethod.IMAP)
+            clock.advance(60)
+        row = provider._table._index["alphauser01"]
+        assert provider.ip_window_promotions == 1
+        assert row in provider._ip_hot
+        snapshot = provider.login_window_snapshot()[row]
+        assert snapshot["hot"]
+        assert snapshot["distinct"] == threshold
+        assert len(snapshot["entries"]) == threshold
+
+    def test_first_ip_bound_overestimates_but_promotion_restores_exact(
+        self, provider
+    ):
+        """Alternating between two addresses inflates the cold bound
+        (each away-from-first event bumps it), which at worst promotes
+        the row early — and promotion recounts the exact distinct."""
+        clock = provider._clock
+        threshold = EmailProvider.SUSPICION_DISTINCT_IPS
+        # Only away-from-first events bump the bound, so alternating
+        # needs ~2x threshold logins before the bound reaches it.
+        for i in range(2 * threshold):
+            ip = IP if i % 2 == 0 else OTHER_IP
+            provider.attempt_login("AlphaUser01", "Secret1234", ip, LoginMethod.IMAP)
+            clock.advance(60)
+        row = provider._table._index["alphauser01"]
+        assert provider.ip_window_promotions == 1
+        assert row in provider._ip_hot
+        assert provider._ip_distinct[row] == 2  # exact after promotion
+        assert provider.account("AlphaUser01").state is AccountState.ACTIVE
+
+    def test_evict_expired_drops_throttle_and_stale_windows(self, provider):
+        clock = provider._clock
+        provider.attempt_login("AlphaUser01", "wrong", IP, LoginMethod.IMAP)
+        provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+        clock.advance(EmailProvider.SUSPICION_WINDOW + HOUR)
+        throttle_evicted, window_evicted = provider.evict_expired()
+        assert throttle_evicted == 1
+        assert window_evicted == 1
+        assert provider._throttle == {}
+        assert provider.login_window_snapshot() == {}
+        row = provider._table._index["alphauser01"]
+        assert provider._ip_distinct[row] == 0
+
+    def test_compaction_recounts_surviving_bounds(self, provider):
+        clock = provider._clock
+        # Two old away-IP logins that will expire, then two fresh ones
+        # (one from the first-seen address, one from elsewhere).
+        provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+        provider.attempt_login("AlphaUser01", "Secret1234", OTHER_IP, LoginMethod.IMAP)
+        clock.advance(EmailProvider.SUSPICION_WINDOW + HOUR)
+        provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+        provider.attempt_login("AlphaUser01", "Secret1234", OTHER_IP, LoginMethod.IMAP)
+        row = provider._table._index["alphauser01"]
+        assert provider._ip_distinct[row] == 3  # 1 first + 2 away events
+        _, window_evicted = provider.evict_expired()
+        assert window_evicted == 2
+        snapshot = provider.login_window_snapshot()[row]
+        assert len(snapshot["entries"]) == 2
+        # Recount: one credit for the first-seen IP + one away event.
+        assert provider._ip_distinct[row] == 2
+
+    def test_hot_row_demoted_once_window_expires(self, provider):
+        clock = provider._clock
+        threshold = EmailProvider.SUSPICION_DISTINCT_IPS
+        for i in range(threshold):
+            ip = IPv4Address(0x19000000 + i)
+            provider.attempt_login("AlphaUser01", "Secret1234", ip, LoginMethod.IMAP)
+            clock.advance(60)
+        row = provider._table._index["alphauser01"]
+        assert row in provider._ip_hot
+        clock.advance(EmailProvider.SUSPICION_WINDOW + HOUR)
+        _, window_evicted = provider.evict_expired()
+        assert row not in provider._ip_hot
+        assert provider._ip_distinct[row] == 0
+        assert window_evicted >= 1
+
+    def test_eviction_never_changes_decisions(self, provider):
+        """Evicted state is indistinguishable from never-created state."""
+        clock = provider._clock
+        provider.attempt_login("AlphaUser01", "wrong", IP, LoginMethod.IMAP)
+        clock.advance(EmailProvider.SUSPICION_WINDOW + HOUR)
+        provider.evict_expired()
+        assert (
+            provider.attempt_login("AlphaUser01", "Secret1234", IP, LoginMethod.IMAP)
+            is LoginResult.SUCCESS
+        )
+
+
 class TestAbuseHandling:
     def test_spam_deactivation(self, provider):
         sent = provider.send_spam_from(

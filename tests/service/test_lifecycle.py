@@ -120,6 +120,50 @@ class TestStreams:
         assert m1.detection_digest() == m2.detection_digest()
 
 
+class TestLoginBatchEquivalence:
+    """The batched/per-event choice must not move a single output."""
+
+    def run_world(self, batched, batch_events=8192):
+        system, monitor, lifecycle, _config = make_world(
+            traffic_users=400,
+            traffic_logins_per_day=3.0,
+            login_batching=batched,
+            traffic_batch_events=batch_events,
+        )
+        lifecycle.install()
+        system.queue.run_until(lifecycle.horizon)
+        return system, monitor, lifecycle
+
+    def fingerprint(self, system, monitor, lifecycle):
+        provider = system.provider
+        return {
+            "stats": lifecycle.stats,
+            "detections": monitor.detection_digest(),
+            "telemetry": provider.telemetry.columns(),
+            "states": bytes(provider._table.states),
+            "throttle": dict(provider._throttle),
+            "windows": provider.login_window_snapshot(),
+        }
+
+    def test_batched_and_per_event_worlds_are_identical(self):
+        per_event = self.fingerprint(*self.run_world(batched=False))
+        batched = self.fingerprint(*self.run_world(batched=True))
+        for key in per_event:
+            assert per_event[key] == batched[key], f"{key} diverged"
+
+    def test_batch_granularity_is_invisible(self):
+        coarse = self.fingerprint(*self.run_world(batched=True))
+        fine = self.fingerprint(*self.run_world(batched=True, batch_events=64))
+        for key in coarse:
+            assert coarse[key] == fine[key], f"{key} diverged"
+
+    def test_traffic_flows_through_the_queue(self):
+        _system, _monitor, lifecycle = self.run_world(batched=True)
+        assert lifecycle.stats.traffic_windows > 0
+        assert lifecycle.stats.traffic_logins > 0
+        assert lifecycle.stats.traffic_successes > 0
+
+
 class TestTelemetryPruning:
     # Retention must be shorter than the 30-day horizon for events to
     # age out at all; the config default (60d) outlives these worlds.
