@@ -1,0 +1,175 @@
+"""Flight-recorder overhead bench — writes ``BENCH_9.json``.
+
+A/B runs of the servebench workload (the serial campaign daemon with
+benign traffic) with the flight recorder off vs on, interleaved and
+min-of-N to shave scheduler noise.  Records:
+
+- wall-clock for each arm and the recorder's overhead percentage
+  (the acceptance budget for PR 9 is <= 1% — the per-epoch snapshot
+  walks a handful of dicts and writes one small file, which must stay
+  invisible next to a crawl dispatch);
+- flight-file facts from the recorder arm: snapshot count, file
+  bytes, health verdict counts by status.
+
+Wall-clock overhead is **recorded, never gated** in CI (scheduler
+noise on shared runners would make it flaky); the full local run
+asserts the budget.  The hard assertions both arms must always pass:
+the recorder arm's journal events are a superset of the baseline's
+(``health.*`` events and nothing else is added), and the flight file
+parses with one snapshot per epoch.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/livebench.py
+    PYTHONPATH=src python benchmarks/livebench.py --quick --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.obs.live import read_flight
+from repro.service.daemon import CampaignDaemon
+from repro.service.scheduler import ServiceConfig
+from repro.util.tables import render_table
+from repro.util.timeutil import DAY
+
+from _output import write_json, write_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_INDEX = 9
+TRAJECTORY_PATH = REPO_ROOT / f"BENCH_{BENCH_INDEX}.json"
+
+#: Overhead budget from the PR-9 acceptance criteria.
+OVERHEAD_BUDGET_PERCENT = 1.0
+
+
+def make_config(quick: bool) -> ServiceConfig:
+    scale = dict(top=120, population_size=600) if quick else dict(
+        top=400, population_size=1500
+    )
+    return ServiceConfig(
+        epochs=4, epoch_length=30 * DAY, shards=4,
+        workers=1, executor="serial",
+        traffic_users=500, traffic_logins_per_day=2.0,
+        **scale,
+    )
+
+
+def run_arm(config: ServiceConfig, flight_path: pathlib.Path | None):
+    started = time.perf_counter()
+    result = CampaignDaemon(config, flight_path=flight_path).run()
+    return time.perf_counter() - started, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller world, same shape")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_9.json")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved A/B repeats; min-of-N is "
+                             "reported (default 3)")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    config = make_config(args.quick)
+    base_seconds: list[float] = []
+    flight_seconds: list[float] = []
+    baseline = recorded = None
+    flight_path = pathlib.Path(tempfile.mkdtemp()) / "flight.jsonl"
+    for i in range(max(1, args.repeats)):
+        off, baseline = run_arm(config, None)
+        on, recorded = run_arm(config, flight_path)
+        base_seconds.append(off)
+        flight_seconds.append(on)
+        print(f"repeat {i}: off={off:.3f}s on={on:.3f}s", file=sys.stderr)
+
+    best_off = min(base_seconds)
+    best_on = min(flight_seconds)
+    overhead_percent = 100.0 * (best_on - best_off) / best_off
+
+    # Correctness, every run: the recorder adds health.* events (plus
+    # the shard/counter summary lines that tally them) and nothing
+    # else to the journal, and flushes one snapshot per epoch.
+    def summary(line: str) -> bool:
+        return '"record":"shard"' in line or '"counters"' in line
+
+    base_lines = set(baseline.journal.to_jsonl().splitlines())
+    flight_lines = set(recorded.journal.to_jsonl().splitlines())
+    extra = flight_lines - base_lines
+    missing = base_lines - flight_lines
+    assert all("health." in line or summary(line) for line in extra), (
+        "recorder changed non-health journal lines"
+    )
+    assert all(summary(line) for line in missing), (
+        "recorder dropped journal lines beyond the summary tallies"
+    )
+    flight = read_flight(flight_path)
+    assert len(flight["snapshots"]) == config.epochs
+    health_counts: dict[str, int] = {}
+    for records in flight["health"].values():
+        for record in records:
+            health_counts[record["status"]] = (
+                health_counts.get(record["status"], 0) + 1
+            )
+
+    within_budget = overhead_percent <= OVERHEAD_BUDGET_PERCENT
+    if not args.quick:
+        assert within_budget, (
+            f"flight recorder overhead {overhead_percent:.2f}% exceeds "
+            f"{OVERHEAD_BUDGET_PERCENT}% budget"
+        )
+
+    rows = [
+        ["recorder off (min)", f"{best_off:.3f}", ""],
+        ["recorder on (min)", f"{best_on:.3f}", ""],
+        ["overhead", f"{best_on - best_off:+.3f}",
+         f"{overhead_percent:+.2f}%"],
+        ["snapshots flushed", str(len(flight["snapshots"])), ""],
+        ["flight bytes", str(flight_path.stat().st_size), ""],
+    ]
+    table = render_table(
+        ["Arm", "Wall s", "Overhead"], rows,
+        title=f"Flight-recorder overhead (budget {OVERHEAD_BUDGET_PERCENT}%"
+              ", recorded; gated on full runs only)",
+    )
+    print(table)
+
+    payload = {
+        "bench_index": BENCH_INDEX,
+        "schema_version": 1,
+        "quick": args.quick,
+        "cpu_count": os.cpu_count() or 1,
+        "repeats": max(1, args.repeats),
+        "baseline_seconds": [round(s, 4) for s in base_seconds],
+        "recorder_seconds": [round(s, 4) for s in flight_seconds],
+        "best_baseline_seconds": round(best_off, 4),
+        "best_recorder_seconds": round(best_on, 4),
+        "overhead_percent": round(overhead_percent, 3),
+        "overhead_budget_percent": OVERHEAD_BUDGET_PERCENT,
+        "within_budget": within_budget,
+        "snapshots": len(flight["snapshots"]),
+        "flight_bytes": flight_path.stat().st_size,
+        "health_status_counts": dict(sorted(health_counts.items())),
+    }
+    write_text("livebench", table)
+    write_json("livebench", payload)
+    if not args.no_write:
+        TRAJECTORY_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {TRAJECTORY_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

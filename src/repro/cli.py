@@ -8,7 +8,10 @@
     python -m repro campaign --obs-out journal.jsonl
     python -m repro serve --epochs 4 --checkpoint state.ckpt
     python -m repro serve --resume state.ckpt --obs-out journal.jsonl
+    python -m repro serve --flight flight.jsonl --traffic-users 2000
     python -m repro obs report journal.jsonl
+    python -m repro obs top flight.jsonl --once
+    python -m repro obs tail flight.jsonl --follow
 
 ``pilot`` runs the full study and prints every table and figure;
 ``survey`` runs the Table 4 eligibility measurement; ``demo`` is the
@@ -28,6 +31,12 @@ byte-identical to an uninterrupted one.
 layer on for the run, writes the deterministic JSONL journal to PATH
 and prints the ops report (with live cache stats); ``obs report``
 re-renders the report later from a journal file alone.
+
+``serve --flight PATH`` turns on the flight recorder: an epoch-cadence
+JSONL snapshot file (atomically replaced each flush, deterministic
+bytes) plus a ``PATH.wall`` wall-clock side channel.  ``obs top``
+renders the latest snapshot as a dashboard (``--once`` or follow);
+``obs tail`` prints flight records as they land.
 """
 
 from __future__ import annotations
@@ -137,13 +146,20 @@ def _build_parser() -> argparse.ArgumentParser:
                             "identical either way)")
     serve.add_argument("--json", type=pathlib.Path, default=None,
                        help="write a machine-readable summary here")
+    serve.add_argument("--flight", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="flight recorder: flush a deterministic JSONL "
+                            "snapshot here every epoch (wall-clock profiling "
+                            "goes to PATH.wall); read it live with "
+                            "'repro obs top PATH'")
     _add_store_arguments(serve)
     _add_fault_arguments(serve)
     _add_obs_arguments(serve)
 
     obs = commands.add_parser(
         "obs",
-        help="render the ops report from a saved run journal",
+        help="render the ops report, dashboard or tail from saved "
+             "observability files",
     )
     obs_actions = obs.add_subparsers(dest="obs_action", required=True)
     obs_report = obs_actions.add_parser(
@@ -151,6 +167,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("journal", type=pathlib.Path,
                             help="path to a journal JSONL file")
+    obs_top = obs_actions.add_parser(
+        "top",
+        help="terminal dashboard over a flight file (live or dead): "
+             "latest snapshot, health line, stream table, gauges",
+    )
+    obs_top.add_argument("flight", type=pathlib.Path,
+                         help="path to a flight file written by serve --flight")
+    obs_top.add_argument("--once", action="store_true",
+                         help="render the latest snapshot once and exit "
+                              "(default: follow and re-render on new flushes)")
+    obs_top.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                         help="follow-mode poll interval (default 1s)")
+    obs_top.add_argument("--max-seconds", type=float, default=None,
+                         metavar="SEC",
+                         help="stop following after SEC seconds "
+                              "(default: forever)")
+    obs_tail = obs_actions.add_parser(
+        "tail",
+        help="print flight records as JSONL; --follow streams new "
+             "snapshots and health verdicts as the daemon lands them",
+    )
+    obs_tail.add_argument("flight", type=pathlib.Path,
+                          help="path to a flight file written by serve --flight")
+    obs_tail.add_argument("--follow", action="store_true",
+                          help="keep polling and print new records "
+                               "(default: dump and exit)")
+    obs_tail.add_argument("--lines", type=int, default=None, metavar="N",
+                          help="print only the last N records first")
+    obs_tail.add_argument("--max-seconds", type=float, default=None,
+                          metavar="SEC",
+                          help="stop following after SEC seconds "
+                               "(default: forever)")
 
     commands.add_parser("demo", help="quickstart: one breach, one detection")
 
@@ -220,7 +268,7 @@ def _fault_plan_from(args: argparse.Namespace):
     return plan if plan.enabled else None
 
 
-def _emit_journal(journal, path: pathlib.Path) -> None:
+def _emit_journal(journal, path: pathlib.Path, live_stats=None) -> None:
     """Write the journal and print the live ops report below it."""
     from repro.obs.report import render_ops_report
     from repro.perf.caching import cache_stats
@@ -228,7 +276,8 @@ def _emit_journal(journal, path: pathlib.Path) -> None:
     journal.write(path)
     print(f"wrote journal {path}", file=sys.stderr)
     print()
-    print(render_ops_report(journal.payload(), cache_stats=cache_stats()))
+    print(render_ops_report(journal.payload(), cache_stats=cache_stats(),
+                            live_stats=live_stats))
 
 
 def _run_pilot(args: argparse.Namespace) -> int:
@@ -456,7 +505,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    daemon = CampaignDaemon(config, checkpoint_path=checkpoint_path)
+    daemon = CampaignDaemon(
+        config, checkpoint_path=checkpoint_path, flight_path=args.flight
+    )
 
     def _graceful(signum, _frame):
         print(
@@ -521,8 +572,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     if config.fault_plan is not None:
         print()
         print(_fault_report_table(result.fault_report, args))
+    if args.flight is not None:
+        print(f"wrote flight file {args.flight} "
+              f"(wall side channel {args.flight}.wall)", file=sys.stderr)
     if args.obs_out is not None and result.journal is not None:
-        _emit_journal(result.journal, args.obs_out)
+        _emit_journal(result.journal, args.obs_out,
+                      live_stats=result.live_stats)
 
     if args.json is not None:
         summary = {
@@ -556,6 +611,18 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "traffic_successes": lifecycle.traffic_successes,
                 "traffic_mails": lifecycle.traffic_mails,
                 "state_evictions": lifecycle.state_evictions,
+            },
+            # Per-stream firing tallies: answers "which stream is
+            # starved" straight from the summary (satellite of PR 9).
+            "streams": {
+                label: {
+                    "count": lifecycle.stream_counts.get(label, 0),
+                    "last_fired": lifecycle.stream_last_fired.get(label),
+                }
+                for label in sorted(
+                    set(lifecycle.stream_counts)
+                    | set(lifecycle.stream_last_fired)
+                )
             },
         }
         args.json.write_text(json.dumps(summary, indent=2) + "\n",
@@ -626,6 +693,25 @@ def _run_perf(args: argparse.Namespace) -> int:
 
 
 def _run_obs(args: argparse.Namespace) -> int:
+    if args.obs_action == "top":
+        from repro.obs.top import run_top
+
+        return run_top(
+            args.flight,
+            follow=not args.once,
+            interval=args.interval,
+            max_seconds=args.max_seconds,
+        )
+    if args.obs_action == "tail":
+        from repro.obs.top import run_tail
+
+        return run_tail(
+            args.flight,
+            follow=args.follow,
+            lines=args.lines,
+            max_seconds=args.max_seconds,
+        )
+
     from repro.obs.journal import read_journal
     from repro.obs.report import render_ops_report
 

@@ -188,12 +188,44 @@ class BatchLoginEngine:
     throttle map, evidence log, cached counters and RNG stream are the
     provider's, so scalar and batched logins interleave freely against
     the same account table.
+
+    The path tallies (``windows``, ``vector_committed``,
+    ``scalar_replayed``, ``fallback_events``) are plain attributes, not
+    obs counters, on purpose: which path an event takes is an
+    execution detail that must never reach journal bytes (the
+    login-smoke cmp would catch it), so the tallies surface only
+    through flight snapshots and live report sections.
     """
 
-    __slots__ = ("_provider",)
+    __slots__ = (
+        "_provider",
+        "windows",
+        "vector_committed",
+        "scalar_replayed",
+        "fallback_events",
+    )
 
     def __init__(self, provider):
         self._provider = provider
+        #: Batch windows authenticated through this engine.
+        self.windows = 0
+        #: Events committed by the whole-column clean path.
+        self.vector_committed = 0
+        #: Events replayed through ``_attempt_row`` inside a
+        #: vectorized window (the rare mask routed them there).
+        self.scalar_replayed = 0
+        #: Events that took the serial path because the window never
+        #: vectorized (no numpy, too small, or unresolved keys).
+        self.fallback_events = 0
+
+    def stats(self) -> dict:
+        """The path tallies as a plain dict (flight snapshots)."""
+        return {
+            "windows": self.windows,
+            "vector_committed": self.vector_committed,
+            "scalar_replayed": self.scalar_replayed,
+            "fallback_events": self.fallback_events,
+        }
 
     def attempt_logins(
         self, batch: LoginBatch, now: SimInstant | None = None
@@ -214,7 +246,9 @@ class BatchLoginEngine:
         else:
             unresolved = False  # producer rows are always real rows
 
+        self.windows += 1
         if np is None or len(rows) < VECTOR_MIN_EVENTS or unresolved:
+            self.fallback_events += len(rows)
             results = self._attempt_serial(rows, batch, now)
         else:
             results = self._attempt_vectorized(rows, batch, now)
@@ -291,6 +325,7 @@ class BatchLoginEngine:
 
         results_np = np.zeros(n, dtype=np.uint8)
         rare_idx = np.nonzero(rare)[0]
+        self.scalar_replayed += int(rare_idx.size)
         if rare_idx.size:
             attempt_row = provider._attempt_row
             passwords = batch.passwords
@@ -300,6 +335,7 @@ class BatchLoginEngine:
 
         clean_idx = np.nonzero(~rare)[0]
         m = clean_idx.size
+        self.vector_committed += int(m)
         if m:
             c_rows = rows_np[clean_idx]
             c_ips = ips_np[clean_idx]

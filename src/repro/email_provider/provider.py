@@ -255,6 +255,43 @@ class EmailProvider:
         """Every mailbox at the provider, benign population included."""
         return len(self._table)
 
+    # -- live telemetry ------------------------------------------------------
+
+    def login_state_sizes(self, now: SimInstant | None = None) -> dict:
+        """Sparse login-state table sizes (flight snapshots).
+
+        All sim-derived: the throttle map, hot-row set and evidence
+        log are shaped by which logins occurred, never by which engine
+        or executor ran them, so these sizes are safe inside
+        executor-invariant snapshot bytes.
+        """
+        if now is None:
+            now = self._clock.now()
+        return {
+            "accounts": len(self._table),
+            "throttle_rows": len(self._throttle),
+            "locked_rows": sum(
+                1 for entry in self._throttle.values() if now < entry[2]
+            ),
+            "hot_rows": len(self._ip_hot),
+            "evidence_log": len(self._log_times),
+            "ip_window_pruned": self.ip_window_pruned,
+            "ip_window_promotions": self.ip_window_promotions,
+            "throttle_evictions": self.throttle_evictions,
+            "ip_window_evictions": self.ip_window_evictions,
+        }
+
+    def batch_engine_stats(self) -> dict:
+        """The batch engine's path tallies (all-zero before first use)."""
+        if self._batch_engine is None:
+            return {
+                "windows": 0,
+                "vector_committed": 0,
+                "scalar_replayed": 0,
+                "fallback_events": 0,
+            }
+        return self._batch_engine.stats()
+
     # -- mail ----------------------------------------------------------------
 
     def set_forwarding_hop(self, hop) -> None:

@@ -60,11 +60,17 @@ def _span_histogram_names(histograms: dict[str, dict]) -> list[str]:
 def render_ops_report(
     payload: dict,
     cache_stats: dict[str, dict] | None = None,
+    live_stats: dict | None = None,
 ) -> str:
     """Render the full ops report from a journal payload.
 
     ``payload`` is :meth:`~repro.obs.journal.RunJournal.payload` (or the
     equivalent from :func:`~repro.obs.journal.parse_journal`).
+    ``live_stats`` is the serve daemon's process-local gauge bundle
+    (:attr:`~repro.service.daemon.ServiceRunResult.live_stats`): the
+    batch engine's path mix, backpressure-queue accounting, and
+    provider login-state sizes.  Like cache stats, it is live-only —
+    saved journals cannot reproduce it.
     """
     counters = payload.get("counters", {})
     histograms = payload.get("histograms", {})
@@ -112,8 +118,17 @@ def render_ops_report(
             title="Retry / fault attribution", align_right=(1,),
         ))
 
+    # Service streams: the daemon's recurring-event counters.
+    service = [[name, value] for name, value in sorted(counters.items())
+               if name.startswith("service.")]
+    if service:
+        sections.append(render_table(
+            ["counter", "count"], service,
+            title="Service streams", align_right=(1,),
+        ))
+
     # Everything else, minus families already shown above.
-    shown_prefixes = ("outcome.", "fault.", "retry.", "clock.")
+    shown_prefixes = ("outcome.", "fault.", "retry.", "clock.", "service.")
     other = [[name, value] for name, value in sorted(counters.items())
              if not name.startswith(shown_prefixes)]
     if other:
@@ -121,6 +136,53 @@ def render_ops_report(
             ["counter", "count"], other,
             title="Counters", align_right=(1,),
         ))
+
+    # Live-only: the serve daemon's login funnel — engine path mix,
+    # backpressure-queue accounting, provider state sizes.  Which path
+    # an event took is an execution detail, so none of this is ever
+    # journaled; only the run that produced the journal can show it.
+    if live_stats:
+        engine = live_stats.get("engine") or {}
+        if engine.get("windows"):
+            committed = engine.get("vector_committed", 0)
+            replayed = engine.get("scalar_replayed", 0)
+            total = committed + replayed + engine.get("fallback_events", 0)
+            engine_rows = [
+                ["batch windows", engine.get("windows", 0), ""],
+                ["vector-committed events", committed,
+                 percent(committed, total)],
+                ["scalar-replayed events", replayed,
+                 percent(replayed, total)],
+                ["fallback events", engine.get("fallback_events", 0),
+                 percent(engine.get("fallback_events", 0), total)],
+            ]
+            sections.append(render_table(
+                ["engine path", "count", "share"], engine_rows,
+                title="Batch login engine (live process, not journaled)",
+                align_right=(1, 2),
+            ))
+        queue = live_stats.get("queue")
+        if queue:
+            queue_rows = [
+                ["offered", queue["offered"]],
+                ["refused (backpressure)", queue["refused"]],
+                ["taken", queue["taken"]],
+                ["peak depth", f"{queue['peak_depth']}/{queue['max_depth']}"],
+            ]
+            sections.append(render_table(
+                ["queue", "value"], queue_rows,
+                title="Backpressure queue (live process, not journaled)",
+                align_right=(1,),
+            ))
+        provider = live_stats.get("provider")
+        if provider:
+            provider_rows = [[name.replace("_", " "), value]
+                             for name, value in sorted(provider.items())]
+            sections.append(render_table(
+                ["login state", "size"], provider_rows,
+                title="Provider login state (live process, not journaled)",
+                align_right=(1,),
+            ))
 
     # Live-only: cache hit rates (process-local, never journaled).
     if cache_stats:

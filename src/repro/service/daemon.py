@@ -32,6 +32,7 @@ to an uninterrupted run's, for any worker count on either side.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -47,8 +48,11 @@ from repro.core.substrate import WorldShard
 from repro.core.system import TripwireSystem
 from repro.faults.report import FaultReport
 from repro.identity.passwords import PasswordClass
+from repro.obs.health import HealthCheck
 from repro.obs.journal import RunJournal, ShardObservation
+from repro.obs.live import FlightRecorder, ServiceFlightProbe
 from repro.obs.merge import sum_counter_dataclasses
+from repro.perf.caching import cache_stats
 from repro.service.checkpoint import Checkpoint, config_digest, save_checkpoint
 from repro.service.lifecycle import AccountLifecycle, LifecycleStats
 from repro.service.scheduler import EpochScheduler, ServiceConfig
@@ -91,6 +95,10 @@ class ServiceRunResult:
     epochs_completed: int
     interrupted: bool
     detected_sites: int = 0
+    #: Live process-local gauges read at loop exit (engine path mix,
+    #: backpressure-queue accounting, provider state sizes).  Operator
+    #: surface only — never journaled.
+    live_stats: dict | None = None
 
     def exposed_attempts(self) -> list[AttemptRecord]:
         """Attempts where an identity was burned."""
@@ -114,10 +122,14 @@ class CampaignDaemon:
         config: ServiceConfig,
         *,
         checkpoint_path: str | Path | None = None,
+        flight_path: str | Path | None = None,
     ):
         self.config = config
         self.scheduler = EpochScheduler(config)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        #: Where the flight recorder flushes each epoch's snapshot
+        #: (None = recorder off, zero overhead).
+        self.flight_path = Path(flight_path) if flight_path else None
         self._stop_requested = False
 
     def request_stop(self) -> None:
@@ -219,6 +231,21 @@ class CampaignDaemon:
         lifecycle.install()
         log = system.obs.get_logger("service.daemon")
 
+        probe = None
+        health = None
+        health_log = None
+        recorder = None
+        if self.flight_path is not None:
+            recorder = FlightRecorder(self.flight_path, cfg.sim_meta())
+            probe = ServiceFlightProbe(
+                recorder, system, monitor, lifecycle, self.scheduler
+            )
+            health = HealthCheck.for_config(cfg.epoch_length)
+            # Health verdicts are journaled: their inputs are
+            # sim-derived snapshot slices, so the events hold the
+            # executor/resume byte-identity contract.
+            health_log = system.obs.get_logger("service.health")
+
         reports: list[EpochReport] = []
         all_shard_results: list[ShardResult] = []
         attempts: list[AttemptRecord] = []
@@ -242,6 +269,7 @@ class CampaignDaemon:
                 # crawls exactly as a live deployment would see them.
                 events_before = system.queue.run_until(window[0])
 
+                epoch_started = time.perf_counter()
                 if replay:
                     shard_results = checkpoint.epoch_results[epoch]
                 else:
@@ -251,6 +279,7 @@ class CampaignDaemon:
                     )
                     shard_results = dispatch.shard_results
                     checkpoint.record_epoch(shard_results)
+                dispatch_seconds = time.perf_counter() - epoch_started
 
                 epoch_attempts, epoch_stats, epoch_telemetry, epoch_faults = (
                     merge_shard_results(shard_results)
@@ -292,6 +321,39 @@ class CampaignDaemon:
                 # which may differ between a resumed and a fresh run.
                 log.info("epoch complete", epoch=epoch, sites=len(wave))
 
+                if probe is not None:
+                    # Flushed for replayed epochs too: a resumed
+                    # daemon's flight file re-covers epochs 0..k and
+                    # ends up byte-identical to an uninterrupted run's
+                    # (the snapshot reads only replay-invariant state).
+                    snapshot = probe.snapshot(epoch, epoch_faults)
+                    statuses = health.evaluate(snapshot)
+                    for status in statuses:
+                        health_log.info(
+                            f"health.{status.rule}",
+                            status=status.status,
+                            **status.detail_dict(),
+                        )
+                    recorder.flush(snapshot, statuses)
+                    # Wall-clock profiling: side channel only, and the
+                    # replay flag may legitimately differ across
+                    # resumes — nothing here feeds deterministic bytes.
+                    recorder.profile({
+                        "epoch": epoch,
+                        "replayed": replay,
+                        "dispatch_seconds": round(dispatch_seconds, 6),
+                        "service_events": events_before,
+                        "logins_per_second": (
+                            round(
+                                lifecycle.stats.traffic_logins / dispatch_seconds,
+                                1,
+                            )
+                            if dispatch_seconds > 0
+                            else None
+                        ),
+                        "caches": cache_stats(),
+                    })
+
         if not interrupted:
             # Drain the service tail: every remaining probe, churn and
             # ingestion event up to the horizon, then retire whatever
@@ -321,6 +383,11 @@ class CampaignDaemon:
             epochs_completed=len(reports),
             interrupted=interrupted,
             detected_sites=monitor.site_count(),
+            live_stats={
+                "engine": system.provider.batch_engine_stats(),
+                "queue": lifecycle.queue_stats(),
+                "provider": system.provider.login_state_sizes(),
+            },
         )
 
     def _build_journal(

@@ -30,7 +30,7 @@ state without consulting the checkpoint at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.monitor import CompromiseMonitor, DumpIngestion
 from repro.core.system import TripwireSystem
@@ -38,6 +38,7 @@ from repro.email_provider.batch import LoginBatch
 from repro.email_provider.telemetry import METHOD_ORDER, LoginMethod
 from repro.identity.passwords import PasswordClass
 from repro.net.ipaddr import IPv4Address
+from repro.obs.live import STREAM_GAP_BOUNDS
 from repro.service.scheduler import ServiceConfig
 from repro.sim.events import RecurringEvent
 from repro.traffic import (
@@ -72,6 +73,13 @@ class LifecycleStats:
     traffic_successes: int = 0
     traffic_mails: int = 0
     state_evictions: int = 0
+    #: Per-stream firing tallies, keyed by stream label
+    #: (``service.probe`` etc.): cumulative fire counts and the sim
+    #: instant of the most recent fire.  This is what answers "which
+    #: stream is starved" from ``serve --json`` or a flight snapshot
+    #: without reading the journal.
+    stream_counts: dict[str, int] = field(default_factory=dict)
+    stream_last_fired: dict[str, int] = field(default_factory=dict)
 
 
 class AccountLifecycle:
@@ -98,6 +106,8 @@ class AccountLifecycle:
         self._log = system.obs.get_logger("service.lifecycle")
         self._bind_cursor = 0
         self.handles: list[RecurringEvent] = []
+        #: Stream label -> recurrence interval, filled by install().
+        self.stream_intervals: dict[str, int] = {}
         self._traffic_cursor = 0
         self._traffic_gen: TrafficGenerator | None = None
         self._traffic_queue: BackpressureQueue | None = None
@@ -139,12 +149,54 @@ class AccountLifecycle:
         if cfg.traffic_users > 0:
             streams.append((cfg.traffic_window, "service.traffic", self._traffic))
         for interval, label, action in streams:
+            self.stream_intervals[label] = interval
+            # Seed the tally at zero so an installed-but-starved
+            # stream still shows up in `serve --json` and snapshots.
+            self.stats.stream_counts.setdefault(label, 0)
             self.handles.append(
                 queue.schedule_recurring(
-                    start + interval, interval, label, action, until=self.horizon
+                    start + interval,
+                    interval,
+                    label,
+                    self._tracked(label, action),
+                    until=self.horizon,
                 )
             )
         return self.handles
+
+    def _tracked(self, label: str, action):
+        """Wrap a stream action with firing bookkeeping.
+
+        Records the cumulative fire count and last-fired sim instant
+        (starvation telemetry), and observes the inter-fire gap into a
+        ``stream.<label>.gap_seconds`` histogram.  The event queue
+        fires streams at deterministic sim instants, so everything
+        recorded here is executor-invariant.
+        """
+        stats = self.stats
+        metrics = self.system.obs.metrics
+        clock = self.system.clock
+
+        def fire() -> None:
+            now = clock.now()
+            previous = stats.stream_last_fired.get(label)
+            if previous is not None:
+                metrics.observe(
+                    f"stream.{label}.gap_seconds",
+                    now - previous,
+                    bounds=STREAM_GAP_BOUNDS,
+                )
+            stats.stream_counts[label] = stats.stream_counts.get(label, 0) + 1
+            stats.stream_last_fired[label] = now
+            action()
+
+        return fire
+
+    def queue_stats(self) -> dict | None:
+        """Backpressure-queue accounting, or None with traffic off."""
+        if self._traffic_queue is None:
+            return None
+        return self._traffic_queue.stats()
 
     def cancel_all(self) -> int:
         """Revoke every still-pending recurring stream (daemon stop)."""

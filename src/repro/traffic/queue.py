@@ -56,6 +56,22 @@ class BackpressureQueue:
         self.taken += 1
         return self._items.popleft()
 
+    def stats(self) -> dict:
+        """The accounting counters as a plain dict (flight snapshots).
+
+        These counters are decided by the sim — producer batch sizes
+        and drain order are deterministic — so they are safe to embed
+        in executor-invariant snapshot bytes.
+        """
+        return {
+            "depth": len(self._items),
+            "max_depth": self.max_depth,
+            "offered": self.offered,
+            "refused": self.refused,
+            "taken": self.taken,
+            "peak_depth": self.peak_depth,
+        }
+
     def pump(self, producer, consume) -> int:
         """Run one full produce/consume cycle through the queue.
 

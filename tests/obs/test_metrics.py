@@ -98,6 +98,30 @@ class TestNullMetrics:
     def test_null_histogram_is_shared(self):
         assert NULL_METRICS.histogram("a") is NULL_METRICS.histogram("b")
 
+    def test_short_circuit_identity_against_live_registry(self):
+        # The disabled path must be *indistinguishable from absence*:
+        # writing the same stream through NULL_METRICS and a live
+        # registry must leave the null sink identical to a fresh one
+        # and the live registry identical to a solo write.
+        live = MetricsRegistry()
+        for sink in (NULL_METRICS, live):
+            sink.inc("logins", 3)
+            sink.observe("lat", 7, bounds=(1, 10))
+        assert NULL_METRICS.counter("logins") == 0
+        assert NULL_METRICS.counters_dict() == {}
+        assert NULL_METRICS.histograms_dict() == {}
+        assert live.counter("logins") == 3
+        assert live.histograms_dict()["lat"]["count"] == 1
+        # Null snapshots merge as a no-op next to live ones.
+        merged = merge_histogram_dicts([
+            NULL_METRICS.histograms_dict(), live.histograms_dict(),
+        ])
+        assert merged == live.histograms_dict()
+
+    def test_enabled_flag_distinguishes_the_sinks(self):
+        assert MetricsRegistry.enabled is True
+        assert NULL_METRICS.enabled is False
+
 
 class TestMergeHistogramDicts:
     def test_merges_bucket_wise(self):
@@ -125,3 +149,46 @@ class TestMergeHistogramDicts:
         b = Histogram("lat", bounds=(1, 5))
         with pytest.raises(ValueError, match="mismatched bounds"):
             merge_histogram_dicts([{"lat": a.as_dict()}, {"lat": b.as_dict()}])
+
+    def test_empty_inputs(self):
+        assert merge_histogram_dicts([]) == {}
+        assert merge_histogram_dicts([{}, {}]) == {}
+
+    def test_empty_snapshots_interleave_as_no_ops(self):
+        a = Histogram("lat", bounds=(1,))
+        a.observe(1)
+        merged = merge_histogram_dicts([{}, {"lat": a.as_dict()}, {}])
+        assert merged == {"lat": a.as_dict()}
+
+    def test_fully_disjoint_shards_union_sorted(self):
+        snapshots = []
+        for name in ("zeta", "alpha", "mid"):
+            h = Histogram(name, bounds=(5,))
+            h.observe(1)
+            snapshots.append({name: h.as_dict()})
+        merged = merge_histogram_dicts(snapshots)
+        assert list(merged) == ["alpha", "mid", "zeta"]
+
+    def test_merge_is_invariant_to_shard_order(self):
+        # The journal's determinism hinges on this: shards arrive in
+        # plan order, but the merged snapshot must not depend on it.
+        import json
+
+        snapshots = []
+        for shard in range(4):
+            h = Histogram("lat", bounds=(1, 3, 10))
+            for value in range(shard + 1):
+                h.observe(value)
+            g = Histogram(f"shard{shard}.only", bounds=(2,))
+            g.observe(shard)
+            snapshots.append({"lat": h.as_dict(),
+                              f"shard{shard}.only": g.as_dict()})
+        forward = merge_histogram_dicts(snapshots)
+        backward = merge_histogram_dicts(list(reversed(snapshots)))
+        assert forward == backward
+        # Byte-level too: key order and values serialize identically.
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
+        assert list(forward) == list(backward)
+        assert forward["lat"]["count"] == 1 + 2 + 3 + 4

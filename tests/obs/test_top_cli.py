@@ -1,0 +1,126 @@
+"""The `repro obs top` / `obs tail` CLI surface over flight files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.live import FLIGHT_SCHEMA_VERSION
+from repro.obs.top import render_top, run_tail, run_top
+
+
+@pytest.fixture(scope="module")
+def flight_file(tmp_path_factory):
+    """One dead flight file produced by a real serve run."""
+    path = tmp_path_factory.mktemp("flight") / "flight.jsonl"
+    code = main([
+        "serve", "--top", "12", "--population", "300", "--shards", "2",
+        "--workers", "1", "--seed", "7", "--epochs", "2", "--epoch-days", "10",
+        "--traffic-users", "40", "--flight", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestObsTop:
+    def test_once_renders_the_latest_snapshot(self, flight_file, capsys):
+        capsys.readouterr()
+        assert main(["obs", "top", str(flight_file), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "flight: epoch 1" in out
+        assert "health:" in out
+        assert "Lifecycle streams" in out
+        assert "service.traffic" in out
+        assert "Gauges" in out
+        assert "checkpoint age" in out
+
+    def test_follow_with_deadline_exits_zero_after_rendering(
+        self, flight_file, capsys
+    ):
+        capsys.readouterr()
+        assert main([
+            "obs", "top", str(flight_file),
+            "--interval", "0.05", "--max-seconds", "0.2",
+        ]) == 0
+        assert "Lifecycle streams" in capsys.readouterr().out
+
+    def test_missing_file_once_exits_one(self, tmp_path, capsys):
+        assert main(["obs", "top", str(tmp_path / "nope.jsonl"),
+                     "--once"]) == 1
+        assert "no flight file" in capsys.readouterr().out
+
+    def test_missing_file_follow_times_out_to_one(self, tmp_path):
+        assert run_top(tmp_path / "nope.jsonl", follow=True,
+                       interval=0.05, max_seconds=0.15) == 1
+
+    def test_header_only_file_renders_placeholder(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(json.dumps({
+            "record": "flight_header",
+            "schema_version": FLIGHT_SCHEMA_VERSION, "meta": {},
+        }) + "\n")
+        assert main(["obs", "top", str(path), "--once"]) == 0
+        assert "no snapshots yet" in capsys.readouterr().out
+
+    def test_render_top_shows_unhealthy_detail(self):
+        flight = {
+            "header": {"meta": {"seed": 1}},
+            "snapshots": [{
+                "seq": 0, "epoch": 0, "sim_time": 0,
+                "streams": {}, "queue": None, "engine": {}, "provider": {},
+                "monitor": {}, "checkpoint": {}, "notable": [],
+            }],
+            "health": {0: [{"rule": "queue_saturation", "status": "fail",
+                            "detail": {"refused": 12}}]},
+        }
+        rendered = render_top(flight)
+        assert "[X] queue_saturation" in rendered
+        assert "refused=12" in rendered
+
+
+class TestObsTail:
+    def test_dump_prints_every_record(self, flight_file, capsys):
+        capsys.readouterr()
+        assert main(["obs", "tail", str(flight_file)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        kinds = [json.loads(line)["record"] for line in lines]
+        assert kinds[0] == "flight_header"
+        assert "snapshot" in kinds
+        assert "health" in kinds
+
+    def test_lines_limits_the_dump(self, flight_file, capsys):
+        capsys.readouterr()
+        assert main(["obs", "tail", str(flight_file), "--lines", "2"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_follow_with_deadline_prints_then_exits(self, flight_file,
+                                                    capsys):
+        capsys.readouterr()
+        assert main([
+            "obs", "tail", str(flight_file), "--follow",
+            "--max-seconds", "0.2",
+        ]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no flight file" in capsys.readouterr().out
+
+    def test_follow_only_prints_new_records(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        header = json.dumps({"record": "flight_header",
+                             "schema_version": FLIGHT_SCHEMA_VERSION,
+                             "meta": {}})
+        path.write_text(header + "\n")
+        emitted = []
+
+        class Sink:
+            def write(self, text):
+                emitted.append(text)
+
+        assert run_tail(path, follow=False, out=Sink()) == 0
+        first = len(emitted)
+        path.write_text(header + "\n"
+                        + json.dumps({"record": "snapshot", "seq": 0}) + "\n")
+        assert run_tail(path, follow=False, out=Sink()) == 0
+        assert len(emitted) == first + 2  # whole file again (fresh call)

@@ -41,6 +41,47 @@ class TestServe:
         assert payload["lifecycle"]["probes"] > 0
         assert payload["stats"]["attempts"] > 0
 
+    def test_json_summary_reports_per_stream_tallies(self, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        assert main(SERVE_ARGS + ["--json", str(summary_path)]) == 0
+        streams = json.loads(summary_path.read_text())["streams"]
+        # Every installed stream appears, fired or not, with its
+        # cumulative count and last-fired sim instant.
+        assert set(streams) == {
+            "service.probe", "service.ingest", "service.bind",
+            "service.freeze", "service.reset", "service.attack",
+        }
+        assert streams["service.probe"]["count"] > 0
+        assert streams["service.probe"]["last_fired"] is not None
+
+    def test_flight_writes_dashboard_readable_file(self, tmp_path, capsys):
+        flight = tmp_path / "flight.jsonl"
+        assert main(SERVE_ARGS + ["--flight", str(flight)]) == 0
+        assert flight.is_file()
+        assert (tmp_path / "flight.jsonl.wall").is_file()
+        assert "wrote flight file" in capsys.readouterr().err
+        assert main(["obs", "top", str(flight), "--once"]) == 0
+        assert "Lifecycle streams" in capsys.readouterr().out
+
+    def test_flight_bytes_reproduce_across_runs(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        assert main(SERVE_ARGS + ["--flight", str(first)]) == 0
+        assert main(SERVE_ARGS + ["--flight", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_serve_report_includes_live_login_sections(self, tmp_path,
+                                                       capsys):
+        assert main(SERVE_ARGS + [
+            "--traffic-users", "40",
+            "--obs-out", str(tmp_path / "journal.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Service streams" in out
+        assert "Batch login engine (live process, not journaled)" in out
+        assert "Backpressure queue (live process, not journaled)" in out
+        assert "Provider login state (live process, not journaled)" in out
+
     def test_checkpoint_then_resume_reproduces_the_journal(self, tmp_path):
         reference = tmp_path / "reference.jsonl"
         assert main(SERVE_ARGS + ["--obs-out", str(reference)]) == 0

@@ -191,3 +191,65 @@ class TestTelemetryPruning:
             return monitor.detection_digest()
 
         assert digest(prune=True) == digest(prune=False)
+
+
+class TestStreamTracking:
+    """Per-stream firing tallies and the starvation telemetry surface."""
+
+    def test_intervals_registered_at_install(self):
+        _system, _monitor, lifecycle, config = make_world()
+        lifecycle.install()
+        assert lifecycle.stream_intervals == {
+            "service.probe": config.probe_interval,
+            "service.ingest": config.dump_interval,
+            "service.bind": config.bind_interval,
+            "service.freeze": config.freeze_interval,
+            "service.reset": config.reset_interval,
+            "service.attack": config.attack_interval,
+        }
+        # Installed streams start at zero, so starvation is visible
+        # before the first fire.
+        assert set(lifecycle.stats.stream_counts) == set(
+            lifecycle.stream_intervals
+        )
+        assert all(c == 0 for c in lifecycle.stats.stream_counts.values())
+        assert lifecycle.stats.stream_last_fired == {}
+
+    def test_counts_and_last_fired_track_every_stream(self):
+        system, _monitor, lifecycle, config = make_world()
+        lifecycle.install()
+        system.queue.run_until(config.start + 9 * DAY)
+        stats = lifecycle.stats
+        # 9 days at a 3-day cadence: fired on days 3, 6 and 9.
+        assert stats.stream_counts["service.probe"] == 3
+        assert stats.stream_last_fired["service.probe"] == (
+            config.start + 9 * DAY
+        )
+        assert stats.stream_counts["service.probe"] == stats.probes
+        assert stats.stream_counts["service.bind"] == stats.binds
+
+    def test_gap_histograms_record_the_cadence(self):
+        system, _monitor, lifecycle, config = make_world()
+        lifecycle.install()
+        system.queue.run_until(config.start + 9 * DAY)
+        histograms = system.obs.metrics.histograms_dict()
+        gaps = histograms["stream.service.probe.gap_seconds"]
+        # Three fires leave two inter-fire gaps of exactly 3 days.
+        assert gaps["count"] == 2
+        assert gaps["sum"] == 2 * config.probe_interval
+
+    def test_queue_stats_none_without_traffic(self):
+        _system, _monitor, lifecycle, _config = make_world()
+        assert lifecycle.queue_stats() is None
+
+    def test_queue_stats_report_the_pump_accounting(self):
+        system, _monitor, lifecycle, _config = make_world(
+            traffic_users=30, traffic_window=DAY
+        )
+        lifecycle.install()
+        system.queue.run_until(lifecycle.horizon)
+        stats = lifecycle.queue_stats()
+        assert stats["offered"] > 0
+        assert stats["taken"] == stats["offered"]
+        assert stats["depth"] == 0
+        assert stats["peak_depth"] >= 1
