@@ -16,6 +16,12 @@ from repro.analysis.fig3 import build_fig3, render_fig3
 from repro.analysis.attacker_ips import build_attacker_ip_report, render_attacker_ip_report
 from repro.analysis.ethics import audit_load, render_ethics_audit
 from repro.analysis.bursts import build_burst_report, render_burst_report
+from repro.analysis.stuffing import (
+    build_stuffing_classes,
+    build_stuffing_correlation,
+    render_stuffing_classes,
+    render_stuffing_correlation,
+)
 from repro.analysis.undetected import (
     MissReason,
     explain_miss,
@@ -36,4 +42,6 @@ __all__ = [
     "build_fig2", "render_fig2",
     "build_fig3", "render_fig3",
     "build_attacker_ip_report", "render_attacker_ip_report",
+    "build_stuffing_classes", "render_stuffing_classes",
+    "build_stuffing_correlation", "render_stuffing_correlation",
 ]

@@ -1,0 +1,190 @@
+"""Attack-class separation and cross-site breach correlation.
+
+Tripwire's core inference is cross-site: a provider-side login with a
+site-specific password implicates exactly the site that held it.  The
+stuffing campaign stream generalizes the question — attacker-held
+credentials now arrive through three channels, and this module shows
+they stay separable in the output tables:
+
+- **online capture**: plaintext tapped at a breached site, replayed
+  with no cracking delay;
+- **offline crack**: recovered from a hash dump, only the cracked
+  subset replays;
+- **stuffed reuse**: either haul fanned out across other sites and the
+  provider — the replay channel itself.
+
+The correlation builder then runs the paper's attribution in reverse:
+given only the set of provider accounts a wave compromised (its
+``hit_users``) and site membership knowledge, infer which breached
+site seeded the wave.  Exact reusers leak their mailbox password only
+at sites they are members of, so the seeding breach is the candidate
+site containing *every* hit — scored as membership coverage, smallest
+membership winning ties (most specific explanation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class AttackClassRow:
+    """Aggregate replay outcome for one acquisition channel."""
+
+    attack_class: str
+    waves: int
+    candidates: int
+    attempts: int
+    successes: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+
+def build_stuffing_classes(waves) -> list[AttackClassRow]:
+    """Aggregate waves by acquisition channel, plus the replay total.
+
+    ``waves`` is a list of
+    :class:`~repro.attacker.stuffing.StuffingWaveResult`.  Every wave
+    is stuffed reuse at the provider; its corpus came from exactly one
+    acquisition channel — the split the paper's operators needed when
+    attributing a compromise to a leak mechanism.
+    """
+    rows = []
+    for channel in ("online_capture", "offline_crack"):
+        members = [w for w in waves if w.acquisition == channel]
+        rows.append(
+            AttackClassRow(
+                attack_class=channel,
+                waves=len(members),
+                candidates=sum(w.candidates for w in members),
+                attempts=sum(w.attempts for w in members),
+                successes=sum(w.successes for w in members),
+            )
+        )
+    rows.append(
+        AttackClassRow(
+            attack_class="stuffed_reuse",
+            waves=len(waves),
+            candidates=sum(w.candidates for w in waves),
+            attempts=sum(w.attempts for w in waves),
+            successes=sum(w.successes for w in waves),
+        )
+    )
+    return rows
+
+
+def render_stuffing_classes(rows: list[AttackClassRow]) -> str:
+    return render_table(
+        ["Attack class", "Waves", "Candidates", "Attempts", "Successes",
+         "Success rate"],
+        [
+            [r.attack_class, str(r.waves), str(r.candidates),
+             str(r.attempts), str(r.successes), f"{r.success_rate:.1%}"]
+            for r in rows
+        ],
+        title="Credential acquisition and replay channels",
+    )
+
+
+@dataclass(frozen=True)
+class WaveAttribution:
+    """One wave's inferred seeding breach vs the recorded truth."""
+
+    wave: int
+    true_site_rank: int
+    inferred_site_rank: int | None
+    hits: int
+    coverage: float  # share of hits inside the inferred site's membership
+
+    @property
+    def correct(self) -> bool:
+        return self.inferred_site_rank == self.true_site_rank
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Cross-site correlation over a campaign's waves."""
+
+    attributions: list[WaveAttribution]
+
+    @property
+    def attributed(self) -> int:
+        return sum(1 for a in self.attributions if a.inferred_site_rank is not None)
+
+    @property
+    def correct(self) -> int:
+        return sum(1 for a in self.attributions if a.correct)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / len(self.attributions) if self.attributions else 0.0
+
+
+def build_stuffing_correlation(
+    waves, model, universe: int, candidate_ranks=None
+) -> CorrelationReport:
+    """Infer each wave's seeding breach from its compromised accounts.
+
+    ``model`` is the campaign's
+    :class:`~repro.identity.reuse.CrossSiteReuseModel` (site-membership
+    knowledge — what Tripwire's registrations establish);
+    ``candidate_ranks`` defaults to the set of sites any wave actually
+    breached (the analyst's watch list).  A wave with no hits cannot be
+    attributed and counts against accuracy.
+    """
+    if candidate_ranks is None:
+        candidate_ranks = sorted({w.site_rank for w in waves})
+    memberships = {
+        rank: frozenset(model.members(rank, universe))
+        for rank in candidate_ranks
+    }
+    attributions = []
+    for wave in waves:
+        hits = set(wave.hit_users)
+        best_rank: int | None = None
+        best_key: tuple | None = None
+        if hits:
+            for rank in candidate_ranks:
+                members = memberships[rank]
+                coverage = len(hits & members) / len(hits)
+                # Highest coverage wins; among full covers the smallest
+                # membership is the most specific explanation; then the
+                # lowest rank for a total order.
+                key = (coverage, -len(members), -rank)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_rank = rank
+        coverage = best_key[0] if best_key is not None else 0.0
+        attributions.append(
+            WaveAttribution(
+                wave=wave.wave,
+                true_site_rank=wave.site_rank,
+                inferred_site_rank=best_rank,
+                hits=len(hits),
+                coverage=coverage,
+            )
+        )
+    return CorrelationReport(attributions=attributions)
+
+
+def render_stuffing_correlation(report: CorrelationReport) -> str:
+    rows = [
+        [str(a.wave), str(a.true_site_rank),
+         "-" if a.inferred_site_rank is None else str(a.inferred_site_rank),
+         str(a.hits), f"{a.coverage:.0%}", "yes" if a.correct else "NO"]
+        for a in report.attributions
+    ]
+    rows.append(
+        ["", "", "", "", "accuracy",
+         f"{report.correct}/{len(report.attributions)}"]
+    )
+    return render_table(
+        ["Wave", "Breached site", "Inferred site", "Hits", "Coverage",
+         "Correct"],
+        rows,
+        title="Cross-site breach correlation",
+    )

@@ -16,6 +16,14 @@ from repro.attacker.profiles import CheckerArchetype, CheckerProfile, draw_profi
 from repro.attacker.checker import CredentialChecker
 from repro.attacker.monetize import Monetizer
 from repro.attacker.site_bruteforce import BruteForceStats, SiteBruteForcer
+from repro.attacker.stuffing import (
+    AttackClass,
+    BreachCorpus,
+    StuffingEngine,
+    StuffingWave,
+    StuffingWaveResult,
+    build_benign_corpus,
+)
 
 __all__ = [
     "SiteBruteForcer",
@@ -32,4 +40,10 @@ __all__ = [
     "draw_profile",
     "CredentialChecker",
     "Monetizer",
+    "AttackClass",
+    "BreachCorpus",
+    "StuffingEngine",
+    "StuffingWave",
+    "StuffingWaveResult",
+    "build_benign_corpus",
 ]

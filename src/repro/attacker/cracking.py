@@ -85,15 +85,34 @@ class _PreparedGuesses:
         return self._guess_set
 
 
-_PREPARED_CACHE = _perf.LruCache(maxsize=4, name="cracking-guesses")
+_PREPARED_CACHE = _perf.LruCache(maxsize=8, name="cracking-guesses")
 
 
-def _prepared_for(guesses: list[str]) -> _PreparedGuesses:
-    key = tuple(guesses)
+def _prepared_for(guesses) -> _PreparedGuesses:
+    """The prepared form of a guess list, memoized two ways.
+
+    **By identity** for immutable (tuple) dictionaries — the default
+    ``_mangled_guesses()`` tuple above all: serve-mode campaigns crack
+    a haul per breach wave, and keying on ``id`` makes the repeat
+    lookups O(1) instead of an O(n) tuple build *and* an O(n) tuple
+    hash per campaign.  The memo entry holds the keying object itself,
+    so its ``id`` cannot be recycled while the entry lives.  Mutable
+    lists never take the identity path (a caller could mutate between
+    calls) and fall through to the content key, exactly as before.
+    """
+    if type(guesses) is tuple:
+        entry = _PREPARED_CACHE.get(id(guesses))
+        if type(entry) is tuple and entry[0] is guesses:
+            return entry[1]
+        key = guesses
+    else:
+        key = tuple(guesses)
     prepared = _PREPARED_CACHE.get(key)
     if not isinstance(prepared, _PreparedGuesses):
         prepared = _PreparedGuesses(key)
         _PREPARED_CACHE.put(key, prepared)
+    if type(guesses) is tuple:
+        _PREPARED_CACHE.put(id(guesses), (guesses, prepared))
     return prepared
 
 
@@ -104,7 +123,9 @@ def crack_records(
 ) -> list[CrackedCredential]:
     """Run recovery over a haul; returns credentials with availability times."""
     if guesses is None:
-        guesses = dictionary_guesses()
+        # The canonical mangled dictionary is one shared tuple, so the
+        # prepared-guesses memo hits on identity for every campaign.
+        guesses = _mangled_guesses()
     prepared = _prepared_for(guesses) if _perf.enabled() else None
     cracked: list[CrackedCredential] = []
     for record in records:

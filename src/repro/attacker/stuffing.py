@@ -1,0 +1,448 @@
+"""Population-scale credential stuffing: vectorized cross-site replay.
+
+The missing attack class: :mod:`~repro.attacker.checker` replays
+*honey* credentials one at a time, but real stuffing campaigns replay
+whole breached corpora against the population — O(accounts × sites)
+traffic that only works columnar.  This module is the attack-side
+mirror of the benign traffic stack:
+
+- :func:`build_benign_corpus` turns one site breach into the columnar
+  haul the attacker actually holds, honoring the acquisition channel:
+  **online capture** leaks every member's site password in plaintext,
+  a **database dump** leaks only what offline cracking recovers (a
+  pure per-(user, site) coin from the reuse model);
+- :class:`StuffingEngine` fans a corpus out as candidate columns —
+  membership joins of breach rows against the
+  :class:`~repro.identity.reuse.CrossSiteReuseModel` run as
+  sorted-``searchsorted`` probes (never ``np.isin``, whose sort path
+  drags ``numpy.ma`` imports into the hot loop) — and dispatches the
+  provider-side wave through
+  :meth:`~repro.email_provider.provider.EmailProvider.attempt_logins`
+  in bounded :class:`~repro.email_provider.batch.LoginBatch` columns,
+  with the scalar per-event path kept as the equivalence oracle;
+- cross-site fan-out against non-provider targets is resolved from
+  the reuse model directly (site T accepts the site-S password iff
+  the user is an EXACT reuser — modulo deliberate derived-suffix
+  collisions), producing per-target hit tallies the correlation
+  analysis consumes.
+
+Wave planning is **dispatch-independent**: every event column (user,
+password, source IP, method) is fully generated before the
+batched/per-event choice is consulted, so journal bytes cannot reveal
+which engine authenticated a wave.  Per-wave randomness draws from
+``rng_tree.child("stuffing", str(wave))`` — one namespaced stream per
+wave index, so waves are order-independent under resume.  Draw order
+inside a wave is part of the contract: per-event source IP, then the
+per-event method column.
+"""
+
+from __future__ import annotations
+
+import enum
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.attacker.breach import BreachMethod
+from repro.email_provider.batch import LoginBatch
+from repro.email_provider.telemetry import METHOD_CODES, METHOD_ORDER, LoginMethod
+from repro.identity.reuse import CrossSiteReuseModel
+from repro.net.ipaddr import IPv4Address
+from repro.util.rngtree import RngTree
+from repro.util.timeutil import SimInstant
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    np = None
+
+#: Stuffing proxies live in 46.0.0.0/8 — disjoint from the benign
+#: population's 96.0.0.0/3 home/roaming space, so source-IP analysis
+#: can never confuse a stuffed login with organic traffic.
+PROXY_BASE = 0x2E000000
+PROXY_BITS = 24
+
+#: Method mix of stuffing tools: mail-protocol checkers (Section 6.2),
+#: IMAP-heavy.  Cumulative thresholds, one ``random()`` per event.
+_STUFFING_METHOD_MIX: tuple[tuple[float, int], ...] = (
+    (0.50, METHOD_CODES[LoginMethod.IMAP]),
+    (0.80, METHOD_CODES[LoginMethod.POP3]),
+    (1.01, METHOD_CODES[LoginMethod.SMTP]),
+)
+
+
+class AttackClass(enum.Enum):
+    """How attacker-held credentials were obtained / deployed.
+
+    The separability contract: every attack login the analysis tables
+    report belongs to exactly one of these.
+    """
+
+    ONLINE_CAPTURE = "online_capture"  # plaintext tapped at the site
+    OFFLINE_CRACK = "offline_crack"  # recovered from a hash dump
+    STUFFED_REUSE = "stuffed_reuse"  # cross-site replay of either haul
+
+
+@dataclass(frozen=True)
+class BreachCorpus:
+    """One breached site's haul against the benign population, columnar.
+
+    ``users`` (sorted user indices) and ``passwords`` are parallel:
+    row *i* says the attacker holds ``passwords[i]`` for benign user
+    ``users[i]``.  ``universe`` records the population size the corpus
+    was derived against (membership is prefix-closed, so a corpus is
+    valid for any provider holding at least that many benign rows).
+    """
+
+    site_rank: int
+    site_host: str
+    method: BreachMethod
+    wave: int
+    universe: int
+    users: array
+    passwords: list[str]
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    @property
+    def acquisition(self) -> AttackClass:
+        """The acquisition half of the attack-class split."""
+        if self.method is BreachMethod.ONLINE_CAPTURE:
+            return AttackClass.ONLINE_CAPTURE
+        return AttackClass.OFFLINE_CRACK
+
+
+def build_benign_corpus(
+    model: CrossSiteReuseModel,
+    universe: int,
+    site_rank: int,
+    site_host: str,
+    method: BreachMethod,
+    wave: int = 0,
+    crack_rate: float = 0.6,
+) -> BreachCorpus:
+    """The attacker's columnar haul from breaching one site.
+
+    Site membership and (for dumps) the offline-cracking coin are pure
+    per ``(user, site)`` lanes of the reuse model, so the same breach
+    always yields the same corpus regardless of generation order.
+    """
+    members = model.members(site_rank, universe)
+    if method is BreachMethod.DB_DUMP and crack_rate < 1.0:
+        mask = model.cracked_mask(members, site_rank, crack_rate)
+        if np is not None and isinstance(mask, np.ndarray):
+            kept = array("q")
+            kept.frombytes(
+                np.frombuffer(members, dtype=np.int64)[mask].tobytes()
+            )
+        else:
+            kept = array("q", (u for u, hit in zip(members, mask) if hit))
+        members = kept
+    passwords = model.site_passwords(members, site_rank)
+    return BreachCorpus(
+        site_rank=site_rank,
+        site_host=site_host,
+        method=method,
+        wave=wave,
+        universe=universe,
+        users=members,
+        passwords=passwords,
+    )
+
+
+def _intersect_sorted(a: array, b: array) -> array:
+    """Sorted-array intersection as a ``searchsorted`` membership probe.
+
+    ``a`` and ``b`` are sorted ``array('q')`` columns; returns the
+    sorted intersection.  The numpy path probes ``a`` into ``b``
+    (``np.isin`` deliberately avoided — its sort path concatenates
+    both columns and lazily imports ``numpy.ma`` mid-hot-loop); the
+    pure-python fallback is the classic two-pointer merge and serves
+    as the join's equivalence oracle.
+    """
+    out = array("q")
+    if not len(a) or not len(b):
+        return out
+    if np is not None:
+        a_np = np.frombuffer(a, dtype=np.int64)
+        b_np = np.frombuffer(b, dtype=np.int64)
+        idx = np.searchsorted(b_np, a_np)
+        idx[idx == len(b_np)] = 0  # out-of-range probes can't match
+        out.frombytes(a_np[b_np[idx] == a_np].tobytes())
+        return out
+    i = j = 0
+    append = out.append
+    while i < len(a) and j < len(b):
+        av, bv = a[i], b[j]
+        if av == bv:
+            append(av)
+            i += 1
+            j += 1
+        elif av < bv:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+@dataclass(frozen=True)
+class SiteTargetReport:
+    """Cross-site fan-out outcome at one non-provider target."""
+
+    target_rank: int
+    candidates: int  # breach rows with an account at the target
+    hits: int  # candidates whose target password equals the haul's
+
+
+@dataclass
+class StuffingWave:
+    """One planned wave: dispatch-ready columns plus fan-out reports.
+
+    ``users`` is the provider-candidate column (sorted, parallel to
+    the concatenated batch columns); ``batches`` group the same events
+    into bounded :class:`LoginBatch` items without reordering them, so
+    batch size — like the dispatch path — never shapes the journal.
+    """
+
+    wave: int
+    corpus: BreachCorpus
+    users: array
+    batches: list[LoginBatch]
+    site_targets: list[SiteTargetReport] = field(default_factory=list)
+
+    @property
+    def candidates(self) -> int:
+        return len(self.users)
+
+
+@dataclass
+class StuffingWaveResult:
+    """Outcome of one dispatched wave (engine-independent by contract)."""
+
+    wave: int
+    site_rank: int
+    site_host: str
+    method: str  # BreachMethod value
+    acquisition: str  # AttackClass value of the haul
+    candidates: int
+    attempts: int
+    successes: int
+    bad_passwords: int
+    throttled: int
+    hit_users: array  # user indices whose provider login succeeded
+    site_targets: list[SiteTargetReport] = field(default_factory=list)
+
+    @property
+    def attack_class(self) -> AttackClass:
+        """Provider-side logins of a wave are stuffed reuse, always."""
+        return AttackClass.STUFFED_REUSE
+
+
+class StuffingEngine:
+    """Plans and dispatches stuffing waves against one provider.
+
+    Holds the reuse model, the registered population (for the shared
+    locals table and ``first_row``) and a namespaced RNG tree; the
+    provider's login state is the provider's own, so stuffed, benign
+    and scalar logins interleave freely.
+    """
+
+    def __init__(
+        self,
+        provider,
+        population,
+        model: CrossSiteReuseModel,
+        rng_tree: RngTree,
+        batch_events: int = 8192,
+    ):
+        if population.first_row is None:
+            raise ValueError("population must be registered with the provider")
+        self._provider = provider
+        self._population = population
+        self._model = model
+        self._tree = rng_tree.child("stuffing")
+        self._batch_events = batch_events
+        #: Dispatch tallies (plain attributes — flight snapshots only,
+        #: never journal bytes).
+        self.waves = 0
+        self.attempts = 0
+        self.successes = 0
+
+    def stats(self) -> dict:
+        return {
+            "waves": self.waves,
+            "attempts": self.attempts,
+            "successes": self.successes,
+        }
+
+    # -- planning (pure generation, dispatch-independent) ------------------
+
+    def plan_wave(
+        self,
+        corpus: BreachCorpus,
+        targets: tuple[int, ...] = (),
+    ) -> StuffingWave:
+        """Generate one wave's full event columns plus fan-out reports.
+
+        The provider-candidate join is the prefix of the (sorted)
+        corpus below the registered population size; each non-provider
+        target joins corpus rows against the target's membership
+        column with a sorted-``searchsorted`` probe.
+        """
+        population = self._population
+        model = self._model
+        # Provider join: registered rows are exactly user indices
+        # [0, size), and the corpus is sorted, so the join is the
+        # prefix below the first out-of-range index.
+        cut = bisect_left(corpus.users, population.size)
+        users = corpus.users[:cut]
+        passwords = corpus.passwords[:cut]
+        n = len(users)
+
+        rng = self._tree.child(str(corpus.wave)).rng()
+        getrandbits = rng.getrandbits
+        random = rng.random
+        ips = array("Q")
+        ips_append = ips.append
+        for _ in range(n):
+            ips_append(PROXY_BASE | getrandbits(PROXY_BITS))
+        methods = bytearray(n)
+        mix = _STUFFING_METHOD_MIX
+        for i in range(n):
+            roll = random()
+            for threshold, code in mix:
+                if roll < threshold:
+                    methods[i] = code
+                    break
+
+        locals_table, _ = population.credentials()
+        keys = list(map(locals_table.__getitem__, users))
+        first_row = population.first_row
+        rows = array("q", (first_row + u for u in users))
+
+        step = self._batch_events
+        if n <= step:
+            batches = (
+                [LoginBatch(keys, passwords, ips, methods, rows)] if n else []
+            )
+        else:
+            batches = [
+                LoginBatch(
+                    keys[start : start + step],
+                    passwords[start : start + step],
+                    ips[start : start + step],
+                    bytearray(methods[start : start + step]),
+                    rows[start : start + step],
+                )
+                for start in range(0, n, step)
+            ]
+
+        site_targets = [
+            self._probe_target(corpus, rank) for rank in targets
+        ]
+        return StuffingWave(
+            wave=corpus.wave,
+            corpus=corpus,
+            users=users,
+            batches=batches,
+            site_targets=site_targets,
+        )
+
+    def _probe_target(self, corpus: BreachCorpus, rank: int) -> SiteTargetReport:
+        """Join the corpus against one target site's membership."""
+        if rank == corpus.site_rank:
+            return SiteTargetReport(
+                target_rank=rank, candidates=len(corpus), hits=len(corpus)
+            )
+        members = self._model.members(rank, corpus.universe)
+        candidates = _intersect_sorted(corpus.users, members)
+        if not len(candidates):
+            return SiteTargetReport(target_rank=rank, candidates=0, hits=0)
+        # The haul's password for each candidate, gathered by position.
+        held = [
+            corpus.passwords[bisect_left(corpus.users, u)] for u in candidates
+        ]
+        stored = self._model.site_passwords(candidates, rank)
+        hits = sum(1 for h, s in zip(held, stored) if h == s)
+        return SiteTargetReport(
+            target_rank=rank, candidates=len(candidates), hits=hits
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch_batch(
+        self, batch: LoginBatch, batched: bool, now: SimInstant | None = None
+    ) -> bytearray:
+        """Authenticate one wave batch; returns per-event result codes.
+
+        ``batched`` selects the vectorized engine or the per-event
+        oracle; the codes — and every provider state transition — are
+        identical either way (the batch engine's contract).
+        """
+        provider = self._provider
+        if batched:
+            return provider.attempt_logins(batch, now=now).results
+        from repro.email_provider.provider import RESULT_CODES
+
+        attempt_login = provider.attempt_login
+        keys, passwords = batch.keys, batch.passwords
+        ips, methods = batch.ips, batch.methods
+        results = bytearray()
+        results_append = results.append
+        for i in range(len(keys)):
+            result = attempt_login(
+                keys[i],
+                passwords[i],
+                IPv4Address(ips[i]),
+                METHOD_ORDER[methods[i]],
+            )
+            results_append(RESULT_CODES[result])
+        return results
+
+    def collect(self, wave: StuffingWave, results: bytearray) -> StuffingWaveResult:
+        """Fold one wave's result codes into its dispatch-independent
+        record (and the engine tallies)."""
+        successes = results.count(0)
+        hit_users = array("q")
+        if successes:
+            if np is not None and len(results) == len(wave.users):
+                results_np = np.frombuffer(results, dtype=np.uint8)
+                users_np = np.frombuffer(wave.users, dtype=np.int64)
+                hit_users.frombytes(users_np[results_np == 0].tobytes())
+            else:
+                hit_users.extend(
+                    u
+                    for u, code in zip(wave.users, results)
+                    if code == 0
+                )
+        corpus = wave.corpus
+        self.waves += 1
+        self.attempts += len(results)
+        self.successes += successes
+        return StuffingWaveResult(
+            wave=wave.wave,
+            site_rank=corpus.site_rank,
+            site_host=corpus.site_host,
+            method=corpus.method.value,
+            acquisition=corpus.acquisition.value,
+            candidates=wave.candidates,
+            attempts=len(results),
+            successes=successes,
+            bad_passwords=results.count(1),
+            throttled=results.count(3),
+            hit_users=hit_users,
+            site_targets=wave.site_targets,
+        )
+
+    def execute_wave(
+        self,
+        wave: StuffingWave,
+        batched: bool = True,
+        now: SimInstant | None = None,
+    ) -> StuffingWaveResult:
+        """Dispatch a whole planned wave (bench/test convenience)."""
+        results = bytearray()
+        for batch in wave.batches:
+            results.extend(self.dispatch_batch(batch, batched, now=now))
+        return self.collect(wave, results)

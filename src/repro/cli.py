@@ -139,6 +139,29 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--traffic-logins-per-day", type=float, default=2.0,
                        metavar="R",
                        help="benign logins per user per sim-day (default 2)")
+    serve.add_argument("--stuffing-interval-days", type=int, default=0,
+                       metavar="D",
+                       help="credential-stuffing wave cadence in sim days "
+                            "(default 0 = off; requires --traffic-users)")
+    serve.add_argument("--stuffing-exact-rate", type=float, default=0.3,
+                       metavar="R",
+                       help="share of users reusing their mailbox password "
+                            "verbatim at other sites (default 0.3)")
+    serve.add_argument("--stuffing-derive-rate", type=float, default=0.3,
+                       metavar="R",
+                       help="share of users deriving per-site variants of "
+                            "their mailbox password (default 0.3)")
+    serve.add_argument("--stuffing-site-density", type=float, default=0.05,
+                       metavar="R",
+                       help="probability a user holds an account at any "
+                            "given site (default 0.05)")
+    serve.add_argument("--stuffing-crack-rate", type=float, default=0.6,
+                       metavar="R",
+                       help="share of a database dump offline cracking "
+                            "recovers (default 0.6)")
+    serve.add_argument("--stuffing-targets", type=int, default=3,
+                       metavar="N",
+                       help="cross-site fan-out targets per wave (default 3)")
     serve.add_argument("--login-batch", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="authenticate service logins through the "
@@ -485,8 +508,18 @@ def _run_serve(args: argparse.Namespace) -> int:
         world_store=str(args.world_store) if args.world_store else None,
         traffic_users=args.traffic_users,
         traffic_logins_per_day=args.traffic_logins_per_day,
+        stuffing_interval=args.stuffing_interval_days * DAY,
+        stuffing_exact_rate=args.stuffing_exact_rate,
+        stuffing_derive_rate=args.stuffing_derive_rate,
+        stuffing_site_density=args.stuffing_site_density,
+        stuffing_crack_rate=args.stuffing_crack_rate,
+        stuffing_targets=args.stuffing_targets,
         login_batching=args.login_batch,
     )
+    if config.stuffing_interval > 0 and config.traffic_users <= 0:
+        print("--stuffing-interval-days requires --traffic-users",
+              file=sys.stderr)
+        return 1
 
     checkpoint_path = args.checkpoint or args.resume
     resume = None
@@ -568,7 +601,33 @@ def _run_serve(args: argparse.Namespace) -> int:
              f"{lifecycle.traffic_logins} ({lifecycle.traffic_successes})"],
             ["Benign mails delivered", str(lifecycle.traffic_mails)],
         ]
+    if config.stuffing_interval > 0:
+        rows[8:8] = [
+            ["Stuffing waves (candidates)",
+             f"{lifecycle.stuffing_waves} ({lifecycle.stuffing_candidates})"],
+            ["Stuffed logins (successful)",
+             f"{lifecycle.stuffing_logins} ({lifecycle.stuffing_successes})"],
+            ["Cross-site hits", str(lifecycle.stuffing_site_hits)],
+        ]
     print(render_table(["Metric", "Value"], rows, title="Service totals"))
+    if result.stuffing_waves and result.stuffing_model is not None:
+        from repro.analysis.stuffing import (
+            build_stuffing_classes,
+            build_stuffing_correlation,
+            render_stuffing_classes,
+            render_stuffing_correlation,
+        )
+
+        print()
+        print(render_stuffing_classes(
+            build_stuffing_classes(result.stuffing_waves)
+        ))
+        print()
+        print(render_stuffing_correlation(build_stuffing_correlation(
+            result.stuffing_waves,
+            result.stuffing_model,
+            config.traffic_users,
+        )))
     if config.fault_plan is not None:
         print()
         print(_fault_report_table(result.fault_report, args))
@@ -610,8 +669,31 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "traffic_logins": lifecycle.traffic_logins,
                 "traffic_successes": lifecycle.traffic_successes,
                 "traffic_mails": lifecycle.traffic_mails,
+                "stuffing_waves": lifecycle.stuffing_waves,
+                "stuffing_candidates": lifecycle.stuffing_candidates,
+                "stuffing_logins": lifecycle.stuffing_logins,
+                "stuffing_successes": lifecycle.stuffing_successes,
+                "stuffing_site_hits": lifecycle.stuffing_site_hits,
                 "state_evictions": lifecycle.state_evictions,
             },
+            "stuffing": [
+                {
+                    "wave": w.wave,
+                    "site_rank": w.site_rank,
+                    "site_host": w.site_host,
+                    "method": w.method,
+                    "acquisition": w.acquisition,
+                    "candidates": w.candidates,
+                    "attempts": w.attempts,
+                    "successes": w.successes,
+                    "site_targets": [
+                        {"rank": t.target_rank, "candidates": t.candidates,
+                         "hits": t.hits}
+                        for t in w.site_targets
+                    ],
+                }
+                for w in result.stuffing_waves
+            ],
             # Per-stream firing tallies: answers "which stream is
             # starved" straight from the summary (satellite of PR 9).
             "streams": {

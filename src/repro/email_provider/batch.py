@@ -17,19 +17,32 @@ journal bytes cannot reveal which engine authenticated its logins.
 
 How it holds that contract at speed: a batch is split into **clean**
 events and **rare** events.  Clean means boring — the account exists
-and is active, the password matches, the row has no throttle entry, is
-not hot in the suspicion machinery, is nowhere near the suspicion
-threshold, and appears exactly once in the batch.  Clean events can
-only succeed, cannot draw from the RNG, and touch disjoint rows from
-every rare event, so they commit as whole-column operations: numpy
-gathers classify them, one bulk append lands their evidence-log
-entries, one whole-column compare against the first-seen-IP column
-and one scatter bump the cached distinct counters.  Everything else — failures, throttled or
-locked rows, non-active accounts, hot or near-threshold rows, rows
-hit more than once in the window — is routed, in event order, through
-:meth:`EmailProvider._attempt_row`: the *same* per-row decision core
-the scalar path runs, so the subtle cases have exactly one
-implementation.
+and is active, the row has no throttle entry and appears exactly once
+in the batch, and then either the password matches and the row is not
+hot in the suspicion machinery and nowhere near the suspicion
+threshold (a **clean success**), or the password mismatches (a **clean
+failure** — failures never touch the IP machinery, so the hot/near
+conditions don't apply).  Clean events cannot draw from the RNG and
+touch disjoint rows from every rare event, so they commit as
+whole-column operations: numpy gathers classify them; clean successes
+land one bulk evidence-log append, one whole-column compare against
+the first-seen-IP column and one scatter bump of the cached distinct
+counters; clean failures land one bulk insert of fresh
+first-failure throttle entries.  Everything else — throttled or
+locked rows, non-active accounts, hot or near-threshold successes,
+rows hit more than once in the window — is routed, in event order,
+through :meth:`EmailProvider._attempt_row`: the *same* per-row
+decision core the scalar path runs, so the subtle cases have exactly
+one implementation.
+
+The membership probes (throttled rows, hot rows) reuse sorted key
+arrays cached against the provider's key-set revision counters
+(``_throttle_rev``/``_hot_rev``): windows that change no key set —
+the common case — probe without rebuilding, and the engine's own
+bulk throttle insert merges into the cached array instead of
+invalidating it.  Duplicate detection runs in reusable scratch
+buffers (copy → in-place sort → adjacent compare) rather than
+allocating an ``np.unique`` workspace per window.
 
 Without numpy (the import is gated) or below
 :data:`VECTOR_MIN_EVENTS`, every event takes the `_attempt_row` path;
@@ -61,6 +74,9 @@ except ImportError:  # pragma: no cover - exercised via the fallback tests
 #: per-operation overhead loses to the plain loop on tiny batches (the
 #: service's single-event attacker/probe bridges in particular).
 VECTOR_MIN_EVENTS = 32
+
+#: Shared empty sorted-key array (the membership caches' rest state).
+_EMPTY_KEYS = None if np is None else np.empty(0, np.int64)
 
 
 def _in_sorted(sorted_keys, values):
@@ -201,28 +217,48 @@ class BatchLoginEngine:
         "_provider",
         "windows",
         "vector_committed",
+        "vector_failed",
         "scalar_replayed",
         "fallback_events",
+        "_throttle_keys",
+        "_throttle_rev",
+        "_hot_keys",
+        "_hot_rev",
+        "_sort_buf",
+        "_eq_buf",
     )
 
     def __init__(self, provider):
         self._provider = provider
         #: Batch windows authenticated through this engine.
         self.windows = 0
-        #: Events committed by the whole-column clean path.
+        #: Events committed by the whole-column clean path (successes
+        #: plus clean failures).
         self.vector_committed = 0
+        #: The clean-failure subset of ``vector_committed``.
+        self.vector_failed = 0
         #: Events replayed through ``_attempt_row`` inside a
         #: vectorized window (the rare mask routed them there).
         self.scalar_replayed = 0
         #: Events that took the serial path because the window never
         #: vectorized (no numpy, too small, or unresolved keys).
         self.fallback_events = 0
+        # Sorted-key caches for the membership probes, valid while the
+        # provider's matching revision counter is unchanged.
+        self._throttle_keys = None
+        self._throttle_rev = -1
+        self._hot_keys = None
+        self._hot_rev = -1
+        # Reusable scratch for duplicate detection (grown, never shrunk).
+        self._sort_buf = None
+        self._eq_buf = None
 
     def stats(self) -> dict:
         """The path tallies as a plain dict (flight snapshots)."""
         return {
             "windows": self.windows,
             "vector_committed": self.vector_committed,
+            "vector_failed": self.vector_failed,
             "scalar_replayed": self.scalar_replayed,
             "fallback_events": self.fallback_events,
         }
@@ -268,6 +304,60 @@ class BatchLoginEngine:
                 results_append(attempt_row(row, password, ip_int, now))
         return results
 
+    def _throttle_sorted_keys(self):
+        """The throttle key set as a sorted array, cached per revision."""
+        provider = self._provider
+        rev = provider._throttle_rev
+        if self._throttle_rev != rev:
+            throttles = provider._throttle
+            if throttles:
+                self._throttle_keys = np.sort(
+                    np.fromiter(throttles.keys(), np.int64, len(throttles))
+                )
+            else:
+                self._throttle_keys = _EMPTY_KEYS
+            self._throttle_rev = rev
+        return self._throttle_keys
+
+    def _hot_sorted_keys(self):
+        """The hot-row key set as a sorted array, cached per revision."""
+        provider = self._provider
+        rev = provider._hot_rev
+        if self._hot_rev != rev:
+            hot = provider._ip_hot
+            if hot:
+                self._hot_keys = np.sort(
+                    np.fromiter(hot.keys(), np.int64, len(hot))
+                )
+            else:
+                self._hot_keys = _EMPTY_KEYS
+            self._hot_rev = rev
+        return self._hot_keys
+
+    def _duplicate_mask(self, rows_np, n):
+        """Mask of events whose row appears more than once in the batch.
+
+        Runs in reusable scratch (copy, in-place sort, adjacent
+        compare) so the steady state allocates nothing proportional
+        to the window; returns None when every row is unique.
+        """
+        sort_buf = self._sort_buf
+        if sort_buf is None or sort_buf.size < n:
+            size = max(n, 1024 if sort_buf is None else 2 * sort_buf.size)
+            sort_buf = self._sort_buf = np.empty(size, np.int64)
+            self._eq_buf = np.empty(size, np.bool_)
+        sorted_rows = sort_buf[:n]
+        np.copyto(sorted_rows, rows_np)
+        sorted_rows.sort()
+        adjacent = np.equal(
+            sorted_rows[1:], sorted_rows[:-1], out=self._eq_buf[: n - 1]
+        )
+        if not adjacent.any():
+            return None
+        # Every duplicated value appears in the boundary slice (maybe
+        # more than once — harmless to the searchsorted probe).
+        return _in_sorted(sorted_rows[1:][adjacent], rows_np)
+
     def _attempt_vectorized(self, rows, batch: LoginBatch, now) -> bytearray:
         """Columnar fast path: bulk-commit clean events, loop the rest.
 
@@ -275,9 +365,10 @@ class BatchLoginEngine:
         clean events each own their row exclusively within the batch
         (the duplicate mask routes shared rows to the serial path), so
         no rare event can observe or disturb a clean row's state; and
-        clean rows sit strictly below the suspicion threshold even
+        clean successes sit strictly below the suspicion threshold even
         after their one new IP, so no clean event can draw from the
-        RNG.  Rare events run through ``_attempt_row`` in event order,
+        RNG (clean failures never touch the IP machinery at all).
+        Rare events run through ``_attempt_row`` in event order,
         which preserves the draw sequence and every throttle/lockout
         interleaving exactly as the scalar path would produce them.
         """
@@ -301,27 +392,35 @@ class BatchLoginEngine:
             np.bool_,
             count=n,
         )
-        rare = states_np[rows_np] != 0
-        rare |= ~pw_ok
-        throttles = provider._throttle
-        if throttles:
-            rare |= _in_sorted(
-                np.sort(np.fromiter(throttles.keys(), np.int64, len(throttles))),
-                rows_np,
+        # Conditions that disqualify *any* event from the clean paths.
+        blocked = states_np[rows_np] != 0
+        rev_at_probe = provider._throttle_rev
+        if provider._throttle:
+            blocked |= _in_sorted(self._throttle_sorted_keys(), rows_np)
+        else:
+            self._throttle_keys = _EMPTY_KEYS
+            self._throttle_rev = rev_at_probe
+        dup_mask = self._duplicate_mask(rows_np, n)
+        if dup_mask is not None:
+            blocked |= dup_mask
+        # Successes additionally must stay out of the RNG-drawing
+        # review: not hot, and (since a clean event adds at most one
+        # distinct IP) not one step below the suspicion threshold.
+        succ_blocked = blocked
+        if provider._ip_hot:
+            succ_blocked = succ_blocked | _in_sorted(
+                self._hot_sorted_keys(), rows_np
             )
-        hot = provider._ip_hot
-        if hot:
-            rare |= _in_sorted(
-                np.sort(np.fromiter(hot.keys(), np.int64, len(hot))), rows_np
-            )
-        # A clean event adds at most one distinct IP, so only rows one
-        # step below the threshold can cross it (and must promote).
-        rare |= distinct_np[rows_np] >= provider.SUSPICION_DISTINCT_IPS - 1
-        _, inverse, counts = np.unique(
-            rows_np, return_inverse=True, return_counts=True
-        )
-        if counts.max(initial=0) > 1:
-            rare |= counts[inverse] > 1
+        near = distinct_np[rows_np] >= provider.SUSPICION_DISTINCT_IPS - 1
+        succ_blocked = succ_blocked | near
+
+        clean_succ = pw_ok & ~succ_blocked
+        if provider.BRUTE_FORCE_LIMIT > 1:
+            clean_fail = ~pw_ok & ~blocked
+            rare = ~(clean_succ | clean_fail)
+        else:  # a single failure locks: route every failure rare
+            clean_fail = None
+            rare = ~clean_succ
 
         results_np = np.zeros(n, dtype=np.uint8)
         rare_idx = np.nonzero(rare)[0]
@@ -333,7 +432,12 @@ class BatchLoginEngine:
             for i in rare_idx.tolist():
                 results_np[i] = attempt_row(rows[i], passwords[i], ips_col[i], now)
 
-        clean_idx = np.nonzero(~rare)[0]
+        if clean_fail is not None and clean_fail.any():
+            self._commit_clean_failures(
+                rows_np, clean_fail, results_np, now, rev_at_probe
+            )
+
+        clean_idx = np.nonzero(clean_succ)[0]
         m = clean_idx.size
         self.vector_committed += int(m)
         if m:
@@ -361,6 +465,43 @@ class BatchLoginEngine:
                 distinct_np[bump_rows] += 1
 
         return bytearray(results_np.tobytes())
+
+    def _commit_clean_failures(
+        self, rows_np, clean_fail, results_np, now, rev_at_probe
+    ) -> None:
+        """Bulk-commit the window's clean failures.
+
+        Each clean-fail row is active, un-throttled and unique in the
+        batch, so the scalar path would have produced exactly one
+        fresh first-failure throttle entry per row (``[1, window
+        start, 0]`` — below ``BRUTE_FORCE_LIMIT``, so no lockout) and
+        returned BAD_PASSWORD.  One dict bulk-insert per window lands
+        all of them; the key-set revision advances once, and when no
+        rare event inserted a throttle entry this window the sorted
+        key cache absorbs the new rows by merge instead of a rebuild.
+        """
+        provider = self._provider
+        fail_idx = np.nonzero(clean_fail)[0]
+        count = int(fail_idx.size)
+        self.vector_committed += count
+        self.vector_failed += count
+        results_np[fail_idx] = 1  # BAD_PASSWORD
+        f_rows = rows_np[fail_idx]
+        # _note_failure resets the window start only when the stale
+        # window test passes — replicate its exact arithmetic.
+        window_start = now if now - 0 > provider.BRUTE_FORCE_WINDOW else 0
+        provider._throttle.update(
+            (row, [1, window_start, 0]) for row in f_rows.tolist()
+        )
+        prev_rev = provider._throttle_rev
+        provider._throttle_rev = prev_rev + 1
+        if prev_rev == rev_at_probe and self._throttle_keys is not None:
+            new_keys = np.sort(f_rows)
+            keys = self._throttle_keys
+            self._throttle_keys = np.insert(
+                keys, np.searchsorted(keys, new_keys), new_keys
+            )
+            self._throttle_rev = prev_rev + 1
 
     def _record_window(self, rows, batch: LoginBatch, results: bytearray, now) -> None:
         """One bulk telemetry append for the window's successes.

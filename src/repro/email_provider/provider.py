@@ -151,6 +151,13 @@ class EmailProvider:
         #: Sparse throttle state: row -> [failures, window_start,
         #: locked_until].  Only rows with failure history appear here.
         self._throttle: dict[int, list[int]] = {}
+        #: Key-set revision counters: bumped whenever rows are added
+        #: to or removed from ``_throttle`` / ``_ip_hot`` (value
+        #: mutation doesn't count).  The batch engine keys its sorted
+        #: membership-probe arrays on these so unchanged key sets are
+        #: probed without a rebuild.
+        self._throttle_rev = 0
+        self._hot_rev = 0
         #: Shared columnar login-evidence log for **cold** rows: one
         #: append per successful login, parallel columns, chained per
         #: row through ``_log_prev``/``_ip_head`` so a single row's
@@ -287,6 +294,7 @@ class EmailProvider:
             return {
                 "windows": 0,
                 "vector_committed": 0,
+                "vector_failed": 0,
                 "scalar_replayed": 0,
                 "fallback_events": 0,
             }
@@ -416,6 +424,7 @@ class EmailProvider:
         throttle = self._throttle.get(row)
         if throttle is None:
             throttle = self._throttle[row] = [0, 0, 0]
+            self._throttle_rev += 1
         if now - throttle[1] > self.BRUTE_FORCE_WINDOW:
             throttle[1] = now
             throttle[0] = 0
@@ -501,6 +510,7 @@ class EmailProvider:
                 stale += 1
         self._ip_head[row] = -1
         self._ip_hot[row] = [window, counts]
+        self._hot_rev += 1
         self._ip_distinct[row] = len(counts)
         self.ip_window_pruned += stale
         self.ip_window_promotions += 1
@@ -554,6 +564,8 @@ class EmailProvider:
         ]
         for row in stale:
             del self._throttle[row]
+        if stale:
+            self._throttle_rev += 1
         self.throttle_evictions += len(stale)
 
         cutoff = now - self.SUSPICION_WINDOW
@@ -578,6 +590,8 @@ class EmailProvider:
         for row in empty:
             del hot[row]
             distinct[row] = 0
+        if empty:
+            self._hot_rev += 1
         if pruned:
             self.ip_window_pruned += pruned
 

@@ -16,6 +16,7 @@ from repro.identity.passwords import (
     is_valid_hard_password,
 )
 from repro.identity.records import Identity, PostalAddress
+from repro.identity.reuse import CrossSiteReuseModel, ReuseClass
 from repro.identity.generator import IdentityFactory
 from repro.identity.pool import IdentityPool, IdentityState, BurnedIdentityError
 
@@ -28,6 +29,8 @@ __all__ = [
     "is_valid_hard_password",
     "Identity",
     "PostalAddress",
+    "CrossSiteReuseModel",
+    "ReuseClass",
     "IdentityFactory",
     "IdentityPool",
     "IdentityState",

@@ -1,0 +1,291 @@
+"""Cross-site password reuse: the seam credential stuffing attacks.
+
+Wang & Reiter's framing (PAPERS.md): a user's accounts at *other*
+sites are the attacker's best guess for their account *here*.  This
+module gives the benign population that seam — a seeded fraction of
+users reuse their provider password verbatim at the websites they
+join, another fraction derive a per-site variant, and the rest keep
+every site password unique.
+
+Everything is a **pure function of (namespace key, user index, site
+rank)**: one 64-bit key is derived from an :class:`~repro.util.
+rngtree.RngTree` label path (no RNG object is ever advanced), and a
+splitmix64 finalizer turns ``key ⊕ lane ⊕ user ⊕ site`` into the
+behavior class, the per-site account membership coin and the per-site
+password material.  Purity buys the properties the columnar world
+depends on:
+
+- **order independence** — any subset of users/sites evaluated in any
+  order yields the same values, so warm caches, resumed runs and the
+  world store never disagree;
+- **prefix closure** — growing the population from ``n`` to ``n′``
+  users leaves the first ``n`` users' behaviors, memberships and
+  passwords untouched;
+- **columnar evaluation** — every lane has a vectorized uint64 form
+  (numpy, import gated) that is bit-identical to the scalar form, so
+  the stuffing engine can derive whole membership columns at once.
+
+The provider-side mailbox password stays
+:func:`~repro.traffic.population.benign_password` for every class —
+what varies is what the *websites* store, and therefore what a breach
+corpus replays: EXACT reusers are the stuffable fraction, DERIVED
+users leak a near-miss variant, UNIQUE users leak noise.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from array import array
+
+from repro.traffic.population import benign_password
+from repro.util.rngtree import RngTree
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    np = None
+
+_MASK64 = (1 << 64) - 1
+
+#: splitmix64 finalizer constants.
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MUL1 = 0xBF58476D1CE4E5B9
+_SM_MUL2 = 0x94D049BB133111EB
+
+#: Odd multipliers spreading the user index and site rank before the
+#: finalizer (distinct so (i, rank) and (rank, i) never alias).
+_USER_MUL = 0x9E3779B97F4A7C15
+_SITE_MUL = 0xC2B2AE3D27D4EB4F
+
+
+def _lane_salt(lane: str) -> int:
+    """A stable 64-bit salt per named lane (behavior/member/…)."""
+    digest = hashlib.sha256(b"cross-site-reuse-lane:" + lane.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+_BEHAVIOR_SALT = _lane_salt("behavior")
+_MEMBER_SALT = _lane_salt("member")
+_DERIVE_SALT = _lane_salt("derive")
+_UNIQUE_SALT = _lane_salt("unique")
+_CRACK_SALT = _lane_salt("crack")
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer over python ints (masked to 64 bits)."""
+    x = (x + _SM_GAMMA) & _MASK64
+    x ^= x >> 30
+    x = (x * _SM_MUL1) & _MASK64
+    x ^= x >> 27
+    x = (x * _SM_MUL2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def _threshold(rate: float) -> int:
+    """A probability as an integer threshold over the full 64-bit range."""
+    if rate <= 0.0:
+        return 0
+    if rate >= 1.0:
+        return 1 << 64
+    return round(rate * float(1 << 64))
+
+
+class ReuseClass(enum.IntEnum):
+    """How a user manages passwords across sites.
+
+    Codes are the columnar byte encoding; UNIQUE must stay 0 so an
+    all-zero column means "nobody reuses anything".
+    """
+
+    UNIQUE = 0  #: a fresh password per site; breaches leak noise
+    EXACT = 1  #: the provider password verbatim at every site
+    DERIVED = 2  #: a per-site variant of the provider password
+
+
+class CrossSiteReuseModel:
+    """Pure-function map from (user, site) to membership and password.
+
+    ``key`` seeds every lane; build it from a tree path with
+    :meth:`from_tree` so the model rides the simulation's single root
+    seed without consuming anyone's RNG stream.
+    """
+
+    __slots__ = ("key", "exact_rate", "derive_rate", "site_density",
+                 "_t_exact", "_t_derived", "_t_member")
+
+    def __init__(
+        self,
+        key: int,
+        exact_rate: float = 0.3,
+        derive_rate: float = 0.3,
+        site_density: float = 0.05,
+    ):
+        if exact_rate < 0 or derive_rate < 0 or exact_rate + derive_rate > 1:
+            raise ValueError("reuse-class rates must form a sub-distribution")
+        if not 0 <= site_density <= 1:
+            raise ValueError("site_density must be a probability")
+        self.key = key & _MASK64
+        self.exact_rate = exact_rate
+        self.derive_rate = derive_rate
+        self.site_density = site_density
+        self._t_exact = _threshold(exact_rate)
+        self._t_derived = _threshold(exact_rate + derive_rate)
+        self._t_member = _threshold(site_density)
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: RngTree,
+        exact_rate: float = 0.3,
+        derive_rate: float = 0.3,
+        site_density: float = 0.05,
+    ) -> "CrossSiteReuseModel":
+        """Derive the lane key from ``tree.child("cross-site-reuse")``.
+
+        Uses the node's derived seed directly — no ``random.Random``
+        is created, so building the model can never perturb any other
+        consumer's stream.
+        """
+        key = tree.child("cross-site-reuse").derived_seed() & _MASK64
+        return cls(key, exact_rate, derive_rate, site_density)
+
+    # -- scalar lanes (the oracle) ------------------------------------------
+
+    def _lane(self, salt: int, user: int, site_rank: int) -> int:
+        v = (self.key ^ salt) & _MASK64
+        v = (v + user * _USER_MUL) & _MASK64
+        v = (v + site_rank * _SITE_MUL) & _MASK64
+        return _mix64(v)
+
+    def behavior(self, user: int) -> ReuseClass:
+        """The user's :class:`ReuseClass` (site-independent)."""
+        h = self._lane(_BEHAVIOR_SALT, user, 0)
+        if h < self._t_exact:
+            return ReuseClass.EXACT
+        if h < self._t_derived:
+            return ReuseClass.DERIVED
+        return ReuseClass.UNIQUE
+
+    def has_account(self, user: int, site_rank: int) -> bool:
+        """Does the user hold an account at site ``site_rank``?"""
+        return self._lane(_MEMBER_SALT, user, site_rank) < self._t_member
+
+    def site_password(self, user: int, site_rank: int) -> str:
+        """What site ``site_rank`` stores for the user.
+
+        EXACT: the provider mailbox password verbatim (the stuffable
+        case).  DERIVED: the mailbox password plus a per-site suffix.
+        UNIQUE: unrelated per-site material.
+        """
+        behavior = self.behavior(user)
+        if behavior is ReuseClass.EXACT:
+            return benign_password(user)
+        if behavior is ReuseClass.DERIVED:
+            suffix = self._lane(_DERIVE_SALT, user, site_rank) & 0xFFFF
+            return benign_password(user) + ".%04x" % suffix
+        return "sw-%016x" % self._lane(_UNIQUE_SALT, user, site_rank)
+
+    def crack_recovered(self, user: int, site_rank: int, crack_rate: float) -> bool:
+        """Offline-cracking coin: did the attacker recover this hash?
+
+        A corpus-level knob, not a user trait, so the rate is passed
+        in; the lane is still pure per (user, site).
+        """
+        return self._lane(_CRACK_SALT, user, site_rank) < _threshold(crack_rate)
+
+    # -- columnar lanes (bit-identical to the scalar forms) -----------------
+
+    def _lane_np(self, salt: int, users, site_rank: int):
+        v = np.uint64((self.key ^ salt) & _MASK64)
+        with np.errstate(over="ignore"):
+            x = users.astype(np.uint64) * np.uint64(_USER_MUL)
+            x += v + np.uint64((site_rank * _SITE_MUL) & _MASK64)
+            x += np.uint64(_SM_GAMMA)
+            x ^= x >> np.uint64(30)
+            x *= np.uint64(_SM_MUL1)
+            x ^= x >> np.uint64(27)
+            x *= np.uint64(_SM_MUL2)
+            x ^= x >> np.uint64(31)
+        return x
+
+    def behaviors(self, users) -> bytearray:
+        """:class:`ReuseClass` codes for a user-index column."""
+        if np is None:
+            return bytearray(self.behavior(int(u)) for u in users)
+        users_np = np.asarray(users, dtype=np.int64)
+        h = self._lane_np(_BEHAVIOR_SALT, users_np, 0)
+        codes = np.zeros(len(users_np), dtype=np.uint8)
+        if self._t_derived > _MASK64:  # rate sums to 1: nobody is UNIQUE
+            codes[:] = ReuseClass.DERIVED
+        else:
+            codes[h < np.uint64(self._t_derived)] = ReuseClass.DERIVED
+        if self._t_exact > _MASK64:
+            codes[:] = ReuseClass.EXACT
+        else:
+            codes[h < np.uint64(self._t_exact)] = ReuseClass.EXACT
+        return bytearray(codes.tobytes())
+
+    def members(self, site_rank: int, population: int):
+        """Sorted user indices (``array('q')``) with accounts at a site.
+
+        Pure per (user, site): ``members(rank, n)`` is always a prefix
+        of ``members(rank, n′)`` for ``n′ ≥ n``.
+        """
+        out = array("q")
+        if population <= 0:
+            return out
+        if np is None:
+            out.extend(
+                u for u in range(population) if self.has_account(u, site_rank)
+            )
+            return out
+        users_np = np.arange(population, dtype=np.int64)
+        h = self._lane_np(_MEMBER_SALT, users_np, site_rank)
+        if self._t_member > _MASK64:
+            hits = users_np
+        else:
+            hits = users_np[h < np.uint64(self._t_member)]
+        out.frombytes(hits.tobytes())
+        return out
+
+    def site_passwords(self, users, site_rank: int) -> list[str]:
+        """Site-stored passwords for a user-index column.
+
+        String minting is python-level either way; the class and
+        suffix lanes are evaluated columnar first so the loop only
+        formats.
+        """
+        if np is None:
+            return [self.site_password(int(u), site_rank) for u in users]
+        users_np = np.asarray(users, dtype=np.int64)
+        codes = self.behaviors(users_np)
+        derive_h = self._lane_np(_DERIVE_SALT, users_np, site_rank)
+        unique_h = self._lane_np(_UNIQUE_SALT, users_np, site_rank)
+        suffixes = (derive_h & np.uint64(0xFFFF)).tolist()
+        uniques = unique_h.tolist()
+        out = []
+        out_append = out.append
+        for i, user in enumerate(users_np.tolist()):
+            code = codes[i]
+            if code == ReuseClass.EXACT:
+                out_append(benign_password(user))
+            elif code == ReuseClass.DERIVED:
+                out_append(benign_password(user) + ".%04x" % suffixes[i])
+            else:
+                out_append("sw-%016x" % uniques[i])
+        return out
+
+    def cracked_mask(self, users, site_rank: int, crack_rate: float):
+        """Columnar :meth:`crack_recovered` over a user-index column."""
+        t = _threshold(crack_rate)
+        if np is None:
+            return [
+                self._lane(_CRACK_SALT, int(u), site_rank) < t for u in users
+            ]
+        users_np = np.asarray(users, dtype=np.int64)
+        if t > _MASK64:
+            return np.ones(len(users_np), dtype=bool)
+        h = self._lane_np(_CRACK_SALT, users_np, site_rank)
+        return h < np.uint64(t)

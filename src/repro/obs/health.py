@@ -73,6 +73,7 @@ class HealthCheck:
 
     RULES = (
         "queue_saturation",
+        "stuffing_queue_saturation",
         "throttle_growth",
         "checkpoint_staleness",
         "stream_starvation",
@@ -107,6 +108,7 @@ class HealthCheck:
         """All rule verdicts for one snapshot, rule-declaration order."""
         return [
             self._queue_saturation(snapshot),
+            self._stuffing_queue_saturation(snapshot),
             self._throttle_growth(snapshot),
             self._checkpoint_staleness(snapshot),
             self._stream_starvation(snapshot),
@@ -125,6 +127,26 @@ class HealthCheck:
         elif share >= self.thresholds.queue_refusal_warn:
             status = WARN
         return HealthStatus("queue_saturation", status, (
+            ("peak_depth", queue["peak_depth"]),
+            ("refused", queue["refused"]),
+            ("refusal_share", round(share, 4)),
+        ))
+
+    def _stuffing_queue_saturation(self, snapshot: dict) -> HealthStatus:
+        """Same refusal-share rule, over the stuffing stream's queue."""
+        section = snapshot.get("stuffing")
+        queue = section.get("queue") if section else None
+        if not queue:
+            return HealthStatus("stuffing_queue_saturation", OK,
+                                (("enabled", False),))
+        offered = queue["offered"] + queue["refused"]
+        share = queue["refused"] / offered if offered else 0.0
+        status = OK
+        if share >= self.thresholds.queue_refusal_fail:
+            status = FAIL
+        elif share >= self.thresholds.queue_refusal_warn:
+            status = WARN
+        return HealthStatus("stuffing_queue_saturation", status, (
             ("peak_depth", queue["peak_depth"]),
             ("refused", queue["refused"]),
             ("refusal_share", round(share, 4)),

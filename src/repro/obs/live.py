@@ -191,6 +191,7 @@ class ServiceFlightProbe:
         }
 
         queue = self.lifecycle.queue_stats()
+        stuffing_queue = self.lifecycle.stuffing_queue_stats()
         engine = system.provider.batch_engine_stats()
         login_state = system.provider.login_state_sizes(now)
 
@@ -204,6 +205,18 @@ class ServiceFlightProbe:
             refused = self._delta("queue.refused", queue["refused"])
             if refused > 0:
                 self.recorder.note(now, "queue.refused", batches=refused)
+        if stuffing_queue is not None:
+            refused = self._delta(
+                "stuffing_queue.refused", stuffing_queue["refused"]
+            )
+            if refused > 0:
+                self.recorder.note(now, "stuffing.queue.refused",
+                                   batches=refused)
+            new_hits = self._delta(
+                "stuffing.successes", stats.stuffing_successes
+            )
+            if new_hits > 0:
+                self.recorder.note(now, "stuffing.hits", accounts=new_hits)
         locked = self._delta("lockouts", login_state["locked_rows"])
         if locked > 0:
             self.recorder.note(now, "lockout", rows=locked)
@@ -225,6 +238,17 @@ class ServiceFlightProbe:
             "epoch_length": self.scheduler.config.epoch_length,
             "streams": streams,
             "queue": queue,
+            # The stuffing stream's own queue and sim-derived tallies
+            # (None with stuffing off) — same determinism contract as
+            # the traffic queue section.
+            "stuffing": None if stuffing_queue is None else {
+                "queue": stuffing_queue,
+                "waves": stats.stuffing_waves,
+                "candidates": stats.stuffing_candidates,
+                "logins": stats.stuffing_logins,
+                "successes": stats.stuffing_successes,
+                "site_hits": stats.stuffing_site_hits,
+            },
             "engine": engine,
             "provider": login_state,
             "monitor": {

@@ -95,6 +95,12 @@ class ServiceRunResult:
     epochs_completed: int
     interrupted: bool
     detected_sites: int = 0
+    #: Per-wave stuffing records (dispatch-independent — identical
+    #: batched or per-event); input to the cross-site correlation
+    #: analysis, together with the campaign's reuse model (None when
+    #: the stuffing stream is off).
+    stuffing_waves: list = field(default_factory=list)
+    stuffing_model: object | None = None
     #: Live process-local gauges read at loop exit (engine path mix,
     #: backpressure-queue accounting, provider state sizes).  Operator
     #: surface only — never journaled.
@@ -383,9 +389,12 @@ class CampaignDaemon:
             epochs_completed=len(reports),
             interrupted=interrupted,
             detected_sites=monitor.site_count(),
+            stuffing_waves=list(lifecycle.stuffing_results),
+            stuffing_model=lifecycle.reuse_model,
             live_stats={
                 "engine": system.provider.batch_engine_stats(),
                 "queue": lifecycle.queue_stats(),
+                "stuffing_queue": lifecycle.stuffing_queue_stats(),
                 "provider": system.provider.login_state_sizes(),
             },
         )

@@ -32,11 +32,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.attacker.breach import BreachMethod
+from repro.attacker.stuffing import (
+    StuffingEngine,
+    StuffingWaveResult,
+    build_benign_corpus,
+)
 from repro.core.monitor import CompromiseMonitor, DumpIngestion
 from repro.core.system import TripwireSystem
 from repro.email_provider.batch import LoginBatch
 from repro.email_provider.telemetry import METHOD_ORDER, LoginMethod
 from repro.identity.passwords import PasswordClass
+from repro.identity.reuse import CrossSiteReuseModel
 from repro.net.ipaddr import IPv4Address
 from repro.obs.live import STREAM_GAP_BOUNDS
 from repro.service.scheduler import ServiceConfig
@@ -72,6 +79,11 @@ class LifecycleStats:
     traffic_logins: int = 0
     traffic_successes: int = 0
     traffic_mails: int = 0
+    stuffing_waves: int = 0
+    stuffing_candidates: int = 0
+    stuffing_logins: int = 0
+    stuffing_successes: int = 0
+    stuffing_site_hits: int = 0
     state_evictions: int = 0
     #: Per-stream firing tallies, keyed by stream label
     #: (``service.probe`` etc.): cumulative fire counts and the sim
@@ -130,6 +142,33 @@ class AccountLifecycle:
                 tree,
             )
             self._traffic_queue = BackpressureQueue(config.traffic_queue_depth)
+        self._stuffing_engine: StuffingEngine | None = None
+        self._stuffing_queue: BackpressureQueue | None = None
+        self._stuffing_cursor = 0
+        #: Membership/password knowledge the correlation analysis reuses.
+        self.reuse_model: CrossSiteReuseModel | None = None
+        #: Per-wave dispatch-independent records (analysis input).
+        self.stuffing_results: list[StuffingWaveResult] = []
+        if config.stuffing_interval > 0 and config.traffic_users > 0:
+            # The reuse model is keyed off the lifecycle namespace (a
+            # derived seed — no RNG stream consumed), so stuffed
+            # credentials are a pure function of the sim-shaping
+            # config, like every other event the streams produce.
+            self.reuse_model = CrossSiteReuseModel.from_tree(
+                tree,
+                exact_rate=config.stuffing_exact_rate,
+                derive_rate=config.stuffing_derive_rate,
+                site_density=config.stuffing_site_density,
+            )
+            self._stuffing_engine = StuffingEngine(
+                system.provider,
+                self._population,
+                self.reuse_model,
+                tree,
+                batch_events=config.stuffing_batch_events,
+            )
+            self._stuffing_queue = BackpressureQueue(config.stuffing_queue_depth)
+            self._stuffing_rng = tree.child("stuffing", "campaign").rng()
 
     # -- installation ------------------------------------------------------
 
@@ -148,6 +187,10 @@ class AccountLifecycle:
         ]
         if cfg.traffic_users > 0:
             streams.append((cfg.traffic_window, "service.traffic", self._traffic))
+        if self._stuffing_engine is not None:
+            streams.append(
+                (cfg.stuffing_interval, "service.stuffing", self._stuffing)
+            )
         for interval, label, action in streams:
             self.stream_intervals[label] = interval
             # Seed the tally at zero so an installed-but-starved
@@ -197,6 +240,12 @@ class AccountLifecycle:
         if self._traffic_queue is None:
             return None
         return self._traffic_queue.stats()
+
+    def stuffing_queue_stats(self) -> dict | None:
+        """The stuffing stream's own queue, or None with stuffing off."""
+        if self._stuffing_queue is None:
+            return None
+        return self._stuffing_queue.stats()
 
     def cancel_all(self) -> int:
         """Revoke every still-pending recurring stream (daemon stop)."""
@@ -279,6 +328,86 @@ class AccountLifecycle:
         obs.count("service.traffic_logins", window.login_count)
         obs.count("service.traffic_successes", successes)
         obs.count("service.traffic_mails", mails)
+
+    def _stuffing(self) -> None:
+        """One stuffing wave: breach a site, replay the haul at scale.
+
+        The campaign stream draws — in documented order: victim rank,
+        acquisition coin, then target ranks — from its own namespaced
+        RNG, breaches the victim against the benign population, and
+        fans the corpus out through the stuffing engine: provider
+        candidates flow through the wave's backpressure queue into
+        whichever login engine the config selects (byte-identical
+        either way), cross-site targets are resolved from the reuse
+        model directly.
+        """
+        cfg = self.config
+        rng = self._stuffing_rng
+        wave = self._stuffing_cursor
+        self._stuffing_cursor += 1
+        rank = 1 + rng.randrange(cfg.population_size)
+        method = (
+            BreachMethod.DB_DUMP
+            if rng.random() < 0.5
+            else BreachMethod.ONLINE_CAPTURE
+        )
+        targets: list[int] = []
+        while len(targets) < min(cfg.stuffing_targets, cfg.population_size - 1):
+            candidate = 1 + rng.randrange(cfg.population_size)
+            if candidate != rank and candidate not in targets:
+                targets.append(candidate)
+        host = self.system.population.spec_at_rank(rank).host
+
+        provider = self.system.provider
+        # Housekeeping before the wave: throttle entries left by the
+        # previous wave's failures (waves are spaced past the brute-
+        # force window and lockout) would otherwise route every repeat
+        # candidate through the scalar replay path.  Decision-invariant,
+        # so identical in both engines.
+        evicted_throttle, evicted_windows = provider.evict_expired()
+        self.stats.state_evictions += evicted_throttle + evicted_windows
+
+        corpus = build_benign_corpus(
+            self.reuse_model,
+            cfg.traffic_users,
+            rank,
+            host,
+            method,
+            wave=wave,
+            crack_rate=cfg.stuffing_crack_rate,
+        )
+        engine = self._stuffing_engine
+        plan = engine.plan_wave(corpus, targets=tuple(targets))
+
+        batched = cfg.login_batching
+        results = bytearray()
+
+        def consume(batch: LoginBatch) -> None:
+            results.extend(engine.dispatch_batch(batch, batched))
+
+        self._stuffing_queue.pump(iter(plan.batches), consume)
+        result = engine.collect(plan, results)
+        self.stuffing_results.append(result)
+
+        site_hits = sum(t.hits for t in result.site_targets)
+        stats = self.stats
+        stats.stuffing_waves += 1
+        stats.stuffing_candidates += result.candidates
+        stats.stuffing_logins += result.attempts
+        stats.stuffing_successes += result.successes
+        stats.stuffing_site_hits += site_hits
+        obs = self.system.obs
+        obs.count("service.stuffing_logins", result.attempts)
+        obs.count("service.stuffing_successes", result.successes)
+        obs.count("service.stuffing_site_hits", site_hits)
+        self._log.info(
+            "stuffing wave dispatched",
+            wave=wave,
+            host=host,
+            method=method.value,
+            candidates=result.candidates,
+            successes=result.successes,
+        )
 
     def _bind(self) -> None:
         """Bind one honey account to the next service-probed site.

@@ -65,6 +65,18 @@ class ServiceConfig:
     traffic_logins_per_day: float = 2.0
     traffic_mails_per_day: float = 0.5
     traffic_window: int = 6 * HOUR
+    #: Credential-stuffing campaign stream (0 disables).  Requires a
+    #: benign population (``traffic_users > 0``) — the reuse model and
+    #: the breached corpora are derived over that population.  All of
+    #: these shape which stuffed login events exist, so they are
+    #: sim-shaping; the stuffing batch size and queue depth below are
+    #: execution-shaping, exactly like their traffic twins.
+    stuffing_interval: int = 0
+    stuffing_exact_rate: float = 0.3
+    stuffing_derive_rate: float = 0.3
+    stuffing_site_density: float = 0.05
+    stuffing_crack_rate: float = 0.6
+    stuffing_targets: int = 3
 
     # -- execution-shaping (never in journal meta) ------------------------
     workers: int = 1
@@ -83,6 +95,9 @@ class ServiceConfig:
     #: the FIFO queue preserves window order at any depth.
     traffic_batch_events: int = 8192
     traffic_queue_depth: int = 8
+    #: Stuffing-wave dispatch shaping (split/queue only, never order).
+    stuffing_batch_events: int = 8192
+    stuffing_queue_depth: int = 8
     #: Path of a built world store (:mod:`repro.store`), or None for
     #: in-memory worlds.  Execution-shaped: a run may be resumed with
     #: the store toggled either way and must still byte-match.
@@ -132,6 +147,12 @@ class ServiceConfig:
             "traffic_logins_per_day": self.traffic_logins_per_day,
             "traffic_mails_per_day": self.traffic_mails_per_day,
             "traffic_window": self.traffic_window,
+            "stuffing_interval": self.stuffing_interval,
+            "stuffing_exact_rate": self.stuffing_exact_rate,
+            "stuffing_derive_rate": self.stuffing_derive_rate,
+            "stuffing_site_density": self.stuffing_site_density,
+            "stuffing_crack_rate": self.stuffing_crack_rate,
+            "stuffing_targets": self.stuffing_targets,
         }
 
 

@@ -1,0 +1,120 @@
+"""Attack-class separation table and cross-site breach correlation."""
+
+from array import array
+
+import pytest
+
+from repro.analysis.stuffing import (
+    build_stuffing_classes,
+    build_stuffing_correlation,
+    render_stuffing_classes,
+    render_stuffing_correlation,
+)
+from repro.attacker.stuffing import SiteTargetReport, StuffingWaveResult
+from repro.identity.reuse import CrossSiteReuseModel, ReuseClass
+from repro.util.rngtree import RngTree
+
+UNIVERSE = 800
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CrossSiteReuseModel.from_tree(
+        RngTree(31), exact_rate=0.35, derive_rate=0.3, site_density=0.15
+    )
+
+
+def wave_for(model, wave, rank, method):
+    """A wave result whose hits are exactly the site's EXACT reusers."""
+    members = model.members(rank, UNIVERSE)
+    hits = array(
+        "q", (u for u in members if model.behavior(u) is ReuseClass.EXACT)
+    )
+    acquisition = (
+        "online_capture" if method == "online_capture" else "offline_crack"
+    )
+    return StuffingWaveResult(
+        wave=wave,
+        site_rank=rank,
+        site_host=f"site{rank}.example",
+        method=method,
+        acquisition=acquisition,
+        candidates=len(members),
+        attempts=len(members),
+        successes=len(hits),
+        bad_passwords=len(members) - len(hits),
+        throttled=0,
+        hit_users=hits,
+        site_targets=[SiteTargetReport(target_rank=99, candidates=4, hits=1)],
+    )
+
+
+class TestAttackClasses:
+    def test_channels_are_separable_and_sum_to_the_replay_row(self, model):
+        waves = [
+            wave_for(model, 0, 5, "online_capture"),
+            wave_for(model, 1, 11, "db_dump"),
+            wave_for(model, 2, 23, "db_dump"),
+        ]
+        rows = {r.attack_class: r for r in build_stuffing_classes(waves)}
+        assert set(rows) == {"online_capture", "offline_crack", "stuffed_reuse"}
+        assert rows["online_capture"].waves == 1
+        assert rows["offline_crack"].waves == 2
+        assert (
+            rows["stuffed_reuse"].attempts
+            == rows["online_capture"].attempts + rows["offline_crack"].attempts
+        )
+        assert (
+            rows["stuffed_reuse"].successes
+            == rows["online_capture"].successes
+            + rows["offline_crack"].successes
+        )
+
+    def test_render_includes_every_channel(self, model):
+        rows = build_stuffing_classes([wave_for(model, 0, 5, "db_dump")])
+        text = render_stuffing_classes(rows)
+        for channel in ("online_capture", "offline_crack", "stuffed_reuse"):
+            assert channel in text
+
+
+class TestCorrelation:
+    def test_every_wave_attributed_to_its_breach(self, model):
+        waves = [
+            wave_for(model, i, rank, "online_capture")
+            for i, rank in enumerate((5, 11, 23, 42))
+        ]
+        report = build_stuffing_correlation(waves, model, UNIVERSE)
+        assert report.accuracy == 1.0
+        for attribution in report.attributions:
+            assert attribution.inferred_site_rank == attribution.true_site_rank
+            assert attribution.coverage == 1.0
+
+    def test_hitless_wave_stays_unattributed(self, model):
+        wave = wave_for(model, 0, 5, "online_capture")
+        empty = StuffingWaveResult(
+            wave=1, site_rank=11, site_host="site11.example",
+            method="db_dump", acquisition="offline_crack",
+            candidates=0, attempts=0, successes=0, bad_passwords=0,
+            throttled=0, hit_users=array("q"), site_targets=[],
+        )
+        report = build_stuffing_correlation([wave, empty], model, UNIVERSE)
+        by_wave = {a.wave: a for a in report.attributions}
+        assert by_wave[1].inferred_site_rank is None
+        assert not by_wave[1].correct
+        assert report.correct == 1
+
+    def test_explicit_candidate_list_constrains_inference(self, model):
+        wave = wave_for(model, 0, 5, "online_capture")
+        report = build_stuffing_correlation(
+            [wave], model, UNIVERSE, candidate_ranks=[11, 23]
+        )
+        assert report.attributions[0].inferred_site_rank in (11, 23)
+        assert not report.attributions[0].correct
+
+    def test_render_reports_accuracy(self, model):
+        waves = [wave_for(model, 0, 5, "online_capture")]
+        text = render_stuffing_correlation(
+            build_stuffing_correlation(waves, model, UNIVERSE)
+        )
+        assert "accuracy" in text
+        assert "1/1" in text

@@ -152,3 +152,54 @@ class TestFastDictionaryAttack:
             _perf.set_enabled(True)
         assert fast == naive
         assert [c.password for c in fast] == ["Website1", "Website1"]
+
+    def test_default_dictionary_memoizes_on_identity(self):
+        """Repeat campaigns with the canonical dictionary must reuse
+        the prepared object via the id-keyed memo (no O(n) tuple
+        build + hash per crack_records call)."""
+        from repro.attacker.cracking import (
+            _PREPARED_CACHE,
+            _mangled_guesses,
+            _prepared_for,
+            crack_records,
+        )
+        from repro.perf import caching as _perf
+
+        _PREPARED_CACHE.clear()
+        canonical = _mangled_guesses()
+        first = _prepared_for(canonical)
+        hits_before = _PREPARED_CACHE.hits
+        for _ in range(3):
+            assert _prepared_for(canonical) is first
+        assert _PREPARED_CACHE.hits == hits_before + 3
+        # The id-keyed entry pins the keying tuple, so the id cannot
+        # be recycled while the memo entry lives.
+        record = self.record_for("unsalted_md5", "Website1")
+        assert crack_records([record], breach_time=0)[0].password == "Website1"
+        assert _prepared_for(canonical) is first
+
+    def test_mutable_guess_lists_never_take_the_identity_path(self):
+        from repro.attacker.cracking import _PREPARED_CACHE, _prepared_for
+
+        _PREPARED_CACHE.clear()
+        guesses = ["Website1", "Website2"]
+        first = _prepared_for(guesses)
+        guesses.append("Website3")
+        second = _prepared_for(guesses)
+        assert second is not first
+        assert second.guesses == ("Website1", "Website2", "Website3")
+
+    def test_disable_clears_the_identity_memo(self):
+        from repro.attacker.cracking import (
+            _PREPARED_CACHE,
+            _mangled_guesses,
+            _prepared_for,
+        )
+        from repro.perf import caching as _perf
+
+        _prepared_for(_mangled_guesses())
+        _perf.set_enabled(False)
+        try:
+            assert len(_PREPARED_CACHE) == 0
+        finally:
+            _perf.set_enabled(True)

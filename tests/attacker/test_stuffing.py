@@ -1,0 +1,233 @@
+"""Credential stuffing engine: corpus determinism, join equivalence,
+and batched-vs-per-event dispatch producing identical provider worlds."""
+
+import pytest
+from array import array
+
+from repro.attacker.breach import BreachMethod
+from repro.attacker import stuffing as stuffing_mod
+from repro.attacker.stuffing import (
+    AttackClass,
+    StuffingEngine,
+    _intersect_sorted,
+    build_benign_corpus,
+)
+from repro.email_provider.provider import EmailProvider
+from repro.identity.reuse import CrossSiteReuseModel
+from repro.sim.clock import SimClock
+from repro.traffic.population import BenignPopulation
+from repro.util.rngtree import RngTree
+
+START = 1_500_000
+SEED = 23
+UNIVERSE = 600
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CrossSiteReuseModel.from_tree(
+        RngTree(SEED), exact_rate=0.35, derive_rate=0.3, site_density=0.2
+    )
+
+
+def make_world(size=400):
+    provider = EmailProvider("stuff.example", SimClock(START), RngTree(SEED))
+    population = BenignPopulation(size)
+    population.register_with(provider)
+    return provider, population
+
+
+def make_engine(model, size=400, batch_events=64):
+    provider, population = make_world(size)
+    engine = StuffingEngine(
+        provider, population, model, RngTree(SEED + 1), batch_events=batch_events
+    )
+    return provider, engine
+
+
+def world_state(provider):
+    return {
+        "telemetry": provider.telemetry.columns(),
+        "states": bytes(provider._table.states),
+        "throttle": dict(provider._throttle),
+        "windows": provider.login_window_snapshot(),
+        "first_ips": bytes(provider._ip_first),
+    }
+
+
+class TestCorpus:
+    def test_online_capture_takes_every_member(self, model):
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        assert list(corpus.users) == list(model.members(7, UNIVERSE))
+        assert corpus.acquisition is AttackClass.ONLINE_CAPTURE
+        assert len(corpus.passwords) == len(corpus)
+
+    def test_db_dump_keeps_only_cracked_rows(self, model):
+        full = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        dump = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.DB_DUMP,
+            crack_rate=0.5,
+        )
+        assert dump.acquisition is AttackClass.OFFLINE_CRACK
+        assert 0 < len(dump) < len(full)
+        assert set(dump.users) <= set(full.users)
+        # The cracked subset is a pure per-(user, site) coin.
+        again = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.DB_DUMP,
+            crack_rate=0.5,
+        )
+        assert again.users == dump.users
+        assert again.passwords == dump.passwords
+
+    def test_corpus_passwords_are_the_site_passwords(self, model):
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        for u, pw in zip(corpus.users, corpus.passwords):
+            assert pw == model.site_password(u, 7)
+
+    def test_corpus_prefix_closed_across_universes(self, model):
+        small = build_benign_corpus(
+            model, 300, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        large = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        n = len(small)
+        assert list(large.users)[:n] == list(small.users)
+        assert large.passwords[:n] == small.passwords
+
+
+class TestSortedJoin:
+    def test_numpy_join_matches_two_pointer_reference(self, monkeypatch):
+        a = array("q", [1, 4, 5, 9, 20, 21, 40])
+        b = array("q", [0, 4, 9, 21, 22, 39, 40, 41])
+        vectorized = _intersect_sorted(a, b)
+        monkeypatch.setattr(stuffing_mod, "np", None)
+        reference = _intersect_sorted(a, b)
+        assert list(vectorized) == list(reference) == [4, 9, 21, 40]
+
+    def test_empty_and_disjoint_joins(self):
+        assert list(_intersect_sorted(array("q"), array("q", [1]))) == []
+        assert list(_intersect_sorted(array("q", [1, 2]), array("q", [3]))) == []
+
+
+class TestWavePlanning:
+    def test_candidates_are_corpus_rows_inside_the_population(self, model):
+        provider, engine = make_engine(model, size=300)
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        wave = engine.plan_wave(corpus)
+        assert list(wave.users) == [u for u in corpus.users if u < 300]
+        total = sum(len(b.keys) for b in wave.batches)
+        assert total == wave.candidates
+
+    def test_batch_splitting_preserves_event_order(self, model):
+        _, engine_small = make_engine(model, batch_events=16)
+        _, engine_big = make_engine(model, batch_events=10_000)
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        small = engine_small.plan_wave(corpus)
+        big = engine_big.plan_wave(corpus)
+        assert len(small.batches) > 1
+        assert len(big.batches) == 1
+        flat = lambda waves, col: [
+            v for b in waves.batches for v in getattr(b, col)
+        ]
+        for col in ("keys", "passwords", "ips", "methods", "rows"):
+            assert flat(small, col) == flat(big, col)
+
+    def test_proxy_ips_stay_out_of_the_benign_space(self, model):
+        _, engine = make_engine(model)
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        wave = engine.plan_wave(corpus)
+        for batch in wave.batches:
+            for ip in batch.ips:
+                assert ip >> 24 == 0x2E
+                assert not (0x60000000 <= ip < 0x80000000)
+
+    def test_site_target_reports_reflect_reuse(self, model):
+        _, engine = make_engine(model)
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        wave = engine.plan_wave(corpus, targets=(7, 9, 11))
+        by_rank = {t.target_rank: t for t in wave.site_targets}
+        # Self-target: every held credential trivially works.
+        assert by_rank[7].hits == by_rank[7].candidates == len(corpus)
+        for rank in (9, 11):
+            report = by_rank[rank]
+            members = set(model.members(rank, UNIVERSE))
+            expected_candidates = [u for u in corpus.users if u in members]
+            assert report.candidates == len(expected_candidates)
+            expected_hits = sum(
+                1
+                for u in expected_candidates
+                if model.site_password(u, 7) == model.site_password(u, rank)
+            )
+            assert report.hits == expected_hits
+            assert 0 < report.candidates
+            assert report.hits <= report.candidates
+
+
+class TestDispatchEquivalence:
+    def test_batched_and_per_event_worlds_are_identical(self, model):
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        provider_b, engine_b = make_engine(model, batch_events=32)
+        result_b = engine_b.execute_wave(engine_b.plan_wave(corpus), batched=True)
+        provider_s, engine_s = make_engine(model, batch_events=32)
+        result_s = engine_s.execute_wave(engine_s.plan_wave(corpus), batched=False)
+        assert world_state(provider_b) == world_state(provider_s)
+        assert result_b == result_s
+
+    def test_wave_result_separates_hits_from_misses(self, model):
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE
+        )
+        _, engine = make_engine(model)
+        result = engine.execute_wave(engine.plan_wave(corpus))
+        assert result.attack_class is AttackClass.STUFFED_REUSE
+        assert result.attempts == result.candidates
+        assert result.successes + result.bad_passwords == result.attempts
+        assert 0 < result.successes < result.attempts
+        # Hits are exactly the EXACT reusers (mailbox password leaked
+        # verbatim at the breached site).
+        from repro.identity.reuse import ReuseClass
+
+        expected = [
+            u
+            for u in engine.plan_wave(corpus).users
+            if model.behavior(u) is ReuseClass.EXACT
+        ]
+        assert list(result.hit_users) == expected
+        assert engine.stats()["successes"] == result.successes
+
+    def test_wave_columns_are_deterministic_per_wave_index(self, model):
+        corpus = build_benign_corpus(
+            model, UNIVERSE, 7, "breached.test", BreachMethod.ONLINE_CAPTURE,
+            wave=3,
+        )
+        _, engine_a = make_engine(model)
+        _, engine_b = make_engine(model)
+        wave_a = engine_a.plan_wave(corpus)
+        # Planning other waves first must not shift wave 3's columns.
+        other = build_benign_corpus(
+            model, UNIVERSE, 9, "other.test", BreachMethod.ONLINE_CAPTURE,
+            wave=1,
+        )
+        engine_b.plan_wave(other)
+        wave_b = engine_b.plan_wave(corpus)
+        for a, b in zip(wave_a.batches, wave_b.batches):
+            assert a.ips == b.ips
+            assert a.methods == b.methods
+            assert a.keys == b.keys

@@ -147,6 +147,65 @@ class TestEquivalence:
             )
 
 
+class TestCleanFailurePath:
+    def test_bulk_failures_commit_vectorized_and_match_scalar(self):
+        spec = [
+            (f"bg{i:08d}", "stuffed-wrong-guess", 0x51000000 + i, i)
+            for i in range(36)
+        ]
+        attempts = attempts_from(spec)
+        scalar = make_provider()
+        scalar_codes = run_scalar(scalar, attempts)
+        batched = make_provider()
+        batched_codes = run_batched(batched, attempts)
+        assert batched_codes == scalar_codes
+        assert set(batched_codes) == {RESULT_CODES[LoginResult.BAD_PASSWORD]}
+        assert world_state(batched) == world_state(scalar)
+        stats = batched.batch_engine_stats()
+        assert stats["vector_failed"] == 36
+        assert stats["scalar_replayed"] == 0
+
+    def test_second_window_routes_throttled_rows_rare(self):
+        """A clean failure leaves a throttle entry; the next window's
+        membership probe must see it and route the row rare."""
+        spec = [
+            (f"bg{i:08d}", "stuffed-wrong-guess", 0x51000000 + i, i)
+            for i in range(36)
+        ]
+        provider = make_provider()
+        run_batched(provider, attempts_from(spec))
+        run_batched(provider, attempts_from(spec))
+        stats = provider.batch_engine_stats()
+        assert stats["vector_failed"] == 36
+        assert stats["scalar_replayed"] == 36
+        # Scalar replay accumulated the second failure per row.
+        assert all(
+            entry[0] == 2 for entry in provider._throttle.values()
+        )
+
+    def test_eviction_invalidates_the_sorted_key_cache(self):
+        spec = [
+            (f"bg{i:08d}", "stuffed-wrong-guess", 0x51000000 + i, i)
+            for i in range(36)
+        ]
+        provider = make_provider()
+        run_batched(provider, attempts_from(spec))
+        engine = provider._batch_engine
+        assert engine._throttle_rev == provider._throttle_rev
+        assert list(engine._throttle_keys) == sorted(provider._throttle)
+        provider._clock.advance(8 * 3600)  # past window + lockout
+        provider.evict_expired()
+        assert not provider._throttle
+        assert engine._throttle_rev != provider._throttle_rev
+        # A fresh window probes the rebuilt (empty) key set cleanly.
+        ok_spec = [
+            (f"bg{i:08d}", f"bg-pw-{i:08d}", 0x52000000 + i, i)
+            for i in range(36)
+        ]
+        codes = run_batched(provider, attempts_from(ok_spec))
+        assert set(codes) == {RESULT_CODES[LoginResult.SUCCESS]}
+
+
 class TestTelemetrySift:
     def test_dump_contains_only_monitored_accounts(self):
         provider = make_provider()
